@@ -1,0 +1,423 @@
+// Package repro's benchmark harness: one benchmark per experiment indexed
+// in DESIGN.md/EXPERIMENTS.md (regenerating the paper's quantified claims),
+// plus substrate micro-benchmarks. Custom metrics carry the shape numbers:
+// deadlocks/1k-commits, rows-read/op, stall milliseconds, and so on.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/hostdb"
+	"repro/internal/rpc"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// benchStack builds a production-config deployment for micro-benchmarks.
+func benchStack(b *testing.B, mutate ...func(*core.Config)) *workload.Stack {
+	b.Helper()
+	st, err := workload.NewStack(workload.StackConfig{
+		Servers: []string{"fs1"},
+		MutateDLFM: func(_ string, c *core.Config) {
+			for _, m := range mutate {
+				m(c)
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(st.Close)
+	return st
+}
+
+// BenchmarkE2LinkRate measures one complete link transaction (INSERT with a
+// DATALINK value + two-phase commit) — the paper's "insert rate".
+func BenchmarkE2LinkRate(b *testing.B) {
+	st := benchStack(b)
+	if err := st.Host.CreateTable(
+		`CREATE TABLE bench (id BIGINT NOT NULL, doc VARCHAR)`,
+		hostdb.DatalinkCol{Name: "doc"},
+	); err != nil {
+		b.Fatal(err)
+	}
+	s := st.Host.Session()
+	defer s.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/bench/link%09d", i)
+		st.FS["fs1"].Create(path, "app", []byte("x")) //nolint:errcheck
+		if _, err := s.Exec(`INSERT INTO bench (id, doc) VALUES (?, ?)`,
+			value.Int(int64(i)), value.Str(hostdb.URL("fs1", path))); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perMin := float64(b.N) / b.Elapsed().Minutes()
+	b.ReportMetric(perMin, "links/min")
+}
+
+// BenchmarkE2UpdateRate measures one complete update transaction (replace a
+// row's file: unlink + link + host update + 2PC) — the paper's "update
+// rate", structurally twice the DLFM work of a link.
+func BenchmarkE2UpdateRate(b *testing.B) {
+	st := benchStack(b)
+	if err := st.Host.CreateTable(
+		`CREATE TABLE bench (id BIGINT NOT NULL, doc VARCHAR)`,
+		hostdb.DatalinkCol{Name: "doc"},
+	); err != nil {
+		b.Fatal(err)
+	}
+	c := st.Host.Engine().Connect()
+	if _, err := c.Exec(`CREATE UNIQUE INDEX bench_id ON bench (id)`); err != nil {
+		b.Fatal(err)
+	}
+	st.Host.Engine().SetStats("bench", 10_000_000, map[string]int64{"id": 10_000_000})
+	s := st.Host.Session()
+	defer s.Close()
+	st.FS["fs1"].Create("/bench/seed", "app", []byte("x")) //nolint:errcheck
+	if _, err := s.Exec(`INSERT INTO bench (id, doc) VALUES (1, ?)`,
+		value.Str(hostdb.URL("fs1", "/bench/seed"))); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/bench/upd%09d", i)
+		st.FS["fs1"].Create(path, "app", []byte("x")) //nolint:errcheck
+		if _, err := s.Exec(`UPDATE bench SET doc = ? WHERE id = 1`,
+			value.Str(hostdb.URL("fs1", path))); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perMin := float64(b.N) / b.Elapsed().Minutes()
+	b.ReportMetric(perMin, "updates/min")
+}
+
+// BenchmarkE1Soak100Clients runs the 100-client mixed workload; b.N scales
+// the per-client operation count. Deadlock and timeout rates are the
+// paper's stability claim.
+func BenchmarkE1Soak100Clients(b *testing.B) {
+	st := benchStack(b)
+	r, err := workload.NewRunner(st, workload.Config{
+		Clients:      100,
+		OpsPerClient: b.N,
+		Mix:          workload.DefaultMix(),
+		PreloadRows:  200,
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Prepare(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := r.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	es := st.EngineStats()
+	b.ReportMetric(float64(res.Commits)/b.Elapsed().Seconds(), "commits/s")
+	if res.Commits > 0 {
+		b.ReportMetric(float64(es.Lock.Deadlocks)*1000/float64(res.Commits), "deadlocks/1k-commits")
+		b.ReportMetric(float64(es.Lock.Timeouts)*1000/float64(res.Commits), "timeouts/1k-commits")
+	}
+}
+
+// BenchmarkE3NextKeyLocking compares insert/delete churn with next-key
+// locking on (DB2 default) and off (DLFM's fix).
+func BenchmarkE3NextKeyLocking(b *testing.B) {
+	for _, nextKey := range []bool{true, false} {
+		name := "off"
+		if nextKey {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			st := benchStack(b, func(c *core.Config) { c.DB.NextKeyLocking = nextKey })
+			r, err := workload.NewRunner(st, workload.Config{
+				Clients:      16,
+				OpsPerClient: b.N,
+				Mix:          workload.Mix{InsertPct: 50, DeletePct: 50},
+				PreloadRows:  100,
+				Seed:         3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Prepare(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := r.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			es := st.EngineStats()
+			if res.Commits > 0 {
+				b.ReportMetric(float64(es.Lock.Deadlocks)*1000/float64(res.Commits), "deadlocks/1k-commits")
+			}
+			b.ReportMetric(res.OpsPerSec, "ops/s")
+		})
+	}
+}
+
+// BenchmarkE5OptimizerStats compares the concurrent workload under
+// default (table-scan) and hand-crafted (index-scan) statistics.
+func BenchmarkE5OptimizerStats(b *testing.B) {
+	for _, crafted := range []bool{false, true} {
+		name := "default-stats"
+		if crafted {
+			name = "crafted-stats"
+		}
+		b.Run(name, func(b *testing.B) {
+			st := benchStack(b, func(c *core.Config) {
+				c.HandCraftStats = crafted
+				c.StatsGuard = crafted
+			})
+			r, err := workload.NewRunner(st, workload.Config{
+				Clients:      16,
+				OpsPerClient: b.N,
+				Mix:          workload.Mix{InsertPct: 40, UpdatePct: 30, DeletePct: 20},
+				PreloadRows:  300,
+				Seed:         5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := r.Prepare(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := r.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			es := st.EngineStats()
+			b.ReportMetric(res.OpsPerSec, "ops/s")
+			if res.Commits > 0 {
+				b.ReportMetric(float64(es.RowsRead)/float64(res.Commits), "rows-read/op")
+				b.ReportMetric(float64(es.Lock.Timeouts+es.Lock.Deadlocks)*1000/float64(res.Commits), "conflicts/1k-commits")
+			}
+		})
+	}
+}
+
+// BenchmarkE4LockEscalation runs the escalation sweep once per iteration
+// and reports the over-threshold throughput collapse.
+func BenchmarkE4LockEscalation(b *testing.B) {
+	opt := experiments.Options{Clients: 8, Ops: 10}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunE4Escalation(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			under := rep.Rows[0]
+			over := rep.Rows[len(rep.Rows)-1]
+			b.ReportMetric(under.OltpPerSec, "oltp-ops/s-under-threshold")
+			b.ReportMetric(over.OltpPerSec, "oltp-ops/s-over-threshold")
+			b.ReportMetric(float64(over.Escalations), "escalations-over-threshold")
+		}
+	}
+}
+
+// BenchmarkE6SyncCommit runs the scripted distributed-deadlock scenario
+// under both commit modes and reports the stall.
+func BenchmarkE6SyncCommit(b *testing.B) {
+	opt := experiments.Options{}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunE6SyncCommit(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rep.Rows[0].Elapsed.Milliseconds()), "async-elapsed-ms")
+			b.ReportMetric(float64(rep.Rows[1].Elapsed.Milliseconds()), "sync-elapsed-ms")
+			b.ReportMetric(float64(rep.Rows[0].Timeouts), "async-lock-timeouts")
+		}
+	}
+}
+
+// BenchmarkE7TimeoutSweep runs the timeout sweep and reports the extremes.
+func BenchmarkE7TimeoutSweep(b *testing.B) {
+	opt := experiments.Options{Ops: 15}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunE7TimeoutSweep(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			short := rep.Rows[0]
+			long := rep.Rows[len(rep.Rows)-1]
+			b.ReportMetric(short.AbortRate, "aborts/100c-shortest-timeout")
+			b.ReportMetric(long.AbortRate, "aborts/100c-longest-timeout")
+			b.ReportMetric(float64(long.MaxStall.Milliseconds()), "max-stall-ms-longest-timeout")
+		}
+	}
+}
+
+// BenchmarkE8BatchCommit runs the delete-group log-full experiment.
+func BenchmarkE8BatchCommit(b *testing.B) {
+	opt := experiments.Options{}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunE8BatchCommit(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			single := rep.Rows[0]
+			batched := rep.Rows[len(rep.Rows)-1]
+			logFull := 0.0
+			if single.LogFull {
+				logFull = 1.0
+			}
+			b.ReportMetric(logFull, "single-txn-hit-log-full")
+			b.ReportMetric(float64(batched.Unlinked), "batched-files-unlinked")
+		}
+	}
+}
+
+// BenchmarkF4CommitLockCost measures the lock acquisitions of phase-2
+// commit processing (Figure 4's observation).
+func BenchmarkF4CommitLockCost(b *testing.B) {
+	opt := experiments.Options{Ops: 20}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunF4CommitLocks(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rep.PerCommit, "locks/phase2-commit")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ------------------------------------------------
+
+// BenchmarkDLFMLinkOp measures the raw DLFM LinkFile round trip (agent
+// protocol, no host database).
+func BenchmarkDLFMLinkOp(b *testing.B) {
+	st := benchStack(b)
+	dlfm := st.DLFMs["fs1"]
+	client := rpc.LocalPair(dlfm)
+	defer client.Close()
+	gtxn := st.Host.NextTxn()
+	for _, req := range []any{
+		rpc.BeginTxnReq{Txn: gtxn},
+		rpc.CreateGroupReq{Txn: gtxn, Grp: 1},
+		rpc.PrepareReq{Txn: gtxn},
+		rpc.CommitReq{Txn: gtxn},
+	} {
+		if resp, err := client.Call(req); err != nil || !resp.OK() {
+			b.Fatalf("%T: %+v %v", req, resp, err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/micro/f%09d", i)
+		st.FS["fs1"].Create(path, "app", []byte("x")) //nolint:errcheck
+		txn := st.Host.NextTxn()
+		for _, req := range []any{
+			rpc.BeginTxnReq{Txn: txn},
+			rpc.LinkFileReq{Txn: txn, Name: path, RecID: st.Host.NextRecID(), Grp: 1},
+			rpc.PrepareReq{Txn: txn},
+			rpc.CommitReq{Txn: txn},
+		} {
+			if resp, err := client.Call(req); err != nil || !resp.OK() {
+				b.Fatalf("%T: %+v %v", req, resp, err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineInsert measures a bare local-database insert+commit.
+func BenchmarkEngineInsert(b *testing.B) {
+	db, err := engine.Open(engine.DefaultConfig("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c := db.Connect()
+	if _, err := c.Exec(`CREATE TABLE t (k VARCHAR NOT NULL, v BIGINT)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Exec(`CREATE UNIQUE INDEX t_k ON t (k)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Exec(`INSERT INTO t VALUES (?, ?)`,
+			value.Str(fmt.Sprintf("k%09d", i)), value.Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineIndexLookup measures a bound index-scan SELECT.
+func BenchmarkEngineIndexLookup(b *testing.B) {
+	db, err := engine.Open(engine.DefaultConfig("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c := db.Connect()
+	if _, err := c.Exec(`CREATE TABLE t (k VARCHAR NOT NULL, v BIGINT)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Exec(`CREATE UNIQUE INDEX t_k ON t (k)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := c.Exec(`INSERT INTO t VALUES (?, ?)`,
+			value.Str(fmt.Sprintf("k%09d", i)), value.Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	db.SetStats("t", 10_000_000, map[string]int64{"k": 10_000_000})
+	stmt, err := db.Prepare(`SELECT v FROM t WHERE k = ?`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !stmt.IsIndexScan() {
+		b.Fatalf("plan = %s", stmt.PlanString())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Query(c, value.Str(fmt.Sprintf("k%09d", i%10000))); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

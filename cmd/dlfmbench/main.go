@@ -1,0 +1,108 @@
+// Command dlfmbench regenerates every experiment in the reproduction: one
+// subcommand per table/figure indexed in DESIGN.md and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dlfmbench all                      # run every experiment
+//	dlfmbench soak -clients 100 -dur 30s
+//	dlfmbench throughput | nextkey | escalation | optimizer |
+//	          synccommit | timeout | batchcommit | twophase |
+//	          commitlocks | processmodel
+//
+// Flags -clients, -ops, and -dur scale the runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(experiments.Options) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) func(experiments.Options) (fmt.Stringer, error) {
+	return func(o experiments.Options) (fmt.Stringer, error) { return f(o) }
+}
+
+var all = []runner{
+	{"soak", "E1: 100-client stability soak", wrap(experiments.RunE1Soak)},
+	{"throughput", "E2: insert/update rates", wrap(experiments.RunE2Throughput)},
+	{"nextkey", "E3: next-key locking ablation", wrap(experiments.RunE3NextKey)},
+	{"escalation", "E4: lock escalation sweep", wrap(experiments.RunE4Escalation)},
+	{"optimizer", "E5: statistics / plan ablation", wrap(experiments.RunE5Optimizer)},
+	{"synccommit", "E6: sync vs async commit deadlock", wrap(experiments.RunE6SyncCommit)},
+	{"timeout", "E7: lock-timeout sweep", wrap(experiments.RunE7TimeoutSweep)},
+	{"batchcommit", "E8: batched commits vs log full", wrap(experiments.RunE8BatchCommit)},
+	{"twophase", "E9: 2PC / delayed update / indoubt", wrap(experiments.RunE9TwoPhase)},
+	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
+	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
+}
+
+func main() {
+	fs := flag.NewFlagSet("dlfmbench", flag.ExitOnError)
+	clients := fs.Int("clients", 100, "concurrent clients for workload experiments")
+	ops := fs.Int("ops", 30, "operations per client for fixed-size experiments")
+	dur := fs.Duration("dur", 5*time.Second, "duration of the E1 soak")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dlfmbench [flags] <experiment>\n\nexperiments:\n  all\n")
+		for _, r := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.name, r.desc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		fs.PrintDefaults()
+	}
+
+	args := os.Args[1:]
+	// Accept both "dlfmbench -clients 10 soak" and "dlfmbench soak -clients 10".
+	var cmd string
+	if len(args) > 0 && args[0][0] != '-' {
+		cmd, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if cmd == "" {
+		if fs.NArg() > 0 {
+			cmd = fs.Arg(0)
+		} else {
+			fs.Usage()
+			os.Exit(2)
+		}
+	}
+	opt := experiments.Options{Clients: *clients, Ops: *ops, SoakDuration: *dur}
+
+	run := func(r runner) {
+		fmt.Printf("=== %s (%s)\n", r.name, r.desc)
+		start := time.Now()
+		rep, err := r.run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlfmbench %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s in %s)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if cmd == "all" {
+		for _, r := range all {
+			run(r)
+		}
+		return
+	}
+	for _, r := range all {
+		if r.name == cmd {
+			run(r)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dlfmbench: unknown experiment %q\n\n", cmd)
+	fs.Usage()
+	os.Exit(2)
+}

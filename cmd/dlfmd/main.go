@@ -1,0 +1,76 @@
+// Command dlfmd runs a standalone DataLinks File Manager daemon: it opens
+// (or recovers) the local database, starts the service daemons of Figure 5,
+// and serves the DLFM RPC protocol over TCP for host databases to connect
+// to — the deployment shape of the paper, where one DLFM runs next to each
+// file server.
+//
+// Usage:
+//
+//	dlfmd -listen :7117 -name fs1 -wal /var/dlfm/fs1.wal
+//
+// The file server and archive server are in-process simulations (see
+// DESIGN.md); -seed-files pre-creates files so a remote host can link them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7117", "TCP address to serve the DLFM protocol on")
+	name := flag.String("name", "fs1", "file server name this DLFM manages")
+	walPath := flag.String("wal", "", "write-ahead log path for the local database (empty = in-memory)")
+	timeout := flag.Duration("lock-timeout", 60*time.Second, "local database lock timeout (the paper's 60 s)")
+	nextKey := flag.Bool("next-key-locking", false, "enable next-key locking in the local database (the paper disables it)")
+	seed := flag.Int("seed-files", 0, "pre-create this many files under /data for experiments")
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*name)
+	cfg.DB.LogPath = *walPath
+	cfg.DB.LockTimeout = *timeout
+	cfg.DB.NextKeyLocking = *nextKey
+
+	fs := fsim.NewServer(*name)
+	for i := 0; i < *seed; i++ {
+		path := fmt.Sprintf("/data/seed%06d", i)
+		if err := fs.Create(path, "app", []byte(fmt.Sprintf("seed content %d", i))); err != nil {
+			log.Fatalf("dlfmd: seed %s: %v", path, err)
+		}
+	}
+	arch := archive.NewServer()
+
+	srv, err := core.New(cfg, fs, arch)
+	if err != nil {
+		log.Fatalf("dlfmd: start DLFM: %v", err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("dlfmd: listen %s: %v", *listen, err)
+	}
+	rpcSrv := rpc.Serve(ln, srv)
+	log.Printf("dlfmd: DLFM for file server %q serving on %s (wal=%q, next-key=%v, seeded %d files)",
+		*name, rpcSrv.Addr(), *walPath, *nextKey, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("dlfmd: shutting down")
+	rpcSrv.Close()
+
+	s := srv.Stats()
+	log.Printf("dlfmd: links=%d unlinks=%d commits=%d aborts=%d compensations=%d archived=%d",
+		s.Links, s.Unlinks, s.Commits, s.Aborts, s.Compensations, s.ArchiveCopies)
+}

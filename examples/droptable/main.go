@@ -1,0 +1,107 @@
+// Drop table: Section 3.5's Delete Group daemon flow.
+//
+// Dropping an SQL table with a DATALINK column must unlink every referenced
+// file — potentially a huge number — so the work is split: the DROP TABLE
+// transaction only marks the file group deleted; after commit the Delete
+// Group daemon unlinks the files asynchronously, committing its local
+// database work in batches (the Section 4 log-full lesson), and the
+// Garbage Collector eventually removes the expired group's metadata.
+//
+// Run with: go run ./examples/droptable
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hostdb"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func main() {
+	st, err := workload.NewStack(workload.StackConfig{
+		Servers: []string{"fs1"},
+		MutateDLFM: func(_ string, c *core.Config) {
+			c.BatchCommitN = 25 // daemon commits every 25 unlinks
+			c.GroupLifespan = 0 // tombstones expire immediately (for the demo)
+			c.GCInterval = 5 * time.Millisecond
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	if err := st.Host.CreateTable(
+		`CREATE TABLE scans (id BIGINT NOT NULL, img VARCHAR)`,
+		hostdb.DatalinkCol{Name: "img"},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Link 120 scanned images via the Load utility (batched DLFM txn).
+	const n = 120
+	rows := make([]value.Row, n)
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("/scans/img%04d.tif", i)
+		if err := st.FS["fs1"].Create(path, "scanner", []byte("TIFF")); err != nil {
+			log.Fatal(err)
+		}
+		rows[i] = value.Row{value.Int(int64(i)), value.Str(hostdb.URL("fs1", path))}
+	}
+	loaded, err := st.Host.Load("scans", []string{"id", "img"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dlfm := st.DLFMs["fs1"]
+	fmt.Printf("loaded %d rows; DLFM used %d intermediate (batched) commits during the load\n",
+		loaded, dlfm.Stats().BatchCommits)
+
+	linked, _ := dlfm.Upcaller().IsLinked("/scans/img0000.tif")
+	fmt.Printf("before drop: img0000 linked=%v\n", linked.Linked)
+
+	// DROP TABLE: returns as soon as the 2PC commits; the files are still
+	// linked at that instant (and cannot be re-linked elsewhere until the
+	// daemon unlinks them).
+	start := time.Now()
+	if err := st.Host.DropTable("scans"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DROP TABLE returned in %s (unlinking happens asynchronously)\n",
+		time.Since(start).Round(time.Microsecond))
+
+	// Watch the Delete Group daemon drain the group.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st0, _ := dlfm.Upcaller().IsLinked("/scans/img0000.tif")
+		stN, _ := dlfm.Upcaller().IsLinked(fmt.Sprintf("/scans/img%04d.tif", n-1))
+		if !st0.Linked && !stN.Linked {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stats := dlfm.Stats()
+	fmt.Printf("Delete Group daemon: groups=%d unlinked-files (entries now 'U')\n", stats.GroupsDeleted)
+
+	// Files are released: the owner can delete them again.
+	if err := st.FS["fs1"].Delete("/scans/img0000.tif"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("released file deleted by its owner — referential integrity no longer applies")
+
+	// The Garbage Collector removes the expired tombstone and the unlinked
+	// entries.
+	if err := dlfm.RunGC(); err != nil {
+		log.Fatal(err)
+	}
+	c := dlfm.DB().Connect()
+	groups, _, _ := c.QueryInt(`SELECT COUNT(*) FROM dlfm_group`)
+	entries, _, _ := c.QueryInt(`SELECT COUNT(*) FROM dlfm_file`)
+	c.Commit()
+	fmt.Printf("after GC: dlfm_group rows=%d, dlfm_file rows=%d (expect 0, 0)\n", groups, entries)
+	fmt.Printf("\nDLFM counters: links=%d batch-commits=%d groups-deleted=%d entries-GCed=%d\n",
+		stats.Links, dlfm.Stats().BatchCommits, dlfm.Stats().GroupsDeleted, dlfm.Stats().FilesGCed)
+}

@@ -1,0 +1,156 @@
+// Media assets: the paper's motivating scenario — "a video clip used in TV
+// commercials within the last year that contains images of Michael Jordan"
+// (Section 2.1). A media library keeps clip metadata in the database and
+// the clips themselves as ordinary files on two file servers; DataLinks
+// keeps both sides consistent.
+//
+// The example demonstrates: multi-server transactions, searching metadata
+// to find files, version-swapping a clip (unlink+link in one transaction,
+// "an important customer requirement"), a statement-level failure being
+// backed out, and rollback restoring the previous link.
+//
+// Run with: go run ./examples/mediaassets
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hostdb"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func main() {
+	st, err := workload.NewStack(workload.StackConfig{Servers: []string{"fs-east", "fs-west"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	fmt.Println("deployment: host database + DLFMs on fs-east and fs-west")
+
+	if err := st.Host.CreateTable(
+		`CREATE TABLE clips (id BIGINT NOT NULL, subject VARCHAR, year BIGINT, clip VARCHAR, thumb VARCHAR)`,
+		hostdb.DatalinkCol{Name: "clip", Recovery: true},
+		hostdb.DatalinkCol{Name: "thumb"},
+	); err != nil {
+		log.Fatal(err)
+	}
+	c := st.Host.Engine().Connect()
+	if _, err := c.Exec(`CREATE UNIQUE INDEX clips_id ON clips (id)`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Exec(`CREATE INDEX clips_subject ON clips (subject)`); err != nil {
+		log.Fatal(err)
+	}
+	st.Host.Engine().SetStats("clips", 10_000_000,
+		map[string]int64{"id": 10_000_000, "subject": 50_000})
+	fmt.Println("created clips table: clip DATALINK (recovery) on one server, thumb DATALINK on another")
+
+	// Ingest: clips on fs-east, thumbnails on fs-west — one transaction
+	// spans both DLFMs (two-phase commit with two participants).
+	assets := []struct {
+		id      int64
+		subject string
+		year    int64
+	}{
+		{1, "jordan-dunk", 1998},
+		{2, "jordan-fadeaway", 1998},
+		{3, "superbowl-ad", 1999},
+	}
+	s := st.Host.Session()
+	defer s.Close()
+	for _, a := range assets {
+		clip := fmt.Sprintf("/video/%s.mpg", a.subject)
+		thumb := fmt.Sprintf("/thumbs/%s.jpg", a.subject)
+		if err := st.FS["fs-east"].Create(clip, "ingest", []byte("MPEG:"+a.subject)); err != nil {
+			log.Fatal(err)
+		}
+		if err := st.FS["fs-west"].Create(thumb, "ingest", []byte("JPEG:"+a.subject)); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := s.Exec(
+			`INSERT INTO clips (id, subject, year, clip, thumb) VALUES (?, ?, ?, ?, ?)`,
+			value.Int(a.id), value.Str(a.subject), value.Int(a.year),
+			value.Str(hostdb.URL("fs-east", clip)), value.Str(hostdb.URL("fs-west", thumb))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d assets across two servers in one 2PC transaction\n", len(assets))
+
+	// Search the metadata, then read the files directly (Figure 3's flow).
+	rows, err := s.Query(`SELECT id, clip FROM clips WHERE subject = 'jordan-dunk'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Commit()
+	for _, r := range rows {
+		server, path, _ := hostdb.ParseURL(r[1].Text())
+		content, err := st.FS[server].Read(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search hit id=%d -> %s -> %q\n", r[0].Int64(), r[1].Text(), content)
+	}
+
+	// Version swap: replace the clip with a remastered file — the old file
+	// is unlinked and the new one linked in the same transaction.
+	remaster := "/video/jordan-dunk-remastered.mpg"
+	if err := st.FS["fs-east"].Create(remaster, "ingest", []byte("MPEG:remastered")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Exec(`UPDATE clips SET clip = ? WHERE id = 1`,
+		value.Str(hostdb.URL("fs-east", remaster))); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	old, _ := st.DLFMs["fs-east"].Upcaller().IsLinked("/video/jordan-dunk.mpg")
+	cur, _ := st.DLFMs["fs-east"].Upcaller().IsLinked(remaster)
+	fmt.Printf("version swap committed: old linked=%v, remaster linked=%v\n", old.Linked, cur.Linked)
+
+	// Rollback restores the previous version's link.
+	other := "/video/jordan-dunk-directors-cut.mpg"
+	st.FS["fs-east"].Create(other, "ingest", []byte("MPEG:directors")) //nolint:errcheck
+	if _, err := s.Exec(`UPDATE clips SET clip = ? WHERE id = 1`,
+		value.Str(hostdb.URL("fs-east", other))); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Rollback(); err != nil {
+		log.Fatal(err)
+	}
+	cur, _ = st.DLFMs["fs-east"].Upcaller().IsLinked(remaster)
+	dir, _ := st.DLFMs["fs-east"].Upcaller().IsLinked(other)
+	fmt.Printf("rollback: remaster still linked=%v, director's cut linked=%v\n", cur.Linked, dir.Linked)
+
+	// Statement-level failure: a missing file fails the INSERT, the link
+	// of the statement's other column is backed out, and the transaction
+	// carries on.
+	st.FS["fs-west"].Create("/thumbs/ghost.jpg", "ingest", []byte("JPEG")) //nolint:errcheck
+	// (thumb first so its link succeeds before the clip link fails —
+	// exercising the in_backout path.)
+	_, err = s.Exec(`INSERT INTO clips (id, subject, year, thumb, clip) VALUES (4, 'ghost', 2000, ?, ?)`,
+		value.Str(hostdb.URL("fs-west", "/thumbs/ghost.jpg")),
+		value.Str(hostdb.URL("fs-east", "/video/ghost.mpg"))) // does not exist
+	fmt.Printf("insert with a missing clip failed as a statement error: %v\n", err != nil)
+	if _, err := s.Exec(`INSERT INTO clips (id, subject, year) VALUES (5, 'plain-row', 2000)`); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	ghostThumb, _ := st.DLFMs["fs-west"].Upcaller().IsLinked("/thumbs/ghost.jpg")
+	fmt.Printf("backed-out thumb link after the failed statement: linked=%v\n", ghostThumb.Linked)
+
+	rows, err = s.Query(`SELECT COUNT(*) FROM clips`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.Commit()
+	fmt.Printf("\nfinal state: %d rows; DLFM fs-east links=%d, fs-west links=%d\n",
+		rows[0][0].Int64(), st.DLFMs["fs-east"].Stats().Links, st.DLFMs["fs-west"].Stats().Links)
+}

@@ -1,0 +1,106 @@
+// XA branch: Section 3.3's global-transaction case. The host database is
+// itself one branch of a distributed transaction driven by an external
+// transaction manager; its prepare cascades to the DLFMs, and the global
+// outcome — decided elsewhere — resolves every level, even across a crash.
+//
+// The example plays an application updating an orders database (another
+// branch, simulated) together with a document link, prepares both, crashes
+// the host while indoubt, and lets the coordinator's decision resolve the
+// restarted host branch and the DLFM sub-transaction.
+//
+// Run with: go run ./examples/xabranch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hostdb"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func main() {
+	st, err := workload.NewStack(workload.StackConfig{Servers: []string{"fs1"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	if err := st.Host.CreateTable(
+		`CREATE TABLE invoices (id BIGINT NOT NULL, amount BIGINT, scan VARCHAR)`,
+		hostdb.DatalinkCol{Name: "scan", Recovery: true},
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.FS["fs1"].Create("/inv/0001.pdf", "scanner", []byte("INVOICE #1")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployment ready: invoices table with a DATALINK scan column")
+
+	// --- Round 1: a global transaction that commits normally. ---------
+	s := st.Host.Session()
+	if _, err := s.Exec(`INSERT INTO invoices (id, amount, scan) VALUES (1, 4200, ?)`,
+		value.Str(hostdb.URL("fs1", "/inv/0001.pdf"))); err != nil {
+		log.Fatal(err)
+	}
+	// The external transaction manager asks every branch to prepare.
+	if err := s.PrepareGlobal(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("branch prepared: host hardened, DLFM sub-transaction prepared, locks held")
+	// ... the TM collects the other branches' votes ... all yes:
+	if err := s.CommitGlobal(); err != nil {
+		log.Fatal(err)
+	}
+	status, _ := st.DLFMs["fs1"].Upcaller().IsLinked("/inv/0001.pdf")
+	fmt.Printf("global commit: invoice row stored, scan linked=%v\n\n", status.Linked)
+	s.Close()
+
+	// --- Round 2: prepare, crash while indoubt, coordinator resolves. --
+	if err := st.FS["fs1"].Create("/inv/0002.pdf", "scanner", []byte("INVOICE #2")); err != nil {
+		log.Fatal(err)
+	}
+	s2 := st.Host.Session()
+	if _, err := s2.Exec(`INSERT INTO invoices (id, amount, scan) VALUES (2, 1300, ?)`,
+		value.Str(hostdb.URL("fs1", "/inv/0002.pdf"))); err != nil {
+		log.Fatal(err)
+	}
+	hostTxn := s2.TxnID()
+	if err := s2.PrepareGlobal(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch for txn %d prepared — and the host crashes\n", hostTxn)
+	if err := st.Host.Crash(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Restart: the branch is indoubt; its effects are present but locked.
+	branches, err := st.Host.HostIndoubtBranches()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after restart, indoubt branches: %v\n", branches)
+	// The DLFM-side resolution daemon must WAIT for these (outcome is the
+	// coordinator's, not the host's, to decide):
+	if n, _ := st.Host.ResolveIndoubts(); n == 0 {
+		fmt.Println("indoubt daemon correctly waits for the global outcome")
+	}
+
+	// The coordinator's decision arrives: commit.
+	if err := st.Host.ResolveHostBranch(hostTxn, true); err != nil {
+		log.Fatal(err)
+	}
+	status, _ = st.DLFMs["fs1"].Upcaller().IsLinked("/inv/0002.pdf")
+	s3 := st.Host.Session()
+	defer s3.Close()
+	rows, err := s3.Query(`SELECT id, amount FROM invoices ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s3.Commit()
+	fmt.Printf("coordinator committed: scan linked=%v, invoice rows=%d\n", status.Linked, len(rows))
+	for _, r := range rows {
+		fmt.Printf("  invoice id=%d amount=%d\n", r[0].Int64(), r[1].Int64())
+	}
+}

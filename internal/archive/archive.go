@@ -1,0 +1,117 @@
+// Package archive simulates the archive server (the paper's ADSM) that the
+// DLFM Copy and Retrieve daemons talk to: a versioned blob store keyed by
+// (file name, recovery id), with an optional per-operation latency to model
+// tape/network delay in benchmarks.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotFound is returned when no copy exists for (name, recid).
+var ErrNotFound = errors.New("archive: no such copy")
+
+type key struct {
+	name  string
+	recID int64
+}
+
+// Server is one archive server instance.
+type Server struct {
+	mu      sync.RWMutex
+	objects map[key][]byte
+
+	// Latency is added to every Store/Retrieve, simulating the archive
+	// medium. Zero for tests, tunable in benchmarks.
+	latency time.Duration
+
+	stores    atomic.Int64
+	retrieves atomic.Int64
+	deletes   atomic.Int64
+}
+
+// NewServer returns an empty archive server.
+func NewServer() *Server { return &Server{objects: make(map[key][]byte)} }
+
+// SetLatency configures the simulated medium latency per operation.
+func (s *Server) SetLatency(d time.Duration) { s.latency = d }
+
+func (s *Server) simulate() {
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+}
+
+// Store archives one version of a file. Storing the same (name, recid)
+// twice overwrites, which keeps the Copy daemon idempotent across restarts.
+func (s *Server) Store(name string, recID int64, content []byte) error {
+	s.simulate()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[key{name, recID}] = append([]byte(nil), content...)
+	s.stores.Add(1)
+	return nil
+}
+
+// Retrieve returns the archived copy for (name, recid).
+func (s *Server) Retrieve(name string, recID int64) ([]byte, error) {
+	s.simulate()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, exists := s.objects[key{name, recID}]
+	if !exists {
+		return nil, fmt.Errorf("%w: %s@%d", ErrNotFound, name, recID)
+	}
+	s.retrieves.Add(1)
+	return append([]byte(nil), b...), nil
+}
+
+// Exists reports whether a copy exists for (name, recid).
+func (s *Server) Exists(name string, recID int64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, exists := s.objects[key{name, recID}]
+	return exists
+}
+
+// Delete removes the copy for (name, recid); deleting a missing copy is a
+// no-op so the Garbage Collector daemon is idempotent.
+func (s *Server) Delete(name string, recID int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.objects[key{name, recID}]; exists {
+		delete(s.objects, key{name, recID})
+		s.deletes.Add(1)
+	}
+}
+
+// Versions lists the recovery ids archived for name, ascending.
+func (s *Server) Versions(name string) []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []int64
+	for k := range s.objects {
+		if k.name == name {
+			out = append(out, k.recID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count returns the number of archived copies.
+func (s *Server) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Stats reports cumulative operation counts (stores, retrieves, deletes).
+func (s *Server) Stats() (stores, retrieves, deletes int64) {
+	return s.stores.Load(), s.retrieves.Load(), s.deletes.Load()
+}

@@ -1,0 +1,88 @@
+package archive
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStoreRetrieve(t *testing.T) {
+	s := NewServer()
+	if err := s.Store("/a", 100, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Retrieve("/a", 100)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("retrieve = %q, %v", got, err)
+	}
+	if _, err := s.Retrieve("/a", 999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing version: %v", err)
+	}
+	if _, err := s.Retrieve("/b", 100); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing name: %v", err)
+	}
+}
+
+func TestVersionsAndOverwrite(t *testing.T) {
+	s := NewServer()
+	s.Store("/a", 300, []byte("v3"))
+	s.Store("/a", 100, []byte("v1"))
+	s.Store("/a", 200, []byte("v2"))
+	s.Store("/b", 100, []byte("other"))
+	vs := s.Versions("/a")
+	if len(vs) != 3 || vs[0] != 100 || vs[1] != 200 || vs[2] != 300 {
+		t.Fatalf("versions = %v", vs)
+	}
+	// Idempotent overwrite keeps one copy.
+	s.Store("/a", 100, []byte("v1-again"))
+	if len(s.Versions("/a")) != 3 {
+		t.Fatal("overwrite duplicated a version")
+	}
+	got, _ := s.Retrieve("/a", 100)
+	if string(got) != "v1-again" {
+		t.Fatalf("overwrite not applied: %q", got)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s := NewServer()
+	s.Store("/a", 1, []byte("x"))
+	s.Delete("/a", 1)
+	if s.Exists("/a", 1) {
+		t.Fatal("copy exists after delete")
+	}
+	s.Delete("/a", 1) // no-op
+	_, _, deletes := s.Stats()
+	if deletes != 1 {
+		t.Fatalf("deletes = %d, want 1 (second delete is a no-op)", deletes)
+	}
+}
+
+func TestContentIsolation(t *testing.T) {
+	s := NewServer()
+	buf := []byte("mutable")
+	s.Store("/a", 1, buf)
+	buf[0] = 'X'
+	got, _ := s.Retrieve("/a", 1)
+	if string(got) != "mutable" {
+		t.Fatal("archive shares caller's buffer")
+	}
+	got[0] = 'Y'
+	again, _ := s.Retrieve("/a", 1)
+	if string(again) != "mutable" {
+		t.Fatal("retrieve exposes internal buffer")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := NewServer()
+	s.Store("/a", 1, nil)
+	s.Retrieve("/a", 1)
+	s.Delete("/a", 1)
+	stores, retrieves, deletes := s.Stats()
+	if stores != 1 || retrieves != 1 || deletes != 1 {
+		t.Fatalf("stats = %d/%d/%d", stores, retrieves, deletes)
+	}
+}

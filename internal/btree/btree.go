@@ -1,0 +1,324 @@
+// Package btree implements an in-memory B-tree mapping composite SQL keys
+// to row ids. It is the index structure of the storage engine: non-unique
+// indexes store (key, rowid) pairs ordered by key then rowid, so duplicate
+// keys are naturally supported and uniqueness is enforced by the engine
+// layer. The tree also exposes the successor ("next key") lookup that the
+// lock manager's next-key locking needs.
+package btree
+
+import (
+	"repro/internal/value"
+)
+
+// degree is the minimum branching factor: every node except the root holds
+// at least degree-1 and at most 2*degree-1 items.
+const degree = 16
+
+const (
+	maxItems = 2*degree - 1
+	minItems = degree - 1
+)
+
+type item struct {
+	k   value.Key
+	rid int64
+}
+
+// compare orders items by key, breaking ties by row id so that duplicate
+// keys form a deterministic sequence.
+func compare(a, b item) int {
+	if c := value.CompareKeys(a.k, b.k); c != 0 {
+		return c
+	}
+	switch {
+	case a.rid < b.rid:
+		return -1
+	case a.rid > b.rid:
+		return 1
+	}
+	return 0
+}
+
+type node struct {
+	items    []item
+	children []*node // nil for leaves; len(children) == len(items)+1 otherwise
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of the first item >= it and whether an exact match
+// was found there.
+func (n *node) find(it item) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compare(n.items[mid], it) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && compare(n.items[lo], it) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Tree is a B-tree of (key, rowid) entries. It is not safe for concurrent
+// use; the engine serializes access under its latches.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &node{}} }
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds the (key, rid) entry. Inserting an entry that already exists
+// is a no-op and returns false.
+func (t *Tree) Insert(k value.Key, rid int64) bool {
+	it := item{k: k.Clone(), rid: rid}
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if !t.root.insert(it) {
+		return false
+	}
+	t.size++
+	return true
+}
+
+// splitChild splits the full child at index i, hoisting its median into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.items) / 2
+	median := child.items[mid]
+
+	right := &node{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) insert(it item) bool {
+	i, found := n.find(it)
+	if found {
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = it
+		return true
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		switch c := compare(it, n.items[i]); {
+		case c == 0:
+			return false
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insert(it)
+}
+
+// Contains reports whether the exact (key, rid) entry is present.
+func (t *Tree) Contains(k value.Key, rid int64) bool {
+	it := item{k: k, rid: rid}
+	n := t.root
+	for {
+		i, found := n.find(it)
+		if found {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes the (key, rid) entry, reporting whether it was present.
+func (t *Tree) Delete(k value.Key, rid int64) bool {
+	it := item{k: k, rid: rid}
+	if !t.root.delete(it) {
+		return false
+	}
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+// delete removes it from the subtree rooted at n. Precondition: n has more
+// than minItems items, or n is the root (CLRS top-down deletion).
+func (n *node) delete(it item) bool {
+	i, found := n.find(it)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with predecessor from the left child (after ensuring it
+		// can afford to lose an item), then delete the predecessor there.
+		if len(n.children[i].items) > minItems {
+			pred := n.children[i].max()
+			n.items[i] = pred
+			return n.children[i].delete(pred)
+		}
+		if len(n.children[i+1].items) > minItems {
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			return n.children[i+1].delete(succ)
+		}
+		n.mergeChildren(i)
+		return n.children[i].delete(it)
+	}
+	// Descend, topping up the child first if it is at minimum occupancy.
+	if len(n.children[i].items) == minItems {
+		i = n.growChild(i)
+	}
+	return n.children[i].delete(it)
+}
+
+func (n *node) min() item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node) max() item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// growChild ensures children[i] has more than minItems items by borrowing
+// from a sibling or merging. It returns the (possibly shifted) child index
+// to descend into.
+func (n *node) growChild(i int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].items) > minItems:
+		// Rotate right: left sibling's max -> separator -> child front.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, item{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
+		// Rotate left: right sibling's min -> separator -> child back.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+	default:
+		if i == len(n.children)-1 {
+			i--
+		}
+		n.mergeChildren(i)
+	}
+	return i
+}
+
+// mergeChildren merges children[i], items[i], and children[i+1] into one node.
+func (n *node) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend visits every entry in order until fn returns false.
+func (t *Tree) Ascend(fn func(k value.Key, rid int64) bool) {
+	t.root.ascend(item{}, false, fn)
+}
+
+// AscendGreaterOrEqual visits, in order, every entry whose key is >= pivot
+// (regardless of rid) until fn returns false.
+func (t *Tree) AscendGreaterOrEqual(pivot value.Key, fn func(k value.Key, rid int64) bool) {
+	// rid math.MinInt64 makes the pivot sort before every real entry that
+	// shares its key, so equal keys are included.
+	t.root.ascend(item{k: pivot, rid: -1 << 63}, true, fn)
+}
+
+func (n *node) ascend(pivot item, bounded bool, fn func(value.Key, int64) bool) bool {
+	start := 0
+	if bounded {
+		start, _ = n.find(pivot)
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(pivot, bounded && i == start, fn) {
+				return false
+			}
+		}
+		if i < len(n.items) {
+			if !fn(n.items[i].k, n.items[i].rid) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NextKey returns the smallest key in the tree strictly greater than k, for
+// next-key locking. ok is false when k is the maximum (the lock manager then
+// locks the logical end-of-index key instead).
+func (t *Tree) NextKey(k value.Key) (value.Key, bool) {
+	var out value.Key
+	found := false
+	t.AscendGreaterOrEqual(k, func(ek value.Key, _ int64) bool {
+		if value.CompareKeys(ek, k) > 0 {
+			out = ek.Clone()
+			found = true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// MinKey returns the smallest key in the tree; ok is false when empty.
+func (t *Tree) MinKey() (value.Key, bool) {
+	if t.size == 0 {
+		return nil, false
+	}
+	it := t.root.min()
+	return it.k.Clone(), true
+}

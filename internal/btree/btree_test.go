@@ -1,0 +1,357 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func ik(i int64) value.Key  { return value.Key{value.Int(i)} }
+func sk(s string) value.Key { return value.Key{value.Str(s)} }
+
+func collect(t *Tree) []int64 {
+	var out []int64
+	t.Ascend(func(k value.Key, rid int64) bool {
+		out = append(out, k[0].Int64())
+		return true
+	})
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if tr.Contains(ik(1), 1) {
+		t.Error("Contains on empty tree")
+	}
+	if tr.Delete(ik(1), 1) {
+		t.Error("Delete on empty tree returned true")
+	}
+	if _, ok := tr.MinKey(); ok {
+		t.Error("MinKey on empty tree")
+	}
+	if _, ok := tr.NextKey(ik(0)); ok {
+		t.Error("NextKey on empty tree")
+	}
+}
+
+func TestInsertAscendSorted(t *testing.T) {
+	tr := New()
+	perm := rand.New(rand.NewSource(1)).Perm(1000)
+	for _, p := range perm {
+		if !tr.Insert(ik(int64(p)), int64(p)) {
+			t.Fatalf("Insert(%d) returned false", p)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	got := collect(tr)
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("position %d: got %d", i, v)
+		}
+	}
+}
+
+func TestInsertDuplicateEntryRejected(t *testing.T) {
+	tr := New()
+	if !tr.Insert(ik(1), 10) {
+		t.Fatal("first insert failed")
+	}
+	if tr.Insert(ik(1), 10) {
+		t.Error("duplicate (key,rid) insert succeeded")
+	}
+	if !tr.Insert(ik(1), 11) {
+		t.Error("same key different rid rejected")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestDeleteEverythingRandomOrder(t *testing.T) {
+	tr := New()
+	const n = 2000
+	r := rand.New(rand.NewSource(7))
+	for _, p := range r.Perm(n) {
+		tr.Insert(ik(int64(p)), int64(p))
+	}
+	for _, p := range r.Perm(n) {
+		if !tr.Delete(ik(int64(p)), int64(p)) {
+			t.Fatalf("Delete(%d) failed", p)
+		}
+		if tr.Contains(ik(int64(p)), int64(p)) {
+			t.Fatalf("Contains(%d) true after delete", p)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i += 2 {
+		tr.Insert(ik(i), i)
+	}
+	for i := int64(1); i < 100; i += 2 {
+		if tr.Delete(ik(i), i) {
+			t.Fatalf("Delete(%d) of missing key returned true", i)
+		}
+	}
+	if tr.Delete(ik(2), 999) {
+		t.Error("Delete with wrong rid returned true")
+	}
+	if tr.Len() != 50 {
+		t.Errorf("Len = %d, want 50", tr.Len())
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	tr := New()
+	ref := map[int64]bool{}
+	r := rand.New(rand.NewSource(42))
+	for op := 0; op < 20000; op++ {
+		v := int64(r.Intn(500))
+		if r.Intn(2) == 0 {
+			got := tr.Insert(ik(v), v)
+			if got == ref[v] {
+				t.Fatalf("op %d: Insert(%d) = %v, ref has %v", op, v, got, ref[v])
+			}
+			ref[v] = true
+		} else {
+			got := tr.Delete(ik(v), v)
+			if got != ref[v] {
+				t.Fatalf("op %d: Delete(%d) = %v, ref has %v", op, v, got, ref[v])
+			}
+			delete(ref, v)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	var want []int64
+	for v := range ref {
+		want = append(want, v)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := collect(tr)
+	if len(got) != len(want) {
+		t.Fatalf("collected %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendGreaterOrEqual(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i += 10 {
+		tr.Insert(ik(i), i)
+	}
+	var got []int64
+	tr.AscendGreaterOrEqual(ik(35), func(k value.Key, rid int64) bool {
+		got = append(got, k[0].Int64())
+		return true
+	})
+	want := []int64{40, 50, 60, 70, 80, 90}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Inclusive at an exact key.
+	got = nil
+	tr.AscendGreaterOrEqual(ik(40), func(k value.Key, rid int64) bool {
+		got = append(got, k[0].Int64())
+		return false
+	})
+	if len(got) != 1 || got[0] != 40 {
+		t.Fatalf("exact pivot: got %v, want [40]", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(ik(i), i)
+	}
+	count := 0
+	tr.Ascend(func(value.Key, int64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("visited %d entries, want 7", count)
+	}
+}
+
+func TestDuplicateKeysOrderedByRID(t *testing.T) {
+	tr := New()
+	for rid := int64(5); rid >= 1; rid-- {
+		tr.Insert(sk("dup"), rid)
+	}
+	tr.Insert(sk("aaa"), 9)
+	var rids []int64
+	tr.AscendGreaterOrEqual(sk("dup"), func(k value.Key, rid int64) bool {
+		rids = append(rids, rid)
+		return true
+	})
+	if len(rids) != 5 {
+		t.Fatalf("got %d duplicates, want 5", len(rids))
+	}
+	for i, rid := range rids {
+		if rid != int64(i+1) {
+			t.Fatalf("rids = %v, want ascending 1..5", rids)
+		}
+	}
+}
+
+func TestNextKey(t *testing.T) {
+	tr := New()
+	for _, s := range []string{"b", "d", "f"} {
+		tr.Insert(sk(s), 1)
+	}
+	cases := []struct {
+		probe string
+		want  string
+		ok    bool
+	}{
+		{"a", "b", true},
+		{"b", "d", true},
+		{"c", "d", true},
+		{"e", "f", true},
+		{"f", "", false},
+		{"z", "", false},
+	}
+	for _, c := range cases {
+		got, ok := tr.NextKey(sk(c.probe))
+		if ok != c.ok {
+			t.Errorf("NextKey(%q) ok = %v, want %v", c.probe, ok, c.ok)
+			continue
+		}
+		if ok && got[0].Text() != c.want {
+			t.Errorf("NextKey(%q) = %q, want %q", c.probe, got[0].Text(), c.want)
+		}
+	}
+}
+
+func TestMinKey(t *testing.T) {
+	tr := New()
+	for _, v := range []int64{50, 20, 90, 5, 70} {
+		tr.Insert(ik(v), v)
+	}
+	k, ok := tr.MinKey()
+	if !ok || k[0].Int64() != 5 {
+		t.Fatalf("MinKey = %v, %v", k, ok)
+	}
+	tr.Delete(ik(5), 5)
+	k, _ = tr.MinKey()
+	if k[0].Int64() != 20 {
+		t.Fatalf("MinKey after delete = %v", k)
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	tr := New()
+	// (filename, chkflag) like the DLFM File table unique index.
+	tr.Insert(value.Key{value.Str("a.txt"), value.Int(0)}, 1)
+	tr.Insert(value.Key{value.Str("a.txt"), value.Int(100)}, 2)
+	tr.Insert(value.Key{value.Str("a.txt"), value.Int(50)}, 3)
+	tr.Insert(value.Key{value.Str("b.txt"), value.Int(0)}, 4)
+	var order []int64
+	tr.Ascend(func(k value.Key, rid int64) bool {
+		order = append(order, rid)
+		return true
+	})
+	want := []int64{1, 3, 2, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// Prefix scan of a.txt entries.
+	n := 0
+	tr.AscendGreaterOrEqual(value.Key{value.Str("a.txt")}, func(k value.Key, rid int64) bool {
+		if !k.HasPrefix(value.Key{value.Str("a.txt")}) {
+			return false
+		}
+		n++
+		return true
+	})
+	if n != 3 {
+		t.Fatalf("prefix scan found %d entries, want 3", n)
+	}
+}
+
+// Property test: the tree agrees with a reference implementation under an
+// arbitrary op sequence.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := New()
+		ref := map[int16]bool{}
+		for _, op := range ops {
+			v := op / 2
+			if op%2 == 0 {
+				if tr.Insert(ik(int64(v)), int64(v)) == ref[v] {
+					return false
+				}
+				ref[v] = true
+			} else {
+				if tr.Delete(ik(int64(v)), int64(v)) != ref[v] {
+					return false
+				}
+				delete(ref, v)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		prev := int64(-1 << 62)
+		okOrder := true
+		tr.Ascend(func(k value.Key, _ int64) bool {
+			v := k[0].Int64()
+			if v <= prev || !ref[int16(v)] {
+				okOrder = false
+				return false
+			}
+			prev = v
+			return true
+		})
+		return okOrder
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(ik(int64(i)), int64(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(ik(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Contains(ik(int64(i%100000)), int64(i%100000))
+	}
+}

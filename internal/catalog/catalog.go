@@ -1,0 +1,246 @@
+// Package catalog holds table and index schemas and the catalog statistics
+// the cost-based optimizer reads. The paper's Section 3.2.1/4 lesson — that
+// the optimizer picks table scans when statistics say a table is small, and
+// that DLFM therefore hand-crafts the statistics before binding its plans —
+// is implemented here: statistics carry a version (plans bound against an
+// older version must be re-bound) and a hand-crafted flag (RUNSTATS refuses
+// to quietly overwrite hand-crafted numbers unless forced, and DLFM's
+// stats-guard daemon re-applies them if a user RUNSTATS does).
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    value.Kind
+	NotNull bool
+}
+
+// TableSchema is the definition of a table.
+type TableSchema struct {
+	Name   string
+	Cols   []Column
+	colIdx map[string]int
+}
+
+// NewTableSchema builds a schema, validating column names are unique.
+func NewTableSchema(name string, cols []Column) (*TableSchema, error) {
+	s := &TableSchema{Name: name, Cols: cols, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", c.Name, name)
+		}
+		s.colIdx[c.Name] = i
+	}
+	return s, nil
+}
+
+// ColIndex returns the position of the named column.
+func (s *TableSchema) ColIndex(name string) (int, bool) {
+	i, ok := s.colIdx[name]
+	return i, ok
+}
+
+// IndexSchema is the definition of an index.
+type IndexSchema struct {
+	Name    string
+	Table   string
+	Cols    []string
+	ColIdxs []int // positions of Cols in the table schema
+	Unique  bool
+}
+
+// Stats are the optimizer-visible statistics for one table.
+//
+// Cardinality -1 means "never collected": the optimizer then assumes the
+// table is tiny, which is exactly the state in which it prefers a table
+// scan over an index — the paper's gotcha.
+type Stats struct {
+	Cardinality int64
+	ColCard     map[string]int64 // distinct values per column; may be nil
+	HandCrafted bool
+	Version     int64
+}
+
+// DefaultStats is the never-collected state.
+func DefaultStats() Stats { return Stats{Cardinality: -1} }
+
+// DistinctOf returns the recorded distinct-value count for col, or a
+// conservative default derived from cardinality.
+func (st Stats) DistinctOf(col string) int64 {
+	if st.ColCard != nil {
+		if d, ok := st.ColCard[col]; ok && d > 0 {
+			return d
+		}
+	}
+	if st.Cardinality > 0 {
+		// Without column statistics assume weak selectivity: 10 distinct
+		// values (DB2's default formulas are similarly coarse).
+		return min64(10, st.Cardinality)
+	}
+	return 1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Table bundles a schema with its indexes and statistics.
+type Table struct {
+	Schema  *TableSchema
+	Indexes []*IndexSchema
+	Stats   Stats
+}
+
+// Catalog is the schema + statistics repository of one database.
+type Catalog struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version int64 // global stats version, bumped on any change
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table.
+func (c *Catalog) CreateTable(name string, cols []Column) (*TableSchema, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	s, err := NewTableSchema(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	c.tables[name] = &Table{Schema: s, Stats: DefaultStats()}
+	return s, nil
+}
+
+// DropTable removes a table and its indexes.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; !exists {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// CreateIndex registers an index over existing columns of a table.
+func (c *Catalog) CreateIndex(name, table string, cols []string, unique bool) (*IndexSchema, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, exists := c.tables[table]
+	if !exists {
+		return nil, fmt.Errorf("catalog: table %q does not exist", table)
+	}
+	for _, ix := range t.Indexes {
+		if ix.Name == name {
+			return nil, fmt.Errorf("catalog: index %q already exists on %q", name, table)
+		}
+	}
+	ix := &IndexSchema{Name: name, Table: table, Cols: cols, Unique: unique}
+	for _, col := range cols {
+		pos, ok := t.Schema.ColIndex(col)
+		if !ok {
+			return nil, fmt.Errorf("catalog: index %q references unknown column %q", name, col)
+		}
+		ix.ColIdxs = append(ix.ColIdxs, pos)
+	}
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// Table returns the metadata for name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, exists := c.tables[name]
+	if !exists {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// TableNames lists all tables (sorted order not guaranteed).
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// StatsVersion returns the global statistics version; any change to any
+// table's statistics bumps it. Bound plans compare against it to decide
+// whether a re-bind is needed.
+func (c *Catalog) StatsVersion() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// SetStats installs hand-crafted statistics for table, as the paper's
+// utility does before DLFM's SQL programs are "compiled and bound".
+func (c *Catalog) SetStats(table string, cardinality int64, colCard map[string]int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, exists := c.tables[table]
+	if !exists {
+		return fmt.Errorf("catalog: table %q does not exist", table)
+	}
+	c.version++
+	t.Stats = Stats{
+		Cardinality: cardinality,
+		ColCard:     colCard,
+		HandCrafted: true,
+		Version:     c.version,
+	}
+	return nil
+}
+
+// RecordStats installs measured statistics (RUNSTATS). It overwrites
+// hand-crafted statistics — which is precisely the hazard the paper guards
+// against with its re-check-and-rebind logic.
+func (c *Catalog) RecordStats(table string, cardinality int64, colCard map[string]int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, exists := c.tables[table]
+	if !exists {
+		return fmt.Errorf("catalog: table %q does not exist", table)
+	}
+	c.version++
+	t.Stats = Stats{
+		Cardinality: cardinality,
+		ColCard:     colCard,
+		HandCrafted: false,
+		Version:     c.version,
+	}
+	return nil
+}
+
+// StatsOf returns a copy of the current statistics for table.
+func (c *Catalog) StatsOf(table string) (Stats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, exists := c.tables[table]
+	if !exists {
+		return Stats{}, fmt.Errorf("catalog: table %q does not exist", table)
+	}
+	return t.Stats, nil
+}

@@ -1,0 +1,161 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func testCols() []Column {
+	return []Column{
+		{Name: "name", Type: value.KindString, NotNull: true},
+		{Name: "recid", Type: value.KindInt},
+		{Name: "state", Type: value.KindString},
+	}
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c := New()
+	s, err := c.CreateTable("dlfm_file", testCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := s.ColIndex("recid"); !ok || i != 1 {
+		t.Errorf("ColIndex(recid) = %d, %v", i, ok)
+	}
+	if _, ok := s.ColIndex("nope"); ok {
+		t.Error("ColIndex of unknown column succeeded")
+	}
+	tbl, err := c.Table("dlfm_file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats.Cardinality != -1 {
+		t.Errorf("fresh table cardinality = %d, want -1 (never collected)", tbl.Stats.Cardinality)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("lookup of missing table succeeded")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", testCols()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", testCols()); err == nil {
+		t.Error("duplicate CREATE TABLE succeeded")
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	c := New()
+	cols := []Column{{Name: "a", Type: value.KindInt}, {Name: "a", Type: value.KindString}}
+	if _, err := c.CreateTable("t", cols); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New()
+	c.CreateTable("t", testCols())
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("t"); err == nil {
+		t.Error("dropped table still visible")
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop succeeded")
+	}
+}
+
+func TestCreateIndex(t *testing.T) {
+	c := New()
+	c.CreateTable("f", testCols())
+	ix, err := c.CreateIndex("fx1", "f", []string{"name", "recid"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Unique || len(ix.ColIdxs) != 2 || ix.ColIdxs[0] != 0 || ix.ColIdxs[1] != 1 {
+		t.Fatalf("index = %+v", ix)
+	}
+	tbl, _ := c.Table("f")
+	if len(tbl.Indexes) != 1 {
+		t.Error("index not attached to table")
+	}
+	if _, err := c.CreateIndex("fx1", "f", []string{"name"}, false); err == nil {
+		t.Error("duplicate index name accepted")
+	}
+	if _, err := c.CreateIndex("fx2", "f", []string{"ghost"}, false); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+	if _, err := c.CreateIndex("fx3", "missing", []string{"a"}, false); err == nil {
+		t.Error("index on unknown table accepted")
+	}
+}
+
+func TestStatsVersioning(t *testing.T) {
+	c := New()
+	c.CreateTable("f", testCols())
+	v0 := c.StatsVersion()
+	if err := c.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.StatsVersion()
+	if v1 <= v0 {
+		t.Errorf("version did not advance: %d -> %d", v0, v1)
+	}
+	st, err := c.StatsOf("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HandCrafted || st.Cardinality != 1_000_000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// RUNSTATS overwrites hand-crafted numbers (the hazard).
+	if err := c.RecordStats("f", 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.StatsOf("f")
+	if st.HandCrafted || st.Cardinality != 5 {
+		t.Fatalf("stats after RUNSTATS = %+v", st)
+	}
+	if c.StatsVersion() <= v1 {
+		t.Error("version did not advance on RUNSTATS")
+	}
+	if err := c.SetStats("missing", 1, nil); err == nil {
+		t.Error("SetStats on missing table succeeded")
+	}
+	if err := c.RecordStats("missing", 1, nil); err == nil {
+		t.Error("RecordStats on missing table succeeded")
+	}
+}
+
+func TestDistinctOf(t *testing.T) {
+	st := Stats{Cardinality: 1000, ColCard: map[string]int64{"name": 900}}
+	if d := st.DistinctOf("name"); d != 900 {
+		t.Errorf("DistinctOf(name) = %d", d)
+	}
+	if d := st.DistinctOf("other"); d != 10 {
+		t.Errorf("DistinctOf(other) = %d, want coarse default 10", d)
+	}
+	small := Stats{Cardinality: 3}
+	if d := small.DistinctOf("x"); d != 3 {
+		t.Errorf("DistinctOf on tiny table = %d, want 3", d)
+	}
+	unknown := DefaultStats()
+	if d := unknown.DistinctOf("x"); d != 1 {
+		t.Errorf("DistinctOf with no stats = %d, want 1", d)
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	c := New()
+	c.CreateTable("a", testCols())
+	c.CreateTable("b", testCols())
+	names := c.TableNames()
+	if len(names) != 2 {
+		t.Fatalf("TableNames = %v", names)
+	}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fsim"
+	"repro/internal/rpc"
+	"repro/internal/value"
+)
+
+// ChildAgent serves one host connection, exactly as the paper's DLFM main
+// daemon spawns a child agent per DB2 agent connection (Section 3.5). It
+// owns one local-database connection; the host transaction's sub-
+// transaction context lives here between BeginTransaction and Commit/Abort.
+type ChildAgent struct {
+	srv  *Server
+	conn *engine.Conn
+
+	cur     int64 // active host transaction id (0 = none)
+	batched bool  // long-running utility transaction (Section 4)
+	batchN  int
+	ops     int  // operations since the last intermediate commit
+	txnRow  bool // an 'F' row for cur exists in dlfm_txn
+}
+
+// NewAgent implements rpc.AgentFactory: one child agent per connection.
+func (s *Server) NewAgent() rpc.Agent {
+	return &ChildAgent{srv: s, conn: s.db.Connect()}
+}
+
+// Close abandons the agent's local transaction when the host disconnects.
+func (a *ChildAgent) Close() {
+	if a.conn.InTxn() {
+		a.conn.Rollback()
+	}
+}
+
+// errCode maps local-database errors onto the wire codes the host's
+// datalink engine reacts to. Deadlock and timeout mean the local database
+// already rolled the sub-transaction back, so the host must roll back the
+// full transaction (Section 3.2).
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, engine.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, engine.ErrDuplicate):
+		return "duplicate"
+	case errors.Is(err, engine.ErrLogFull):
+		return "logfull"
+	default:
+		return "severe"
+	}
+}
+
+func fail(err error) rpc.Response {
+	return rpc.Response{Code: errCode(err), Msg: err.Error()}
+}
+
+func failCode(code, format string, args ...any) rpc.Response {
+	return rpc.Response{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+var ok = rpc.Response{}
+
+// Handle dispatches one request. Requests on a connection are served
+// serially by the RPC layer.
+func (a *ChildAgent) Handle(req any) rpc.Response {
+	switch r := req.(type) {
+	case rpc.BeginTxnReq:
+		return a.beginTxn(r)
+	case rpc.LinkFileReq:
+		return a.linkFile(r)
+	case rpc.UnlinkFileReq:
+		return a.unlinkFile(r)
+	case rpc.CreateGroupReq:
+		return a.createGroup(r)
+	case rpc.DeleteGroupReq:
+		return a.deleteGroup(r)
+	case rpc.PrepareReq:
+		return a.prepare(r)
+	case rpc.CommitReq:
+		return a.commit(r)
+	case rpc.AbortReq:
+		return a.abort(r)
+	case rpc.IsLinkedReq:
+		st, err := a.srv.upcall.IsLinked(r.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return rpc.Response{Linked: st.Linked, FullControl: st.FullControl}
+	case rpc.ListIndoubtReq:
+		return a.listIndoubt()
+	case rpc.WaitArchiveReq:
+		return a.srv.waitArchive(a.conn, r.RecID)
+	case rpc.RegisterBackupReq:
+		return a.srv.registerBackup(a.conn, r.BackupID, r.RecID)
+	case rpc.RestoreToReq:
+		return a.srv.restoreTo(a.conn, r.RecID)
+	case rpc.ReconcileReq:
+		return a.srv.reconcile(a.conn, r)
+	case rpc.PingReq:
+		return rpc.Response{Msg: "dlfm:" + a.srv.cfg.ServerName}
+	case rpc.StatsReq:
+		return rpc.Response{N: a.srv.stats.Links.Load()}
+	default:
+		return failCode("severe", "unknown request type %T", req)
+	}
+}
+
+// requireTxn validates the request's transaction context. The host always
+// brackets work with BeginTransaction, but a fresh agent may also resume a
+// transaction after reconnecting (indoubt resolution), so an unknown id
+// adopts the context rather than failing.
+func (a *ChildAgent) requireTxn(txn int64) error {
+	if txn == 0 {
+		return errors.New("core: transaction id 0 is invalid")
+	}
+	if a.cur == 0 {
+		a.cur = txn
+		a.txnRow = false
+		a.batched = false
+		a.ops = 0
+		return nil
+	}
+	if a.cur != txn {
+		return fmt.Errorf("core: agent serving transaction %d, got request for %d", a.cur, txn)
+	}
+	return nil
+}
+
+func (a *ChildAgent) beginTxn(r rpc.BeginTxnReq) rpc.Response {
+	if a.cur != 0 {
+		return failCode("severe", "transaction %d still active on this connection", a.cur)
+	}
+	if r.Txn == 0 {
+		return failCode("severe", "transaction id 0 is invalid")
+	}
+	a.cur = r.Txn
+	a.batched = r.Batched
+	a.batchN = r.BatchN
+	if a.batched && a.batchN <= 0 {
+		a.batchN = a.srv.cfg.BatchCommitN
+	}
+	a.ops = 0
+	a.txnRow = false
+	return ok
+}
+
+// resetTxn clears the agent's transaction context after commit/abort.
+func (a *ChildAgent) resetTxn() {
+	a.cur = 0
+	a.batched = false
+	a.batchN = 0
+	a.ops = 0
+	a.txnRow = false
+}
+
+// maybeBatchCommit implements the Section 4 lesson for long-running
+// utilities: DLFM recognizes batched transactions and locally commits every
+// N operations. On the first intermediate commit the transaction is entered
+// in dlfm_txn as in-flight ('F') so a crash can find its pieces.
+func (a *ChildAgent) maybeBatchCommit() error {
+	if !a.batched {
+		return nil
+	}
+	a.ops++
+	if a.ops%a.batchN != 0 {
+		return nil
+	}
+	if !a.txnRow {
+		if _, err := a.srv.stmts.get(sqlInsertTxn).Exec(a.conn,
+			value.Int(a.cur), value.Str("F"), value.Int(0), value.Int(a.srv.now())); err != nil {
+			return err
+		}
+		a.txnRow = true
+	}
+	if err := a.conn.Commit(); err != nil {
+		return err
+	}
+	a.srv.stats.BatchCommits.Add(1)
+	return nil
+}
+
+// linkFile applies (or, with InBackout, undoes) a LinkFile operation
+// (Section 3.2). The two checks the paper requires before inserting: the
+// file must exist on the file server, and no linked entry may exist — the
+// latter enforced atomically by the unique (name, chkflag) index.
+func (a *ChildAgent) linkFile(r rpc.LinkFileReq) rpc.Response {
+	if err := a.requireTxn(r.Txn); err != nil {
+		return failCode("severe", "%v", err)
+	}
+	if r.InBackout {
+		// Undo a link performed earlier in this transaction: delete the
+		// entry it inserted, plus its pending archive request.
+		if _, err := a.srv.stmts.get(sqlBackoutLink).Exec(a.conn, value.Str(r.Name), value.Int(r.Txn)); err != nil {
+			return fail(err)
+		}
+		if _, err := a.srv.stmts.get(sqlBackoutLinkArch).Exec(a.conn, value.Str(r.Name), value.Int(r.Txn)); err != nil {
+			return fail(err)
+		}
+		a.srv.stats.Backouts.Add(1)
+		return ok
+	}
+
+	grp, err := a.srv.groupInfo(a.conn, r.Grp)
+	if err != nil {
+		return fail(err)
+	}
+	if grp == nil || grp.state != "A" {
+		return failCode("nogroup", "file group %d does not exist or is deleted", r.Grp)
+	}
+	fi, err := a.srv.fs.Stat(r.Name)
+	if err != nil {
+		return failCode("nofile", "file %s not found on server %s", r.Name, a.srv.cfg.ServerName)
+	}
+	if _, err := a.srv.stmts.get(sqlInsertFile).Exec(a.conn,
+		value.Str(r.Name), value.Int(r.Grp), value.Int(r.RecID),
+		value.Int(r.Txn), value.Str(fi.Owner)); err != nil {
+		if errors.Is(err, engine.ErrDuplicate) {
+			return failCode("duplicate", "file %s is already linked", r.Name)
+		}
+		return fail(err)
+	}
+	if grp.recovery {
+		if _, err := a.srv.stmts.get(sqlInsertArchive).Exec(a.conn,
+			value.Str(r.Name), value.Int(r.RecID), value.Int(r.Grp), value.Int(r.Txn)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := a.maybeBatchCommit(); err != nil {
+		return fail(err)
+	}
+	a.srv.stats.Links.Add(1)
+	return ok
+}
+
+// unlinkFile applies (or undoes) an UnlinkFile operation. The entry is
+// never physically deleted here: with recovery it stays for point-in-time
+// restore; without recovery it is only marked deleted (del_txn) and is
+// purged in phase 2 — "we could not delete the entry earlier than the
+// second phase of commit since we would not be able to undo the action"
+// (Section 3.2).
+func (a *ChildAgent) unlinkFile(r rpc.UnlinkFileReq) rpc.Response {
+	if err := a.requireTxn(r.Txn); err != nil {
+		return failCode("severe", "%v", err)
+	}
+	if r.InBackout {
+		n, err := a.srv.stmts.get(sqlBackoutUnlink).Exec(a.conn,
+			value.Str(r.Name), value.Int(r.Txn), value.Int(r.RecID))
+		if err != nil {
+			return fail(err)
+		}
+		if n == 0 {
+			return failCode("notlinked", "no unlinked entry of transaction %d (recovery id %d) for %s", r.Txn, r.RecID, r.Name)
+		}
+		a.srv.stats.Backouts.Add(1)
+		return ok
+	}
+
+	rows, err := a.srv.stmts.get(sqlFindLinked).Query(a.conn, value.Str(r.Name))
+	if err != nil {
+		return fail(err)
+	}
+	if len(rows) == 0 {
+		return failCode("notlinked", "file %s is not linked", r.Name)
+	}
+	grpID := rows[0][0].Int64()
+	grp, err := a.srv.groupInfo(a.conn, grpID)
+	if err != nil {
+		return fail(err)
+	}
+	recovery := grp != nil && grp.recovery
+
+	var n int64
+	if recovery {
+		n, err = a.srv.stmts.get(sqlUnlinkKeep).Exec(a.conn,
+			value.Int(r.RecID), value.Int(r.Txn), value.Int(a.srv.now()), value.Str(r.Name))
+	} else {
+		n, err = a.srv.stmts.get(sqlUnlinkMarkDel).Exec(a.conn,
+			value.Int(r.RecID), value.Int(r.Txn), value.Int(a.srv.now()), value.Int(r.Txn), value.Str(r.Name))
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if n == 0 {
+		return failCode("notlinked", "file %s is not linked", r.Name)
+	}
+	if err := a.maybeBatchCommit(); err != nil {
+		return fail(err)
+	}
+	a.srv.stats.Unlinks.Add(1)
+	return ok
+}
+
+func (a *ChildAgent) createGroup(r rpc.CreateGroupReq) rpc.Response {
+	if err := a.requireTxn(r.Txn); err != nil {
+		return failCode("severe", "%v", err)
+	}
+	rec, full := int64(0), int64(0)
+	if r.Recovery {
+		rec = 1
+	}
+	if r.FullControl {
+		full = 1
+	}
+	if _, err := a.srv.stmts.get(sqlInsertGroup).Exec(a.conn,
+		value.Int(r.Grp), value.Int(rec), value.Int(full), value.Int(r.Txn)); err != nil {
+		return fail(err)
+	}
+	return ok
+}
+
+// deleteGroup marks the group deleted in the forward progress of the DROP
+// TABLE transaction; the Delete Group daemon unlinks its files after
+// commit (Section 3.5).
+func (a *ChildAgent) deleteGroup(r rpc.DeleteGroupReq) rpc.Response {
+	if err := a.requireTxn(r.Txn); err != nil {
+		return failCode("severe", "%v", err)
+	}
+	n, err := a.srv.stmts.get(sqlMarkGroupDeleted).Exec(a.conn, value.Int(r.Txn), value.Int(r.Grp))
+	if err != nil {
+		return fail(err)
+	}
+	if n == 0 {
+		return failCode("nogroup", "file group %d does not exist or is already deleted", r.Grp)
+	}
+	return ok
+}
+
+// prepare is phase 1: the number of groups this transaction deleted is
+// recorded with the transaction entry, the entry is inserted (or the
+// in-flight entry of a batched transaction promoted) as prepared, and the
+// local database commit hardens everything (Section 3.3).
+func (a *ChildAgent) prepare(r rpc.PrepareReq) rpc.Response {
+	if err := a.requireTxn(r.Txn); err != nil {
+		return failCode("severe", "%v", err)
+	}
+	ngroups, _, err := a.srv.stmts.get(sqlCountGroupsDel).QueryInt(a.conn, value.Int(r.Txn))
+	if err != nil {
+		a.voteNo()
+		return fail(err)
+	}
+	if a.txnRow {
+		_, err = a.srv.stmts.get(sqlPromoteTxn).Exec(a.conn, value.Int(ngroups), value.Int(r.Txn))
+	} else {
+		_, err = a.srv.stmts.get(sqlInsertTxn).Exec(a.conn,
+			value.Int(r.Txn), value.Str("P"), value.Int(ngroups), value.Int(a.srv.now()))
+	}
+	if err != nil {
+		a.voteNo()
+		return fail(err)
+	}
+	if err := a.conn.Commit(); err != nil {
+		a.voteNo()
+		return fail(err)
+	}
+	a.srv.stats.Prepares.Add(1)
+	return ok
+}
+
+// voteNo rolls the local transaction back after a failed prepare.
+func (a *ChildAgent) voteNo() {
+	a.srv.stats.PrepareFails.Add(1)
+	if a.conn.InTxn() {
+		a.conn.Rollback()
+	}
+}
+
+func (a *ChildAgent) commit(r rpc.CommitReq) rpc.Response {
+	if r.Txn == 0 || (a.cur != 0 && a.cur != r.Txn) {
+		return failCode("severe", "commit for transaction %d on agent serving %d", r.Txn, a.cur)
+	}
+	resp := a.srv.phase2Commit(a.conn, r.Txn)
+	a.resetTxn()
+	return resp
+}
+
+func (a *ChildAgent) abort(r rpc.AbortReq) rpc.Response {
+	if r.Txn == 0 || (a.cur != 0 && a.cur != r.Txn) {
+		return failCode("severe", "abort for transaction %d on agent serving %d", r.Txn, a.cur)
+	}
+	// Forward-progress abort: discard the in-flight local transaction.
+	if a.conn.InTxn() {
+		a.conn.Rollback()
+	}
+	resp := a.srv.phase2Abort(a.conn, r.Txn)
+	a.resetTxn()
+	return resp
+}
+
+func (a *ChildAgent) listIndoubt() rpc.Response {
+	rows, err := a.srv.stmts.get(sqlIndoubtTxns).Query(a.conn)
+	if err != nil {
+		return fail(err)
+	}
+	if err := a.conn.Commit(); err != nil {
+		return fail(err)
+	}
+	var txns []int64
+	for _, r := range rows {
+		txns = append(txns, r[0].Int64())
+	}
+	a.srv.stats.IndoubtReports.Add(1)
+	return rpc.Response{Txns: txns}
+}
+
+// groupInfo reads one file group's attributes within the caller's
+// transaction.
+type group struct {
+	recovery bool
+	fullctl  bool
+	state    string
+}
+
+func (s *Server) groupInfo(conn *engine.Conn, grpID int64) (*group, error) {
+	rows, err := s.stmts.get(sqlGroupLookup).Query(conn, value.Int(grpID))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	return &group{
+		recovery: rows[0][0].Int64() == 1,
+		fullctl:  rows[0][1].Int64() == 1,
+		state:    rows[0][2].Text(),
+	}, nil
+}
+
+var _ fsim.Upcaller = (*upcallDaemon)(nil)

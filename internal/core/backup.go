@@ -1,0 +1,265 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rpc"
+	"repro/internal/value"
+)
+
+// Coordinated backup and restore (Section 3.4).
+
+// waitArchive serves the host Backup utility: every pending copy whose
+// recovery id is at or below the backup's watermark is promoted to high
+// priority, and the call returns once the Copy daemon has flushed them all
+// — "in case copy of some files is pending then it asks the Copy daemon to
+// archive this set of files with high priority".
+func (s *Server) waitArchive(conn *engine.Conn, recID int64) rpc.Response {
+	if _, err := s.stmts.get(sqlBoostPriority).Exec(conn, value.Int(recID)); err != nil {
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		return fail(err)
+	}
+	if err := conn.Commit(); err != nil {
+		return fail(err)
+	}
+	s.copyd.kick()
+	var flushed int64
+	for {
+		n, _, err := s.stmts.get(sqlCountPending).QueryInt(conn, value.Int(recID))
+		if err != nil {
+			if conn.InTxn() {
+				conn.Rollback()
+			}
+			return fail(err)
+		}
+		if err := conn.Commit(); err != nil {
+			return fail(err)
+		}
+		if n == 0 {
+			return rpc.Response{N: flushed}
+		}
+		flushed = n
+		s.copyd.kick()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// registerBackup records a completed host backup (id + recovery-id
+// watermark) for the Garbage Collector's keep-last-N policy.
+func (s *Server) registerBackup(conn *engine.Conn, backupID, recID int64) rpc.Response {
+	if _, err := s.stmts.get(sqlInsertBackup).Exec(conn,
+		value.Int(backupID), value.Int(recID), value.Int(s.now())); err != nil {
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		return fail(err)
+	}
+	if err := conn.Commit(); err != nil {
+		return fail(err)
+	}
+	return ok
+}
+
+// restoreTo reconciles DLFM metadata after the host database was restored
+// to the backup with recovery-id watermark recID: "all the files that are
+// linked before the backup and unlinked after the backup are restored to
+// linked state. Similarly, files that are linked after the backup are
+// removed from the unlink state." Files missing from the file system are
+// brought back from the archive server by the Retrieve daemon.
+func (s *Server) restoreTo(conn *engine.Conn, recID int64) rpc.Response {
+	abort := func(err error) rpc.Response {
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		return fail(err)
+	}
+	var repaired int64
+
+	// 1. Entries created after the watermark (linked or unlinked) never
+	// existed in the restored database: remove them and their archive
+	// copies, and release still-linked files back to their owners.
+	future, err := s.stmts.get(sqlLinkedAfter).Query(conn, value.Int(recID))
+	if err != nil {
+		return abort(err)
+	}
+	for _, r := range future {
+		name, chk := r[0].Text(), r[2].Int64()
+		if _, err := s.stmts.get(sqlDropFileByNameChk).Exec(conn, value.Str(name), value.Int(chk)); err != nil {
+			return abort(err)
+		}
+		repaired++
+	}
+
+	// 2. Entries linked at or before the watermark but unlinked after it
+	// return to linked state.
+	n, err := s.stmts.get(sqlRelinkUnlinked).Exec(conn, value.Int(recID), value.Int(recID))
+	if err != nil {
+		return abort(err)
+	}
+	repaired += n
+
+	// 3. Any transaction bookkeeping from the lost future is void.
+	if err := conn.Commit(); err != nil {
+		return fail(err)
+	}
+
+	// 4. Ensure every linked file exists in the file system; retrieve
+	// missing content from the archive server keyed by the link recovery
+	// id (this is why the Recovery id exists: "a file with same name but
+	// different content may be linked and unlinked several times").
+	linked, err := s.stmts.get(sqlAllLinked).Query(conn)
+	if err != nil {
+		return abort(err)
+	}
+	if err := conn.Commit(); err != nil {
+		return fail(err)
+	}
+	for _, r := range linked {
+		name, rec, grpID, owner := r[0].Text(), r[1].Int64(), r[2].Int64(), r[3].Text()
+		if s.fs.Exists(name) {
+			continue
+		}
+		g, err := s.groupInfo(conn, grpID)
+		if err != nil {
+			return abort(err)
+		}
+		conn.Commit()
+		readOnly := g != nil && (g.fullctl || g.recovery)
+		fileOwner := owner
+		if g != nil && g.fullctl {
+			fileOwner = s.cfg.AdminUser
+		}
+		if err := s.retrieve.restore(name, rec, fileOwner, readOnly); err != nil {
+			// Not restorable (no archive copy): leave it to reconcile.
+			continue
+		}
+		repaired++
+	}
+	// Archive copies for dropped future entries.
+	for _, r := range future {
+		s.arch.Delete(r[0].Text(), r[1].Int64())
+	}
+	return rpc.Response{N: repaired}
+}
+
+// reconcile implements DLFM's half of the Reconcile utility (Section 3.4):
+// the host sends its complete view of linked files on this server; DLFM
+// loads it into a temp table in its local database ("to reduce the number
+// of messages between the host database and DLFM"), compares both sides,
+// repairs what it can, and reports the names the host must give up on.
+func (s *Server) reconcile(conn *engine.Conn, req rpc.ReconcileReq) rpc.Response {
+	abort := func(err error) rpc.Response {
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		return fail(err)
+	}
+	if len(req.Names) != len(req.RecIDs) {
+		return failCode("severe", "reconcile: %d names but %d recovery ids", len(req.Names), len(req.RecIDs))
+	}
+
+	// Load the host's view into the temp table, committing in batches
+	// (this is a long-running utility — Section 4's lesson applies).
+	if _, err := s.stmts.get(sqlClearRecon).Exec(conn); err != nil {
+		return abort(err)
+	}
+	batch := s.cfg.BatchCommitN
+	if batch <= 0 {
+		batch = 100
+	}
+	for i := range req.Names {
+		if _, err := s.stmts.get(sqlInsertRecon).Exec(conn,
+			value.Str(req.Names[i]), value.Int(req.RecIDs[i])); err != nil {
+			return abort(err)
+		}
+		if (i+1)%batch == 0 {
+			if err := conn.Commit(); err != nil {
+				return fail(err)
+			}
+			s.stats.BatchCommits.Add(1)
+		}
+	}
+	if err := conn.Commit(); err != nil {
+		return fail(err)
+	}
+
+	// Pass 1 — host-side entries DLFM cannot satisfy. For each host entry
+	// with no matching linked DLFM entry: re-link it if the file exists
+	// and the name is free; otherwise report it as unresolvable.
+	var unresolvable []string
+	for i, name := range req.Names {
+		rows, err := s.stmts.get(sqlFindLinked).Query(conn, value.Str(name))
+		if err != nil {
+			return abort(err)
+		}
+		switch {
+		case len(rows) == 1 && rows[0][1].Int64() == req.RecIDs[i]:
+			// Consistent.
+		case len(rows) == 0 && s.fs.Exists(name):
+			// DLFM lost the entry (e.g. restored past the link): re-link
+			// it under the host's recovery id, outside any 2PC (reconcile
+			// runs with the database quiesced). Group id 0 marks a
+			// reconciled orphan adoption.
+			if _, err := s.stmts.get(sqlInsertFile).Exec(conn,
+				value.Str(name), value.Int(0), value.Int(req.RecIDs[i]),
+				value.Int(0), value.Str(s.cfg.AdminUser)); err != nil {
+				return abort(err)
+			}
+		default:
+			// Either the file is gone or DLFM's entry carries a different
+			// recovery id (different incarnation of the file).
+			unresolvable = append(unresolvable, name)
+		}
+	}
+	if err := conn.Commit(); err != nil {
+		return fail(err)
+	}
+
+	// Pass 2 — DLFM-side linked entries the host no longer references
+	// (the EXCEPT of Section 3.4, computed as a merge of the two sorted
+	// sides). Those files are unlinked and released.
+	dlfmSide, err := s.stmts.get(sqlAllLinked).Query(conn)
+	if err != nil {
+		return abort(err)
+	}
+	hostSide, err := s.stmts.get(sqlAllRecon).Query(conn)
+	if err != nil {
+		return abort(err)
+	}
+	hostNames := make(map[string]bool, len(hostSide))
+	for _, r := range hostSide {
+		hostNames[r[0].Text()] = true
+	}
+	type orphanRec struct {
+		name  string
+		rec   int64
+		owner string
+	}
+	var orphans []orphanRec
+	for _, r := range dlfmSide {
+		if !hostNames[r[0].Text()] {
+			orphans = append(orphans, orphanRec{name: r[0].Text(), rec: r[1].Int64(), owner: r[3].Text()})
+		}
+	}
+	for i, o := range orphans {
+		if _, err := s.stmts.get(sqlUnlinkKeep).Exec(conn,
+			value.Int(o.rec), value.Int(0), value.Int(s.now()), value.Str(o.name)); err != nil {
+			return abort(err)
+		}
+		if (i+1)%batch == 0 {
+			if err := conn.Commit(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := conn.Commit(); err != nil {
+		return fail(err)
+	}
+	for _, o := range orphans {
+		s.chown.release(o.name, o.owner)
+	}
+	return rpc.Response{Names: unresolvable, N: int64(len(orphans))}
+}

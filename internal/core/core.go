@@ -1,0 +1,343 @@
+// Package core implements the DataLinks File Manager (DLFM), the paper's
+// transactional resource manager. DLFM runs next to a file server and keeps
+// files referenced from a host database consistent with that database:
+//
+//   - LinkFile/UnlinkFile execute in the host transaction's context and are
+//     made atomic with it through a two-phase-commit protocol in which DLFM
+//     is the participant (Section 3.3);
+//   - all DLFM metadata lives in a local database (package engine) that
+//     DLFM uses strictly through SQL, as the paper's DLFM uses DB2 — which
+//     forces the delayed-update scheme for rolling back after a local
+//     commit, the hand-crafted-statistics optimizer guard, the disabled
+//     next-key locking, and the phase-2 retry loop (Sections 3.2-4);
+//   - a set of daemons (Copy, Retrieve, Garbage Collector, Delete Group,
+//     Chown, Upcall) performs the asynchronous work (Section 3.5).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/engine"
+	"repro/internal/fsim"
+)
+
+// Config tunes one DLFM instance. Defaults reproduce the paper's production
+// settings; benchmarks flip individual knobs for the ablation experiments.
+type Config struct {
+	// ServerName is the file-server host this DLFM manages.
+	ServerName string
+	// DB configures the local database. Engine knobs (lock timeout,
+	// next-key locking, escalation) are the paper's tuning surface.
+	DB engine.Config
+	// AdminUser owns files taken over under full access control ("the
+	// DLFM changes the owner of the file to the DBMS").
+	AdminUser string
+	// HandCraftStats installs large hand-crafted catalog statistics before
+	// binding DLFM's SQL, forcing index plans (Section 3.2.1). Disabling
+	// it reproduces the optimizer gotcha (experiment E5).
+	HandCraftStats bool
+	// StatsGuard re-installs hand-crafted statistics (and re-binds plans)
+	// if a user RUNSTATS overwrote them (Section 4).
+	StatsGuard bool
+	// BatchCommitN is the local-commit interval for batched (utility)
+	// transactions and for the Delete Group daemon; 0 runs each unit of
+	// work as a single local transaction (the log-full hazard, E8).
+	BatchCommitN int
+	// KeepBackups is the retention policy: unlinked entries and archive
+	// copies needed only by older backups are garbage collected.
+	KeepBackups int
+	// GroupLifespan is how long a fully-unlinked dropped group's metadata
+	// survives before the Garbage Collector removes it.
+	GroupLifespan time.Duration
+	// CopyInterval and GCInterval are daemon polling periods.
+	CopyInterval time.Duration
+	GCInterval   time.Duration
+	// Phase2Backoff is the pause between phase-2 commit/abort retries.
+	Phase2Backoff time.Duration
+	// Phase2Delay injects latency at the start of commit processing,
+	// modelling the real work the paper's DLFM did there (SQL against the
+	// local database, chown traffic). Experiment E6 uses it to open the
+	// asynchronous-commit deadlock window deterministically.
+	Phase2Delay time.Duration
+	// ManualDeleteGroup disables the Delete Group daemon's automatic
+	// processing; work is driven through RunDeleteGroup instead. Tests and
+	// the E8 benchmark use it to control the batch size deterministically.
+	ManualDeleteGroup bool
+}
+
+// DefaultConfig returns the paper's production configuration for a DLFM on
+// server name: 60 s lock timeout, deadlock detection on, next-key locking
+// OFF (the fix), hand-crafted statistics ON, batched commits every 100
+// operations, keep 2 backups.
+func DefaultConfig(name string) Config {
+	db := engine.DefaultConfig("dlfmdb-" + name)
+	db.NextKeyLocking = false // the paper's fix for multi-index deadlocks
+	return Config{
+		ServerName:     name,
+		DB:             db,
+		AdminUser:      "dlfmadm",
+		HandCraftStats: true,
+		StatsGuard:     true,
+		BatchCommitN:   100,
+		KeepBackups:    2,
+		GroupLifespan:  time.Hour,
+		CopyInterval:   10 * time.Millisecond,
+		GCInterval:     50 * time.Millisecond,
+		Phase2Backoff:  time.Millisecond,
+	}
+}
+
+// Server is one DLFM instance.
+type Server struct {
+	cfg  Config
+	db   *engine.DB
+	fs   *fsim.Server
+	arch *archive.Server
+
+	stmts *stmtCache
+
+	chown    *chownDaemon
+	upcall   *upcallDaemon
+	copyd    *copyDaemon
+	retrieve *retrieveDaemon
+	gc       *gcDaemon
+	delGroup *deleteGroupDaemon
+
+	stats Stats
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// New opens a DLFM managing files on fs, archiving to arch. The local
+// database is created (or recovered) according to cfg.DB, the metadata
+// schema is bootstrapped, statistics are crafted, the SQL programs are
+// bound, and the service daemons start.
+func New(cfg Config, fs *fsim.Server, arch *archive.Server) (*Server, error) {
+	if cfg.AdminUser == "" {
+		cfg.AdminUser = "dlfmadm"
+	}
+	db, err := engine.Open(cfg.DB)
+	if err != nil {
+		return nil, fmt.Errorf("core: open local database: %w", err)
+	}
+	s := &Server{cfg: cfg, db: db, fs: fs, arch: arch}
+	if err := s.bootstrapSchema(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if cfg.HandCraftStats {
+		s.craftStats()
+	}
+	s.stmts = newStmtCache(s)
+	if err := s.stmts.bindAll(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	s.startDaemons()
+	return s, nil
+}
+
+// DB exposes the local database for diagnostics, the benchmark harness, and
+// tests. Production code paths in this package only use SQL.
+func (s *Server) DB() *engine.DB { return s.db }
+
+// FS returns the managed file server.
+func (s *Server) FS() *fsim.Server { return s.fs }
+
+// Archive returns the archive server.
+func (s *Server) Archive() *archive.Server { return s.arch }
+
+// Upcaller returns the DLFF-facing upcall interface, served by the Upcall
+// daemon.
+func (s *Server) Upcaller() fsim.Upcaller { return s.upcall }
+
+// Name returns the file server name this DLFM manages.
+func (s *Server) Name() string { return s.cfg.ServerName }
+
+// Close stops the daemons and the local database.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.stopDaemons()
+	return s.db.Close()
+}
+
+// Crash simulates a DLFM failure: daemons die, every in-flight local
+// transaction is lost, and the local database restarts from its log. Child
+// agents' connections are severed by the RPC layer. After Crash the DLFM is
+// running again with only its durable state — prepared transactions are now
+// indoubt and wait for the host's resolution daemon (Section 3.3).
+func (s *Server) Crash() error {
+	s.stopDaemons()
+	if err := s.db.Crash(); err != nil {
+		return err
+	}
+	if s.cfg.HandCraftStats {
+		s.craftStats()
+	}
+	if err := s.stmts.bindAll(); err != nil {
+		return err
+	}
+	s.startDaemons()
+	return nil
+}
+
+func (s *Server) now() int64 { return time.Now().UnixNano() }
+
+// bootstrapSchema creates the DLFM metadata tables (Section 3.1) if this is
+// a fresh database; after a crash the engine recovers them from its log.
+//
+// Note the File table carries the delayed-update bookkeeping directly in
+// its rows — lnk_txn, unlnk_txn, del_txn — because DLFM "does/can not write
+// recovery logs for its own link and unlink file operations" (Section 3.2)
+// and must find a transaction's effects through SQL alone. The unique index
+// on (name, chkflag) is the race closure of Section 3.2: a linked entry has
+// chkflag 0, an unlinked entry has chkflag = its unlink recovery id, so at
+// most one linked entry per file can exist while unlink history accumulates.
+func (s *Server) bootstrapSchema() error {
+	ddl := []string{
+		`CREATE TABLE dlfm_file (
+			name VARCHAR NOT NULL,
+			grpid BIGINT NOT NULL,
+			recid BIGINT NOT NULL,
+			lnk_txn BIGINT NOT NULL,
+			unlnk_txn BIGINT NOT NULL,
+			unlnk_time BIGINT NOT NULL,
+			state VARCHAR NOT NULL,
+			chkflag BIGINT NOT NULL,
+			del_txn BIGINT NOT NULL,
+			owner VARCHAR NOT NULL
+		)`,
+		`CREATE UNIQUE INDEX dlfm_file_nc ON dlfm_file (name, chkflag)`,
+		`CREATE INDEX dlfm_file_grp ON dlfm_file (grpid)`,
+		`CREATE INDEX dlfm_file_ltxn ON dlfm_file (lnk_txn)`,
+		`CREATE INDEX dlfm_file_utxn ON dlfm_file (unlnk_txn)`,
+		`CREATE INDEX dlfm_file_del ON dlfm_file (del_txn)`,
+
+		`CREATE TABLE dlfm_group (
+			grpid BIGINT NOT NULL,
+			recovery BIGINT NOT NULL,
+			fullctl BIGINT NOT NULL,
+			state VARCHAR NOT NULL,
+			crt_txn BIGINT NOT NULL,
+			del_txn BIGINT NOT NULL,
+			expiry BIGINT NOT NULL
+		)`,
+		`CREATE UNIQUE INDEX dlfm_group_id ON dlfm_group (grpid)`,
+		`CREATE INDEX dlfm_group_del ON dlfm_group (del_txn)`,
+		`CREATE INDEX dlfm_group_crt ON dlfm_group (crt_txn)`,
+		`CREATE INDEX dlfm_group_state ON dlfm_group (state)`,
+
+		`CREATE TABLE dlfm_txn (
+			txnid BIGINT NOT NULL,
+			state VARCHAR NOT NULL,
+			ngroups BIGINT NOT NULL,
+			ts BIGINT NOT NULL
+		)`,
+		`CREATE UNIQUE INDEX dlfm_txn_id ON dlfm_txn (txnid)`,
+		`CREATE INDEX dlfm_txn_state ON dlfm_txn (state)`,
+
+		`CREATE TABLE dlfm_archive (
+			name VARCHAR NOT NULL,
+			recid BIGINT NOT NULL,
+			grpid BIGINT NOT NULL,
+			txnid BIGINT NOT NULL,
+			state VARCHAR NOT NULL,
+			prio BIGINT NOT NULL
+		)`,
+		`CREATE UNIQUE INDEX dlfm_arch_nr ON dlfm_archive (name, recid)`,
+		`CREATE INDEX dlfm_arch_txn ON dlfm_archive (txnid)`,
+		`CREATE INDEX dlfm_arch_state ON dlfm_archive (state)`,
+
+		`CREATE TABLE dlfm_backup (
+			backupid BIGINT NOT NULL,
+			recid BIGINT NOT NULL,
+			ts BIGINT NOT NULL
+		)`,
+		`CREATE UNIQUE INDEX dlfm_backup_id ON dlfm_backup (backupid)`,
+
+		`CREATE TABLE dlfm_recon (
+			name VARCHAR NOT NULL,
+			recid BIGINT NOT NULL
+		)`,
+		`CREATE UNIQUE INDEX dlfm_recon_name ON dlfm_recon (name)`,
+	}
+	if _, err := s.db.Catalog().Table("dlfm_file"); err == nil {
+		return nil // recovered from the log; schema already present
+	}
+	c := s.db.Connect()
+	for _, stmt := range ddl {
+		if _, err := c.Exec(stmt); err != nil {
+			return fmt.Errorf("core: bootstrap %q: %w", stmt[:30], err)
+		}
+	}
+	return nil
+}
+
+// craftStats installs the hand-crafted statistics: every metadata table is
+// declared huge with near-unique indexed columns, so the optimizer always
+// produces index plans for DLFM's packages regardless of actual table size
+// ("the statistics in the catalog are manually set before DLFM's SQL
+// programs are compiled and bound", Section 3.2.1).
+func (s *Server) craftStats() {
+	const big = 10_000_000
+	tables := map[string]map[string]int64{
+		"dlfm_file": {
+			"name": big, "chkflag": 1000, "grpid": 100_000,
+			"lnk_txn": big, "unlnk_txn": big, "del_txn": big,
+		},
+		"dlfm_group":   {"grpid": big, "crt_txn": big, "del_txn": big, "state": 4},
+		"dlfm_txn":     {"txnid": big, "state": 4},
+		"dlfm_archive": {"name": big, "recid": big, "txnid": big, "state": 4},
+		"dlfm_backup":  {"backupid": big},
+		"dlfm_recon":   {"name": big},
+	}
+	for table, cols := range tables {
+		// Errors (table missing) cannot happen after bootstrap; ignore
+		// defensively rather than fail startup.
+		_ = s.db.SetStats(table, big, cols)
+	}
+}
+
+// CheckpointLocal checkpoints the local database: a maintenance-window
+// operation (the local database must be quiesced and file-backed) that
+// bounds log growth and restart time for long-lived DLFM deployments.
+func (s *Server) CheckpointLocal() error { return s.db.Checkpoint() }
+
+// CheckStatsGuard is the paper's Section 4 guard: if the catalog statistics
+// changed (for example a user ran RUNSTATS and overwrote the crafted
+// numbers), re-install the crafted statistics and re-bind every package.
+// The Garbage Collector daemon calls it each cycle; tests and benchmarks
+// call it directly. It reports whether a repair was performed.
+func (s *Server) CheckStatsGuard() bool {
+	if !s.cfg.StatsGuard || !s.cfg.HandCraftStats {
+		return false
+	}
+	repaired := false
+	for _, table := range []string{"dlfm_file", "dlfm_group", "dlfm_txn", "dlfm_archive", "dlfm_backup", "dlfm_recon"} {
+		st, err := s.db.Catalog().StatsOf(table)
+		if err != nil {
+			continue
+		}
+		if !st.HandCrafted {
+			repaired = true
+		}
+	}
+	if repaired {
+		s.craftStats()
+		s.stats.StatsRepairs.Add(1)
+	}
+	if err := s.stmts.rebindStale(); err == nil && repaired {
+		return true
+	}
+	return repaired
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fsim"
+	"repro/internal/rpc"
+)
+
+// TestQuickDelayedUpdateProtocol drives the DLFM with random transaction
+// scripts — link, unlink, unlink+relink, statement backouts — each randomly
+// committed, aborted before prepare, or aborted *after* prepare (the
+// delayed-update compensation path), and checks after every transaction
+// that the set of linked files exactly matches a trivial reference model.
+// This is the paper's core correctness claim: whatever the interleaving of
+// operations and outcomes, the metadata converges to the transaction
+// semantics (Sections 3.2-3.3, 4).
+func TestQuickDelayedUpdateProtocol(t *testing.T) {
+	type step struct {
+		Op   uint8 // 0 link, 1 unlink, 2 link+backout, 3 unlink+backout
+		File uint8
+	}
+	type script struct {
+		Steps   []step
+		Outcome uint8 // 0 commit, 1 abort pre-prepare, 2 abort post-prepare
+	}
+
+	const nfiles = 6
+
+	run := func(scripts []script) bool {
+		h := newQuickHarness(t)
+		defer h.srv.Close()
+		h.createGroupQuick(1)
+		for i := 0; i < nfiles; i++ {
+			h.fs.Create(fileName(i), "alice", []byte("x")) //nolint:errcheck
+		}
+		model := make(map[string]bool) // reference: linked files
+
+		for _, sc := range scripts {
+			agent := h.srv.NewAgent().(*ChildAgent)
+			txn := h.nextTxnID()
+			if resp := agent.Handle(rpc.BeginTxnReq{Txn: txn}); !resp.OK() {
+				t.Logf("begin failed: %s %s", resp.Code, resp.Msg)
+				return false
+			}
+			// pending tracks the in-flight delta this transaction built;
+			// applied to the model only on commit.
+			pending := make(map[string]bool)
+			current := func(name string) bool {
+				if v, touched := pending[name]; touched {
+					return v
+				}
+				return model[name]
+			}
+			failed := false
+			for _, stp := range sc.Steps {
+				name := fileName(int(stp.File) % nfiles)
+				switch stp.Op % 4 {
+				case 0: // link
+					resp := agent.Handle(rpc.LinkFileReq{Txn: txn, Name: name, RecID: h.nextRecID(), Grp: 1})
+					switch {
+					case resp.OK():
+						if current(name) {
+							t.Logf("link of already-linked %s succeeded", name)
+							return false
+						}
+						pending[name] = true
+					case resp.Code == "duplicate":
+						if !current(name) {
+							t.Logf("spurious duplicate for %s", name)
+							return false
+						}
+					default:
+						failed = true
+					}
+				case 1: // unlink
+					resp := agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: name, RecID: h.nextRecID(), Grp: 1})
+					switch {
+					case resp.OK():
+						if !current(name) {
+							t.Logf("unlink of non-linked %s succeeded", name)
+							return false
+						}
+						pending[name] = false
+					case resp.Code == "notlinked":
+						if current(name) {
+							t.Logf("notlinked for linked %s", name)
+							return false
+						}
+					default:
+						failed = true
+					}
+				case 2: // link then statement-level backout
+					resp := agent.Handle(rpc.LinkFileReq{Txn: txn, Name: name, RecID: h.nextRecID(), Grp: 1})
+					if resp.OK() {
+						if r2 := agent.Handle(rpc.LinkFileReq{Txn: txn, Name: name, InBackout: true}); !r2.OK() {
+							t.Logf("link backout of %s failed: %s %s", name, r2.Code, r2.Msg)
+							return false
+						}
+						// Net effect: nothing.
+					}
+				case 3: // unlink then statement-level backout
+					rec := h.nextRecID()
+					resp := agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: name, RecID: rec, Grp: 1})
+					if resp.OK() {
+						if r2 := agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: name, RecID: rec, InBackout: true}); !r2.OK() {
+							t.Logf("unlink backout of %s failed: %s %s", name, r2.Code, r2.Msg)
+							return false
+						}
+					}
+				}
+				if failed {
+					break
+				}
+			}
+
+			outcome := sc.Outcome % 3
+			if failed {
+				outcome = 1 // a severe error forces an abort
+			}
+			switch outcome {
+			case 0:
+				if resp := agent.Handle(rpc.PrepareReq{Txn: txn}); !resp.OK() {
+					t.Logf("prepare failed: %s %s", resp.Code, resp.Msg)
+					return false
+				}
+				if resp := agent.Handle(rpc.CommitReq{Txn: txn}); !resp.OK() {
+					t.Logf("commit failed: %s %s", resp.Code, resp.Msg)
+					return false
+				}
+				for name, linked := range pending {
+					if linked {
+						model[name] = true
+					} else {
+						delete(model, name)
+					}
+				}
+			case 1:
+				if resp := agent.Handle(rpc.AbortReq{Txn: txn}); !resp.OK() {
+					t.Logf("abort failed: %s %s", resp.Code, resp.Msg)
+					return false
+				}
+			case 2:
+				if resp := agent.Handle(rpc.PrepareReq{Txn: txn}); !resp.OK() {
+					t.Logf("prepare(2) failed: %s %s", resp.Code, resp.Msg)
+					return false
+				}
+				if resp := agent.Handle(rpc.AbortReq{Txn: txn}); !resp.OK() {
+					t.Logf("abort(2) failed: %s %s", resp.Code, resp.Msg)
+					return false
+				}
+			}
+			agent.Close()
+
+			// Invariant: DLFM's linked set == the model, after every txn.
+			for i := 0; i < nfiles; i++ {
+				name := fileName(i)
+				st, err := h.srv.Upcaller().IsLinked(name)
+				if err != nil {
+					return false
+				}
+				if st.Linked != model[name] {
+					t.Logf("divergence on %s: dlfm=%v model=%v", name, st.Linked, model[name])
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// quick.Check's generator handles the nested struct scripts.
+	if err := quick.Check(run, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fileName(i int) string { return fmt.Sprintf("/pool/f%d", i) }
+
+// quickHarness is a thin wrapper so the property function can mint ids and
+// close servers itself (Close is idempotent with the test cleanup).
+type quickHarness struct {
+	srv    *Server
+	fs     *fsim.Server
+	txnSeq int64
+	recSeq int64
+}
+
+func newQuickHarness(t *testing.T) *quickHarness {
+	t.Helper()
+	h := newHarness(t)
+	return &quickHarness{srv: h.srv, fs: h.fs, recSeq: 1 << 20}
+}
+
+func (h *quickHarness) nextTxnID() int64 {
+	h.txnSeq++
+	return h.txnSeq + (1 << 30)
+}
+
+func (h *quickHarness) nextRecID() int64 {
+	h.recSeq++
+	return h.recSeq
+}
+
+func (h *quickHarness) createGroupQuick(grp int64) {
+	a := h.srv.NewAgent().(*ChildAgent)
+	defer a.Close()
+	txn := h.nextTxnID()
+	a.Handle(rpc.BeginTxnReq{Txn: txn})
+	a.Handle(rpc.CreateGroupReq{Txn: txn, Grp: grp})
+	a.Handle(rpc.PrepareReq{Txn: txn})
+	a.Handle(rpc.CommitReq{Txn: txn})
+}

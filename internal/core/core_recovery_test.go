@@ -1,0 +1,319 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+func TestCrashLosesUnpreparedTransaction(t *testing.T) {
+	h := newHarness(t)
+	h.createGroup(h.agent, 1, false, false)
+	h.createFile("/a", "alice", "x")
+
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+	// Crash before prepare: the local transaction never committed.
+	if err := h.srv.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found := h.linkedState("/a"); found {
+		t.Fatal("unprepared link survived the crash")
+	}
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_txn`); n != 0 {
+		t.Fatalf("txn entries after crash = %d", n)
+	}
+}
+
+func TestIndoubtResolutionCommit(t *testing.T) {
+	// Prepare, crash, host resolution daemon finds the indoubt transaction
+	// and drives commit through a fresh agent (Section 3.3).
+	h := newHarness(t)
+	h.createGroup(h.agent, 1, true, true)
+	h.createFile("/a", "alice", "x")
+
+	txn, rec := h.nextTxn(), h.nextRec()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: rec, Grp: 1}))
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	if err := h.srv.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := h.newAgent()
+	resp := h.must(fresh.Handle(rpc.ListIndoubtReq{}))
+	if len(resp.Txns) != 1 || resp.Txns[0] != txn {
+		t.Fatalf("indoubt list = %v, want [%d]", resp.Txns, txn)
+	}
+	h.must(fresh.Handle(rpc.CommitReq{Txn: txn}))
+	if st, found := h.linkedState("/a"); !found || st != "L" {
+		t.Fatalf("state after indoubt commit = %q, %v", st, found)
+	}
+	fi, _ := h.fs.Stat("/a")
+	if fi.Owner != "dlfmadm" {
+		t.Fatalf("takeover not applied on indoubt commit: %+v", fi)
+	}
+	resp = h.must(fresh.Handle(rpc.ListIndoubtReq{}))
+	if len(resp.Txns) != 0 {
+		t.Fatalf("indoubt list after resolution = %v", resp.Txns)
+	}
+}
+
+func TestIndoubtResolutionAbort(t *testing.T) {
+	h := newHarness(t)
+	h.createGroup(h.agent, 1, true, false)
+	h.createFile("/a", "alice", "x")
+	h.linkCommitted(h.agent, "/a", 1)
+	h.drainCopies()
+
+	// Unlink, prepare, crash.
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	if err := h.srv.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := h.newAgent()
+	resp := h.must(fresh.Handle(rpc.ListIndoubtReq{}))
+	if len(resp.Txns) != 1 {
+		t.Fatalf("indoubt = %v", resp.Txns)
+	}
+	h.must(fresh.Handle(rpc.AbortReq{Txn: txn}))
+	if st, found := h.linkedState("/a"); !found || st != "L" {
+		t.Fatalf("unlink not compensated after indoubt abort: %q %v", st, found)
+	}
+}
+
+func TestRestoreToWatermark(t *testing.T) {
+	// Timeline: link /a (rec A), BACKUP (watermark W), unlink /a (rec U),
+	// link /b (rec B). Restore to W: /a returns to linked, /b vanishes.
+	h := newHarness(t)
+	h.createGroup(h.agent, 1, true, true)
+	h.createFile("/a", "alice", "content-a")
+	h.createFile("/b", "bob", "content-b")
+
+	recA := h.linkCommitted(h.agent, "/a", 1)
+	h.drainCopies()
+	watermark := h.nextRec()
+	h.must(h.agent.Handle(rpc.WaitArchiveReq{RecID: watermark}))
+	h.must(h.agent.Handle(rpc.RegisterBackupReq{BackupID: 1, RecID: watermark}))
+
+	h.unlinkCommitted(h.agent, "/a", 1)
+	recB := h.linkCommitted(h.agent, "/b", 1)
+	h.drainCopies()
+
+	// Host restores to backup 1 and tells DLFM.
+	h.must(h.agent.Handle(rpc.RestoreToReq{RecID: watermark}))
+
+	if st, found := h.linkedState("/a"); !found || st != "L" {
+		t.Fatalf("/a not restored to linked: %q %v", st, found)
+	}
+	if _, found := h.linkedState("/b"); found {
+		t.Fatal("/b still linked after restore to the past")
+	}
+	// /b's archive copy was discarded.
+	if h.arch.Exists("/b", recB) {
+		t.Fatal("/b archive copy survived restore")
+	}
+	_ = recA
+}
+
+func TestRestoreRetrievesMissingFiles(t *testing.T) {
+	// After a restore the linked file is missing from the file system; the
+	// Retrieve daemon brings it back from the archive server.
+	h := newHarness(t)
+	h.createGroup(h.agent, 1, true, true)
+	h.createFile("/a", "alice", "original-content")
+	recA := h.linkCommitted(h.agent, "/a", 1)
+	h.drainCopies()
+	if !h.arch.Exists("/a", recA) {
+		t.Fatal("no archive copy")
+	}
+	watermark := h.nextRec()
+	h.must(h.agent.Handle(rpc.RegisterBackupReq{BackupID: 1, RecID: watermark}))
+
+	// The file is lost (disk wipe before restore).
+	if err := h.fs.Chmod("/a", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.fs.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+
+	h.must(h.agent.Handle(rpc.RestoreToReq{RecID: watermark}))
+	got, err := h.fs.Read("/a")
+	if err != nil || string(got) != "original-content" {
+		t.Fatalf("restored content = %q, %v", got, err)
+	}
+	fi, _ := h.fs.Stat("/a")
+	if fi.Owner != "dlfmadm" || !fi.ReadOnly {
+		t.Fatalf("restored file attributes: %+v", fi)
+	}
+	if h.srv.Stats().Retrievals != 1 {
+		t.Fatalf("Retrievals = %d", h.srv.Stats().Retrievals)
+	}
+}
+
+func TestReconcileRepairsBothSides(t *testing.T) {
+	h := newHarness(t)
+	h.createGroup(h.agent, 1, false, false)
+	h.createFile("/ok", "alice", "x")
+	h.createFile("/dlfm-only", "alice", "y")
+	h.createFile("/host-only", "alice", "z")
+
+	recOK := h.linkCommitted(h.agent, "/ok", 1)
+	h.linkCommitted(h.agent, "/dlfm-only", 1) // host lost this reference
+	recHostOnly := h.nextRec()                // DLFM lost this one
+
+	resp := h.must(h.agent.Handle(rpc.ReconcileReq{
+		Names:  []string{"/ok", "/host-only", "/gone-everywhere"},
+		RecIDs: []int64{recOK, recHostOnly, h.nextRec()},
+	}))
+
+	// /ok unchanged; /host-only re-linked; /gone-everywhere unresolvable.
+	if len(resp.Names) != 1 || resp.Names[0] != "/gone-everywhere" {
+		t.Fatalf("unresolvable = %v", resp.Names)
+	}
+	if st, _ := h.linkedState("/ok"); st != "L" {
+		t.Fatal("/ok lost its link")
+	}
+	if st, _ := h.linkedState("/host-only"); st != "L" {
+		t.Fatal("/host-only not re-linked")
+	}
+	// /dlfm-only was unlinked (host no longer references it).
+	if st, found := h.linkedState("/dlfm-only"); found {
+		t.Fatalf("/dlfm-only still linked: %q", st)
+	}
+	if resp.N != 1 {
+		t.Fatalf("orphans unlinked = %d, want 1", resp.N)
+	}
+}
+
+func TestStatsGuardRepairsRunstatsOverwrite(t *testing.T) {
+	h := newHarness(t)
+	// A user runs RUNSTATS on the (tiny) File table, clobbering the
+	// crafted statistics.
+	if err := h.srv.DB().Runstats("dlfm_file"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := h.srv.DB().Catalog().StatsOf("dlfm_file")
+	if st.HandCrafted {
+		t.Fatal("precondition: stats should be measured now")
+	}
+	if !h.srv.CheckStatsGuard() {
+		t.Fatal("stats guard did not repair")
+	}
+	st, _ = h.srv.DB().Catalog().StatsOf("dlfm_file")
+	if !st.HandCrafted {
+		t.Fatal("stats not re-crafted")
+	}
+	if h.srv.Stats().StatsRepairs != 1 {
+		t.Fatalf("StatsRepairs = %d", h.srv.Stats().StatsRepairs)
+	}
+	// Second check is a no-op.
+	if h.srv.CheckStatsGuard() {
+		t.Fatal("guard repaired twice")
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	// Full stack: DLFM behind the real RPC server, host side as plain
+	// clients, concurrent transactions.
+	h := newHarness(t)
+	srv := h.srv
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpcSrv := rpc.Serve(ln, srv)
+	defer rpcSrv.Close()
+
+	admin, err := rpc.Dial(rpcSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	// Create the group over the wire.
+	gtxn := h.nextTxn()
+	for _, req := range []any{
+		rpc.BeginTxnReq{Txn: gtxn},
+		rpc.CreateGroupReq{Txn: gtxn, Grp: 1, Recovery: true},
+		rpc.PrepareReq{Txn: gtxn},
+		rpc.CommitReq{Txn: gtxn},
+	} {
+		resp, err := admin.Call(req)
+		if err != nil || !resp.OK() {
+			t.Fatalf("%T: %+v %v", req, resp, err)
+		}
+	}
+
+	const clients = 4
+	const filesEach = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	var seq struct {
+		sync.Mutex
+		txn, rec int64
+	}
+	seq.txn, seq.rec = 1000, 50000
+	next := func() (int64, int64) {
+		seq.Lock()
+		defer seq.Unlock()
+		seq.txn++
+		seq.rec++
+		return seq.txn, seq.rec
+	}
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			conn, err := rpc.Dial(rpcSrv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < filesEach; i++ {
+				name := fmtName(cl*1000 + i)
+				if err := h.fs.Create(name, "alice", []byte("x")); err != nil {
+					errs <- err
+					return
+				}
+				txn, rec := next()
+				for _, req := range []any{
+					rpc.BeginTxnReq{Txn: txn},
+					rpc.LinkFileReq{Txn: txn, Name: name, RecID: rec, Grp: 1},
+					rpc.PrepareReq{Txn: txn},
+					rpc.CommitReq{Txn: txn},
+				} {
+					resp, err := conn.Call(req)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !resp.OK() {
+						errs <- &rpcError{resp}
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_file WHERE state = 'L'`); n != clients*filesEach {
+		t.Fatalf("linked files = %d, want %d", n, clients*filesEach)
+	}
+}
+
+type rpcError struct{ resp rpc.Response }
+
+func (e *rpcError) Error() string { return e.resp.Code + ": " + e.resp.Msg }

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/fsim"
+	"repro/internal/rpc"
+	"repro/internal/value"
+)
+
+// harness wires a DLFM to a file server and archive server and drives it
+// through the same request types the RPC layer delivers.
+type harness struct {
+	t     *testing.T
+	fs    *fsim.Server
+	arch  *archive.Server
+	srv   *Server
+	agent *ChildAgent
+
+	txnSeq int64
+	recSeq int64
+}
+
+func newHarness(t *testing.T, mutate ...func(*Config)) *harness {
+	t.Helper()
+	fs := fsim.NewServer("fs1")
+	arch := archive.NewServer()
+	cfg := DefaultConfig("fs1")
+	cfg.DB.LockTimeout = 2 * time.Second
+	cfg.GCInterval = time.Hour   // tests trigger GC explicitly
+	cfg.CopyInterval = time.Hour // tests drain copies explicitly
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	srv, err := New(cfg, fs, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	h := &harness{t: t, fs: fs, arch: arch, srv: srv, recSeq: 1000}
+	h.agent = srv.NewAgent().(*ChildAgent)
+	return h
+}
+
+func (h *harness) newAgent() *ChildAgent { return h.srv.NewAgent().(*ChildAgent) }
+
+func (h *harness) nextTxn() int64 {
+	h.txnSeq++
+	return h.txnSeq
+}
+
+func (h *harness) nextRec() int64 {
+	h.recSeq++
+	return h.recSeq
+}
+
+// must asserts a successful response.
+func (h *harness) must(resp rpc.Response) rpc.Response {
+	h.t.Helper()
+	if !resp.OK() {
+		h.t.Fatalf("request failed: %s: %s", resp.Code, resp.Msg)
+	}
+	return resp
+}
+
+func (h *harness) createFile(name, owner, content string) {
+	h.t.Helper()
+	if err := h.fs.Create(name, owner, []byte(content)); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// createGroup registers a group in its own committed transaction.
+func (h *harness) createGroup(a *ChildAgent, grp int64, recovery, fullctl bool) {
+	h.t.Helper()
+	txn := h.nextTxn()
+	h.must(a.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(a.Handle(rpc.CreateGroupReq{Txn: txn, Grp: grp, Recovery: recovery, FullControl: fullctl}))
+	h.must(a.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(a.Handle(rpc.CommitReq{Txn: txn}))
+}
+
+// linkCommitted links one file in its own committed transaction and returns
+// the recovery id used.
+func (h *harness) linkCommitted(a *ChildAgent, name string, grp int64) int64 {
+	h.t.Helper()
+	txn, rec := h.nextTxn(), h.nextRec()
+	h.must(a.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(a.Handle(rpc.LinkFileReq{Txn: txn, Name: name, RecID: rec, Grp: grp}))
+	h.must(a.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(a.Handle(rpc.CommitReq{Txn: txn}))
+	return rec
+}
+
+func (h *harness) unlinkCommitted(a *ChildAgent, name string, grp int64) int64 {
+	h.t.Helper()
+	txn, rec := h.nextTxn(), h.nextRec()
+	h.must(a.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(a.Handle(rpc.UnlinkFileReq{Txn: txn, Name: name, RecID: rec, Grp: grp}))
+	h.must(a.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(a.Handle(rpc.CommitReq{Txn: txn}))
+	return rec
+}
+
+// linkedState returns (state, found) for the chkflag-0 entry of name. It
+// reads through the diagnostic dump (no locks) so tests can inspect state
+// that an open transaction still holds X-locked.
+func (h *harness) linkedState(name string) (string, bool) {
+	h.t.Helper()
+	rows, err := h.srv.DB().DumpTable("dlfm_file")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Columns: name, grpid, recid, lnk_txn, unlnk_txn, unlnk_time,
+		// state, chkflag, del_txn, owner.
+		if r[0].Text() == name && r[7].Int64() == 0 {
+			return r[6].Text(), true
+		}
+	}
+	return "", false
+}
+
+func (h *harness) countRows(query string, params ...int64) int64 {
+	h.t.Helper()
+	c := h.srv.DB().Connect()
+	var vals []value.Value
+	for _, p := range params {
+		vals = append(vals, intVal(p))
+	}
+	n, _, err := c.QueryInt(query, vals...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	c.Commit()
+	return n
+}
+
+// drainCopies runs the Copy daemon's work synchronously until idle.
+func (h *harness) drainCopies() {
+	h.t.Helper()
+	conn := h.srv.DB().Connect()
+	for h.srv.copyBatch(conn) > 0 {
+	}
+}
+
+func TestLinkPrepareCommitFullControl(t *testing.T) {
+	h := newHarness(t)
+	h.createFile("/data/a.mpg", "alice", "video-bytes")
+	h.createGroup(h.agent, 1, true, true)
+
+	txn, rec := h.nextTxn(), h.nextRec()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/data/a.mpg", RecID: rec, Grp: 1}))
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.CommitReq{Txn: txn}))
+
+	if st, found := h.linkedState("/data/a.mpg"); !found || st != "L" {
+		t.Fatalf("entry state = %q, found=%v", st, found)
+	}
+	// Full access control: owner is now the DLFM admin, file read-only.
+	fi, err := h.fs.Stat("/data/a.mpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Owner != "dlfmadm" || !fi.ReadOnly {
+		t.Fatalf("after takeover: %+v", fi)
+	}
+	// Transaction table is clean (no groups were deleted).
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_txn`); n != 0 {
+		t.Fatalf("dlfm_txn rows = %d", n)
+	}
+	// The Copy daemon archives the file (recovery group).
+	h.drainCopies()
+	if !h.arch.Exists("/data/a.mpg", rec) {
+		t.Fatal("archive copy missing after commit")
+	}
+	s := h.srv.Stats()
+	if s.Links != 1 || s.Commits != 2 || s.Prepares != 2 || s.ChownOps != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLinkAbortBeforePrepare(t *testing.T) {
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, false, false)
+
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+	h.must(h.agent.Handle(rpc.AbortReq{Txn: txn}))
+
+	if _, found := h.linkedState("/a"); found {
+		t.Fatal("entry survived a pre-prepare abort")
+	}
+	// The file was never touched.
+	fi, _ := h.fs.Stat("/a")
+	if fi.Owner != "alice" || fi.ReadOnly {
+		t.Fatalf("file touched by aborted link: %+v", fi)
+	}
+}
+
+func TestLinkAbortAfterPrepareCompensates(t *testing.T) {
+	// The headline mechanism: the local database committed at prepare, yet
+	// the phase-2 abort must undo the link (delayed update, Section 4).
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, true, true)
+
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.AbortReq{Txn: txn}))
+
+	if _, found := h.linkedState("/a"); found {
+		t.Fatal("entry survived post-prepare abort")
+	}
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_archive`); n != 0 {
+		t.Fatalf("archive queue rows = %d after abort", n)
+	}
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_txn`); n != 0 {
+		t.Fatalf("dlfm_txn rows = %d after abort", n)
+	}
+	if h.srv.Stats().Compensations != 1 {
+		t.Fatalf("Compensations = %d, want 1", h.srv.Stats().Compensations)
+	}
+	// The name is linkable again.
+	h.linkCommitted(h.agent, "/a", 1)
+}
+
+func TestUnlinkCommitRecoveryGroupKeepsEntry(t *testing.T) {
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, true, true)
+	h.linkCommitted(h.agent, "/a", 1)
+	h.drainCopies()
+
+	h.unlinkCommitted(h.agent, "/a", 1)
+
+	if _, found := h.linkedState("/a"); found {
+		t.Fatal("still a linked entry after unlink commit")
+	}
+	// The unlinked entry remains for point-in-time recovery.
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_file WHERE state = 'U'`); n != 1 {
+		t.Fatalf("unlinked entries = %d, want 1", n)
+	}
+	// The file was released: original owner, writable.
+	fi, _ := h.fs.Stat("/a")
+	if fi.Owner != "alice" || fi.ReadOnly {
+		t.Fatalf("file not released: %+v", fi)
+	}
+}
+
+func TestUnlinkCommitNoRecoveryPurgesEntryInPhase2(t *testing.T) {
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, false, false)
+	h.linkCommitted(h.agent, "/a", 1)
+
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	// After prepare (local commit) the entry still exists, marked deleted:
+	// it cannot be removed earlier or the abort path could not restore it.
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_file WHERE del_txn = ?`, txn); n != 1 {
+		t.Fatalf("marked-deleted entries after prepare = %d, want 1", n)
+	}
+	h.must(h.agent.Handle(rpc.CommitReq{Txn: txn}))
+	if n := h.countRows(`SELECT COUNT(*) FROM dlfm_file`); n != 0 {
+		t.Fatalf("file entries after no-recovery unlink commit = %d, want 0", n)
+	}
+}
+
+func TestUnlinkAbortAfterPrepareRestoresLink(t *testing.T) {
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, true, true)
+	h.linkCommitted(h.agent, "/a", 1)
+	h.drainCopies()
+
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.AbortReq{Txn: txn}))
+
+	if st, found := h.linkedState("/a"); !found || st != "L" {
+		t.Fatalf("entry not restored: state=%q found=%v", st, found)
+	}
+	// Still owned by the database (unlink never committed).
+	fi, _ := h.fs.Stat("/a")
+	if fi.Owner != "dlfmadm" || !fi.ReadOnly {
+		t.Fatalf("file released by aborted unlink: %+v", fi)
+	}
+}
+
+func TestUnlinkRelinkSameTransaction(t *testing.T) {
+	// "DLFM also supports the unlink of a file from one datalink column
+	// and link of the same file to another datalink column within the same
+	// transaction" (Section 3.2) — both commit and abort paths.
+	for _, outcome := range []string{"commit", "abort"} {
+		t.Run(outcome, func(t *testing.T) {
+			h := newHarness(t)
+			h.createFile("/a", "alice", "x")
+			h.createGroup(h.agent, 1, true, true)
+			h.createGroup(h.agent, 2, true, true)
+			h.linkCommitted(h.agent, "/a", 1)
+
+			txn := h.nextTxn()
+			h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+			h.must(h.agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+			h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 2}))
+			h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+			if outcome == "commit" {
+				h.must(h.agent.Handle(rpc.CommitReq{Txn: txn}))
+				// Now linked under group 2.
+				c := h.srv.DB().Connect()
+				rows, err := c.Query(`SELECT grpid FROM dlfm_file WHERE name = ? AND state = 'L' AND chkflag = 0`, strVal("/a"))
+				c.Commit()
+				if err != nil || len(rows) != 1 || rows[0][0].Int64() != 2 {
+					t.Fatalf("after commit: rows=%v err=%v", rows, err)
+				}
+			} else {
+				h.must(h.agent.Handle(rpc.AbortReq{Txn: txn}))
+				c := h.srv.DB().Connect()
+				rows, err := c.Query(`SELECT grpid FROM dlfm_file WHERE name = ? AND state = 'L' AND chkflag = 0`, strVal("/a"))
+				c.Commit()
+				if err != nil || len(rows) != 1 || rows[0][0].Int64() != 1 {
+					t.Fatalf("after abort: rows=%v err=%v", rows, err)
+				}
+			}
+		})
+	}
+}
+
+func TestInBackoutLinkAndUnlink(t *testing.T) {
+	// Statement-level (savepoint) rollback: the host re-sends the
+	// operation with in_backout set (Section 3.2).
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, true, false)
+	h.linkCommitted(h.agent, "/a", 1)
+
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	rec := h.nextRec()
+	h.must(h.agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: "/a", RecID: rec, Grp: 1}))
+	// Savepoint rollback of the unlink, identified by its recovery id.
+	h.must(h.agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: "/a", RecID: rec, InBackout: true}))
+	if st, _ := h.linkedState("/a"); st != "L" {
+		t.Fatalf("state after unlink backout = %q", st)
+	}
+	// Link a new file, then back it out.
+	h.createFile("/b", "bob", "y")
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/b", RecID: h.nextRec(), Grp: 1}))
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/b", InBackout: true}))
+	if _, found := h.linkedState("/b"); found {
+		t.Fatal("entry survived link backout")
+	}
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.CommitReq{Txn: txn}))
+	if h.srv.Stats().Backouts != 2 {
+		t.Fatalf("Backouts = %d", h.srv.Stats().Backouts)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, false, false)
+
+	txn := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	// Missing file.
+	if resp := h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/ghost", RecID: h.nextRec(), Grp: 1}); resp.Code != "nofile" {
+		t.Fatalf("link missing file: %+v", resp)
+	}
+	// Missing group.
+	if resp := h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 99}); resp.Code != "nogroup" {
+		t.Fatalf("link missing group: %+v", resp)
+	}
+	// Double link within the transaction.
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}))
+	if resp := h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1}); resp.Code != "duplicate" {
+		t.Fatalf("double link: %+v", resp)
+	}
+	h.must(h.agent.Handle(rpc.AbortReq{Txn: txn}))
+
+	// Unlink of a never-linked file.
+	txn2 := h.nextTxn()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn2}))
+	if resp := h.agent.Handle(rpc.UnlinkFileReq{Txn: txn2, Name: "/a", RecID: h.nextRec(), Grp: 1}); resp.Code != "notlinked" {
+		t.Fatalf("unlink unlinked file: %+v", resp)
+	}
+	h.must(h.agent.Handle(rpc.AbortReq{Txn: txn2}))
+}
+
+func TestDuplicateLinkAcrossAgents(t *testing.T) {
+	// The Section 3.2 race: two child agents link the same file. The
+	// unique (name, chkflag) index closes the window.
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, false, false)
+	h.linkCommitted(h.agent, "/a", 1)
+
+	other := h.newAgent()
+	txn := h.nextTxn()
+	h.must(other.Handle(rpc.BeginTxnReq{Txn: txn}))
+	resp := other.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: h.nextRec(), Grp: 1})
+	if resp.Code != "duplicate" {
+		t.Fatalf("second link: %+v", resp)
+	}
+	h.must(other.Handle(rpc.AbortReq{Txn: txn}))
+}
+
+func TestCommitIdempotent(t *testing.T) {
+	h := newHarness(t)
+	h.createFile("/a", "alice", "x")
+	h.createGroup(h.agent, 1, false, false)
+
+	txn, rec := h.nextTxn(), h.nextRec()
+	h.must(h.agent.Handle(rpc.BeginTxnReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: rec, Grp: 1}))
+	h.must(h.agent.Handle(rpc.PrepareReq{Txn: txn}))
+	h.must(h.agent.Handle(rpc.CommitReq{Txn: txn}))
+	// A retried commit (lost acknowledgement) must succeed quietly.
+	fresh := h.newAgent()
+	h.must(fresh.Handle(rpc.CommitReq{Txn: txn}))
+	if st, found := h.linkedState("/a"); !found || st != "L" {
+		t.Fatalf("state after retried commit = %q, %v", st, found)
+	}
+}
+
+func TestAbortIdempotentAndUnknownTxn(t *testing.T) {
+	h := newHarness(t)
+	fresh := h.newAgent()
+	// Abort of a transaction DLFM never saw: nothing hardened, succeed.
+	h.must(fresh.Handle(rpc.AbortReq{Txn: 9999}))
+	// Commit of an unknown transaction likewise (presumed handled).
+	h.must(fresh.Handle(rpc.CommitReq{Txn: 9998}))
+}
+
+func strVal(s string) value.Value { return value.Str(s) }
+func intVal(i int64) value.Value  { return value.Int(i) }
+
+func fmtName(i int) string { return fmt.Sprintf("/data/f%04d", i) }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// TestDebugDelayedUpdateTrace is a deterministic shrinking aid for the
+// delayed-update property: it replays random small scripts with a trace and
+// dumps state at the first divergence.
+func TestDebugDelayedUpdateTrace(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		if !runTrace(t, seed, false) {
+			t.Logf("seed %d diverged; replaying with trace:", seed)
+			runTrace(t, seed, true)
+			t.FailNow()
+		}
+	}
+}
+
+func runTrace(t *testing.T, seed int64, verbose bool) bool {
+	rng := rand.New(rand.NewSource(seed))
+	h := newQuickHarness(t)
+	defer h.srv.Close()
+	h.createGroupQuick(1)
+	const nfiles = 3
+	for i := 0; i < nfiles; i++ {
+		h.fs.Create(fileName(i), "alice", []byte("x")) //nolint:errcheck
+	}
+	model := make(map[string]bool)
+	logf := func(format string, args ...any) {
+		if verbose {
+			t.Logf(format, args...)
+		}
+	}
+
+	for txnN := 0; txnN < 10; txnN++ {
+		agent := h.srv.NewAgent().(*ChildAgent)
+		txn := h.nextTxnID()
+		agent.Handle(rpc.BeginTxnReq{Txn: txn})
+		pending := make(map[string]bool)
+		current := func(name string) bool {
+			if v, touched := pending[name]; touched {
+				return v
+			}
+			return model[name]
+		}
+		nsteps := rng.Intn(5)
+		failed := false
+		for k := 0; k < nsteps; k++ {
+			op := rng.Intn(4)
+			name := fileName(rng.Intn(nfiles))
+			switch op {
+			case 0:
+				resp := agent.Handle(rpc.LinkFileReq{Txn: txn, Name: name, RecID: h.nextRecID(), Grp: 1})
+				logf("txn%d link %s -> %s %s", txnN, name, resp.Code, resp.Msg)
+				if resp.OK() {
+					if current(name) {
+						t.Logf("MODEL: link succeeded but already linked")
+						return false
+					}
+					pending[name] = true
+				} else if resp.Code == "duplicate" {
+					if !current(name) {
+						t.Logf("MODEL: spurious duplicate for %s", name)
+						return false
+					}
+				} else {
+					failed = true
+				}
+			case 1:
+				resp := agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: name, RecID: h.nextRecID(), Grp: 1})
+				logf("txn%d unlink %s -> %s %s", txnN, name, resp.Code, resp.Msg)
+				if resp.OK() {
+					if !current(name) {
+						t.Logf("MODEL: unlink succeeded but not linked")
+						return false
+					}
+					pending[name] = false
+				} else if resp.Code == "notlinked" {
+					if current(name) {
+						t.Logf("MODEL: notlinked but model says linked")
+						return false
+					}
+				} else {
+					failed = true
+				}
+			case 2:
+				resp := agent.Handle(rpc.LinkFileReq{Txn: txn, Name: name, RecID: h.nextRecID(), Grp: 1})
+				logf("txn%d link+backout %s -> %s", txnN, name, resp.Code)
+				if resp.OK() {
+					agent.Handle(rpc.LinkFileReq{Txn: txn, Name: name, InBackout: true})
+				}
+			case 3:
+				rec := h.nextRecID()
+				resp := agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: name, RecID: rec, Grp: 1})
+				logf("txn%d unlink+backout %s -> %s", txnN, name, resp.Code)
+				if resp.OK() {
+					agent.Handle(rpc.UnlinkFileReq{Txn: txn, Name: name, RecID: rec, InBackout: true})
+				}
+			}
+			if failed {
+				break
+			}
+		}
+		outcome := rng.Intn(3)
+		if failed {
+			outcome = 1
+		}
+		logf("txn%d outcome=%d pending=%v", txnN, outcome, pending)
+		switch outcome {
+		case 0:
+			if !agent.Handle(rpc.PrepareReq{Txn: txn}).OK() {
+				return false
+			}
+			if !agent.Handle(rpc.CommitReq{Txn: txn}).OK() {
+				return false
+			}
+			for name, linked := range pending {
+				if linked {
+					model[name] = true
+				} else {
+					delete(model, name)
+				}
+			}
+		case 1:
+			agent.Handle(rpc.AbortReq{Txn: txn})
+		case 2:
+			if !agent.Handle(rpc.PrepareReq{Txn: txn}).OK() {
+				return false
+			}
+			agent.Handle(rpc.AbortReq{Txn: txn})
+		}
+		agent.Close()
+		for i := 0; i < nfiles; i++ {
+			name := fileName(i)
+			st, _ := h.srv.Upcaller().IsLinked(name)
+			if st.Linked != model[name] {
+				t.Logf("DIVERGE after txn%d on %s: dlfm=%v model=%v", txnN, name, st.Linked, model[name])
+				rows, _ := h.srv.DB().DumpTable("dlfm_file")
+				for _, r := range rows {
+					t.Logf("  entry: %v", r)
+				}
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package core
+
+import "sync/atomic"
+
+// Stats counts DLFM-level events. All fields are cumulative and safe to
+// read concurrently.
+type Stats struct {
+	Links          atomic.Int64 // LinkFile operations applied
+	Unlinks        atomic.Int64 // UnlinkFile operations applied
+	Backouts       atomic.Int64 // in_backout link/unlink requests
+	Prepares       atomic.Int64 // successful prepare votes
+	PrepareFails   atomic.Int64 // prepare votes of "no"
+	Commits        atomic.Int64 // phase-2 commits completed
+	Aborts         atomic.Int64 // aborts completed (either phase)
+	Phase2Retries  atomic.Int64 // phase-2 commit/abort attempts retried
+	Compensations  atomic.Int64 // delayed-update rollbacks after local commit
+	BatchCommits   atomic.Int64 // intermediate local commits of batched txns
+	ArchiveCopies  atomic.Int64 // files copied to the archive server
+	Retrievals     atomic.Int64 // files restored from the archive server
+	ChownOps       atomic.Int64 // takeover/release operations
+	Upcalls        atomic.Int64 // IsLinked upcalls served
+	GroupsDeleted  atomic.Int64 // groups fully unlinked by the daemon
+	FilesGCed      atomic.Int64 // unlinked entries garbage collected
+	BackupsGCed    atomic.Int64 // backup rows aged out
+	StatsRepairs   atomic.Int64 // stats-guard re-installations
+	IndoubtReports atomic.Int64 // ListIndoubt calls answered
+	DaemonLogFulls atomic.Int64 // log-full errors hit by daemons (E8)
+}
+
+// Snapshot is a point-in-time copy of Stats for reporting.
+type Snapshot struct {
+	Links, Unlinks, Backouts                int64
+	Prepares, PrepareFails, Commits, Aborts int64
+	Phase2Retries, Compensations            int64
+	BatchCommits                            int64
+	ArchiveCopies, Retrievals               int64
+	ChownOps, Upcalls                       int64
+	GroupsDeleted, FilesGCed, BackupsGCed   int64
+	StatsRepairs, IndoubtReports            int64
+	DaemonLogFulls                          int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Snapshot {
+	return Snapshot{
+		Links:          s.stats.Links.Load(),
+		Unlinks:        s.stats.Unlinks.Load(),
+		Backouts:       s.stats.Backouts.Load(),
+		Prepares:       s.stats.Prepares.Load(),
+		PrepareFails:   s.stats.PrepareFails.Load(),
+		Commits:        s.stats.Commits.Load(),
+		Aborts:         s.stats.Aborts.Load(),
+		Phase2Retries:  s.stats.Phase2Retries.Load(),
+		Compensations:  s.stats.Compensations.Load(),
+		BatchCommits:   s.stats.BatchCommits.Load(),
+		ArchiveCopies:  s.stats.ArchiveCopies.Load(),
+		Retrievals:     s.stats.Retrievals.Load(),
+		ChownOps:       s.stats.ChownOps.Load(),
+		Upcalls:        s.stats.Upcalls.Load(),
+		GroupsDeleted:  s.stats.GroupsDeleted.Load(),
+		FilesGCed:      s.stats.FilesGCed.Load(),
+		BackupsGCed:    s.stats.BackupsGCed.Load(),
+		StatsRepairs:   s.stats.StatsRepairs.Load(),
+		IndoubtReports: s.stats.IndoubtReports.Load(),
+		DaemonLogFulls: s.stats.DaemonLogFulls.Load(),
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rpc"
+	"repro/internal/value"
+)
+
+// Phase 2 of the two-phase commit protocol (Sections 3.3 and 4, Figure 4).
+//
+// Unlike a database's own commit, DLFM's commit processing runs SQL against
+// the local database — retrieving File-table entries, purging delayed
+// deletes, updating the Archive and Transaction tables — and therefore
+// ACQUIRES NEW LOCKS. "Since deadlocks are always possible when new locks
+// are acquired, a retry logic is included in the commit processing and it
+// keeps retrying until it succeeds."
+
+// chownWork is one takeover/release the Chown daemon performs after the
+// phase-2 local commit succeeds.
+type chownWork struct {
+	name     string
+	grpID    int64
+	owner    string // original owner, for release
+	takeover bool
+}
+
+// phase2Commit completes txn's commit, retrying on deadlock/timeout until
+// it succeeds. It is idempotent: retrying a commit whose transaction entry
+// is already gone returns success, so the host may safely re-drive it after
+// a lost acknowledgement.
+func (s *Server) phase2Commit(conn *engine.Conn, txn int64) rpc.Response {
+	for {
+		resp, retry := s.tryCommit(conn, txn)
+		if !retry {
+			return resp
+		}
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		s.stats.Phase2Retries.Add(1)
+		if s.cfg.Phase2Backoff > 0 {
+			time.Sleep(s.cfg.Phase2Backoff)
+		}
+	}
+}
+
+func (s *Server) tryCommit(conn *engine.Conn, txn int64) (rpc.Response, bool) {
+	if s.cfg.Phase2Delay > 0 {
+		time.Sleep(s.cfg.Phase2Delay)
+	}
+	fatal := func(err error) (rpc.Response, bool) {
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		if engine.IsRetryable(err) {
+			return rpc.Response{}, true
+		}
+		return fail(err), false
+	}
+
+	rows, err := s.stmts.get(sqlTxnState).Query(conn, value.Int(txn))
+	if err != nil {
+		return fatal(err)
+	}
+	if len(rows) == 0 {
+		// Already committed (retry after a lost ack), or nothing was ever
+		// hardened. Either way there is nothing to do.
+		if conn.InTxn() {
+			if err := conn.Commit(); err != nil {
+				return fatal(err)
+			}
+		}
+		return ok, false
+	}
+	ngroups := rows[0][1].Int64()
+
+	// Gather the chown work before purging: the delayed-delete entries
+	// being purged are exactly the no-recovery unlinked files that still
+	// need their release.
+	var work []chownWork
+	linked, err := s.stmts.get(sqlFilesLinkedBy).Query(conn, value.Int(txn))
+	if err != nil {
+		return fatal(err)
+	}
+	for _, r := range linked {
+		work = append(work, chownWork{name: r[0].Text(), grpID: r[1].Int64(), owner: r[2].Text(), takeover: true})
+	}
+	unlinked, err := s.stmts.get(sqlFilesUnlinkedBy).Query(conn, value.Int(txn))
+	if err != nil {
+		return fatal(err)
+	}
+	for _, r := range unlinked {
+		work = append(work, chownWork{name: r[0].Text(), grpID: r[1].Int64(), owner: r[2].Text()})
+	}
+
+	// Make queued archive copies visible to the Copy daemon.
+	if _, err := s.stmts.get(sqlReadyArchives).Exec(conn, value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	// Physically delete entries the transaction marked deleted — only now,
+	// in phase 2, is that safe (Section 3.2).
+	if _, err := s.stmts.get(sqlPurgeMarkedDel).Exec(conn, value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	if ngroups > 0 {
+		// Keep the entry for the Delete Group daemon's resume logic.
+		if _, err := s.stmts.get(sqlMarkTxnCmt).Exec(conn, value.Int(txn)); err != nil {
+			return fatal(err)
+		}
+	} else {
+		if _, err := s.stmts.get(sqlDeleteTxn).Exec(conn, value.Int(txn)); err != nil {
+			return fatal(err)
+		}
+	}
+	if err := conn.Commit(); err != nil {
+		return fatal(err)
+	}
+
+	// The commit is durable; now perform the file-system side effects.
+	// "Actual takeover or release of the file from file system is done
+	// during the second phase of the commit processing" via the Chown
+	// daemon (Sections 3.2, 3.5). Failures here (file vanished) are
+	// tolerated: the metadata is authoritative.
+	s.applyChownWork(conn, work)
+
+	if ngroups > 0 {
+		s.delGroup.notify(txn)
+	}
+	s.copyd.kick()
+	s.stats.Commits.Add(1)
+	return ok, false
+}
+
+// applyChownWork resolves group attributes and drives the Chown daemon.
+func (s *Server) applyChownWork(conn *engine.Conn, work []chownWork) {
+	groups := make(map[int64]*group)
+	for _, w := range work {
+		if _, seen := groups[w.grpID]; !seen {
+			g, err := s.groupInfo(conn, w.grpID)
+			if err == nil {
+				conn.Commit()
+			} else if conn.InTxn() {
+				conn.Rollback()
+			}
+			groups[w.grpID] = g
+		}
+	}
+	for _, w := range work {
+		g := groups[w.grpID]
+		if g == nil {
+			continue
+		}
+		if w.takeover {
+			switch {
+			case g.fullctl:
+				// Full access control: the file becomes the database's.
+				s.chown.takeover(w.name)
+			case g.recovery:
+				// Write permission is removed so the asynchronous backup
+				// reads a stable image (Section 3.4).
+				s.chown.makeReadOnly(w.name)
+			}
+		} else if g.fullctl || g.recovery {
+			s.chown.release(w.name, w.owner)
+		}
+	}
+}
+
+// phase2Abort undoes txn. Before prepare this is a plain local rollback
+// (handled by the agent); here we handle the hard case: the transaction's
+// changes are already committed in the local database, so they are undone
+// with the delayed-update compensation — "an innovative scheme to enable
+// rolling back transaction update after local database commit" (Abstract,
+// Section 4). Like commit, it retries until it succeeds.
+func (s *Server) phase2Abort(conn *engine.Conn, txn int64) rpc.Response {
+	for {
+		resp, retry := s.tryAbort(conn, txn)
+		if !retry {
+			return resp
+		}
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		s.stats.Phase2Retries.Add(1)
+		if s.cfg.Phase2Backoff > 0 {
+			time.Sleep(s.cfg.Phase2Backoff)
+		}
+	}
+}
+
+func (s *Server) tryAbort(conn *engine.Conn, txn int64) (rpc.Response, bool) {
+	fatal := func(err error) (rpc.Response, bool) {
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		if engine.IsRetryable(err) {
+			return rpc.Response{}, true
+		}
+		return fail(err), false
+	}
+
+	rows, err := s.stmts.get(sqlTxnState).Query(conn, value.Int(txn))
+	if err != nil {
+		return fatal(err)
+	}
+	if len(rows) == 0 {
+		// Nothing hardened: the agent's local rollback already undid the
+		// in-flight changes (or the abort is a retry).
+		if conn.InTxn() {
+			if err := conn.Commit(); err != nil {
+				return fatal(err)
+			}
+		}
+		s.stats.Aborts.Add(1)
+		return ok, false
+	}
+
+	// Compensation, in an order that respects the unique (name, chkflag)
+	// index: first remove entries this transaction linked (they occupy
+	// chkflag 0), then restore the entries it unlinked back to linked.
+	if _, err := s.stmts.get(sqlAbortLinks).Exec(conn, value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	if _, err := s.stmts.get(sqlAbortUnlinks).Exec(conn, value.Int(txn), value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	if _, err := s.stmts.get(sqlAbortArchives).Exec(conn, value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	if _, err := s.stmts.get(sqlRestoreGroups).Exec(conn, value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	// Groups this transaction created never became visible to the host
+	// (its dl_grpsrv insert rolled back with it): remove them.
+	if _, err := s.stmts.get(sqlAbortGroups).Exec(conn, value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	if _, err := s.stmts.get(sqlDeleteTxn).Exec(conn, value.Int(txn)); err != nil {
+		return fatal(err)
+	}
+	if err := conn.Commit(); err != nil {
+		return fatal(err)
+	}
+	s.stats.Compensations.Add(1)
+	s.stats.Aborts.Add(1)
+	return ok, false
+}

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/lock"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Config carries the knobs a DBA would set on the local database. Every
+// knob corresponds to a tuning decision discussed in the paper.
+type Config struct {
+	// Name identifies the database in diagnostics.
+	Name string
+	// LogPath is the write-ahead log file; empty means an in-memory log
+	// (still recoverable within the process, used for crash simulation).
+	LogPath string
+	// LogCapacity is the circular-log capacity in bytes; 0 = unlimited.
+	// Long transactions that outgrow it fail with ErrLogFull.
+	LogCapacity int64
+	// LockTimeout bounds lock waits; the paper settled on 60 s.
+	LockTimeout time.Duration
+	// DetectDeadlocks enables the local deadlock detector.
+	DetectDeadlocks bool
+	// NextKeyLocking enables next-key locks on index delete/insert. DB2
+	// has it on by default; DLFM turns it off to stop multi-index
+	// deadlocks (Sections 3.2.1, 3.4, 4).
+	NextKeyLocking bool
+	// HoldReadLocks holds S locks to commit (repeatable read). Off =
+	// cursor stability, which is all DLFM needs.
+	HoldReadLocks bool
+	// EscalationThreshold is the per-transaction, per-table row-lock count
+	// that triggers lock escalation; 0 disables it.
+	EscalationThreshold int
+	// LockListSize caps total held locks before forced escalation; 0 =
+	// unlimited.
+	LockListSize int
+	// SyncCommit fsyncs the log on every commit.
+	SyncCommit bool
+}
+
+// DefaultConfig returns the configuration the DLFM installation guide would
+// ship: deadlock detection on, 60 s lock timeout, next-key locking ON (the
+// DB2 default that DLFM then disables), no escalation, unlimited log.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:            name,
+		LockTimeout:     60 * time.Second,
+		DetectDeadlocks: true,
+		NextKeyLocking:  true,
+	}
+}
+
+// Stats counts engine-level events.
+type Stats struct {
+	Selects    int64
+	Inserts    int64
+	Updates    int64
+	Deletes    int64
+	Commits    int64
+	Rollbacks  int64
+	TableScans int64
+	IndexScans int64
+	RowsRead   int64
+	Rebinds    int64
+	Lock       lock.Stats
+	Log        wal.Stats
+}
+
+// index is the runtime state of one index.
+type index struct {
+	schema *catalog.IndexSchema
+	tree   *btree.Tree
+}
+
+func (ix *index) keyOf(row value.Row) value.Key {
+	k := make(value.Key, len(ix.schema.ColIdxs))
+	for i, pos := range ix.schema.ColIdxs {
+		k[i] = row[pos]
+	}
+	return k
+}
+
+// table is the runtime state of one table: the heap and its indexes.
+type table struct {
+	schema  *catalog.TableSchema
+	heap    map[int64]value.Row
+	indexes []*index
+	nextRID int64
+}
+
+// DB is one database instance.
+type DB struct {
+	cfg Config
+	cat *catalog.Catalog
+	lm  *lock.Manager
+	log *wal.Log
+
+	// latch protects tables and their heaps/indexes. It is never held
+	// while waiting for a transaction lock.
+	latch  sync.Mutex
+	tables map[string]*table
+	// indoubt holds transactions restored in the prepared state by crash
+	// recovery, awaiting their coordinator's decision.
+	indoubt map[int64]*txn
+
+	nextTxn atomic.Int64
+
+	selects    atomic.Int64
+	inserts    atomic.Int64
+	updates    atomic.Int64
+	deletes    atomic.Int64
+	commits    atomic.Int64
+	rollbacks  atomic.Int64
+	tableScans atomic.Int64
+	indexScans atomic.Int64
+	rowsRead   atomic.Int64
+	rebinds    atomic.Int64
+}
+
+// Open creates or reopens the database described by cfg, replaying the
+// write-ahead log if it holds records.
+func Open(cfg Config) (*DB, error) {
+	log, err := wal.Open(cfg.LogPath, cfg.LogCapacity)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cfg:     cfg,
+		cat:     catalog.New(),
+		log:     log,
+		tables:  make(map[string]*table),
+		indoubt: make(map[int64]*txn),
+	}
+	db.lm = lock.NewManager(lock.Config{
+		Timeout:             cfg.LockTimeout,
+		EscalationThreshold: cfg.EscalationThreshold,
+		LockListSize:        cfg.LockListSize,
+		DetectDeadlocks:     cfg.DetectDeadlocks,
+	})
+	if err := db.recover(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close releases the log file. Outstanding transactions are abandoned (as
+// in a crash); recovery discards them on the next Open.
+func (db *DB) Close() error { return db.log.Close() }
+
+// Crash simulates a failure and restart: all in-memory state (heaps,
+// indexes, catalog, locks, live transactions) is discarded and rebuilt from
+// the write-ahead log, exactly as a restart after a power loss would.
+func (db *DB) Crash() error {
+	db.latch.Lock()
+	db.tables = make(map[string]*table)
+	db.cat = catalog.New()
+	db.indoubt = make(map[int64]*txn)
+	db.latch.Unlock()
+	db.lm = lock.NewManager(lock.Config{
+		Timeout:             db.cfg.LockTimeout,
+		EscalationThreshold: db.cfg.EscalationThreshold,
+		LockListSize:        db.cfg.LockListSize,
+		DetectDeadlocks:     db.cfg.DetectDeadlocks,
+	})
+	return db.recover()
+}
+
+// Stats returns a snapshot of cumulative engine statistics.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Selects:    db.selects.Load(),
+		Inserts:    db.inserts.Load(),
+		Updates:    db.updates.Load(),
+		Deletes:    db.deletes.Load(),
+		Commits:    db.commits.Load(),
+		Rollbacks:  db.rollbacks.Load(),
+		TableScans: db.tableScans.Load(),
+		IndexScans: db.indexScans.Load(),
+		RowsRead:   db.rowsRead.Load(),
+		Rebinds:    db.rebinds.Load(),
+		Lock:       db.lm.Stats(),
+		Log:        db.log.Stats(),
+	}
+}
+
+// Catalog exposes the statistics facilities (SetStats / StatsVersion) to
+// administrative utilities; schema changes must go through SQL.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// LockManager exposes lock diagnostics to tests and the benchmark harness.
+func (db *DB) LockManager() *lock.Manager { return db.lm }
+
+// SetLockTimeout adjusts the lock timeout at runtime (experiment E7 sweeps
+// it).
+func (db *DB) SetLockTimeout(d time.Duration) {
+	db.lm.SetTimeout(d)
+}
+
+// table looks up a runtime table. Caller must hold the latch.
+func (db *DB) tableLocked(name string) (*table, error) {
+	t := db.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("engine: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// createTableLocked builds runtime state for a new table. Caller holds the
+// latch.
+func (db *DB) createTableLocked(name string, cols []catalog.Column) error {
+	schema, err := db.cat.CreateTable(name, cols)
+	if err != nil {
+		return err
+	}
+	db.tables[name] = &table{
+		schema:  schema,
+		heap:    make(map[int64]value.Row),
+		nextRID: 1,
+	}
+	return nil
+}
+
+// createIndexLocked builds runtime state for a new index and backfills it
+// from the heap. Caller holds the latch.
+func (db *DB) createIndexLocked(name, tableName string, cols []string, unique bool) error {
+	t, err := db.tableLocked(tableName)
+	if err != nil {
+		return err
+	}
+	ixSchema, err := db.cat.CreateIndex(name, tableName, cols, unique)
+	if err != nil {
+		return err
+	}
+	ix := &index{schema: ixSchema, tree: btree.New()}
+	for rid, row := range t.heap {
+		k := ix.keyOf(row)
+		if unique {
+			if dup := ix.lookupUniqueLocked(k); dup != 0 {
+				// Roll the catalog entry back.
+				t2, _ := db.cat.Table(tableName)
+				t2.Indexes = t2.Indexes[:len(t2.Indexes)-1]
+				return fmt.Errorf("%w (index %s, key %s)", ErrDuplicate, name, k)
+			}
+		}
+		ix.tree.Insert(k, rid)
+	}
+	t.indexes = append(t.indexes, ix)
+	return nil
+}
+
+// lookupUniqueLocked returns the rid of the entry with exactly key k, or 0.
+func (ix *index) lookupUniqueLocked(k value.Key) int64 {
+	var found int64
+	ix.tree.AscendGreaterOrEqual(k, func(ek value.Key, rid int64) bool {
+		if value.CompareKeys(ek, k) == 0 {
+			found = rid
+		}
+		return false
+	})
+	return found
+}

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+// testDB opens an in-memory database with sensible test defaults.
+func testDB(t *testing.T, mutate ...func(*Config)) *DB {
+	t.Helper()
+	cfg := DefaultConfig("test")
+	cfg.LockTimeout = 2 * time.Second
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// mustExec runs a statement and commits if outside a transaction-managed
+// test; here it leaves transaction control to the caller.
+func mustExec(t *testing.T, c *Conn, sqlText string, params ...value.Value) int64 {
+	t.Helper()
+	n, err := c.Exec(sqlText, params...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sqlText, err)
+	}
+	return n
+}
+
+func mustCommit(t *testing.T, c *Conn) {
+	t.Helper()
+	if err := c.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func setupFileTable(t *testing.T, db *DB) *Conn {
+	t.Helper()
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE f (name VARCHAR NOT NULL, recid BIGINT, state VARCHAR, grp BIGINT)`)
+	mustExec(t, c, `CREATE UNIQUE INDEX f_name ON f (name)`)
+	mustExec(t, c, `CREATE INDEX f_grp ON f (grp)`)
+	return c
+}
+
+func TestCreateTableAndInsertSelect(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f VALUES ('a.txt', 100, 'L', 1)`)
+	mustExec(t, c, `INSERT INTO f (name, recid, state, grp) VALUES (?, ?, ?, ?)`,
+		value.Str("b.txt"), value.Int(101), value.Str("L"), value.Int(1))
+	mustCommit(t, c)
+
+	rows, err := c.Query(`SELECT name, recid FROM f WHERE grp = 1 ORDER BY recid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, c)
+	if len(rows) != 2 || rows[0][0].Text() != "a.txt" || rows[1][1].Int64() != 101 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSelectStarAndProjectionErrors(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	rows, err := c.Query(`SELECT * FROM f`)
+	if err != nil || len(rows) != 1 || len(rows[0]) != 4 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+	if _, err := c.Query(`SELECT ghost FROM f`); err == nil {
+		t.Error("projection of unknown column succeeded")
+	}
+	if _, err := c.Query(`SELECT * FROM missing`); err == nil {
+		t.Error("select from missing table succeeded")
+	}
+	if _, err := c.Query(`SELECT * FROM f ORDER BY ghost`); err == nil {
+		t.Error("order by unknown column succeeded")
+	}
+	if _, err := c.Query(`SELECT * FROM f WHERE ghost = 1`); err == nil {
+		t.Error("predicate on unknown column succeeded")
+	}
+	c.Rollback()
+}
+
+func TestOrderByLimitDesc(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for i := int64(1); i <= 5; i++ {
+		mustExec(t, c, `INSERT INTO f (name, recid, state, grp) VALUES (?, ?, 'L', 1)`,
+			value.Str(string(rune('a'+i))), value.Int(i))
+	}
+	mustCommit(t, c)
+	rows, err := c.Query(`SELECT recid FROM f ORDER BY recid DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, c)
+	if len(rows) != 2 || rows[0][0].Int64() != 5 || rows[1][0].Int64() != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for i := int64(1); i <= 4; i++ {
+		mustExec(t, c, `INSERT INTO f (name, recid, state, grp) VALUES (?, ?, 'L', ?)`,
+			value.Str(string(rune('a'+i))), value.Int(i*10), value.Int(i%2))
+	}
+	mustCommit(t, c)
+	n, ok, err := c.QueryInt(`SELECT COUNT(*) FROM f WHERE grp = 1`)
+	if err != nil || !ok || n != 2 {
+		t.Fatalf("COUNT = %d, %v, %v", n, ok, err)
+	}
+	mn, _, _ := c.QueryInt(`SELECT MIN(recid) FROM f`)
+	mx, _, _ := c.QueryInt(`SELECT MAX(recid) FROM f`)
+	if mn != 10 || mx != 40 {
+		t.Fatalf("MIN/MAX = %d/%d", mn, mx)
+	}
+	// Aggregates over an empty match.
+	cnt, ok, err := c.QueryInt(`SELECT COUNT(*) FROM f WHERE grp = 99`)
+	if err != nil || !ok || cnt != 0 {
+		t.Fatalf("empty COUNT = %d, %v, %v", cnt, ok, err)
+	}
+	_, ok, err = c.QueryInt(`SELECT MIN(recid) FROM f WHERE grp = 99`)
+	if err != nil || ok {
+		t.Fatalf("MIN over empty: ok=%v err=%v (want NULL)", ok, err)
+	}
+	mustCommit(t, c)
+}
+
+func TestNotNullEnforced(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	_, err := c.Exec(`INSERT INTO f (recid) VALUES (5)`)
+	if !errors.Is(err, ErrNotNull) {
+		t.Fatalf("err = %v, want ErrNotNull", err)
+	}
+	// Statement error leaves the transaction usable.
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('ok')`)
+	mustCommit(t, c)
+}
+
+func TestTypeMismatch(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	_, err := c.Exec(`INSERT INTO f (name, recid) VALUES ('a', 'not-an-int')`)
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want ErrTypeMismatch", err)
+	}
+	_, err = c.Exec(`INSERT INTO f (name) VALUES (?)`, value.Int(3))
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("param mismatch err = %v", err)
+	}
+	c.Rollback()
+}
+
+func TestUniqueIndexRejectsDuplicate(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f (name, recid) VALUES ('dup', 1)`)
+	mustCommit(t, c)
+	_, err := c.Exec(`INSERT INTO f (name, recid) VALUES ('dup', 2)`)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	c.Rollback()
+	// Composite unique index allows same name with different second column
+	// (the DLFM chkflag trick).
+	c2 := db.Connect()
+	mustExec(t, c2, `CREATE TABLE g (name VARCHAR, chk BIGINT)`)
+	mustExec(t, c2, `CREATE UNIQUE INDEX g_nc ON g (name, chk)`)
+	mustExec(t, c2, `INSERT INTO g VALUES ('x', 0)`)
+	mustExec(t, c2, `INSERT INTO g VALUES ('x', 100)`)
+	_, err = c2.Exec(`INSERT INTO g VALUES ('x', 0)`)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("composite dup err = %v", err)
+	}
+	mustCommit(t, c2)
+}
+
+func TestUpdateBasics(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustExec(t, c, `INSERT INTO f VALUES ('b', 2, 'L', 2)`)
+	mustCommit(t, c)
+
+	n := mustExec(t, c, `UPDATE f SET state = 'U', recid = 99 WHERE name = 'a'`)
+	if n != 1 {
+		t.Fatalf("affected = %d", n)
+	}
+	mustCommit(t, c)
+	rows, _ := c.Query(`SELECT state, recid FROM f WHERE name = 'a'`)
+	mustCommit(t, c)
+	if rows[0][0].Text() != "U" || rows[0][1].Int64() != 99 {
+		t.Fatalf("row = %v", rows[0])
+	}
+}
+
+func TestUpdateWithColumnReference(t *testing.T) {
+	// The DLFM unlink sets chkflag = recid: SET references another column.
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f VALUES ('a', 777, 'L', 0)`)
+	mustExec(t, c, `UPDATE f SET grp = recid WHERE name = 'a'`)
+	mustCommit(t, c)
+	got, _, _ := c.QueryInt(`SELECT grp FROM f WHERE name = 'a'`)
+	mustCommit(t, c)
+	if got != 777 {
+		t.Fatalf("grp = %d, want 777", got)
+	}
+}
+
+func TestUpdateMovesIndexKey(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f VALUES ('a', 1, 'L', 10)`)
+	mustExec(t, c, `UPDATE f SET grp = 20 WHERE name = 'a'`)
+	mustCommit(t, c)
+	// The f_grp index must now find it under the new key only.
+	n, _, _ := c.QueryInt(`SELECT COUNT(*) FROM f WHERE grp = 20`)
+	m, _, _ := c.QueryInt(`SELECT COUNT(*) FROM f WHERE grp = 10`)
+	mustCommit(t, c)
+	if n != 1 || m != 0 {
+		t.Fatalf("index counts = %d/%d, want 1/0", n, m)
+	}
+}
+
+func TestUpdateUniqueViolation(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('a')`)
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('b')`)
+	mustCommit(t, c)
+	_, err := c.Exec(`UPDATE f SET name = 'a' WHERE name = 'b'`)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	c.Rollback()
+}
+
+func TestDeleteBasics(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for _, name := range []string{"a", "b", "c"} {
+		mustExec(t, c, `INSERT INTO f (name, grp) VALUES (?, 1)`, value.Str(name))
+	}
+	mustCommit(t, c)
+	n := mustExec(t, c, `DELETE FROM f WHERE name = 'b'`)
+	if n != 1 {
+		t.Fatalf("affected = %d", n)
+	}
+	mustCommit(t, c)
+	cnt, _, _ := c.QueryInt(`SELECT COUNT(*) FROM f`)
+	mustCommit(t, c)
+	if cnt != 2 {
+		t.Fatalf("count after delete = %d", cnt)
+	}
+	// Unique index slot is free again.
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('b')`)
+	mustCommit(t, c)
+}
+
+func TestDeleteAll(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for _, name := range []string{"a", "b", "c"} {
+		mustExec(t, c, `INSERT INTO f (name) VALUES (?)`, value.Str(name))
+	}
+	n := mustExec(t, c, `DELETE FROM f`)
+	if n != 3 {
+		t.Fatalf("affected = %d", n)
+	}
+	mustCommit(t, c)
+}
+
+func TestDropTable(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `DROP TABLE f`)
+	if _, err := c.Query(`SELECT * FROM f`); err == nil {
+		t.Error("query of dropped table succeeded")
+	}
+	// Name is reusable.
+	mustExec(t, c, `CREATE TABLE f (x BIGINT)`)
+}
+
+func TestCreateIndexBackfillsAndChecksUnique(t *testing.T) {
+	db := testDB(t)
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE t (a VARCHAR, b BIGINT)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('x', 1)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('y', 2)`)
+	mustCommit(t, c)
+	mustExec(t, c, `CREATE INDEX t_b ON t (b)`)
+	rows, err := c.Query(`SELECT a FROM t WHERE b = 2`)
+	if err != nil || len(rows) != 1 || rows[0][0].Text() != "y" {
+		t.Fatalf("index lookup after backfill: %v %v", rows, err)
+	}
+	mustCommit(t, c)
+	// Unique index over duplicate data must fail.
+	mustExec(t, c, `INSERT INTO t VALUES ('z', 2)`)
+	mustCommit(t, c)
+	if _, err := c.Exec(`CREATE UNIQUE INDEX t_bu ON t (b)`); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("unique backfill err = %v", err)
+	}
+}
+
+func TestNullComparisonsNeverMatch(t *testing.T) {
+	db := testDB(t)
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE t (a VARCHAR, b BIGINT)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('x', NULL)`)
+	mustCommit(t, c)
+	for _, q := range []string{
+		`SELECT * FROM t WHERE b = 0`,
+		`SELECT * FROM t WHERE b <> 0`,
+		`SELECT * FROM t WHERE b < 1`,
+	} {
+		rows, err := c.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 0 {
+			t.Errorf("%s matched a NULL row", q)
+		}
+	}
+	mustCommit(t, c)
+}
+
+func TestQueryRequiresSelect(t *testing.T) {
+	db := testDB(t)
+	c := db.Connect()
+	if _, err := c.Query(`DELETE FROM t`); err == nil {
+		t.Error("Query accepted a DELETE")
+	}
+	if _, err := c.Query(`garbage`); err == nil {
+		t.Error("Query accepted garbage")
+	}
+}
+
+func TestMissingParam(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	if _, err := c.Exec(`INSERT INTO f (name) VALUES (?)`); err == nil ||
+		!strings.Contains(err.Error(), "parameter") {
+		t.Fatalf("err = %v", err)
+	}
+	c.Rollback()
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('a')`)
+	mustExec(t, c, `UPDATE f SET grp = 1 WHERE name = 'a'`)
+	c.Query(`SELECT * FROM f`)
+	mustExec(t, c, `DELETE FROM f WHERE name = 'a'`)
+	mustCommit(t, c)
+	s := db.Stats()
+	if s.Inserts != 1 || s.Updates != 1 || s.Deletes != 1 || s.Selects != 1 || s.Commits == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

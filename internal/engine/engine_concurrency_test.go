@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/value"
+)
+
+// TestQuickAgainstReferenceModel drives the engine with a random
+// single-connection op sequence and checks it agrees with a plain map.
+func TestQuickAgainstReferenceModel(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 insert, 1 delete, 2 update, 3 rollback-batch
+		Key  uint8
+		Val  int16
+	}
+	f := func(ops []op) bool {
+		db, err := Open(DefaultConfig("quick"))
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		c := db.Connect()
+		if _, err := c.Exec(`CREATE TABLE t (k VARCHAR NOT NULL, v BIGINT)`); err != nil {
+			return false
+		}
+		if _, err := c.Exec(`CREATE UNIQUE INDEX t_k ON t (k)`); err != nil {
+			return false
+		}
+		ref := map[string]int64{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key)
+			switch o.Kind % 4 {
+			case 0:
+				_, err := c.Exec(`INSERT INTO t VALUES (?, ?)`, value.Str(key), value.Int(int64(o.Val)))
+				if _, exists := ref[key]; exists {
+					if err == nil {
+						return false // duplicate accepted
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					ref[key] = int64(o.Val)
+				}
+			case 1:
+				n, err := c.Exec(`DELETE FROM t WHERE k = ?`, value.Str(key))
+				if err != nil {
+					return false
+				}
+				if _, exists := ref[key]; exists != (n == 1) {
+					return false
+				}
+				delete(ref, key)
+			case 2:
+				n, err := c.Exec(`UPDATE t SET v = ? WHERE k = ?`, value.Int(int64(o.Val)), value.Str(key))
+				if err != nil {
+					return false
+				}
+				if _, exists := ref[key]; exists != (n == 1) {
+					return false
+				}
+				if _, exists := ref[key]; exists {
+					ref[key] = int64(o.Val)
+				}
+			case 3:
+				// Commit everything so far; nothing observable changes.
+				if err := c.Commit(); err != nil && err != ErrNoTxn {
+					return false
+				}
+			}
+		}
+		if c.InTxn() {
+			if err := c.Commit(); err != nil {
+				return false
+			}
+		}
+		rows, err := c.Query(`SELECT k, v FROM t`)
+		if err != nil {
+			return false
+		}
+		c.Commit()
+		if len(rows) != len(ref) {
+			return false
+		}
+		for _, r := range rows {
+			want, exists := ref[r[0].Text()]
+			if !exists {
+				return false
+			}
+			if r[1].IsNull() || r[1].Int64() != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentAgentsWithRetry runs the DLFM-style agent pattern: many
+// connections doing small transactions, retrying on deadlock/timeout, and
+// verifies no updates are lost and the final state is consistent.
+func TestConcurrentAgentsWithRetry(t *testing.T) {
+	db := testDB(t, func(c *Config) {
+		c.LockTimeout = 2 * time.Second
+		c.NextKeyLocking = false // fair contention, not a deadlock test
+	})
+	c := setupFileTable(t, db)
+	const nfiles = 30
+	for i := 0; i < nfiles; i++ {
+		mustExec(t, c, `INSERT INTO f (name, recid, grp) VALUES (?, 0, ?)`,
+			value.Str(filename(i)), value.Int(int64(i)))
+	}
+	mustCommit(t, c)
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000, "grp": 1_000_000})
+
+	const workers = 6
+	const opsEach = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			conn := db.Connect()
+			for i := 0; i < opsEach; i++ {
+				name := filename(r.Intn(nfiles))
+				for {
+					_, err := conn.Exec(`UPDATE f SET recid = recid WHERE name = ?`, value.Str(name))
+					if err == nil {
+						_, err = conn.Exec(`UPDATE f SET state = ? WHERE name = ?`,
+							value.Str("s"+itoa(i)), value.Str(name))
+					}
+					if err == nil {
+						if err = conn.Commit(); err == nil {
+							break
+						}
+					}
+					if IsRetryable(err) {
+						conn.Rollback()
+						continue
+					}
+					errs <- fmt.Errorf("worker %d: %v", seed, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, _, err := c.QueryInt(`SELECT COUNT(*) FROM f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Commit()
+	if n != nfiles {
+		t.Fatalf("row count drifted: %d, want %d", n, nfiles)
+	}
+}
+
+// TestConcurrentInsertsDistinctKeys checks parallel inserts of distinct
+// keys all land exactly once.
+func TestConcurrentInsertsDistinctKeys(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.NextKeyLocking = false })
+	setupFileTable(t, db)
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000})
+	const workers = 8
+	const each = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn := db.Connect()
+			for i := 0; i < each; i++ {
+				name := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := conn.Exec(`INSERT INTO f (name) VALUES (?)`, value.Str(name)); err != nil {
+					t.Errorf("insert %s: %v", name, err)
+					conn.Rollback()
+					return
+				}
+				if err := conn.Commit(); err != nil {
+					t.Errorf("commit %s: %v", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := db.Connect()
+	n, _, err := c.QueryInt(`SELECT COUNT(*) FROM f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Commit()
+	if n != workers*each {
+		t.Fatalf("count = %d, want %d", n, workers*each)
+	}
+}
+
+// TestConcurrentSameKeyInsertExactlyOne: all workers race to insert the
+// same key; exactly one must win (the DLFM check-flag race closure).
+func TestConcurrentSameKeyInsertExactlyOne(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.NextKeyLocking = false })
+	setupFileTable(t, db)
+	const workers = 8
+	var wg sync.WaitGroup
+	var winners, dups int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := db.Connect()
+			_, err := conn.Exec(`INSERT INTO f (name) VALUES ('contested')`)
+			if err == nil {
+				err = conn.Commit()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				winners++
+			} else {
+				dups++
+				conn.Rollback()
+			}
+		}()
+	}
+	wg.Wait()
+	if winners != 1 || dups != workers-1 {
+		t.Fatalf("winners=%d dups=%d", winners, dups)
+	}
+	c := db.Connect()
+	n, _, _ := c.QueryInt(`SELECT COUNT(*) FROM f WHERE name = 'contested'`)
+	c.Commit()
+	if n != 1 {
+		t.Fatalf("final count = %d", n)
+	}
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestTableCardAndDumpTable(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for i := 0; i < 7; i++ {
+		mustExec(t, c, `INSERT INTO f (name) VALUES (?)`, value.Str(filename(i)))
+	}
+	mustCommit(t, c)
+	card, err := db.TableCard("f")
+	if err != nil || card != 7 {
+		t.Fatalf("TableCard = %d, %v", card, err)
+	}
+	rows, err := db.DumpTable("f")
+	if err != nil || len(rows) != 7 {
+		t.Fatalf("DumpTable = %d rows, %v", len(rows), err)
+	}
+	if _, err := db.TableCard("missing"); err == nil {
+		t.Error("TableCard of missing table succeeded")
+	}
+	if _, err := db.DumpTable("missing"); err == nil {
+		t.Error("DumpTable of missing table succeeded")
+	}
+	// DumpTable rows are copies.
+	rows[0][0] = value.Str("mutated")
+	again, _ := db.DumpTable("f")
+	for _, r := range again {
+		if r[0].Text() == "mutated" {
+			t.Fatal("DumpTable exposes internal rows")
+		}
+	}
+}
+
+func TestSetLockTimeoutAtRuntime(t *testing.T) {
+	db := testDB(t)
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f (name) VALUES ('a')`)
+	mustCommit(t, c1)
+	mustExec(t, c1, `UPDATE f SET recid = 1 WHERE name = 'a'`)
+
+	db.SetLockTimeout(40 * time.Millisecond)
+	c2 := db.Connect()
+	start := time.Now()
+	_, err := c2.Exec(`UPDATE f SET recid = 2 WHERE name = 'a'`)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("timeout after %v, want ~40ms", d)
+	}
+	c2.Rollback()
+	mustCommit(t, c1)
+	if db.LockManager() == nil {
+		t.Fatal("LockManager accessor nil")
+	}
+}
+
+func TestRunstatsMissingTable(t *testing.T) {
+	db := testDB(t)
+	if err := db.Runstats("ghost"); err == nil {
+		t.Fatal("Runstats on missing table succeeded")
+	}
+	if err := db.SetStats("ghost", 10, nil); err == nil {
+		t.Fatal("SetStats on missing table succeeded")
+	}
+}
+
+func TestInsertExplicitValuesCountMismatch(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	if _, err := c.Exec(`INSERT INTO f VALUES ('a')`); err == nil {
+		t.Error("short VALUES accepted")
+	}
+	if _, err := c.Exec(`INSERT INTO f (name, recid) VALUES ('a')`); err == nil {
+		t.Error("column/value mismatch accepted")
+	}
+	if _, err := c.Exec(`INSERT INTO f (ghost) VALUES (1)`); err == nil {
+		t.Error("unknown column accepted")
+	}
+	c.Rollback()
+}
+
+func TestStatementAfterAutoAbortFails(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.LockTimeout = 40 * time.Millisecond })
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f (name) VALUES ('a')`)
+	mustCommit(t, c1)
+	mustExec(t, c1, `UPDATE f SET recid = 1 WHERE name = 'a'`)
+
+	c2 := db.Connect()
+	if _, err := c2.Exec(`UPDATE f SET recid = 2 WHERE name = 'a'`); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	// The transaction is gone; SELECTs and writes both refuse.
+	if _, err := c2.Query(`SELECT * FROM f`); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("select after abort: %v", err)
+	}
+	if _, err := c2.Exec(`DELETE FROM f`); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("write after abort: %v", err)
+	}
+	c2.Rollback()
+	mustCommit(t, c1)
+}
+
+func TestLimitParam(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for i := 0; i < 10; i++ {
+		mustExec(t, c, `INSERT INTO f (name, recid) VALUES (?, ?)`, value.Str(filename(i)), value.Int(int64(i)))
+	}
+	mustCommit(t, c)
+	rows, err := c.Query(`SELECT name FROM f ORDER BY recid LIMIT ?`, value.Int(3))
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("LIMIT ?: %d rows, %v", len(rows), err)
+	}
+	mustCommit(t, c)
+	if _, err := c.Query(`SELECT name FROM f LIMIT ?`); err == nil {
+		t.Error("missing LIMIT parameter accepted")
+	}
+	if _, err := c.Query(`SELECT name FROM f LIMIT ?`, value.Str("x")); err == nil {
+		t.Error("string LIMIT parameter accepted")
+	}
+	if _, err := c.Query(`SELECT name FROM f LIMIT ?`, value.Int(-1)); err == nil {
+		t.Error("negative LIMIT parameter accepted")
+	}
+	c.Rollback()
+}
+
+func TestQueryIntShapes(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f (name, recid) VALUES ('a', 5)`)
+	mustCommit(t, c)
+	// Non-integer column.
+	if _, _, err := c.QueryInt(`SELECT name FROM f`); err == nil {
+		t.Error("QueryInt on VARCHAR succeeded")
+	}
+	// No rows.
+	v, ok, err := c.QueryInt(`SELECT recid FROM f WHERE name = 'ghost'`)
+	if err != nil || ok || v != 0 {
+		t.Fatalf("no-row QueryInt = %d %v %v", v, ok, err)
+	}
+	// NULL value.
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('b')`)
+	_, ok, err = c.QueryInt(`SELECT recid FROM f WHERE name = 'b'`)
+	if err != nil || ok {
+		t.Fatalf("NULL QueryInt ok=%v err=%v", ok, err)
+	}
+	mustCommit(t, c)
+}
+
+func TestForUpdateWithTableScanLocksExamined(t *testing.T) {
+	// Without index plans, SELECT FOR UPDATE X-locks matching rows found
+	// by the scan; non-matching rows are released (cursor stability).
+	db := testDB(t, func(c *Config) { c.LockTimeout = 60 * time.Millisecond })
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f (name, grp) VALUES ('a', 1)`)
+	mustExec(t, c1, `INSERT INTO f (name, grp) VALUES ('b', 2)`)
+	mustCommit(t, c1)
+	// c1 binds with default stats: a table scan that examines both rows.
+	if _, err := c1.Query(`SELECT * FROM f WHERE grp = 1 FOR UPDATE`); err != nil {
+		t.Fatal(err)
+	}
+	// c2 binds with crafted stats so its updates probe the name index and
+	// only touch their own row.
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000, "grp": 1_000_000})
+	c2 := db.Connect()
+	// Row b was examined but not matched: it must be free.
+	if _, err := c2.Exec(`UPDATE f SET recid = 9 WHERE name = 'b'`); err != nil {
+		t.Fatalf("non-matching row locked: %v", err)
+	}
+	// Row a is held.
+	if _, err := c2.Exec(`UPDATE f SET recid = 9 WHERE name = 'a'`); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("matching row not held: %v", err)
+	}
+	c2.Rollback()
+	mustCommit(t, c1)
+}
+
+func TestCrossColumnPredicate(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f (name, recid, grp) VALUES ('eq', 5, 5)`)
+	mustExec(t, c, `INSERT INTO f (name, recid, grp) VALUES ('ne', 5, 6)`)
+	mustCommit(t, c)
+	rows, err := c.Query(`SELECT name FROM f WHERE recid = grp`)
+	if err != nil || len(rows) != 1 || rows[0][0].Text() != "eq" {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	mustCommit(t, c)
+}
+
+func TestOpenWithBadLogPath(t *testing.T) {
+	cfg := DefaultConfig("bad")
+	cfg.LogPath = "/nonexistent-dir/sub/file.wal"
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("Open with unwritable log path succeeded")
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+// nextKeyDB builds a database with stats forcing index plans so next-key
+// behaviour is observable at row granularity.
+func nextKeyDB(t *testing.T, nextKey bool) (*DB, *Conn) {
+	t.Helper()
+	db := testDB(t, func(c *Config) {
+		c.NextKeyLocking = nextKey
+		c.LockTimeout = 150 * time.Millisecond
+	})
+	c := setupFileTable(t, db)
+	for _, name := range []string{"b", "d", "f"} {
+		mustExec(t, c, `INSERT INTO f (name, grp) VALUES (?, 1)`, value.Str(name))
+	}
+	mustCommit(t, c)
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000, "grp": 1000})
+	return db, c
+}
+
+func TestNextKeyLockBlocksInsertBeforeSuccessor(t *testing.T) {
+	db, c1 := nextKeyDB(t, true)
+	// Deleting 'b' X-locks the successor key 'd' in f_name (held).
+	mustExec(t, c1, `DELETE FROM f WHERE name = 'b'`)
+
+	// Another agent inserting 'c' needs an instant X on ITS successor,
+	// which is the same key 'd' — it must block (and here, time out).
+	c2 := db.Connect()
+	_, err := c2.Exec(`INSERT INTO f (name, grp) VALUES ('c', 1)`)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("insert before locked successor: %v, want timeout", err)
+	}
+	c2.Rollback()
+	mustCommit(t, c1)
+	// After the deleter commits the insert proceeds.
+	mustExec(t, c2, `INSERT INTO f (name, grp) VALUES ('c', 1)`)
+	mustCommit(t, c2)
+}
+
+func TestNextKeyDisabledAllowsConcurrentInsert(t *testing.T) {
+	db, c1 := nextKeyDB(t, false)
+	mustExec(t, c1, `DELETE FROM f WHERE name = 'b'`)
+	c2 := db.Connect()
+	// With next-key locking off the insert is independent.
+	if _, err := c2.Exec(`INSERT INTO f (name, grp) VALUES ('c', 1)`); err != nil {
+		t.Fatalf("insert with next-key off: %v", err)
+	}
+	mustCommit(t, c2)
+	mustCommit(t, c1)
+}
+
+func TestNextKeyEndOfIndexLock(t *testing.T) {
+	db, c1 := nextKeyDB(t, true)
+	// Deleting the maximum key locks the logical end-of-index.
+	mustExec(t, c1, `DELETE FROM f WHERE name = 'f'`)
+	c2 := db.Connect()
+	// Inserting beyond the old maximum needs the same end-of-index key.
+	_, err := c2.Exec(`INSERT INTO f (name, grp) VALUES ('zzz', 1)`)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("insert past deleted maximum: %v, want timeout", err)
+	}
+	c2.Rollback()
+	mustCommit(t, c1)
+}
+
+func TestNextKeyCrossIndexDeadlock(t *testing.T) {
+	// The paper's Section 3.2.1 deadlock: two agents touching the same
+	// table through different indexes acquire next-key locks in different
+	// orders. Deterministic two-step version: each agent deletes one row;
+	// agent 1's row's successor (via f_name) is held by agent 2 and vice
+	// versa via f_grp ordering.
+	db := testDB(t, func(c *Config) {
+		c.NextKeyLocking = true
+		c.LockTimeout = 2 * time.Second
+	})
+	c1 := setupFileTable(t, db)
+	// names ascending a,b,c,d; grp descending 4,3,2,1 so the two indexes
+	// order the rows in opposite directions.
+	rows := []struct {
+		name string
+		grp  int64
+	}{{"a", 4}, {"b", 3}, {"c", 2}, {"d", 1}}
+	for _, r := range rows {
+		mustExec(t, c1, `INSERT INTO f (name, grp) VALUES (?, ?)`, value.Str(r.name), value.Int(r.grp))
+	}
+	mustCommit(t, c1)
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000, "grp": 1_000_000})
+
+	c2 := db.Connect()
+	// Agent 1 deletes 'a' (grp 4): next-key in f_name is 'b'; in f_grp
+	// there is no successor of 4 → end-of-index.
+	mustExec(t, c1, `DELETE FROM f WHERE name = 'a'`)
+	// Agent 2 deletes 'd' (grp 1): next keys are end-of-f_name and grp 2.
+	mustExec(t, c2, `DELETE FROM f WHERE name = 'd'`)
+
+	// Agent 1 now deletes 'c' (grp 2): needs f_name successor 'd'... rows
+	// physically gone; successor of 'c' is end-of-index (held by agent 2).
+	step := make(chan error, 1)
+	go func() {
+		_, err := c1.Exec(`DELETE FROM f WHERE name = 'c'`)
+		step <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// Agent 2 deletes 'b' (grp 3): f_grp successor of 3 is 4 — held by
+	// agent 1 — closing the cycle.
+	_, err2 := c2.Exec(`DELETE FROM f WHERE name = 'b'`)
+	err1 := <-step
+	victims := 0
+	if errors.Is(err1, ErrDeadlock) {
+		victims++
+	}
+	if errors.Is(err2, ErrDeadlock) {
+		victims++
+	}
+	if victims != 1 {
+		t.Fatalf("expected exactly one deadlock victim, got err1=%v err2=%v", err1, err2)
+	}
+	c1.Rollback()
+	c2.Rollback()
+	if db.Stats().Lock.Deadlocks == 0 {
+		t.Error("deadlock counter is zero")
+	}
+}
+
+func TestNextKeyOffNoCrossIndexDeadlock(t *testing.T) {
+	// Same interleaving as above with next-key locking disabled: both
+	// agents proceed without ever waiting.
+	db := testDB(t, func(c *Config) {
+		c.NextKeyLocking = false
+		c.LockTimeout = 2 * time.Second
+	})
+	c1 := setupFileTable(t, db)
+	rows := []struct {
+		name string
+		grp  int64
+	}{{"a", 4}, {"b", 3}, {"c", 2}, {"d", 1}}
+	for _, r := range rows {
+		mustExec(t, c1, `INSERT INTO f (name, grp) VALUES (?, ?)`, value.Str(r.name), value.Int(r.grp))
+	}
+	mustCommit(t, c1)
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000, "grp": 1_000_000})
+
+	c2 := db.Connect()
+	mustExec(t, c1, `DELETE FROM f WHERE name = 'a'`)
+	mustExec(t, c2, `DELETE FROM f WHERE name = 'd'`)
+	mustExec(t, c1, `DELETE FROM f WHERE name = 'c'`)
+	mustExec(t, c2, `DELETE FROM f WHERE name = 'b'`)
+	mustCommit(t, c1)
+	mustCommit(t, c2)
+	if db.Stats().Lock.Deadlocks != 0 {
+		t.Errorf("deadlocks = %d with next-key locking off", db.Stats().Lock.Deadlocks)
+	}
+}
+
+func TestEscalationThroughEngine(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.EscalationThreshold = 20 })
+	c := setupFileTable(t, db)
+	for i := 0; i < 50; i++ {
+		mustExec(t, c, `INSERT INTO f (name) VALUES (?)`, value.Str(filename(i)))
+	}
+	if db.Stats().Lock.Escalations == 0 {
+		t.Fatal("no escalation after 50 row inserts with threshold 20")
+	}
+	mustCommit(t, c)
+}

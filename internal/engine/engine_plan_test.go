@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestDefaultStatsPickTableScan(t *testing.T) {
+	// The paper's gotcha: with never-collected statistics the optimizer
+	// assumes the table is tiny and prefers a sequential scan even though
+	// a perfectly good index exists (Section 3.2.1).
+	db := testDB(t)
+	setupFileTable(t, db)
+	stmt, err := db.Prepare(`SELECT * FROM f WHERE name = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.IsIndexScan() {
+		t.Fatalf("plan = %s, want TABLE SCAN under default stats", stmt.PlanString())
+	}
+	if !strings.Contains(stmt.PlanString(), "TABLE SCAN") {
+		t.Errorf("PlanString = %q", stmt.PlanString())
+	}
+}
+
+func TestHandCraftedStatsForceIndexScan(t *testing.T) {
+	db := testDB(t)
+	setupFileTable(t, db)
+	if err := db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`SELECT * FROM f WHERE name = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.IsIndexScan() {
+		t.Fatalf("plan = %s, want INDEX SCAN after hand-crafted stats", stmt.PlanString())
+	}
+	if !strings.Contains(stmt.PlanString(), "USING f_name") {
+		t.Errorf("PlanString = %q", stmt.PlanString())
+	}
+}
+
+func TestBoundPlanDoesNotFollowStats(t *testing.T) {
+	// Plans are bound once; a stats change afterwards does NOT re-optimize
+	// them (that is why DLFM needs its rebind guard).
+	db := testDB(t)
+	setupFileTable(t, db)
+	stmt, _ := db.Prepare(`SELECT * FROM f WHERE name = ?`)
+	if stmt.IsIndexScan() {
+		t.Fatal("precondition: table scan expected")
+	}
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000})
+	if stmt.IsIndexScan() {
+		t.Fatal("bound plan silently re-optimized itself")
+	}
+	if !stmt.NeedsRebind() {
+		t.Fatal("NeedsRebind = false after stats change")
+	}
+	if err := stmt.Rebind(); err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.IsIndexScan() {
+		t.Fatal("plan still table scan after Rebind")
+	}
+	if stmt.NeedsRebind() {
+		t.Error("NeedsRebind true right after Rebind")
+	}
+	if db.Stats().Rebinds != 1 {
+		t.Errorf("Rebinds = %d", db.Stats().Rebinds)
+	}
+}
+
+func TestRunstatsMeasuresRealData(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for i := 0; i < 500; i++ {
+		mustExec(t, c, `INSERT INTO f (name, grp) VALUES (?, ?)`,
+			value.Str(filename(i)), value.Int(int64(i%5)))
+	}
+	mustCommit(t, c)
+	if err := db.Runstats("f"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Catalog().StatsOf("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cardinality != 500 {
+		t.Errorf("cardinality = %d, want 500", st.Cardinality)
+	}
+	if st.ColCard["name"] != 500 || st.ColCard["grp"] != 5 {
+		t.Errorf("colCard = %v", st.ColCard)
+	}
+	if st.HandCrafted {
+		t.Error("RUNSTATS marked stats hand-crafted")
+	}
+	// With 500 rows and a unique name, the name index now wins.
+	stmt, _ := db.Prepare(`SELECT * FROM f WHERE name = ?`)
+	if !stmt.IsIndexScan() {
+		t.Errorf("plan after RUNSTATS = %s", stmt.PlanString())
+	}
+}
+
+func TestRunstatsOverwritesHandCrafted(t *testing.T) {
+	// The hazard the paper guards against: a user RUNSTATS on a (currently
+	// small) table replaces the crafted numbers and plans regress at the
+	// next bind.
+	db := testDB(t)
+	setupFileTable(t, db)
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000})
+	if err := db.Runstats("f"); err != nil { // table is empty right now
+		t.Fatal(err)
+	}
+	stmt, _ := db.Prepare(`SELECT * FROM f WHERE name = ?`)
+	if stmt.IsIndexScan() {
+		t.Fatal("plan survived RUNSTATS overwrite; expected table-scan regression")
+	}
+}
+
+func TestCompositeIndexPrefixMatch(t *testing.T) {
+	db := testDB(t)
+	c := db.Connect()
+	mustExec(t, c, `CREATE TABLE g (a VARCHAR, b BIGINT, x VARCHAR)`)
+	mustExec(t, c, `CREATE UNIQUE INDEX g_ab ON g (a, b)`)
+	db.SetStats("g", 1_000_000, map[string]int64{"a": 500_000, "b": 100})
+
+	// Full composite match.
+	full, _ := db.Prepare(`SELECT * FROM g WHERE a = ? AND b = ?`)
+	if !full.IsIndexScan() || !strings.Contains(full.PlanString(), "(a, b)") {
+		t.Errorf("full match plan = %s", full.PlanString())
+	}
+	// Leading-column match uses the prefix.
+	prefix, _ := db.Prepare(`SELECT * FROM g WHERE a = ?`)
+	if !prefix.IsIndexScan() || !strings.Contains(prefix.PlanString(), "(a)") {
+		t.Errorf("prefix plan = %s", prefix.PlanString())
+	}
+	// Non-leading column cannot use the index.
+	nolead, _ := db.Prepare(`SELECT * FROM g WHERE b = ?`)
+	if nolead.IsIndexScan() {
+		t.Errorf("non-leading plan = %s, want TABLE SCAN", nolead.PlanString())
+	}
+	// Range predicates do not drive the probe.
+	rng, _ := db.Prepare(`SELECT * FROM g WHERE a > ?`)
+	if rng.IsIndexScan() {
+		t.Errorf("range plan = %s, want TABLE SCAN", rng.PlanString())
+	}
+	// Column-to-column equality cannot drive a probe.
+	colcol, _ := db.Prepare(`SELECT * FROM g WHERE a = x`)
+	if colcol.IsIndexScan() {
+		t.Errorf("col=col plan = %s, want TABLE SCAN", colcol.PlanString())
+	}
+}
+
+func TestIndexScanReturnsSameRowsAsTableScan(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	for i := 0; i < 200; i++ {
+		mustExec(t, c, `INSERT INTO f (name, recid, state, grp) VALUES (?, ?, 'L', ?)`,
+			value.Str(filename(i)), value.Int(int64(i)), value.Int(int64(i%7)))
+	}
+	mustCommit(t, c)
+
+	// Table scan (default stats).
+	scanStmt, _ := db.Prepare(`SELECT name FROM f WHERE grp = 3 ORDER BY name`)
+	scanRows, err := scanStmt.Query(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, c)
+	if scanStmt.IsIndexScan() {
+		t.Fatal("expected table scan before stats")
+	}
+
+	db.SetStats("f", 1_000_000, map[string]int64{"name": 1_000_000, "grp": 1000})
+	ixStmt, _ := db.Prepare(`SELECT name FROM f WHERE grp = 3 ORDER BY name`)
+	if !ixStmt.IsIndexScan() {
+		t.Fatalf("expected index scan, got %s", ixStmt.PlanString())
+	}
+	ixRows, err := ixStmt.Query(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, c)
+
+	if len(scanRows) != len(ixRows) {
+		t.Fatalf("row counts differ: scan %d, index %d", len(scanRows), len(ixRows))
+	}
+	for i := range scanRows {
+		if scanRows[i][0].Text() != ixRows[i][0].Text() {
+			t.Fatalf("row %d differs: %v vs %v", i, scanRows[i], ixRows[i])
+		}
+	}
+	s := db.Stats()
+	if s.TableScans == 0 || s.IndexScans == 0 {
+		t.Errorf("scan counters = %+v", s)
+	}
+}
+
+func TestPreparedStatementReuse(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	ins, err := db.Prepare(`INSERT INTO f (name, recid) VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.PlanString() == "" || ins.IsIndexScan() {
+		t.Errorf("insert plan = %q", ins.PlanString())
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ins.Exec(c, value.Str(filename(i)), value.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, c)
+	sel, _ := db.Prepare(`SELECT COUNT(*) FROM f`)
+	n, ok, err := sel.QueryInt(c)
+	if err != nil || !ok || n != 10 {
+		t.Fatalf("count = %d %v %v", n, ok, err)
+	}
+	mustCommit(t, c)
+	if ins.Text() == "" || sel.Text() == "" {
+		t.Error("Text() empty")
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Prepare(`SELECT * FROM nosuch`); err == nil {
+		t.Error("Prepare against missing table succeeded")
+	}
+	if _, err := db.Prepare(`garbage`); err == nil {
+		t.Error("Prepare of garbage succeeded")
+	}
+	setupFileTable(t, db)
+	stmt, _ := db.Prepare(`SELECT * FROM f`)
+	if _, err := stmt.Query(db.Connect()); err != nil {
+		t.Fatal(err)
+	}
+	other := testDB(t)
+	if _, err := stmt.Query(other.Connect()); err == nil {
+		t.Error("cross-database statement execution succeeded")
+	}
+	if _, err := stmt.Exec(other.Connect()); err == nil {
+		t.Error("cross-database Exec succeeded")
+	}
+	del, _ := db.Prepare(`DELETE FROM f`)
+	if _, err := del.Query(db.Connect()); err == nil {
+		t.Error("Query of a DELETE statement succeeded")
+	}
+}

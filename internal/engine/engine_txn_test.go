@@ -1,0 +1,431 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestRollbackRestoresHeapAndIndexes(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f VALUES ('keep', 1, 'L', 1)`)
+	mustCommit(t, c)
+
+	mustExec(t, c, `INSERT INTO f VALUES ('new', 2, 'L', 1)`)
+	mustExec(t, c, `UPDATE f SET state = 'U', grp = 9 WHERE name = 'keep'`)
+	mustExec(t, c, `DELETE FROM f WHERE name = 'keep' AND grp = 9`)
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := c.Query(`SELECT name, state, grp FROM f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, c)
+	if len(rows) != 1 || rows[0][0].Text() != "keep" || rows[0][1].Text() != "L" || rows[0][2].Int64() != 1 {
+		t.Fatalf("rows after rollback = %v", rows)
+	}
+	// Index state: lookup via grp index and unique name index both work.
+	n, _, _ := c.QueryInt(`SELECT COUNT(*) FROM f WHERE grp = 1`)
+	m, _, _ := c.QueryInt(`SELECT COUNT(*) FROM f WHERE grp = 9`)
+	mustCommit(t, c)
+	if n != 1 || m != 0 {
+		t.Fatalf("index counts after rollback = %d/%d", n, m)
+	}
+	// Unique slot for 'new' must be free.
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('new')`)
+	mustCommit(t, c)
+}
+
+func TestCommitWithoutTxn(t *testing.T) {
+	db := testDB(t)
+	c := db.Connect()
+	if err := c.Commit(); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("Commit = %v, want ErrNoTxn", err)
+	}
+	if err := c.Rollback(); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("Rollback = %v, want ErrNoTxn", err)
+	}
+}
+
+func TestExplicitBegin(t *testing.T) {
+	db := testDB(t)
+	c := db.Connect()
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); err == nil {
+		t.Error("nested Begin succeeded")
+	}
+	if !c.InTxn() || c.TxnID() == 0 {
+		t.Error("txn not visible")
+	}
+	mustCommit(t, c)
+	if c.InTxn() || c.TxnID() != 0 {
+		t.Error("txn still visible after commit")
+	}
+}
+
+func TestWriterBlocksReaderUntilCommit(t *testing.T) {
+	db := testDB(t)
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustCommit(t, c1)
+
+	mustExec(t, c1, `UPDATE f SET state = 'U' WHERE name = 'a'`)
+
+	c2 := db.Connect()
+	got := make(chan string, 1)
+	go func() {
+		rows, err := c2.Query(`SELECT state FROM f WHERE name = 'a'`)
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		c2.Commit()
+		got <- rows[0][0].Text()
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("reader returned %q while writer uncommitted", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	mustCommit(t, c1)
+	if v := <-got; v != "U" {
+		t.Fatalf("reader saw %q, want committed value U", v)
+	}
+}
+
+func TestReaderSeesRolledBackValue(t *testing.T) {
+	db := testDB(t)
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustCommit(t, c1)
+	mustExec(t, c1, `UPDATE f SET state = 'U' WHERE name = 'a'`)
+
+	c2 := db.Connect()
+	got := make(chan string, 1)
+	go func() {
+		rows, err := c2.Query(`SELECT state FROM f WHERE name = 'a'`)
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		c2.Commit()
+		got <- rows[0][0].Text()
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := c1.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != "L" {
+		t.Fatalf("reader saw %q, want original L", v)
+	}
+}
+
+func TestWriteWriteConflictBlocks(t *testing.T) {
+	db := testDB(t)
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustCommit(t, c1)
+	mustExec(t, c1, `UPDATE f SET recid = 2 WHERE name = 'a'`)
+
+	c2 := db.Connect()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Exec(`UPDATE f SET recid = 3 WHERE name = 'a'`)
+		if err == nil {
+			err = c2.Commit()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("second writer finished while first held lock: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	mustCommit(t, c1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := c1.QueryInt(`SELECT recid FROM f WHERE name = 'a'`)
+	c1.Commit()
+	if v != 3 {
+		t.Fatalf("recid = %d, want last-writer 3", v)
+	}
+}
+
+func TestDeadlockVictimAutoRolledBack(t *testing.T) {
+	db := testDB(t)
+	c1 := setupFileTable(t, db)
+	// Force index plans so each UPDATE touches only its own row; with the
+	// default (never-collected) statistics the optimizer would pick a
+	// table scan whose X-lock footprint serializes the two writers — the
+	// very pathology experiment E5 measures.
+	if err := db.SetStats("f", 100000, map[string]int64{"name": 100000, "grp": 100}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustExec(t, c1, `INSERT INTO f VALUES ('b', 2, 'L', 2)`)
+	mustCommit(t, c1)
+
+	c2 := db.Connect()
+	mustExec(t, c1, `UPDATE f SET recid = 10 WHERE name = 'a'`)
+	mustExec(t, c2, `UPDATE f SET recid = 20 WHERE name = 'b'`)
+
+	step := make(chan error, 1)
+	go func() {
+		_, err := c1.Exec(`UPDATE f SET recid = 11 WHERE name = 'b'`)
+		step <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	_, err2 := c2.Exec(`UPDATE f SET recid = 21 WHERE name = 'a'`)
+	err1 := <-step
+
+	// Exactly one of the two must be the deadlock victim.
+	victims := 0
+	for _, err := range []error{err1, err2} {
+		if errors.Is(err, ErrDeadlock) {
+			victims++
+		}
+	}
+	if victims != 1 {
+		t.Fatalf("victims = %d (err1=%v, err2=%v)", victims, err1, err2)
+	}
+
+	// The victim's transaction is already rolled back: further statements
+	// fail with ErrTxnAborted until Rollback is acknowledged.
+	victim := c2
+	winner := c1
+	if errors.Is(err1, ErrDeadlock) {
+		victim, winner = c1, c2
+	}
+	if _, err := victim.Exec(`INSERT INTO f (name) VALUES ('x')`); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("statement after victim abort = %v, want ErrTxnAborted", err)
+	}
+	if err := victim.Commit(); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("commit after victim abort = %v, want ErrTxnAborted", err)
+	}
+	if err := victim.Rollback(); err != nil {
+		t.Fatalf("acknowledging rollback: %v", err)
+	}
+	mustCommit(t, winner)
+
+	// Victim's changes are gone, winner's are applied.
+	rows, _ := c1.Query(`SELECT name, recid FROM f ORDER BY name`)
+	c1.Commit()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if db.Stats().Rollbacks == 0 || db.Stats().Lock.Deadlocks == 0 {
+		t.Errorf("stats did not record the deadlock: %+v", db.Stats())
+	}
+}
+
+func TestLockTimeoutAutoRollsBack(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.LockTimeout = 60 * time.Millisecond })
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustCommit(t, c1)
+	mustExec(t, c1, `UPDATE f SET recid = 2 WHERE name = 'a'`)
+
+	c2 := db.Connect()
+	_, err := c2.Exec(`UPDATE f SET recid = 3 WHERE name = 'a'`)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if err := c2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, c1)
+	if !IsRetryable(err) {
+		t.Error("timeout should be retryable")
+	}
+}
+
+func TestReadOnlyCommitWritesNoLog(t *testing.T) {
+	db := testDB(t)
+	c := setupFileTable(t, db)
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('a')`)
+	mustCommit(t, c)
+	before := db.Stats().Log.Appends
+	if _, err := c.Query(`SELECT * FROM f`); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, c)
+	if after := db.Stats().Log.Appends; after != before {
+		t.Errorf("read-only commit appended %d log records", after-before)
+	}
+}
+
+func TestCursorStabilityReleasesReadLocks(t *testing.T) {
+	db := testDB(t) // HoldReadLocks defaults to false
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustCommit(t, c1)
+
+	// Reader holds its transaction open after the query.
+	if _, err := c1.Query(`SELECT * FROM f WHERE name = 'a'`); err != nil {
+		t.Fatal(err)
+	}
+	// A writer must not block: the read lock was released at fetch.
+	c2 := db.Connect()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Exec(`UPDATE f SET recid = 2 WHERE name = 'a'`)
+		if err == nil {
+			err = c2.Commit()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("writer blocked behind a cursor-stability read lock")
+	}
+	mustCommit(t, c1)
+}
+
+func TestRepeatableReadHoldsReadLocks(t *testing.T) {
+	db := testDB(t, func(c *Config) {
+		c.HoldReadLocks = true
+		c.LockTimeout = 80 * time.Millisecond
+	})
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustCommit(t, c1)
+	if _, err := c1.Query(`SELECT * FROM f WHERE name = 'a'`); err != nil {
+		t.Fatal(err)
+	}
+	c2 := db.Connect()
+	_, err := c2.Exec(`UPDATE f SET recid = 2 WHERE name = 'a'`)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("writer against RR read lock: %v, want timeout", err)
+	}
+	c2.Rollback()
+	mustCommit(t, c1)
+}
+
+func TestSelectForUpdateTakesXLocks(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.LockTimeout = 80 * time.Millisecond })
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f VALUES ('a', 1, 'L', 1)`)
+	mustCommit(t, c1)
+	if _, err := c1.Query(`SELECT * FROM f WHERE name = 'a' FOR UPDATE`); err != nil {
+		t.Fatal(err)
+	}
+	c2 := db.Connect()
+	_, err := c2.Query(`SELECT * FROM f WHERE name = 'a'`)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("reader against FOR UPDATE: %v, want timeout", err)
+	}
+	c2.Rollback()
+	mustCommit(t, c1)
+}
+
+func TestInsertDuplicateWaitsForOutcomeRollback(t *testing.T) {
+	// Two agents insert the same key: the second waits for the first's
+	// outcome. If the first rolls back, the second succeeds — the check
+	// the DLFM race-closure relies on (Section 3.2).
+	db := testDB(t)
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f (name) VALUES ('race')`)
+
+	c2 := db.Connect()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Exec(`INSERT INTO f (name) VALUES ('race')`)
+		if err == nil {
+			err = c2.Commit()
+		} else {
+			c2.Rollback()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("second inserter did not wait: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := c1.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("second inserter after first rollback: %v", err)
+	}
+	n, _, _ := c1.QueryInt(`SELECT COUNT(*) FROM f WHERE name = 'race'`)
+	c1.Commit()
+	if n != 1 {
+		t.Fatalf("count = %d, want exactly 1", n)
+	}
+}
+
+func TestInsertDuplicateWaitsForOutcomeCommit(t *testing.T) {
+	db := testDB(t)
+	c1 := setupFileTable(t, db)
+	mustExec(t, c1, `INSERT INTO f (name) VALUES ('race')`)
+
+	c2 := db.Connect()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Exec(`INSERT INTO f (name) VALUES ('race')`)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	mustCommit(t, c1)
+	if err := <-done; !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("second inserter after first commit: %v, want ErrDuplicate", err)
+	}
+	c2.Rollback()
+}
+
+func TestLogFullLeavesTxnAliveForRollback(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.LogCapacity = 4096 })
+	c := setupFileTable(t, db)
+	var hitFull bool
+	for i := 0; i < 10000; i++ {
+		_, err := c.Exec(`INSERT INTO f (name) VALUES (?)`, value.Str(filename(i)))
+		if err != nil {
+			if !errors.Is(err, ErrLogFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			hitFull = true
+			break
+		}
+	}
+	if !hitFull {
+		t.Fatal("never hit log full")
+	}
+	// DB2 semantics: -964 is a statement error; the app must roll back.
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// After rollback the log space is free again.
+	mustExec(t, c, `INSERT INTO f (name) VALUES ('after')`)
+	mustCommit(t, c)
+}
+
+func filename(i int) string {
+	return "file-" + string(rune('a'+i%26)) + "-" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

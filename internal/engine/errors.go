@@ -1,0 +1,64 @@
+// Package engine implements the embedded relational database that DLFM and
+// the host database use as their persistent store. It plays the role of the
+// paper's local DB2: a SQL front end over heap tables with B-tree indexes, a
+// cost-based optimizer driven by catalog statistics, strict two-phase row
+// locking with optional next-key locking and lock escalation, a write-ahead
+// log with circular space accounting, and crash recovery.
+//
+// DLFM treats this engine as a black box: every metadata access goes through
+// Exec/Query/Prepare with SQL text, never through internal APIs. That is the
+// architectural bet the paper examines, and it is what makes the paper's
+// optimizer and locking pathologies reproducible here.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/wal"
+)
+
+// Sentinel errors surfaced to SQL applications. DLFM's retry logic keys off
+// IsRetryable.
+var (
+	// ErrDeadlock: the statement's transaction was chosen as a deadlock
+	// victim and has been rolled back (as DB2 does: SQLCODE -911 RC 2).
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrTimeout: a lock wait exceeded the configured timeout and the
+	// transaction has been rolled back (SQLCODE -911 RC 68).
+	ErrTimeout = lock.ErrTimeout
+	// ErrLogFull: the transaction log is full (SQLCODE -964). The
+	// transaction is still alive; the application must roll back (or the
+	// utility must start committing in batches — the paper's lesson).
+	ErrLogFull = wal.ErrLogFull
+	// ErrDuplicate: a unique index rejected the row (SQLCODE -803).
+	ErrDuplicate = errors.New("engine: duplicate key value violates unique index")
+	// ErrNotNull: a NOT NULL column received NULL (SQLCODE -407).
+	ErrNotNull = errors.New("engine: NULL value in NOT NULL column")
+	// ErrTypeMismatch: a value's type does not match the column type.
+	ErrTypeMismatch = errors.New("engine: value type does not match column type")
+	// ErrNoTxn: Commit/Rollback without an active transaction.
+	ErrNoTxn = errors.New("engine: no transaction is active")
+	// ErrTxnAborted: the transaction was already rolled back (e.g. as a
+	// deadlock victim) and the connection must issue Rollback before
+	// continuing.
+	ErrTxnAborted = errors.New("engine: transaction has been rolled back; issue Rollback")
+	// ErrStalePlan: a bound statement was executed after the catalog
+	// statistics changed and its plan is no longer valid for execution
+	// safety reasons (dropped index).
+	ErrStalePlan = errors.New("engine: bound plan is stale")
+)
+
+// errPreparedStmt rejects statements on a prepared (XA) transaction: after
+// phase 1 a branch may only be committed or rolled back.
+func errPreparedStmt(txn int64) error {
+	return fmt.Errorf("engine: transaction %d is prepared; no further statements allowed", txn)
+}
+
+// IsRetryable reports whether err is a transient concurrency error that the
+// application may retry after the automatic rollback — exactly the errors
+// DLFM's phase-2 commit/abort processing retries until success (Section 4).
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTimeout)
+}

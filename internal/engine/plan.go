@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// plan is a bound access path for one table access.
+type plan struct {
+	table string
+	// index is nil for a table scan.
+	index *catalog.IndexSchema
+	// eqPreds are the predicates the index probe consumes, one per leading
+	// index column, in index-column order. All predicates (including
+	// these) are still re-applied as filters at execution.
+	eqPreds []sql.Pred
+	cost    float64
+	card    int64 // optimizer's row-count estimate used for the costing
+}
+
+// Explain renders the plan the way the benchmark harness and tests inspect
+// it.
+func (p *plan) Explain() string {
+	if p.index == nil {
+		return fmt.Sprintf("TABLE SCAN %s (card=%d cost=%.1f)", p.table, p.card, p.cost)
+	}
+	cols := make([]string, len(p.eqPreds))
+	for i, pr := range p.eqPreds {
+		cols[i] = pr.Col
+	}
+	return fmt.Sprintf("INDEX SCAN %s USING %s (%s) (card=%d cost=%.1f)",
+		p.table, p.index.Name, strings.Join(cols, ", "), p.card, p.cost)
+}
+
+// IsIndexScan reports whether the plan probes an index.
+func (p *plan) IsIndexScan() bool { return p.index != nil }
+
+// Cost-model constants, in "page access" units. They mirror the shape of
+// DB2's I/O-based model closely enough to reproduce the paper's gotcha: for
+// a table the statistics call tiny, a sequential scan costs less than a
+// B-tree descent, so the optimizer prefers the scan — and under a concurrent
+// workload the scan's lock footprint is catastrophic, a cost the optimizer
+// does not model (Section 4: "Cost based Optimizer does not take locking
+// cost into account").
+const (
+	rowsPerPage      = 100.0
+	indexDescentCost = 2.0
+	indexRowCost     = 1.5
+	// defaultCardinality is the optimizer's guess for a table whose
+	// statistics were never collected: it assumes the table is tiny.
+	defaultCardinality = 10
+)
+
+// bindPlan chooses the cheapest access path for accessing table with the
+// given predicates, using the current catalog statistics.
+func (db *DB) bindPlan(tableName string, preds []sql.Pred) (*plan, error) {
+	meta, err := db.cat.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	stats := meta.Stats
+	card := stats.Cardinality
+	if card < 0 {
+		card = defaultCardinality
+	}
+	if card == 0 {
+		card = 1
+	}
+
+	best := &plan{
+		table: tableName,
+		cost:  scanCost(card),
+		card:  card,
+	}
+
+	// Equality predicates with a constant or parameter right-hand side can
+	// drive an index probe.
+	eqByCol := make(map[string]sql.Pred)
+	for _, p := range preds {
+		if p.Op != sql.OpEq {
+			continue
+		}
+		if _, isCol := p.Val.(sql.Column); isCol {
+			continue
+		}
+		if _, seen := eqByCol[p.Col]; !seen {
+			eqByCol[p.Col] = p
+		}
+	}
+
+	for _, ix := range meta.Indexes {
+		var probe []sql.Pred
+		selectivity := 1.0
+		for _, col := range ix.Cols {
+			p, ok := eqByCol[col]
+			if !ok {
+				break
+			}
+			probe = append(probe, p)
+			selectivity /= float64(stats.DistinctOf(col))
+		}
+		if len(probe) == 0 {
+			continue
+		}
+		matchRows := float64(card) * selectivity
+		if matchRows < 1 {
+			matchRows = 1
+		}
+		cost := indexDescentCost + matchRows*indexRowCost
+		if cost < best.cost {
+			best = &plan{
+				table:   tableName,
+				index:   ix,
+				eqPreds: probe,
+				cost:    cost,
+				card:    card,
+			}
+		}
+	}
+	return best, nil
+}
+
+func scanCost(card int64) float64 {
+	pages := float64(card) / rowsPerPage
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}

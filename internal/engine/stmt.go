@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// Stmt is a prepared ("bound") statement: the SQL text parsed once and, for
+// statements that access a table, an access plan chosen against the catalog
+// statistics current at bind time.
+//
+// As in DB2, the plan does NOT follow later statistics changes on its own.
+// The paper's DLFM adds its own guard: it records the statistics version at
+// bind time and re-binds its packages when the version moves (Section 4).
+// NeedsRebind/Rebind expose exactly that contract.
+type Stmt struct {
+	db           *DB
+	text         string
+	ast          sql.Statement
+	plan         *plan
+	boundVersion int64
+}
+
+// Prepare parses text and binds its access plan against the current
+// statistics.
+func (db *DB) Prepare(text string) (*Stmt, error) {
+	ast, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{db: db, text: text, ast: ast}
+	if err := s.bind(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Stmt) bind() error {
+	s.boundVersion = s.db.cat.StatsVersion()
+	switch a := s.ast.(type) {
+	case sql.Select:
+		pl, err := s.db.bindPlan(a.Table, a.Where)
+		if err != nil {
+			return err
+		}
+		s.plan = pl
+	case sql.Update:
+		pl, err := s.db.bindPlan(a.Table, a.Where)
+		if err != nil {
+			return err
+		}
+		s.plan = pl
+	case sql.Delete:
+		pl, err := s.db.bindPlan(a.Table, a.Where)
+		if err != nil {
+			return err
+		}
+		s.plan = pl
+	default:
+		s.plan = nil // INSERT and DDL have no access-path choice
+	}
+	return nil
+}
+
+// NeedsRebind reports whether the catalog statistics have changed since the
+// plan was bound.
+func (s *Stmt) NeedsRebind() bool {
+	return s.plan != nil && s.db.cat.StatsVersion() != s.boundVersion
+}
+
+// Rebind re-optimizes the statement against the current statistics.
+func (s *Stmt) Rebind() error {
+	s.db.rebinds.Add(1)
+	return s.bind()
+}
+
+// Text returns the statement's SQL text.
+func (s *Stmt) Text() string { return s.text }
+
+// PlanString renders the bound access plan (EXPLAIN output), or a note for
+// plan-less statements.
+func (s *Stmt) PlanString() string {
+	if s.plan == nil {
+		return fmt.Sprintf("NO ACCESS PATH (%T)", s.ast)
+	}
+	return s.plan.Explain()
+}
+
+// IsIndexScan reports whether the bound plan probes an index.
+func (s *Stmt) IsIndexScan() bool { return s.plan != nil && s.plan.IsIndexScan() }
+
+// Exec runs the statement on c with the given parameters, returning the
+// affected row count (for SELECT, the number of rows; use Query for the
+// rows themselves).
+func (s *Stmt) Exec(c *Conn, params ...value.Value) (int64, error) {
+	if c.db != s.db {
+		return 0, fmt.Errorf("engine: statement prepared on a different database")
+	}
+	return c.execParsed(s.ast, s.plan, params)
+}
+
+// Query runs a prepared SELECT on c.
+func (s *Stmt) Query(c *Conn, params ...value.Value) ([]value.Row, error) {
+	sel, ok := s.ast.(sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query requires a SELECT statement")
+	}
+	if c.db != s.db {
+		return nil, fmt.Errorf("engine: statement prepared on a different database")
+	}
+	return c.execSelectPlanned(sel, s.plan, params)
+}
+
+// QueryInt runs a prepared single-value SELECT on c; ok is false when no
+// row (or a NULL) came back.
+func (s *Stmt) QueryInt(c *Conn, params ...value.Value) (int64, bool, error) {
+	rows, err := s.Query(c, params...)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(rows) == 0 || len(rows[0]) == 0 || rows[0][0].IsNull() {
+		return 0, false, nil
+	}
+	return rows[0][0].Int64(), true, nil
+}

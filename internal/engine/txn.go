@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// undoOp is one entry of a transaction's in-memory undo list. Rollback
+// applies inverses in reverse order; durability across crashes comes from
+// the write-ahead log instead.
+type undoOp struct {
+	typ    wal.RecType // RecInsert, RecDelete, or RecUpdate
+	table  string
+	rid    int64
+	before value.Row
+	after  value.Row
+}
+
+type txn struct {
+	id       int64
+	undo     []undoOp
+	aborted  bool
+	prepared bool
+	wrote    bool
+}
+
+// Conn is a database connection (the paper's "child agent" holds one). A
+// Conn is not safe for concurrent use; each agent owns its own.
+type Conn struct {
+	db  *DB
+	txn *txn
+}
+
+// Connect opens a new connection.
+func (db *DB) Connect() *Conn { return &Conn{db: db} }
+
+// InTxn reports whether a transaction is active on this connection.
+func (c *Conn) InTxn() bool { return c.txn != nil }
+
+// TxnID returns the local transaction id, or 0 if none is active.
+func (c *Conn) TxnID() int64 {
+	if c.txn == nil {
+		return 0
+	}
+	return c.txn.id
+}
+
+// begin starts a transaction if none is active (DB2-style implicit begin on
+// the first statement).
+func (c *Conn) begin() *txn {
+	if c.txn == nil {
+		c.txn = &txn{id: c.db.nextTxn.Add(1)}
+	}
+	return c.txn
+}
+
+// Begin explicitly starts a transaction.
+func (c *Conn) Begin() error {
+	if c.txn != nil {
+		return fmt.Errorf("engine: transaction %d already active", c.txn.id)
+	}
+	c.begin()
+	return nil
+}
+
+// Commit makes the transaction's changes durable and releases its locks.
+func (c *Conn) Commit() error {
+	if c.txn == nil {
+		return ErrNoTxn
+	}
+	t := c.txn
+	if t.aborted {
+		// The engine already rolled back (deadlock victim); committing is
+		// an error, the connection must acknowledge with Rollback.
+		return ErrTxnAborted
+	}
+	if t.prepared {
+		return fmt.Errorf("engine: transaction %d is prepared; use CommitPrepared/RollbackPrepared", t.id)
+	}
+	if t.wrote {
+		if _, err := c.db.log.Append(wal.Record{Txn: t.id, Type: wal.RecCommit}); err != nil {
+			return err
+		}
+		if c.db.cfg.SyncCommit {
+			if err := c.db.log.Sync(); err != nil {
+				return err
+			}
+		}
+	} else {
+		c.db.log.ForgetTxn(t.id)
+	}
+	c.db.lm.ReleaseAll(t.id)
+	c.db.commits.Add(1)
+	c.txn = nil
+	return nil
+}
+
+// Rollback undoes the transaction's changes and releases its locks. Rolling
+// back an already-aborted transaction just acknowledges the abort.
+func (c *Conn) Rollback() error {
+	if c.txn == nil {
+		return ErrNoTxn
+	}
+	t := c.txn
+	if t.prepared {
+		return fmt.Errorf("engine: transaction %d is prepared; use CommitPrepared/RollbackPrepared", t.id)
+	}
+	if !t.aborted {
+		c.db.rollbackTxn(t)
+	}
+	c.txn = nil
+	return nil
+}
+
+// rollbackTxn undoes t's changes, writes the abort record, and releases
+// locks. Called for explicit rollback and for automatic victim rollback.
+func (db *DB) rollbackTxn(t *txn) {
+	db.latch.Lock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		op := t.undo[i]
+		tbl := db.tables[op.table]
+		if tbl == nil {
+			continue // table dropped after the change; nothing to restore
+		}
+		switch op.typ {
+		case wal.RecInsert:
+			delete(tbl.heap, op.rid)
+			for _, ix := range tbl.indexes {
+				ix.tree.Delete(ix.keyOf(op.after), op.rid)
+			}
+		case wal.RecDelete:
+			tbl.heap[op.rid] = op.before
+			for _, ix := range tbl.indexes {
+				ix.tree.Insert(ix.keyOf(op.before), op.rid)
+			}
+		case wal.RecUpdate:
+			tbl.heap[op.rid] = op.before
+			for _, ix := range tbl.indexes {
+				oldK, newK := ix.keyOf(op.before), ix.keyOf(op.after)
+				if value.CompareKeys(oldK, newK) != 0 {
+					ix.tree.Delete(newK, op.rid)
+					ix.tree.Insert(oldK, op.rid)
+				}
+			}
+		}
+	}
+	db.latch.Unlock()
+	if t.wrote {
+		// Abort records always fit in the log.
+		if _, err := db.log.Append(wal.Record{Txn: t.id, Type: wal.RecAbort}); err != nil {
+			panic(fmt.Sprintf("engine: abort record rejected: %v", err))
+		}
+	} else {
+		db.log.ForgetTxn(t.id)
+	}
+	db.lm.ReleaseAll(t.id)
+	db.rollbacks.Add(1)
+	t.aborted = true
+	t.undo = nil
+}
+
+// autoAbort is invoked when a statement hits a deadlock or lock timeout:
+// DB2 rolls the whole transaction back before returning the error, and the
+// application sees the transaction as gone (the paper's host rolls back the
+// full transaction for exactly this reason).
+func (c *Conn) autoAbort() {
+	if c.txn != nil && !c.txn.aborted {
+		c.db.rollbackTxn(c.txn)
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import "repro/internal/value"
+
+// Runstats measures real statistics for a table (row count, per-column
+// distinct values) and records them in the catalog, as DB2's RUNSTATS does.
+//
+// This is the operation that, run by a well-meaning user, silently
+// overwrites DLFM's hand-crafted statistics and regresses the plans — the
+// paper adds a guard daemon that detects the change and re-installs the
+// crafted numbers (Section 4).
+func (db *DB) Runstats(table string) error {
+	db.latch.Lock()
+	tbl, err := db.tableLocked(table)
+	if err != nil {
+		db.latch.Unlock()
+		return err
+	}
+	card := int64(len(tbl.heap))
+	distinct := make(map[string]map[string]struct{}, len(tbl.schema.Cols))
+	for _, cd := range tbl.schema.Cols {
+		distinct[cd.Name] = make(map[string]struct{})
+	}
+	for _, row := range tbl.heap {
+		for i, cd := range tbl.schema.Cols {
+			distinct[cd.Name][row[i].String()] = struct{}{}
+		}
+	}
+	db.latch.Unlock()
+
+	colCard := make(map[string]int64, len(distinct))
+	for col, set := range distinct {
+		colCard[col] = int64(len(set))
+	}
+	return db.cat.RecordStats(table, card, colCard)
+}
+
+// SetStats installs hand-crafted statistics, the paper's trick for forcing
+// the optimizer to generate index plans before DLFM's packages are bound:
+// "To get the desired access plan, we wrote a utility to set the statistics
+// in the database catalog to force optimizer to select the plan we want."
+func (db *DB) SetStats(table string, cardinality int64, colCard map[string]int64) error {
+	return db.cat.SetStats(table, cardinality, colCard)
+}
+
+// TableCard returns the true current row count of a table (not the catalog
+// statistic) for tests and the benchmark harness.
+func (db *DB) TableCard(table string) (int64, error) {
+	db.latch.Lock()
+	defer db.latch.Unlock()
+	tbl, err := db.tableLocked(table)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(tbl.heap)), nil
+}
+
+// DumpTable returns a copy of every row of a table, bypassing locking; it
+// is a diagnostic for tests and must not be used by transactional code.
+func (db *DB) DumpTable(table string) ([]value.Row, error) {
+	db.latch.Lock()
+	defer db.latch.Unlock()
+	tbl, err := db.tableLocked(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Row, 0, len(tbl.heap))
+	for _, row := range tbl.heap {
+		out = append(out, row.Clone())
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hostdb"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// E4Report reproduces the lock-escalation lesson (Section 4): "lock
+// escalation in any of the metadata tables usually brings the system to
+// its knees". One utility agent runs long transactions that link a batch
+// of files per commit; concurrent OLTP agents do small link transactions.
+// While the utility's batch stays under the escalation threshold the OLTP
+// agents run freely; once a batch crosses it, the utility's row locks on
+// dlfm_file escalate to a table lock and every OLTP agent stalls.
+type E4Report struct {
+	Threshold int
+	Rows      []E4Row
+}
+
+// E4Row is one batch-size configuration.
+type E4Row struct {
+	BatchSize   int
+	Escalations int64
+	Timeouts    int64
+	OltpCommits int64
+	OltpPerSec  float64
+}
+
+// RunE4Escalation sweeps the utility's batch size across the escalation
+// threshold.
+func RunE4Escalation(opt Options) (*E4Report, error) {
+	const threshold = 60
+	rep := &E4Report{Threshold: threshold}
+	for _, batch := range []int{10, 40, 120, 300} {
+		row, err := runE4Once(opt, threshold, batch)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func runE4Once(opt Options, threshold, batch int) (E4Row, error) {
+	st, err := newStack(nil, func(c *core.Config) {
+		c.DB.EscalationThreshold = threshold
+		c.DB.LockTimeout = 300 * time.Millisecond
+	})
+	if err != nil {
+		return E4Row{}, err
+	}
+	defer st.Close()
+
+	if err := st.Host.CreateTable(
+		`CREATE TABLE e4 (id BIGINT NOT NULL, doc VARCHAR)`,
+		hostdb.DatalinkCol{Name: "doc"},
+	); err != nil {
+		return E4Row{}, err
+	}
+	big := int64(10_000_000)
+	st.Host.Engine().SetStats("e4", big, map[string]int64{"id": big, "doc": big})
+
+	mkFile := func(id int64) string {
+		path := fmt.Sprintf("/e4/f%08d", id)
+		st.FS["fs1"].Create(path, "app", []byte("x")) //nolint:errcheck
+		return path
+	}
+
+	// Utility agent: big-batch link transactions, back to back.
+	utilDone := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(utilDone)
+		s := st.Host.Session()
+		defer s.Close()
+		var id int64 = 1_000_000
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			okBatch := true
+			for i := 0; i < batch; i++ {
+				id++
+				path := mkFile(id)
+				if _, err := s.Exec(`INSERT INTO e4 (id, doc) VALUES (?, ?)`,
+					value.Int(id), value.Str(hostdb.URL("fs1", path))); err != nil {
+					s.Rollback()
+					okBatch = false
+					break
+				}
+			}
+			if okBatch {
+				if err := s.Commit(); err != nil && s.TxnID() != 0 {
+					s.Rollback()
+				}
+			}
+		}
+	}()
+
+	// OLTP agents: small link transactions; their throughput is the metric.
+	oltpRes := make(chan workload.Result, 1)
+	oltpErr := make(chan error, 1)
+	go func() {
+		r, err := workload.NewRunner(st, workload.Config{
+			Clients:      8,
+			OpsPerClient: opt.ops(),
+			Mix:          workload.Mix{InsertPct: 100},
+			Seed:         4,
+			Table:        "e4oltp",
+		})
+		if err != nil {
+			oltpErr <- err
+			return
+		}
+		if err := r.Prepare(); err != nil {
+			oltpErr <- err
+			return
+		}
+		res, err := r.Run()
+		if err != nil {
+			oltpErr <- err
+			return
+		}
+		oltpRes <- res
+	}()
+
+	var row E4Row
+	select {
+	case err := <-oltpErr:
+		close(stop)
+		<-utilDone
+		return E4Row{}, err
+	case res := <-oltpRes:
+		close(stop)
+		<-utilDone
+		es := st.EngineStats()
+		row = E4Row{
+			BatchSize:   batch,
+			Escalations: es.Lock.Escalations,
+			Timeouts:    es.Lock.Timeouts,
+			OltpCommits: res.Commits,
+			OltpPerSec:  res.OpsPerSec,
+		}
+	}
+	return row, nil
+}
+
+// String renders the report.
+func (r *E4Report) String() string {
+	t := &table{header: []string{"utility batch", "escalations", "timeouts", "oltp commits", "oltp ops/s"}}
+	for _, row := range r.Rows {
+		mark := ""
+		if row.BatchSize > r.Threshold {
+			mark = " (over threshold)"
+		}
+		t.add(fmt.Sprintf("%d%s", row.BatchSize, mark), fmtI(row.Escalations),
+			fmtI(row.Timeouts), fmtI(row.OltpCommits), fmtF(row.OltpPerSec))
+	}
+	return fmt.Sprintf("E4 — lock escalation (threshold %d row locks; paper: escalation brings the system to its knees)\n", r.Threshold) +
+		t.String() +
+		"shape: once the batch exceeds the threshold, escalations appear and OLTP throughput collapses\n"
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// E5Report reproduces the optimizer lesson (Sections 3.2.1, 4): the cost-
+// based optimizer, seeing default (never-collected) statistics, assumes the
+// File table is tiny and binds table-scan plans; under a concurrent
+// workload the scans' lock footprint causes timeouts, deadlocks, and a
+// throughput collapse — "the RDBMS' cost based optimizer generates the
+// access plan, which does not take into account the locking costs of a
+// concurrent workload". DLFM's fix is to hand-craft the catalog statistics
+// before binding.
+type E5Report struct {
+	Rows []E5Row
+}
+
+// E5Row is one statistics mode's outcome.
+type E5Row struct {
+	Mode       string
+	Plan       string // bound plan of the representative lookup
+	IndexScans int64
+	TableScans int64
+	RowsRead   int64
+	Deadlocks  int64
+	Timeouts   int64
+	Commits    int64
+	OpsPerSec  float64
+}
+
+// RunE5Optimizer runs the same workload with default statistics (table
+// scans) and with DLFM's hand-crafted statistics (index plans).
+func RunE5Optimizer(opt Options) (*E5Report, error) {
+	rep := &E5Report{}
+	for _, crafted := range []bool{false, true} {
+		st, err := newStack(nil, func(c *core.Config) {
+			c.HandCraftStats = crafted
+			c.StatsGuard = crafted
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Representative package statement: the linked-entry lookup every
+		// unlink performs.
+		stmt, err := st.DLFMs["fs1"].DB().Prepare(
+			`SELECT grpid FROM dlfm_file WHERE name = ? AND state = 'L' AND chkflag = 0`)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		r, err := workload.NewRunner(st, workload.Config{
+			Clients:      16,
+			OpsPerClient: opt.ops(),
+			Mix:          workload.Mix{InsertPct: 40, UpdatePct: 30, DeletePct: 20},
+			PreloadRows:  300,
+			Seed:         5,
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if err := r.Prepare(); err != nil {
+			st.Close()
+			return nil, err
+		}
+		res, err := r.Run()
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		es := st.EngineStats()
+		mode := "default stats (never collected)"
+		if crafted {
+			mode = "hand-crafted stats (DLFM's fix)"
+		}
+		rep.Rows = append(rep.Rows, E5Row{
+			Mode:       mode,
+			Plan:       stmt.PlanString(),
+			IndexScans: es.IndexScans,
+			TableScans: es.TableScans,
+			RowsRead:   es.RowsRead,
+			Deadlocks:  es.Lock.Deadlocks,
+			Timeouts:   es.Lock.Timeouts,
+			Commits:    res.Commits,
+			OpsPerSec:  res.OpsPerSec,
+		})
+		st.Close()
+	}
+	return rep, nil
+}
+
+// String renders the report.
+func (r *E5Report) String() string {
+	t := &table{header: []string{"statistics", "table scans", "index scans", "rows read", "deadlocks", "timeouts", "commits", "ops/s"}}
+	for _, row := range r.Rows {
+		t.add(row.Mode, fmtI(row.TableScans), fmtI(row.IndexScans), fmtI(row.RowsRead),
+			fmtI(row.Deadlocks), fmtI(row.Timeouts), fmtI(row.Commits), fmtF(row.OpsPerSec))
+	}
+	out := "E5 — optimizer statistics ablation (paper: table-scan plans cause lock havoc; crafted stats force index plans)\n" + t.String()
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("  bound plan [%s]: %s\n", row.Mode, row.Plan)
+	}
+	out += "shape: default stats bind TABLE SCAN and read orders of magnitude more rows per op; crafted stats bind INDEX SCAN and throughput recovers\n"
+	return out
+}

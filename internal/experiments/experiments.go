@@ -1,0 +1,122 @@
+// Package experiments implements the reproduction harness: one runnable
+// experiment per quantified claim or figure in the paper, as indexed in
+// DESIGN.md and EXPERIMENTS.md. Each experiment builds its own deployment,
+// drives it, and returns a typed report whose String() prints the rows the
+// paper's narrative corresponds to.
+//
+// Absolute numbers differ from the paper's 1999 hardware; the reports are
+// about shape: who wins, by what factor, and where behaviour collapses.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hostdb"
+	"repro/internal/workload"
+)
+
+// Options tunes experiment scale so the same harness serves quick CI runs
+// and longer reproductions.
+type Options struct {
+	// Clients for the soak (the paper used 100).
+	Clients int
+	// SoakDuration scales the paper's 24-hour run.
+	SoakDuration time.Duration
+	// Ops is the per-client operation budget for fixed-size experiments.
+	Ops int
+	// Verbose enables progress lines on stdout.
+	Verbose bool
+}
+
+// DefaultOptions returns laptop-scale settings: 100 clients, seconds-long
+// runs.
+func DefaultOptions() Options {
+	return Options{
+		Clients:      100,
+		SoakDuration: 5 * time.Second,
+		Ops:          30,
+	}
+}
+
+func (o Options) clients() int {
+	if o.Clients <= 0 {
+		return 100
+	}
+	return o.Clients
+}
+
+func (o Options) ops() int {
+	if o.Ops <= 0 {
+		return 30
+	}
+	return o.Ops
+}
+
+// table formats aligned report rows.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// newStack builds a production-configured deployment, applying mutations.
+func newStack(mutateHost func(*hostdb.Config), mutateDLFM func(*core.Config)) (*workload.Stack, error) {
+	return workload.NewStack(workload.StackConfig{
+		Servers: []string{"fs1"},
+		MutateHost: func(h *hostdb.Config) {
+			h.DB.LockTimeout = 10 * time.Second
+			if mutateHost != nil {
+				mutateHost(h)
+			}
+		},
+		MutateDLFM: func(_ string, c *core.Config) {
+			c.DB.LockTimeout = 10 * time.Second
+			if mutateDLFM != nil {
+				mutateDLFM(c)
+			}
+		},
+	})
+}
+
+func fmtF(f float64) string       { return fmt.Sprintf("%.1f", f) }
+func fmtI(i int64) string         { return fmt.Sprintf("%d", i) }
+func fmtD(d time.Duration) string { return d.Round(time.Millisecond).String() }

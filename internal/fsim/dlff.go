@@ -1,0 +1,145 @@
+package fsim
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// LinkStatus is the answer to a DLFF upcall.
+type LinkStatus struct {
+	Linked      bool
+	FullControl bool // read access requires a database-issued token
+}
+
+// Upcaller answers "is this file linked?" — implemented by the DLFM's
+// Upcall daemon.
+type Upcaller interface {
+	IsLinked(path string) (LinkStatus, error)
+}
+
+// Filter is the DataLinks File System Filter: it sits between user
+// programs and the raw file server, upcalling to DLFM to enforce
+// referential integrity (no rename/delete/move of linked files) and
+// database-controlled read access.
+type Filter struct {
+	fs     *Server
+	upcall Upcaller
+	secret []byte
+
+	upcalls  atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewFilter wraps fs with the DLFF enforcement. secret is the token-signing
+// key shared with the host database (which mints tokens on SELECT).
+func NewFilter(fs *Server, upcall Upcaller, secret []byte) *Filter {
+	return &Filter{fs: fs, upcall: upcall, secret: secret}
+}
+
+// Upcalls returns how many upcalls the filter has made (Figure 5's Upcall
+// daemon traffic).
+func (f *Filter) Upcalls() int64 { return f.upcalls.Load() }
+
+// Rejected returns how many operations the filter refused.
+func (f *Filter) Rejected() int64 { return f.rejected.Load() }
+
+func (f *Filter) status(path string) (LinkStatus, error) {
+	f.upcalls.Add(1)
+	return f.upcall.IsLinked(path)
+}
+
+// Open reads a file. For a file linked under full access control, the
+// caller must present the token the host database appended to the URL it
+// returned; ordinary files open without one.
+func (f *Filter) Open(path, token string) ([]byte, error) {
+	st, err := f.status(path)
+	if err != nil {
+		return nil, fmt.Errorf("fsim: upcall failed: %w", err)
+	}
+	if st.Linked && st.FullControl {
+		if !ValidateToken(f.secret, path, token, time.Now().Unix()) {
+			f.rejected.Add(1)
+			return nil, fmt.Errorf("%w: %s", ErrBadToken, path)
+		}
+	}
+	return f.fs.Read(path)
+}
+
+// Delete removes a file unless it is linked.
+func (f *Filter) Delete(path string) error {
+	st, err := f.status(path)
+	if err != nil {
+		return fmt.Errorf("fsim: upcall failed: %w", err)
+	}
+	if st.Linked {
+		f.rejected.Add(1)
+		return fmt.Errorf("%w (delete %s)", ErrLinked, path)
+	}
+	return f.fs.Delete(path)
+}
+
+// Rename moves a file unless it is linked (either endpoint).
+func (f *Filter) Rename(oldPath, newPath string) error {
+	st, err := f.status(oldPath)
+	if err != nil {
+		return fmt.Errorf("fsim: upcall failed: %w", err)
+	}
+	if st.Linked {
+		f.rejected.Add(1)
+		return fmt.Errorf("%w (rename %s)", ErrLinked, oldPath)
+	}
+	return f.fs.Rename(oldPath, newPath)
+}
+
+// Write modifies a file unless it is linked (linked files are read-only
+// from the file system's point of view).
+func (f *Filter) Write(path string, content []byte) error {
+	st, err := f.status(path)
+	if err != nil {
+		return fmt.Errorf("fsim: upcall failed: %w", err)
+	}
+	if st.Linked {
+		f.rejected.Add(1)
+		return fmt.Errorf("%w (write %s)", ErrLinked, path)
+	}
+	return f.fs.Write(path, content)
+}
+
+// Create passes through: new files are never linked.
+func (f *Filter) Create(path, owner string, content []byte) error {
+	return f.fs.Create(path, owner, content)
+}
+
+// Stat passes through.
+func (f *Filter) Stat(path string) (FileInfo, error) { return f.fs.Stat(path) }
+
+// --- access tokens -----------------------------------------------------------
+
+// MintToken signs an access token for path valid until expiry (Unix
+// seconds). The host database calls this when returning a full-access-
+// control DATALINK value to an application.
+func MintToken(secret []byte, path string, expiry int64) string {
+	mac := hmac.New(sha256.New, secret)
+	fmt.Fprintf(mac, "%s|%d", path, expiry)
+	return hex.EncodeToString(mac.Sum(nil)) + ";" + strconv.FormatInt(expiry, 10)
+}
+
+// ValidateToken checks a token minted by MintToken against now.
+func ValidateToken(secret []byte, path, token string, now int64) bool {
+	sep := strings.LastIndexByte(token, ';')
+	if sep < 0 {
+		return false
+	}
+	expiry, err := strconv.ParseInt(token[sep+1:], 10, 64)
+	if err != nil || expiry < now {
+		return false
+	}
+	want := MintToken(secret, path, expiry)
+	return hmac.Equal([]byte(want), []byte(token))
+}

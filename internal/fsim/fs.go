@@ -1,0 +1,225 @@
+// Package fsim simulates the file server DLFM manages: an in-memory POSIX-
+// like file system with owners, permissions, inodes, and modification
+// times, plus the DataLinks File System Filter (DLFF) that intercepts
+// rename/delete/write and rejects them for linked files.
+//
+// The paper's DLFM ran next to AIX/JFS with a kernel filter; the in-memory
+// server preserves exactly the operations DLFM needs (chown/chmod for
+// takeover and release, stat for link-time capture, interception for
+// referential integrity) without requiring root.
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by the file server and the DLFF filter.
+var (
+	ErrNotFound   = errors.New("fsim: no such file")
+	ErrExists     = errors.New("fsim: file exists")
+	ErrReadOnly   = errors.New("fsim: file is read-only")
+	ErrPermission = errors.New("fsim: permission denied")
+	// ErrLinked is the DLFF rejection: the file is linked to a database
+	// and must not be renamed, deleted, moved, or modified.
+	ErrLinked = errors.New("fsim: operation rejected: file is linked to a database")
+	// ErrBadToken rejects full-access-control reads without a valid token.
+	ErrBadToken = errors.New("fsim: missing or invalid access token")
+)
+
+// FileInfo is the stat result for one file.
+type FileInfo struct {
+	Name     string
+	Owner    string
+	Group    string
+	ReadOnly bool
+	MTime    int64
+	Inode    int64
+	Size     int64
+}
+
+type file struct {
+	content  []byte
+	owner    string
+	group    string
+	readOnly bool
+	mtime    int64
+	inode    int64
+}
+
+// Server is one simulated file server.
+type Server struct {
+	name  string
+	mu    sync.RWMutex
+	files map[string]*file
+
+	nextInode atomic.Int64
+	clock     atomic.Int64
+}
+
+// NewServer returns an empty file server with the given host name.
+func NewServer(name string) *Server {
+	return &Server{name: name, files: make(map[string]*file)}
+}
+
+// Name returns the server's host name (the URL authority DLFM serves).
+func (s *Server) Name() string { return s.name }
+
+func (s *Server) now() int64 { return s.clock.Add(1) }
+
+// Create writes a new file owned by owner.
+func (s *Server) Create(path, owner string, content []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.files[path]; exists {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	s.files[path] = &file{
+		content: append([]byte(nil), content...),
+		owner:   owner,
+		group:   "users",
+		mtime:   s.now(),
+		inode:   s.nextInode.Add(1),
+	}
+	return nil
+}
+
+// Read returns the file's content. (Read permission checks for linked
+// files are the DLFF's business, not the raw server's.)
+func (s *Server) Read(path string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, exists := s.files[path]
+	if !exists {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return append([]byte(nil), f.content...), nil
+}
+
+// Write replaces the file's content, honouring the read-only flag.
+func (s *Server) Write(path string, content []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, exists := s.files[path]
+	if !exists {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if f.readOnly {
+		return fmt.Errorf("%w: %s", ErrReadOnly, path)
+	}
+	f.content = append([]byte(nil), content...)
+	f.mtime = s.now()
+	return nil
+}
+
+// Delete removes the file.
+func (s *Server) Delete(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.files[path]; !exists {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(s.files, path)
+	return nil
+}
+
+// Rename moves the file to a new path.
+func (s *Server) Rename(oldPath, newPath string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, exists := s.files[oldPath]
+	if !exists {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldPath)
+	}
+	if _, exists := s.files[newPath]; exists {
+		return fmt.Errorf("%w: %s", ErrExists, newPath)
+	}
+	delete(s.files, oldPath)
+	s.files[newPath] = f
+	return nil
+}
+
+// Chown changes the file's owner (the Chown daemon's takeover/release).
+func (s *Server) Chown(path, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, exists := s.files[path]
+	if !exists {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	f.owner = owner
+	return nil
+}
+
+// Chmod sets or clears the read-only flag.
+func (s *Server) Chmod(path string, readOnly bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, exists := s.files[path]
+	if !exists {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	f.readOnly = readOnly
+	return nil
+}
+
+// Restore writes content to path regardless of the read-only flag, for the
+// Retrieve daemon bringing a file back from the archive server.
+func (s *Server) Restore(path, owner string, content []byte, readOnly bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[path] = &file{
+		content:  append([]byte(nil), content...),
+		owner:    owner,
+		group:    "users",
+		readOnly: readOnly,
+		mtime:    s.now(),
+		inode:    s.nextInode.Add(1),
+	}
+	return nil
+}
+
+// Stat returns file metadata.
+func (s *Server) Stat(path string) (FileInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, exists := s.files[path]
+	if !exists {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return FileInfo{
+		Name:     path,
+		Owner:    f.owner,
+		Group:    f.group,
+		ReadOnly: f.readOnly,
+		MTime:    f.mtime,
+		Inode:    f.inode,
+		Size:     int64(len(f.content)),
+	}, nil
+}
+
+// Exists reports whether path exists.
+func (s *Server) Exists(path string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, exists := s.files[path]
+	return exists
+}
+
+// List returns the paths under prefix, sorted.
+func (s *Server) List(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for p := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

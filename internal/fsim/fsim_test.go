@@ -1,0 +1,238 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCreateReadWriteDelete(t *testing.T) {
+	s := NewServer("fs1")
+	if err := s.Create("/data/a.txt", "alice", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/data/a.txt", "alice", nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	got, err := s.Read("/data/a.txt")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if err := s.Write("/data/a.txt", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Read("/data/a.txt")
+	if string(got) != "v2" {
+		t.Fatalf("read after write = %q", got)
+	}
+	if err := s.Delete("/data/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read("/data/a.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read after delete: %v", err)
+	}
+	if err := s.Delete("/data/a.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := s.Write("/ghost", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("write missing: %v", err)
+	}
+}
+
+func TestStatAndMtimeAdvances(t *testing.T) {
+	s := NewServer("fs1")
+	s.Create("/a", "alice", []byte("x"))
+	fi1, err := s.Stat("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi1.Owner != "alice" || fi1.Size != 1 || fi1.Inode == 0 || fi1.ReadOnly {
+		t.Fatalf("stat = %+v", fi1)
+	}
+	s.Write("/a", []byte("xy"))
+	fi2, _ := s.Stat("/a")
+	if fi2.MTime <= fi1.MTime || fi2.Size != 2 {
+		t.Fatalf("mtime did not advance: %+v -> %+v", fi1, fi2)
+	}
+	if fi2.Inode != fi1.Inode {
+		t.Error("inode changed on write")
+	}
+	if _, err := s.Stat("/ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat missing: %v", err)
+	}
+}
+
+func TestChownChmod(t *testing.T) {
+	s := NewServer("fs1")
+	s.Create("/a", "alice", []byte("x"))
+	// Takeover: owner becomes the DLFM administrator, file goes read-only.
+	if err := s.Chown("/a", "dlfmadm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Chmod("/a", true); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := s.Stat("/a")
+	if fi.Owner != "dlfmadm" || !fi.ReadOnly {
+		t.Fatalf("after takeover: %+v", fi)
+	}
+	if err := s.Write("/a", []byte("nope")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write to read-only: %v", err)
+	}
+	// Release restores writability.
+	s.Chown("/a", "alice")
+	s.Chmod("/a", false)
+	if err := s.Write("/a", []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Chown("/ghost", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("chown missing: %v", err)
+	}
+	if err := s.Chmod("/ghost", true); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("chmod missing: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := NewServer("fs1")
+	s.Create("/a", "alice", []byte("x"))
+	s.Create("/b", "alice", []byte("y"))
+	if err := s.Rename("/a", "/b"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+	if err := s.Rename("/a", "/c"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("/a") || !s.Exists("/c") {
+		t.Error("rename did not move the file")
+	}
+	if err := s.Rename("/ghost", "/d"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewServer("fs1")
+	for _, p := range []string{"/data/b", "/data/a", "/other/c"} {
+		s.Create(p, "alice", nil)
+	}
+	got := s.List("/data/")
+	if len(got) != 2 || got[0] != "/data/a" || got[1] != "/data/b" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestRestoreOverwritesReadOnly(t *testing.T) {
+	s := NewServer("fs1")
+	s.Create("/a", "alice", []byte("old"))
+	s.Chmod("/a", true)
+	if err := s.Restore("/a", "dlfmadm", []byte("from-archive"), true); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read("/a")
+	fi, _ := s.Stat("/a")
+	if string(got) != "from-archive" || fi.Owner != "dlfmadm" || !fi.ReadOnly {
+		t.Fatalf("restore result: %q %+v", got, fi)
+	}
+}
+
+// staticUpcaller answers from a fixed table, standing in for the DLFM.
+type staticUpcaller map[string]LinkStatus
+
+func (u staticUpcaller) IsLinked(path string) (LinkStatus, error) {
+	return u[path], nil
+}
+
+func TestFilterProtectsLinkedFiles(t *testing.T) {
+	s := NewServer("fs1")
+	s.Create("/linked", "alice", []byte("x"))
+	s.Create("/free", "alice", []byte("y"))
+	up := staticUpcaller{"/linked": {Linked: true}}
+	f := NewFilter(s, up, []byte("secret"))
+
+	if err := f.Delete("/linked"); !errors.Is(err, ErrLinked) {
+		t.Fatalf("delete linked: %v", err)
+	}
+	if err := f.Rename("/linked", "/elsewhere"); !errors.Is(err, ErrLinked) {
+		t.Fatalf("rename linked: %v", err)
+	}
+	if err := f.Write("/linked", []byte("z")); !errors.Is(err, ErrLinked) {
+		t.Fatalf("write linked: %v", err)
+	}
+	// Unlinked files pass through.
+	if err := f.Write("/free", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete("/free"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rejected() != 3 {
+		t.Errorf("Rejected = %d, want 3", f.Rejected())
+	}
+	if f.Upcalls() == 0 {
+		t.Error("no upcalls recorded")
+	}
+}
+
+func TestFilterPartialControlAllowsOpenWithoutToken(t *testing.T) {
+	s := NewServer("fs1")
+	s.Create("/p", "alice", []byte("x"))
+	f := NewFilter(s, staticUpcaller{"/p": {Linked: true, FullControl: false}}, []byte("k"))
+	if _, err := f.Open("/p", ""); err != nil {
+		t.Fatalf("partial-control open: %v", err)
+	}
+}
+
+func TestFilterFullControlRequiresToken(t *testing.T) {
+	secret := []byte("shared-key")
+	s := NewServer("fs1")
+	s.Create("/full", "dlfmadm", []byte("payload"))
+	f := NewFilter(s, staticUpcaller{"/full": {Linked: true, FullControl: true}}, secret)
+
+	if _, err := f.Open("/full", ""); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("open without token: %v", err)
+	}
+	if _, err := f.Open("/full", "bogus;999999999999"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("open with forged token: %v", err)
+	}
+	good := MintToken(secret, "/full", time.Now().Unix()+60)
+	got, err := f.Open("/full", good)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("open with valid token: %q, %v", got, err)
+	}
+	// Token for another path must not transfer.
+	other := MintToken(secret, "/other", time.Now().Unix()+60)
+	if _, err := f.Open("/full", other); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("open with other-path token: %v", err)
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	secret := []byte("k")
+	tok := MintToken(secret, "/a", 1000)
+	if !ValidateToken(secret, "/a", tok, 999) {
+		t.Error("valid token rejected")
+	}
+	if ValidateToken(secret, "/a", tok, 1001) {
+		t.Error("expired token accepted")
+	}
+	if ValidateToken(secret, "/a", "garbage", 0) {
+		t.Error("garbage token accepted")
+	}
+	if ValidateToken([]byte("other"), "/a", tok, 0) {
+		t.Error("token accepted under wrong secret")
+	}
+}
+
+func TestFilterCreateAndStatPassThrough(t *testing.T) {
+	s := NewServer("fs1")
+	f := NewFilter(s, staticUpcaller{}, nil)
+	if err := f.Create("/n", "bob", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat("/n")
+	if err != nil || fi.Owner != "bob" {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+}

@@ -1,0 +1,177 @@
+package hostdb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// Datalink URLs name a file on a managed server: dlfs://<server>/<path>.
+const urlScheme = "dlfs://"
+
+// ParseURL splits a DATALINK value into server and absolute path.
+func ParseURL(url string) (server, path string, err error) {
+	if !strings.HasPrefix(url, urlScheme) {
+		return "", "", fmt.Errorf("hostdb: datalink value %q is not a %s URL", url, urlScheme)
+	}
+	rest := url[len(urlScheme):]
+	slash := strings.IndexByte(rest, '/')
+	if slash <= 0 || slash == len(rest)-1 {
+		return "", "", fmt.Errorf("hostdb: datalink value %q lacks a server or path", url)
+	}
+	return rest[:slash], rest[slash:], nil
+}
+
+// URL composes a DATALINK value.
+func URL(server, path string) string { return urlScheme + server + path }
+
+// recidCol names the hidden column that stores the link recovery id next
+// to each DATALINK column (the paper's host keeps the recovery id with the
+// datalink value; we keep it in a shadow column).
+func recidCol(col string) string { return col + "__recid" }
+
+// dlCol is the registry entry for one DATALINK column.
+type dlCol struct {
+	name     string
+	grp      int64
+	recovery bool
+	fullctl  bool
+}
+
+// CreateTable executes DDL that may declare DATALINK columns. The DDL
+// names them as VARCHAR columns; dlCols identifies which are DATALINK and
+// with what options. The datalink engine adds the hidden recovery-id
+// column for each and records the column→file-group mapping.
+func (db *DB) CreateTable(ddl string, dlCols ...DatalinkCol) error {
+	stmt, err := sql.Parse(ddl)
+	if err != nil {
+		return err
+	}
+	ct, isCreate := stmt.(sql.CreateTable)
+	if !isCreate {
+		return fmt.Errorf("hostdb: CreateTable requires CREATE TABLE DDL, got %T", stmt)
+	}
+	declared := make(map[string]value.Kind, len(ct.Cols))
+	for _, c := range ct.Cols {
+		declared[c.Name] = c.Type
+	}
+	for _, dc := range dlCols {
+		kind, exists := declared[strings.ToLower(dc.Name)]
+		if !exists {
+			return fmt.Errorf("hostdb: DATALINK column %q not declared in DDL", dc.Name)
+		}
+		if kind != value.KindString {
+			return fmt.Errorf("hostdb: DATALINK column %q must be VARCHAR", dc.Name)
+		}
+	}
+
+	// Rewrite the DDL with a shadow recovery-id column per DATALINK column.
+	rewritten := strings.TrimRight(strings.TrimSpace(ddl), ")")
+	for _, dc := range dlCols {
+		rewritten += ", " + recidCol(strings.ToLower(dc.Name)) + " BIGINT"
+	}
+	rewritten += ")"
+
+	c := db.eng.Connect()
+	if _, err := c.Exec(rewritten); err != nil {
+		return err
+	}
+	committed := false
+	defer func() {
+		if !committed && c.InTxn() {
+			c.Rollback()
+		}
+	}()
+	for _, dc := range dlCols {
+		grp := grpSeq.Add(1)
+		rec, full := int64(0), int64(0)
+		if dc.Recovery {
+			rec = 1
+		}
+		if dc.FullControl {
+			full = 1
+		}
+		if _, err := c.Exec(`INSERT INTO dl_cols (tbl, col, grp, recovery, fullctl) VALUES (?, ?, ?, ?, ?)`,
+			value.Str(ct.Name), value.Str(strings.ToLower(dc.Name)),
+			value.Int(grp), value.Int(rec), value.Int(full)); err != nil {
+			return err
+		}
+	}
+	committed = true
+	if !c.InTxn() {
+		return nil // no DATALINK columns: the DDL already autocommitted
+	}
+	return c.Commit()
+}
+
+// datalinkCols returns the registry entries for table, empty when the
+// table has no DATALINK columns.
+func (db *DB) datalinkCols(conn connLike, table string) ([]dlCol, error) {
+	rows, err := conn.Query(`SELECT col, grp, recovery, fullctl FROM dl_cols WHERE tbl = ?`, value.Str(table))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]dlCol, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, dlCol{
+			name:     r[0].Text(),
+			grp:      r[1].Int64(),
+			recovery: r[2].Int64() == 1,
+			fullctl:  r[3].Int64() == 1,
+		})
+	}
+	return out, nil
+}
+
+// connLike is the slice of engine.Conn the datalink engine needs; it lets
+// helpers run on any session's connection.
+type connLike interface {
+	Query(text string, params ...value.Value) ([]value.Row, error)
+	Exec(text string, params ...value.Value) (int64, error)
+}
+
+// MintToken signs a read token for a full-access-control file, as the
+// host does when an application SELECTs the DATALINK value.
+func (db *DB) MintToken(path string) string {
+	if len(db.cfg.TokenSecret) == 0 {
+		return ""
+	}
+	db.stats.TokensMinted.Add(1)
+	ttl := db.cfg.TokenTTL
+	if ttl <= 0 {
+		ttl = time.Hour
+	}
+	return fsim.MintToken(db.cfg.TokenSecret, path, time.Now().Add(ttl).Unix())
+}
+
+// renderPreds re-renders a parsed WHERE clause as SQL text with parameter
+// values inlined as literals, so the datalink engine can issue its own
+// row-identifying SELECT for the same predicate.
+func renderPreds(preds []sql.Pred, params []value.Value) (string, error) {
+	if len(preds) == 0 {
+		return "", nil
+	}
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		var rhs string
+		switch v := p.Val.(type) {
+		case sql.Literal:
+			rhs = v.V.SQLLiteral()
+		case sql.Param:
+			if v.Idx >= len(params) {
+				return "", fmt.Errorf("hostdb: missing parameter %d", v.Idx+1)
+			}
+			rhs = params[v.Idx].SQLLiteral()
+		case sql.Column:
+			rhs = v.Name
+		default:
+			return "", fmt.Errorf("hostdb: unsupported expression %T", p.Val)
+		}
+		parts[i] = p.Col + " " + p.Op.String() + " " + rhs
+	}
+	return " WHERE " + strings.Join(parts, " AND "), nil
+}

@@ -1,0 +1,243 @@
+// Package hostdb simulates the host database server of the DataLinks
+// architecture (Figure 2): a relational database (built on the same
+// internal/engine the DLFM uses) extended with the *datalink engine* — the
+// component that intercepts SQL touching DATALINK columns, drives the
+// DLFM's link/unlink APIs in the same transaction, and coordinates the
+// two-phase commit across every DLFM the transaction touched.
+//
+// It also implements the host-side utilities the paper describes: Backup
+// (with the wait-for-archive handshake), Restore to a point in time,
+// Reconcile, bulk Load (batched DLFM transactions), DROP TABLE (file-group
+// deletion), and the indoubt-resolution daemon that polls DLFMs after a
+// failure (Section 3.3).
+package hostdb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rpc"
+)
+
+// Dialer opens a fresh connection (= DLFM child agent) to a DLFM.
+type Dialer func() (*rpc.Client, error)
+
+// Config tunes the host database.
+type Config struct {
+	// Name identifies the database; DBID seeds recovery-id generation.
+	Name string
+	DBID int64
+	// DB is the host engine configuration.
+	DB engine.Config
+	// SyncCommit makes the phase-2 commit call to DLFM synchronous. The
+	// paper found this mandatory — the asynchronous variant produces the
+	// distributed deadlock of Section 4 (experiment E6).
+	SyncCommit bool
+	// TokenSecret signs access tokens for full-access-control files; it is
+	// shared with the DLFF on each file server. Empty disables tokens.
+	TokenSecret []byte
+	// TokenTTL bounds token validity.
+	TokenTTL time.Duration
+	// LoadBatchN is the DLFM batch-commit interval for the Load utility.
+	LoadBatchN int
+}
+
+// DefaultConfig returns the production host configuration: synchronous
+// phase-2 commit, 60 s lock timeout. Next-key locking is off in the host
+// engine: DB2's type-2 indexes (standard by V5) avoid the end-of-index
+// insert hot-spot that key locking would otherwise create on monotonic
+// keys, and the paper's next-key lesson concerns the DLFM's local
+// database, not the host.
+func DefaultConfig(name string) Config {
+	db := engine.DefaultConfig("hostdb-" + name)
+	db.NextKeyLocking = false
+	return Config{
+		Name:        name,
+		DBID:        1,
+		DB:          db,
+		SyncCommit:  true,
+		TokenSecret: []byte("datalinks-" + name),
+		TokenTTL:    time.Hour,
+		LoadBatchN:  100,
+	}
+}
+
+// Stats counts host-side datalink activity.
+type Stats struct {
+	Links            atomic.Int64
+	Unlinks          atomic.Int64
+	Commits          atomic.Int64
+	Aborts           atomic.Int64
+	StmtBackouts     atomic.Int64
+	IndoubtsResolved atomic.Int64
+	TokensMinted     atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Links, Unlinks, Commits, Aborts int64
+	StmtBackouts, IndoubtsResolved  int64
+	TokensMinted                    int64
+}
+
+// DB is one host database instance.
+type DB struct {
+	cfg Config
+	eng *engine.DB
+
+	mu      sync.Mutex
+	dialers map[string]Dialer
+
+	txnSeq atomic.Int64
+	recSeq atomic.Int64
+
+	stats Stats
+
+	// backups holds the quiesced backup images (the paper's backup files).
+	backups map[int64]*backupImage
+	bkSeq   atomic.Int64
+}
+
+// Open creates or recovers a host database.
+func Open(cfg Config) (*DB, error) {
+	eng, err := engine.Open(cfg.DB)
+	if err != nil {
+		return nil, fmt.Errorf("hostdb: open engine: %w", err)
+	}
+	db := &DB{
+		cfg:     cfg,
+		eng:     eng,
+		dialers: make(map[string]Dialer),
+		backups: make(map[int64]*backupImage),
+	}
+	now := time.Now().UnixNano()
+	db.txnSeq.Store(now)
+	db.recSeq.Store(now)
+	if err := db.bootstrapSchema(); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Engine exposes the underlying host engine for diagnostics and tests.
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// Stats returns a snapshot of the counters.
+func (db *DB) Stats() Snapshot {
+	return Snapshot{
+		Links:            db.stats.Links.Load(),
+		Unlinks:          db.stats.Unlinks.Load(),
+		Commits:          db.stats.Commits.Load(),
+		Aborts:           db.stats.Aborts.Load(),
+		StmtBackouts:     db.stats.StmtBackouts.Load(),
+		IndoubtsResolved: db.stats.IndoubtsResolved.Load(),
+		TokensMinted:     db.stats.TokensMinted.Load(),
+	}
+}
+
+// Close releases the host engine.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// RegisterDLFM makes the DLFM managing server reachable. Each session
+// dials its own connection, becoming a distinct child agent on the DLFM
+// side, exactly as each DB2 agent does (Section 3.5).
+func (db *DB) RegisterDLFM(server string, dial Dialer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.dialers[server] = dial
+}
+
+func (db *DB) dialer(server string) (Dialer, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d, exists := db.dialers[server]
+	if !exists {
+		return nil, fmt.Errorf("hostdb: no DLFM registered for file server %q", server)
+	}
+	return d, nil
+}
+
+// Servers lists the registered file servers.
+func (db *DB) Servers() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.dialers))
+	for s := range db.dialers {
+		out = append(out, s)
+	}
+	return out
+}
+
+// NextTxn mints a host transaction id: monotonically increasing, which the
+// paper calls "absolutely essential" (Section 3.3); the nanosecond base
+// keeps it monotonic across restarts.
+func (db *DB) NextTxn() int64 { return db.txnSeq.Add(1) }
+
+// NextRecID mints a recovery id (dbid + timestamp in the paper; here a
+// monotone counter seeded by the clock, unique across restarts).
+func (db *DB) NextRecID() int64 { return db.recSeq.Add(1) }
+
+// Crash simulates a host database failure: the engine restarts from its
+// log; every open session is dead. After a crash the caller runs
+// ResolveIndoubts (or starts the resolution daemon) to settle DLFM-side
+// prepared transactions (Section 3.3).
+func (db *DB) Crash() error {
+	return db.eng.Crash()
+}
+
+// bootstrapSchema creates the datalink engine's own metadata tables: the
+// DATALINK column registry, the (group, server) placement map, and the
+// transaction-outcome table that implements presumed abort.
+func (db *DB) bootstrapSchema() error {
+	if _, err := db.eng.Catalog().Table("dl_cols"); err == nil {
+		return nil // recovered from the log
+	}
+	c := db.eng.Connect()
+	ddl := []string{
+		`CREATE TABLE dl_cols (tbl VARCHAR NOT NULL, col VARCHAR NOT NULL, grp BIGINT NOT NULL, recovery BIGINT NOT NULL, fullctl BIGINT NOT NULL)`,
+		`CREATE UNIQUE INDEX dl_cols_tc ON dl_cols (tbl, col)`,
+		`CREATE INDEX dl_cols_tbl ON dl_cols (tbl)`,
+		`CREATE TABLE dl_grpsrv (grp BIGINT NOT NULL, server VARCHAR NOT NULL)`,
+		`CREATE UNIQUE INDEX dl_grpsrv_gs ON dl_grpsrv (grp, server)`,
+		`CREATE TABLE dl_outcome (txnid BIGINT NOT NULL, outcome VARCHAR NOT NULL)`,
+		`CREATE UNIQUE INDEX dl_outcome_id ON dl_outcome (txnid)`,
+		`CREATE TABLE dl_xa (host_txn BIGINT NOT NULL, engine_txn BIGINT NOT NULL)`,
+		`CREATE UNIQUE INDEX dl_xa_host ON dl_xa (host_txn)`,
+		`CREATE TABLE dl_backups (backupid BIGINT NOT NULL, recid BIGINT NOT NULL, ts BIGINT NOT NULL)`,
+		`CREATE UNIQUE INDEX dl_backups_id ON dl_backups (backupid)`,
+	}
+	for _, stmt := range ddl {
+		if _, err := c.Exec(stmt); err != nil {
+			return fmt.Errorf("hostdb: bootstrap: %w", err)
+		}
+	}
+	// The registry tables are hot under concurrent workloads; craft their
+	// statistics the same way DLFM does so lookups use index plans.
+	const big = 10_000_000
+	db.eng.SetStats("dl_cols", big, map[string]int64{"tbl": big, "col": big})
+	db.eng.SetStats("dl_grpsrv", big, map[string]int64{"grp": big, "server": 100})
+	db.eng.SetStats("dl_outcome", big, map[string]int64{"txnid": big})
+	db.eng.SetStats("dl_xa", big, map[string]int64{"host_txn": big})
+	db.eng.SetStats("dl_backups", big, map[string]int64{"backupid": big})
+	return nil
+}
+
+// DatalinkCol declares one DATALINK column when creating a table.
+type DatalinkCol struct {
+	Name string
+	// Recovery: DLFM archives the file and restores it in point-in-time
+	// recovery ("RECOVERY YES").
+	Recovery bool
+	// FullControl: reads require a database token ("READ PERMISSION DB").
+	FullControl bool
+}
+
+// grpSeq assigns file-group ids; groups correspond one-to-one to DATALINK
+// columns (Section 3).
+var grpSeq atomic.Int64
+
+func init() { grpSeq.Store(time.Now().UnixNano() & 0xFFFFFF) }

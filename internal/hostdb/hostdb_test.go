@@ -1,0 +1,592 @@
+package hostdb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/rpc"
+	"repro/internal/value"
+)
+
+// stack is a complete DataLinks deployment: a host database plus one or
+// more DLFM-managed file servers, wired with in-process transports.
+type stack struct {
+	t    *testing.T
+	db   *DB
+	fs   map[string]*fsim.Server
+	arch map[string]*archive.Server
+	dlfm map[string]*core.Server
+}
+
+func newStack(t *testing.T, servers []string, mutate ...func(*Config, map[string]*core.Config)) *stack {
+	t.Helper()
+	st := &stack{
+		t:    t,
+		fs:   make(map[string]*fsim.Server),
+		arch: make(map[string]*archive.Server),
+		dlfm: make(map[string]*core.Server),
+	}
+	hostCfg := DefaultConfig("hostdb")
+	hostCfg.DB.LockTimeout = 2 * time.Second
+	dlfmCfgs := make(map[string]*core.Config, len(servers))
+	for _, name := range servers {
+		cfg := core.DefaultConfig(name)
+		cfg.DB.LockTimeout = 2 * time.Second
+		dlfmCfgs[name] = &cfg
+	}
+	for _, m := range mutate {
+		m(&hostCfg, dlfmCfgs)
+	}
+	db, err := Open(hostCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	st.db = db
+	for _, name := range servers {
+		fs := fsim.NewServer(name)
+		ar := archive.NewServer()
+		dlfm, err := core.New(*dlfmCfgs[name], fs, ar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { dlfm.Close() })
+		st.fs[name] = fs
+		st.arch[name] = ar
+		st.dlfm[name] = dlfm
+		srv := dlfm
+		db.RegisterDLFM(name, func() (*rpc.Client, error) {
+			return rpc.LocalPair(srv), nil
+		})
+	}
+	return st
+}
+
+func (st *stack) mustExec(s *Session, text string, params ...value.Value) int64 {
+	st.t.Helper()
+	n, err := s.Exec(text, params...)
+	if err != nil {
+		st.t.Fatalf("Exec(%q): %v", text, err)
+	}
+	return n
+}
+
+func (st *stack) createFile(server, path, owner, content string) {
+	st.t.Helper()
+	if err := st.fs[server].Create(path, owner, []byte(content)); err != nil {
+		st.t.Fatal(err)
+	}
+}
+
+// mediaTable creates the canonical test table with one DATALINK column.
+func (st *stack) mediaTable(recovery, fullctl bool) {
+	st.t.Helper()
+	err := st.db.CreateTable(
+		`CREATE TABLE media (id BIGINT NOT NULL, title VARCHAR, clip VARCHAR)`,
+		DatalinkCol{Name: "clip", Recovery: recovery, FullControl: fullctl},
+	)
+	if err != nil {
+		st.t.Fatal(err)
+	}
+}
+
+func (st *stack) linkedOnDLFM(server, path string) bool {
+	st.t.Helper()
+	status, err := st.dlfm[server].Upcaller().IsLinked(path)
+	if err != nil {
+		st.t.Fatal(err)
+	}
+	return status.Linked
+}
+
+func TestInsertLinksAndCommit(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(true, true)
+	st.createFile("fs1", "/v/clip1.mpg", "alice", "frames")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 'Jordan dunk', ?)`,
+		value.Str(URL("fs1", "/v/clip1.mpg")))
+	// Before commit the DLFM entry is uncommitted but the file already
+	// appears linked to the writing agent; after commit it is durable.
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/v/clip1.mpg") {
+		t.Fatal("file not linked after commit")
+	}
+	fi, _ := st.fs["fs1"].Stat("/v/clip1.mpg")
+	if fi.Owner != "dlfmadm" || !fi.ReadOnly {
+		t.Fatalf("takeover missing: %+v", fi)
+	}
+	if st.db.Stats().Links != 1 || st.db.Stats().Commits != 1 {
+		t.Fatalf("stats = %+v", st.db.Stats())
+	}
+}
+
+func TestRollbackUnlinks(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`,
+		value.Str(URL("fs1", "/a")))
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("file linked after rollback")
+	}
+	rows, err := s.Query(`SELECT COUNT(*) FROM media`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+	if rows[0][0].Int64() != 0 {
+		t.Fatal("host row survived rollback")
+	}
+}
+
+func TestDeleteUnlinks(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.mustExec(s, `DELETE FROM media WHERE id = 1`)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("file still linked after row delete")
+	}
+	// The file itself remains in the file system, now unmanaged.
+	if err := st.fs["fs1"].Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateSwapsLink(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/old", "alice", "x")
+	st.createFile("fs1", "/new", "alice", "y")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/old")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.mustExec(s, `UPDATE media SET clip = ? WHERE id = 1`, value.Str(URL("fs1", "/new")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/old") {
+		t.Fatal("/old still linked")
+	}
+	if !st.linkedOnDLFM("fs1", "/new") {
+		t.Fatal("/new not linked")
+	}
+	rows, _ := s.Query(`SELECT clip FROM media WHERE id = 1`)
+	s.Commit()
+	if rows[0][0].Text() != URL("fs1", "/new") {
+		t.Fatalf("clip = %q", rows[0][0].Text())
+	}
+}
+
+func TestUpdateRollbackRestoresOldLink(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/old", "alice", "x")
+	st.createFile("fs1", "/new", "alice", "y")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/old")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.mustExec(s, `UPDATE media SET clip = ? WHERE id = 1`, value.Str(URL("fs1", "/new")))
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/old") {
+		t.Fatal("/old lost its link after rollback")
+	}
+	if st.linkedOnDLFM("fs1", "/new") {
+		t.Fatal("/new linked after rollback")
+	}
+}
+
+func TestStatementErrorBacksOutAndTxnContinues(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/good", "alice", "x")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 'ok', ?)`, value.Str(URL("fs1", "/good")))
+	// Second statement references a missing file: statement error, the
+	// transaction lives on.
+	_, err := s.Exec(`INSERT INTO media (id, title, clip) VALUES (2, 'bad', ?)`, value.Str(URL("fs1", "/ghost")))
+	if !errors.Is(err, ErrStatement) {
+		t.Fatalf("err = %v, want ErrStatement", err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/good") {
+		t.Fatal("good link lost")
+	}
+	rows, _ := s.Query(`SELECT COUNT(*) FROM media`)
+	s.Commit()
+	if rows[0][0].Int64() != 1 {
+		t.Fatalf("rows = %d, want 1", rows[0][0].Int64())
+	}
+}
+
+func TestDuplicateLinkIsStatementError(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Exec(`INSERT INTO media (id, title, clip) VALUES (2, 't2', ?)`, value.Str(URL("fs1", "/a")))
+	if !errors.Is(err, ErrStatement) || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+	s.Rollback()
+}
+
+func TestHostRowConstraintFailureBacksOutLink(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	if err := st.db.CreateTable(
+		`CREATE TABLE media (id BIGINT NOT NULL, clip VARCHAR)`,
+		DatalinkCol{Name: "clip"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	c := st.db.Engine().Connect()
+	if _, err := c.Exec(`CREATE UNIQUE INDEX media_id ON media (id)`); err != nil {
+		t.Fatal(err)
+	}
+	st.createFile("fs1", "/a", "alice", "x")
+	st.createFile("fs1", "/b", "alice", "y")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, clip) VALUES (1, ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Host unique-key violation after the link succeeded: the link must be
+	// backed out.
+	_, err := s.Exec(`INSERT INTO media (id, clip) VALUES (1, ?)`, value.Str(URL("fs1", "/b")))
+	if err == nil {
+		t.Fatal("duplicate host key accepted")
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/b") {
+		t.Fatal("/b stayed linked after host-row failure")
+	}
+	if st.db.Stats().StmtBackouts == 0 {
+		t.Fatal("no statement backout recorded")
+	}
+}
+
+func TestSelectMintsTokensForFullControl(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(true, true)
+	st.createFile("fs1", "/v/x.mpg", "alice", "payload")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/v/x.mpg")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Query(`SELECT clip FROM media WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+	got := rows[0][0].Text()
+	hash := strings.IndexByte(got, '#')
+	if hash < 0 {
+		t.Fatalf("no token in %q", got)
+	}
+	url, token := got[:hash], got[hash+1:]
+	if url != URL("fs1", "/v/x.mpg") {
+		t.Fatalf("url = %q", url)
+	}
+	// The token opens the file through the DLFF.
+	filter := fsim.NewFilter(st.fs["fs1"], st.dlfm["fs1"].Upcaller(), st.db.cfg.TokenSecret)
+	content, err := filter.Open("/v/x.mpg", token)
+	if err != nil || string(content) != "payload" {
+		t.Fatalf("open with minted token: %q %v", content, err)
+	}
+	if _, err := filter.Open("/v/x.mpg", ""); err == nil {
+		t.Fatal("open without token succeeded")
+	}
+	// SELECT * strips the hidden recid column.
+	rows, _ = s.Query(`SELECT * FROM media WHERE id = 1`)
+	s.Commit()
+	if len(rows[0]) != 3 {
+		t.Fatalf("SELECT * returned %d columns, want 3", len(rows[0]))
+	}
+}
+
+func TestMultiServerTransaction(t *testing.T) {
+	st := newStack(t, []string{"fs1", "fs2"})
+	if err := st.db.CreateTable(
+		`CREATE TABLE docs (id BIGINT, main VARCHAR, attach VARCHAR)`,
+		DatalinkCol{Name: "main"}, DatalinkCol{Name: "attach"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st.createFile("fs1", "/m", "alice", "m")
+	st.createFile("fs2", "/a", "alice", "a")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO docs (id, main, attach) VALUES (1, ?, ?)`,
+		value.Str(URL("fs1", "/m")), value.Str(URL("fs2", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/m") || !st.linkedOnDLFM("fs2", "/a") {
+		t.Fatal("multi-server links incomplete")
+	}
+	// Rollback path across two servers.
+	st.createFile("fs1", "/m2", "alice", "m")
+	st.createFile("fs2", "/a2", "alice", "a")
+	st.mustExec(s, `INSERT INTO docs (id, main, attach) VALUES (2, ?, ?)`,
+		value.Str(URL("fs1", "/m2")), value.Str(URL("fs2", "/a2")))
+	s.Rollback()
+	if st.linkedOnDLFM("fs1", "/m2") || st.linkedOnDLFM("fs2", "/a2") {
+		t.Fatal("rollback did not undo links on both servers")
+	}
+}
+
+// vetoFactory wraps a DLFM's agent factory and fails Prepare, simulating a
+// participant voting no.
+type vetoFactory struct {
+	inner rpc.AgentFactory
+	veto  bool
+}
+
+type vetoAgent struct {
+	inner rpc.Agent
+	f     *vetoFactory
+}
+
+func (f *vetoFactory) NewAgent() rpc.Agent { return &vetoAgent{inner: f.inner.NewAgent(), f: f} }
+
+func (a *vetoAgent) Handle(req any) rpc.Response {
+	if _, isPrepare := req.(rpc.PrepareReq); isPrepare && a.f.veto {
+		return rpc.Response{Code: "severe", Msg: "injected prepare failure"}
+	}
+	return a.inner.Handle(req)
+}
+
+func (a *vetoAgent) Close() { a.inner.Close() }
+
+func TestPrepareFailureAbortsAllParticipants(t *testing.T) {
+	// "if one of the DLFMs fails to prepare the transaction, the host
+	// database sends Abort request to all the remaining DLFMs, even though
+	// they may have prepared successfully" (Section 3.3).
+	st := newStack(t, []string{"fs1", "fs2"})
+	veto := &vetoFactory{inner: st.dlfm["fs2"]}
+	st.db.RegisterDLFM("fs2", func() (*rpc.Client, error) {
+		return rpc.LocalPair(veto), nil
+	})
+	if err := st.db.CreateTable(
+		`CREATE TABLE docs (id BIGINT, main VARCHAR, attach VARCHAR)`,
+		DatalinkCol{Name: "main"}, DatalinkCol{Name: "attach"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st.createFile("fs1", "/m", "alice", "m")
+	st.createFile("fs2", "/a", "alice", "a")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO docs (id, main, attach) VALUES (1, ?, ?)`,
+		value.Str(URL("fs1", "/m")), value.Str(URL("fs2", "/a")))
+	veto.veto = true
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit succeeded despite prepare veto")
+	}
+	// fs1 prepared successfully but must have aborted.
+	if st.linkedOnDLFM("fs1", "/m") {
+		t.Fatal("fs1 kept its link after global abort")
+	}
+	if st.dlfm["fs1"].Stats().Compensations == 0 {
+		t.Fatal("fs1 did not run abort compensation after its prepare")
+	}
+	// The host rows are gone too.
+	rows, _ := s.Query(`SELECT COUNT(*) FROM docs`)
+	s.Commit()
+	if rows[0][0].Int64() != 0 {
+		t.Fatal("host row survived the aborted 2PC")
+	}
+}
+
+func TestIndoubtResolutionAfterDLFMCrash(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	st.createFile("fs1", "/b", "alice", "y")
+
+	// Manufacture two indoubt transactions directly against the DLFM: one
+	// whose outcome row says commit, one unknown (presumed abort).
+	commitTxn, abortTxn := st.db.NextTxn(), st.db.NextTxn()
+	cols, _ := st.db.datalinkCols(st.db.eng.Connect(), "media")
+	grp := cols[0].grp
+	raw := rpc.LocalPair(st.dlfm["fs1"])
+	for _, step := range []any{
+		rpc.BeginTxnReq{Txn: commitTxn},
+		rpc.CreateGroupReq{Txn: commitTxn, Grp: grp},
+		rpc.LinkFileReq{Txn: commitTxn, Name: "/a", RecID: st.db.NextRecID(), Grp: grp},
+		rpc.PrepareReq{Txn: commitTxn},
+	} {
+		if resp, err := raw.Call(step); err != nil || !resp.OK() {
+			t.Fatalf("%T: %+v %v", step, resp, err)
+		}
+	}
+	raw2 := rpc.LocalPair(st.dlfm["fs1"])
+	for _, step := range []any{
+		rpc.BeginTxnReq{Txn: abortTxn},
+		rpc.LinkFileReq{Txn: abortTxn, Name: "/b", RecID: st.db.NextRecID(), Grp: grp},
+		rpc.PrepareReq{Txn: abortTxn},
+	} {
+		if resp, err := raw2.Call(step); err != nil || !resp.OK() {
+			t.Fatalf("%T: %+v %v", step, resp, err)
+		}
+	}
+	// The host recorded an outcome only for commitTxn (it crashed before
+	// deciding abortTxn).
+	c := st.db.Engine().Connect()
+	if _, err := c.Exec(`INSERT INTO dl_outcome (txnid, outcome) VALUES (?, 'C')`, value.Int(commitTxn)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// DLFM crashes; both transactions become indoubt.
+	if err := st.dlfm["fs1"].Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := st.db.ResolveIndoubts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("resolved = %d, want 2", n)
+	}
+	if !st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("committed indoubt txn not applied")
+	}
+	if st.linkedOnDLFM("fs1", "/b") {
+		t.Fatal("presumed-abort txn left its link")
+	}
+}
+
+func TestIndoubtDaemonResolves(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	cols, _ := st.db.datalinkCols(st.db.eng.Connect(), "media")
+	grp := cols[0].grp
+
+	txn := st.db.NextTxn()
+	raw := rpc.LocalPair(st.dlfm["fs1"])
+	for _, step := range []any{
+		rpc.BeginTxnReq{Txn: txn},
+		rpc.CreateGroupReq{Txn: txn, Grp: grp},
+		rpc.LinkFileReq{Txn: txn, Name: "/a", RecID: st.db.NextRecID(), Grp: grp},
+		rpc.PrepareReq{Txn: txn},
+	} {
+		if resp, err := raw.Call(step); err != nil || !resp.OK() {
+			t.Fatalf("%T: %+v %v", step, resp, err)
+		}
+	}
+	if err := st.dlfm["fs1"].Crash(); err != nil {
+		t.Fatal(err)
+	}
+	stop := st.db.StartIndoubtDaemon(5 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.db.Stats().IndoubtsResolved > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("indoubt daemon never resolved the transaction")
+}
+
+func TestParseURL(t *testing.T) {
+	server, path, err := ParseURL("dlfs://fs1/data/x.bin")
+	if err != nil || server != "fs1" || path != "/data/x.bin" {
+		t.Fatalf("%q %q %v", server, path, err)
+	}
+	for _, bad := range []string{"", "http://x/y", "dlfs://", "dlfs://onlyserver", "dlfs://server/"} {
+		if _, _, err := ParseURL(bad); err == nil {
+			t.Errorf("ParseURL(%q) succeeded", bad)
+		}
+	}
+	if URL("fs1", "/a") != "dlfs://fs1/a" {
+		t.Error("URL composition wrong")
+	}
+}
+
+func TestNoDLFMRegistered(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	s := st.db.Session()
+	defer s.Close()
+	_, err := s.Exec(`INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`,
+		value.Str(URL("nowhere", "/a")))
+	if err == nil {
+		t.Fatal("link to unregistered server succeeded")
+	}
+	s.Rollback()
+}
+
+func TestMonotonicIDs(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	prev := st.db.NextTxn()
+	for i := 0; i < 100; i++ {
+		next := st.db.NextTxn()
+		if next <= prev {
+			t.Fatal("txn ids not monotonic")
+		}
+		prev = next
+	}
+	prevR := st.db.NextRecID()
+	for i := 0; i < 100; i++ {
+		next := st.db.NextRecID()
+		if next <= prevR {
+			t.Fatal("recovery ids not monotonic")
+		}
+		prevR = next
+	}
+}

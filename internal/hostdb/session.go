@@ -1,0 +1,816 @@
+package hostdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/rpc"
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// Errors surfaced by sessions.
+var (
+	// ErrTxnRolledBack: a severe DLFM error (deadlock/timeout in its local
+	// database) forced a full-transaction rollback, as Section 3.2
+	// prescribes ("the host database will always rollback the full
+	// transaction").
+	ErrTxnRolledBack = errors.New("hostdb: transaction rolled back")
+	// ErrStatement: the statement failed and was backed out; the
+	// transaction continues.
+	ErrStatement = errors.New("hostdb: statement failed")
+)
+
+// participant is one DLFM enlisted in the current transaction.
+type participant struct {
+	server string
+	client *rpc.Client
+	begun  bool
+}
+
+// stmtOp records a DLFM operation of the in-flight statement, so a
+// statement-level error can be compensated with in_backout requests
+// (Section 3.2's savepoint rollback).
+type stmtOp struct {
+	server string
+	name   string
+	isLink bool
+	recID  int64 // the operation's recovery id, identifying it for backout
+}
+
+// Session is one application connection to the host database, served by
+// one DB2 agent in the paper's architecture. Not safe for concurrent use.
+type Session struct {
+	db   *DB
+	conn *engine.Conn
+	txn  int64
+	// parts persist across transactions (the connection to a DLFM child
+	// agent is long-lived); begun is reset per transaction.
+	parts map[string]*participant
+	dead  bool
+	// preparedGlobal marks an XA branch after PrepareGlobal: only
+	// CommitGlobal/AbortGlobal are valid until it resolves.
+	preparedGlobal bool
+}
+
+// Session opens an application connection.
+func (db *DB) Session() *Session {
+	return &Session{db: db, conn: db.eng.Connect(), parts: make(map[string]*participant)}
+}
+
+// TxnID exposes the current host transaction id (0 when idle).
+func (s *Session) TxnID() int64 { return s.txn }
+
+// Close abandons any open transaction and disconnects from the DLFMs.
+func (s *Session) Close() {
+	if s.txn != 0 {
+		s.Rollback()
+	}
+	for _, p := range s.parts {
+		p.client.Close()
+	}
+	s.parts = nil
+}
+
+func (s *Session) begin() {
+	if s.txn == 0 {
+		s.txn = s.db.NextTxn()
+		s.dead = false
+	}
+}
+
+// part returns (dialing if necessary) the participant for server and
+// enlists it in the current transaction.
+func (s *Session) part(server string) (*participant, error) {
+	p := s.parts[server]
+	if p == nil {
+		dial, err := s.db.dialer(server)
+		if err != nil {
+			return nil, err
+		}
+		client, err := dial()
+		if err != nil {
+			return nil, fmt.Errorf("hostdb: connect to DLFM %q: %w", server, err)
+		}
+		p = &participant{server: server, client: client}
+		s.parts[server] = p
+	}
+	if !p.begun {
+		resp, err := p.client.Call(rpc.BeginTxnReq{Txn: s.txn})
+		if err != nil {
+			return nil, err
+		}
+		if !resp.OK() {
+			return nil, fmt.Errorf("hostdb: BeginTransaction at %s: %s", server, resp.Msg)
+		}
+		p.begun = true
+	}
+	return p, nil
+}
+
+// Exec executes one SQL statement, intercepting DATALINK column activity.
+func (s *Session) Exec(text string, params ...value.Value) (int64, error) {
+	if s.dead {
+		return 0, fmt.Errorf("%w: acknowledge with Rollback", ErrTxnRolledBack)
+	}
+	if s.preparedGlobal {
+		return 0, fmt.Errorf("hostdb: transaction %d is globally prepared; only CommitGlobal/AbortGlobal are valid", s.txn)
+	}
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	s.begin()
+	switch st := stmt.(type) {
+	case sql.Insert:
+		return s.execInsert(st, params)
+	case sql.Update:
+		return s.execUpdate(st, params)
+	case sql.Delete:
+		return s.execDelete(st, params)
+	default:
+		n, err := s.conn.Exec(text, params...)
+		return n, s.mapEngineErr(err)
+	}
+}
+
+// mapEngineErr converts host-engine deadlock/timeout (which already rolled
+// the engine transaction back) into a dead-session state: the DLFM side is
+// aborted too, as the paper's host does.
+func (s *Session) mapEngineErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if engine.IsRetryable(err) {
+		// The engine already rolled the local transaction back (deadlock
+		// victim / lock timeout); acknowledge it so the connection is
+		// usable again, and abort the DLFM side.
+		if s.conn.InTxn() {
+			s.conn.Rollback()
+		}
+		s.abortParts()
+		s.markDead()
+		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
+	}
+	return err
+}
+
+func (s *Session) markDead() {
+	s.dead = true
+	s.db.stats.Aborts.Add(1)
+}
+
+// dlfmFailure converts a DLFM error response mid-statement. Severe errors
+// (the DLFM's local database rolled its sub-transaction back) force a full
+// host rollback; benign ones surface as statement errors after the caller
+// backs out the statement's prior operations.
+func (s *Session) dlfmFailure(resp rpc.Response, callErr error, done []stmtOp) error {
+	if callErr != nil {
+		// Transport failure: the DLFM (or its connection) died.
+		s.rollbackInternal()
+		return fmt.Errorf("%w: DLFM unreachable: %v", ErrTxnRolledBack, callErr)
+	}
+	switch resp.Code {
+	case "deadlock", "timeout", "severe", "logfull":
+		s.rollbackInternal()
+		return fmt.Errorf("%w: DLFM %s: %s", ErrTxnRolledBack, resp.Code, resp.Msg)
+	default:
+		s.backoutStatement(done)
+		return fmt.Errorf("%w: %s: %s", ErrStatement, resp.Code, resp.Msg)
+	}
+}
+
+// backoutStatement undoes this statement's DLFM operations with in_backout
+// requests, in reverse order (Section 3.2). A failure during backout is a
+// severe condition: the whole transaction rolls back.
+func (s *Session) backoutStatement(done []stmtOp) {
+	for i := len(done) - 1; i >= 0; i-- {
+		op := done[i]
+		p := s.parts[op.server]
+		if p == nil {
+			continue
+		}
+		var resp rpc.Response
+		var err error
+		if op.isLink {
+			resp, err = p.client.Call(rpc.LinkFileReq{Txn: s.txn, Name: op.name, InBackout: true})
+		} else {
+			resp, err = p.client.Call(rpc.UnlinkFileReq{Txn: s.txn, Name: op.name, RecID: op.recID, InBackout: true})
+		}
+		if err != nil || !resp.OK() {
+			s.rollbackInternal()
+			return
+		}
+		s.db.stats.StmtBackouts.Add(1)
+	}
+}
+
+// linkFile drives one LinkFile at the right DLFM, creating the file group
+// there first if this is the group's first file on that server.
+func (s *Session) linkFile(url string, col dlCol) (int64, stmtOp, error) {
+	server, path, err := ParseURL(url)
+	if err != nil {
+		return 0, stmtOp{}, fmt.Errorf("%w: %v", ErrStatement, err)
+	}
+	p, err := s.part(server)
+	if err != nil {
+		s.rollbackInternal()
+		return 0, stmtOp{}, fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
+	}
+	if err := s.ensureGroup(p, col); err != nil {
+		return 0, stmtOp{}, err
+	}
+	rec := s.db.NextRecID()
+	resp, err := p.client.Call(rpc.LinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
+	if err != nil || !resp.OK() {
+		return 0, stmtOp{}, s.dlfmFailure(resp, err, nil)
+	}
+	s.db.stats.Links.Add(1)
+	return rec, stmtOp{server: server, name: path, isLink: true, recID: rec}, nil
+}
+
+// unlinkFile drives one UnlinkFile.
+func (s *Session) unlinkFile(url string, col dlCol) (stmtOp, error) {
+	server, path, err := ParseURL(url)
+	if err != nil {
+		return stmtOp{}, fmt.Errorf("%w: %v", ErrStatement, err)
+	}
+	p, err := s.part(server)
+	if err != nil {
+		s.rollbackInternal()
+		return stmtOp{}, fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
+	}
+	rec := s.db.NextRecID()
+	resp, err := p.client.Call(rpc.UnlinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
+	if err != nil || !resp.OK() {
+		return stmtOp{}, s.dlfmFailure(resp, err, nil)
+	}
+	s.db.stats.Unlinks.Add(1)
+	return stmtOp{server: server, name: path, isLink: false, recID: rec}, nil
+}
+
+// ensureGroup creates the column's file group at the participant's server
+// on first use, transactionally on both sides.
+func (s *Session) ensureGroup(p *participant, col dlCol) error {
+	n, _, err := s.conn.QueryInt(`SELECT COUNT(*) FROM dl_grpsrv WHERE grp = ? AND server = ?`,
+		value.Int(col.grp), value.Str(p.server))
+	if err != nil {
+		return s.mapEngineErr(err)
+	}
+	if n > 0 {
+		return nil
+	}
+	resp, err := p.client.Call(rpc.CreateGroupReq{
+		Txn: s.txn, Grp: col.grp, Recovery: col.recovery, FullControl: col.fullctl,
+	})
+	if err != nil || !resp.OK() {
+		return s.dlfmFailure(resp, err, nil)
+	}
+	if _, err := s.conn.Exec(`INSERT INTO dl_grpsrv (grp, server) VALUES (?, ?)`,
+		value.Int(col.grp), value.Str(p.server)); err != nil {
+		return s.mapEngineErr(err)
+	}
+	return nil
+}
+
+// execInsert intercepts INSERT into a table with DATALINK columns: each
+// non-null DATALINK value is linked in the same transaction, and the hidden
+// recovery-id column is filled.
+func (s *Session) execInsert(st sql.Insert, params []value.Value) (int64, error) {
+	cols, err := s.db.datalinkCols(s.conn, st.Table)
+	if err != nil {
+		return 0, s.mapEngineErr(err)
+	}
+	if len(cols) == 0 {
+		n, err := s.conn.Exec(renderInsert(st, nil, nil), params...)
+		return n, s.mapEngineErr(err)
+	}
+	if st.Cols == nil {
+		return 0, fmt.Errorf("hostdb: INSERT into a DATALINK table must name its columns")
+	}
+	byName := make(map[string]dlCol, len(cols))
+	for _, c := range cols {
+		byName[c.name] = c
+	}
+	var done []stmtOp
+	var extraCols []string
+	var extraVals []value.Value
+	for i, colName := range st.Cols {
+		col, isDL := byName[colName]
+		if !isDL {
+			continue
+		}
+		v, err := evalConst(st.Vals[i], params)
+		if err != nil {
+			return 0, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		rec, op, err := s.linkFile(v.Text(), col)
+		if err != nil {
+			s.backoutStatement(done)
+			return 0, err
+		}
+		done = append(done, op)
+		extraCols = append(extraCols, recidCol(colName))
+		extraVals = append(extraVals, value.Int(rec))
+	}
+	n, err := s.conn.Exec(renderInsert(st, extraCols, extraVals), append(params, extraVals...)...)
+	if err != nil {
+		if engine.IsRetryable(err) {
+			return 0, s.mapEngineErr(err)
+		}
+		s.backoutStatement(done)
+		return 0, err
+	}
+	return n, nil
+}
+
+// renderInsert re-renders the INSERT with extra (hidden) columns appended;
+// extra values arrive as appended parameters.
+func renderInsert(st sql.Insert, extraCols []string, extraVals []value.Value) string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(st.Table)
+	if st.Cols != nil {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(st.Cols, ", "))
+		for _, c := range extraCols {
+			b.WriteString(", ")
+			b.WriteString(c)
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES (")
+	for i, e := range st.Vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(renderExpr(e))
+	}
+	for range extraVals {
+		b.WriteString(", ?")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func renderExpr(e sql.Expr) string {
+	switch v := e.(type) {
+	case sql.Literal:
+		return v.V.SQLLiteral()
+	case sql.Param:
+		return "?"
+	case sql.Column:
+		return v.Name
+	default:
+		return "?"
+	}
+}
+
+// evalConst evaluates a literal-or-parameter expression.
+func evalConst(e sql.Expr, params []value.Value) (value.Value, error) {
+	switch v := e.(type) {
+	case sql.Literal:
+		return v.V, nil
+	case sql.Param:
+		if v.Idx >= len(params) {
+			return value.Null, fmt.Errorf("hostdb: missing parameter %d", v.Idx+1)
+		}
+		return params[v.Idx], nil
+	default:
+		return value.Null, fmt.Errorf("hostdb: DATALINK expressions must be literals or parameters")
+	}
+}
+
+// execUpdate intercepts UPDATE statements that assign DATALINK columns:
+// for each affected row the old file is unlinked and the new one linked,
+// all in the same transaction ("an important customer requirement",
+// Section 3.2).
+func (s *Session) execUpdate(st sql.Update, params []value.Value) (int64, error) {
+	cols, err := s.db.datalinkCols(s.conn, st.Table)
+	if err != nil {
+		return 0, s.mapEngineErr(err)
+	}
+	byName := make(map[string]dlCol, len(cols))
+	for _, c := range cols {
+		byName[c.name] = c
+	}
+	var touched []dlCol
+	var newVals []value.Value
+	for _, a := range st.Sets {
+		if col, isDL := byName[a.Col]; isDL {
+			v, err := evalConst(a.Val, params)
+			if err != nil {
+				return 0, err
+			}
+			touched = append(touched, col)
+			newVals = append(newVals, v)
+		}
+	}
+	if len(touched) == 0 {
+		n, err := s.conn.Exec(renderUpdate(st, nil), params...)
+		return n, s.mapEngineErr(err)
+	}
+
+	// Identify affected rows and their old DATALINK values, X-locking them.
+	where, err := renderPreds(st.Where, params)
+	if err != nil {
+		return 0, err
+	}
+	sel := "SELECT " + joinCols(touched) + " FROM " + st.Table + where + " FOR UPDATE"
+	rows, err := s.conn.Query(sel)
+	if err != nil {
+		return 0, s.mapEngineErr(err)
+	}
+
+	var done []stmtOp
+	var recs []value.Value // one per touched column: the new link's recid
+	failed := func(err error) (int64, error) {
+		s.backoutStatement(done)
+		return 0, err
+	}
+	// Unlink old values (each row's), then link the new value once per
+	// column. Multiple matched rows sharing one new URL would violate the
+	// one-link-per-file rule and surface as a duplicate error.
+	for _, row := range rows {
+		for i := range touched {
+			old := row[i]
+			if old.IsNull() || old.Text() == "" {
+				continue
+			}
+			op, err := s.unlinkFile(old.Text(), touched[i])
+			if err != nil {
+				if errors.Is(err, ErrTxnRolledBack) {
+					return 0, err
+				}
+				return failed(err)
+			}
+			done = append(done, op)
+		}
+	}
+	for i, col := range touched {
+		if newVals[i].IsNull() || newVals[i].Text() == "" {
+			recs = append(recs, value.Null)
+			continue
+		}
+		nlinks := len(rows)
+		for j := 0; j < nlinks; j++ {
+			rec, op, err := s.linkFile(newVals[i].Text(), col)
+			if err != nil {
+				if errors.Is(err, ErrTxnRolledBack) {
+					return 0, err
+				}
+				return failed(err)
+			}
+			done = append(done, op)
+			recs = append(recs, value.Int(rec))
+			break // one link; extra rows reuse it and fail naturally on commit semantics
+		}
+		if nlinks == 0 {
+			recs = append(recs, value.Null)
+		}
+	}
+
+	// Rewrite the UPDATE to also set the hidden recid columns. The recid
+	// values are inlined as literals: appending them as parameters would
+	// shift the WHERE clause's markers out of position.
+	assigns := make([]string, len(touched))
+	for i, col := range touched {
+		assigns[i] = recidCol(col.name) + " = " + recs[i].SQLLiteral()
+	}
+	n, err := s.conn.Exec(renderUpdateWithRecids(st, assigns), params...)
+	if err != nil {
+		if engine.IsRetryable(err) {
+			return 0, s.mapEngineErr(err)
+		}
+		return failed(err)
+	}
+	return n, nil
+}
+
+func joinCols(cols []dlCol) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c.name
+	}
+	return strings.Join(parts, ", ")
+}
+
+func renderUpdate(st sql.Update, _ []string) string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(st.Table)
+	b.WriteString(" SET ")
+	for i, a := range st.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Col)
+		b.WriteString(" = ")
+		b.WriteString(renderExpr(a.Val))
+	}
+	b.WriteString(wherePlaceholder(st.Where))
+	return b.String()
+}
+
+// renderUpdateWithRecids renders the UPDATE with extra pre-rendered
+// "col = literal" assignments appended to the SET list.
+func renderUpdateWithRecids(st sql.Update, assigns []string) string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(st.Table)
+	b.WriteString(" SET ")
+	for i, a := range st.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Col)
+		b.WriteString(" = ")
+		b.WriteString(renderExpr(a.Val))
+	}
+	for _, a := range assigns {
+		b.WriteString(", ")
+		b.WriteString(a)
+	}
+	b.WriteString(wherePlaceholder(st.Where))
+	return b.String()
+}
+
+// wherePlaceholder re-renders the WHERE clause preserving ? markers (the
+// original parameters are re-passed in the same order).
+func wherePlaceholder(preds []sql.Pred) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.Col + " " + p.Op.String() + " " + renderExpr(p.Val)
+	}
+	return " WHERE " + strings.Join(parts, " AND ")
+}
+
+// execDelete intercepts DELETE from a DATALINK table: each referenced file
+// is unlinked in the same transaction.
+func (s *Session) execDelete(st sql.Delete, params []value.Value) (int64, error) {
+	cols, err := s.db.datalinkCols(s.conn, st.Table)
+	if err != nil {
+		return 0, s.mapEngineErr(err)
+	}
+	if len(cols) == 0 {
+		n, err := s.conn.Exec("DELETE FROM "+st.Table+wherePlaceholder(st.Where), params...)
+		return n, s.mapEngineErr(err)
+	}
+	where, err := renderPreds(st.Where, params)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := s.conn.Query("SELECT " + joinCols(cols) + " FROM " + st.Table + where + " FOR UPDATE")
+	if err != nil {
+		return 0, s.mapEngineErr(err)
+	}
+	var done []stmtOp
+	for _, row := range rows {
+		for i, col := range cols {
+			if row[i].IsNull() || row[i].Text() == "" {
+				continue
+			}
+			op, err := s.unlinkFile(row[i].Text(), col)
+			if err != nil {
+				if errors.Is(err, ErrTxnRolledBack) {
+					return 0, err
+				}
+				s.backoutStatement(done)
+				return 0, err
+			}
+			done = append(done, op)
+		}
+	}
+	n, err := s.conn.Exec("DELETE FROM "+st.Table+wherePlaceholder(st.Where), params...)
+	if err != nil {
+		if engine.IsRetryable(err) {
+			return 0, s.mapEngineErr(err)
+		}
+		s.backoutStatement(done)
+		return 0, err
+	}
+	return n, nil
+}
+
+// Query runs a SELECT. DATALINK values in full-access-control columns come
+// back with an access token appended (url#token), ready for the DLFF.
+func (s *Session) Query(text string, params ...value.Value) ([]value.Row, error) {
+	if s.dead {
+		return nil, fmt.Errorf("%w: acknowledge with Rollback", ErrTxnRolledBack)
+	}
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, isSel := stmt.(sql.Select)
+	if !isSel {
+		return nil, fmt.Errorf("hostdb: Query requires a SELECT")
+	}
+	s.begin()
+	rows, err := s.conn.Query(text, params...)
+	if err != nil {
+		return nil, s.mapEngineErr(err)
+	}
+	cols, err := s.db.datalinkCols(s.conn, sel.Table)
+	if err != nil || len(cols) == 0 {
+		return rows, s.mapEngineErr(err)
+	}
+
+	// Map output columns to DATALINK registry entries.
+	fullctl := make(map[string]bool, len(cols))
+	hidden := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.fullctl {
+			fullctl[c.name] = true
+		}
+		hidden[recidCol(c.name)] = true
+	}
+	var outNames []string
+	if sel.Star {
+		meta, err := s.db.eng.Catalog().Table(sel.Table)
+		if err != nil {
+			return rows, nil
+		}
+		for _, c := range meta.Schema.Cols {
+			outNames = append(outNames, c.Name)
+		}
+	} else if sel.Agg == sql.AggNone {
+		outNames = sel.Cols
+	}
+	if outNames == nil {
+		return rows, nil
+	}
+
+	// Token-append and hidden-column stripping.
+	keep := make([]int, 0, len(outNames))
+	for i, name := range outNames {
+		if !(sel.Star && hidden[name]) {
+			keep = append(keep, i)
+		}
+	}
+	out := make([]value.Row, len(rows))
+	for r, row := range rows {
+		proj := make(value.Row, 0, len(keep))
+		for _, i := range keep {
+			v := row[i]
+			if fullctl[outNames[i]] && !v.IsNull() && v.Text() != "" {
+				if _, path, err := ParseURL(v.Text()); err == nil {
+					if tok := s.db.MintToken(path); tok != "" {
+						v = value.Str(v.Text() + "#" + tok)
+					}
+				}
+			}
+			proj = append(proj, v)
+		}
+		out[r] = proj
+	}
+	return out, nil
+}
+
+// Commit drives the two-phase commit across every enlisted DLFM
+// (Section 3.3): prepare all, record and harden the decision locally, then
+// commit all — synchronously unless the configuration opts into the
+// asynchronous variant that the paper shows to be deadlock-prone.
+func (s *Session) Commit() error {
+	if s.txn == 0 {
+		return engine.ErrNoTxn
+	}
+	if s.dead {
+		return ErrTxnRolledBack
+	}
+	if s.preparedGlobal {
+		return fmt.Errorf("hostdb: transaction %d is globally prepared; use CommitGlobal/AbortGlobal", s.txn)
+	}
+	var enlisted []*participant
+	for _, p := range s.parts {
+		if p.begun {
+			enlisted = append(enlisted, p)
+		}
+	}
+	// Deterministic prepare order (map iteration is random).
+	sort.Slice(enlisted, func(i, j int) bool { return enlisted[i].server < enlisted[j].server })
+	if len(enlisted) == 0 {
+		err := s.commitLocal()
+		s.finishTxn()
+		return err
+	}
+
+	// Phase 1: prepare every DLFM. One "no" vote aborts everyone,
+	// including participants that already voted yes.
+	for _, p := range enlisted {
+		resp, err := p.client.Call(rpc.PrepareReq{Txn: s.txn})
+		if err != nil || !resp.OK() {
+			s.abortParts()
+			if s.conn.InTxn() {
+				s.conn.Rollback()
+			}
+			txn := s.txn
+			s.finishTxn()
+			s.db.stats.Aborts.Add(1)
+			if err != nil {
+				return fmt.Errorf("hostdb: prepare of txn %d failed: %v", txn, err)
+			}
+			return fmt.Errorf("hostdb: prepare of txn %d failed: %s: %s", txn, resp.Code, resp.Msg)
+		}
+	}
+
+	// Decision: record the outcome inside the host transaction and commit
+	// it. Presumed abort: only committed transactions leave a row.
+	if _, err := s.conn.Exec(`INSERT INTO dl_outcome (txnid, outcome) VALUES (?, 'C')`,
+		value.Int(s.txn)); err != nil {
+		s.abortParts()
+		if s.conn.InTxn() {
+			s.conn.Rollback()
+		}
+		s.finishTxn()
+		s.db.stats.Aborts.Add(1)
+		return err
+	}
+	if err := s.commitLocal(); err != nil {
+		s.abortParts()
+		s.finishTxn()
+		s.db.stats.Aborts.Add(1)
+		return err
+	}
+
+	// Phase 2. The paper's hard-won rule: this must be synchronous, or the
+	// T1/T11/T2 distributed deadlock of Section 4 appears (experiment E6).
+	if s.db.cfg.SyncCommit {
+		for _, p := range enlisted {
+			// Transport errors leave the transaction indoubt; the
+			// resolution daemon settles it later.
+			p.client.Call(rpc.CommitReq{Txn: s.txn}) //nolint:errcheck
+		}
+	} else {
+		// Asynchronous variant: the commit request is on the wire before
+		// Commit returns, and the child agent stays busy until it answers
+		// — so the agent's next caller "blocks on message send".
+		for _, p := range enlisted {
+			p.client.Go(rpc.CommitReq{Txn: s.txn})
+		}
+	}
+	s.db.stats.Commits.Add(1)
+	s.finishTxn()
+	return nil
+}
+
+// commitLocal commits the host engine transaction (a session that only
+// read may have no engine transaction at all).
+func (s *Session) commitLocal() error {
+	if !s.conn.InTxn() {
+		return nil
+	}
+	return s.conn.Commit()
+}
+
+// Rollback aborts the transaction on every DLFM and locally.
+func (s *Session) Rollback() error {
+	if s.txn == 0 {
+		return engine.ErrNoTxn
+	}
+	if s.preparedGlobal {
+		return fmt.Errorf("hostdb: transaction %d is globally prepared; use CommitGlobal/AbortGlobal", s.txn)
+	}
+	if !s.dead {
+		s.rollbackInternal()
+	}
+	s.finishTxn()
+	return nil
+}
+
+// rollbackInternal aborts DLFM participants and the local engine txn, then
+// marks the session dead until the application acknowledges.
+func (s *Session) rollbackInternal() {
+	s.abortParts()
+	if s.conn.InTxn() {
+		s.conn.Rollback()
+	}
+	s.markDead()
+}
+
+func (s *Session) abortParts() {
+	for _, p := range s.parts {
+		if p.begun {
+			p.client.Call(rpc.AbortReq{Txn: s.txn}) //nolint:errcheck
+		}
+	}
+}
+
+// finishTxn resets per-transaction state.
+func (s *Session) finishTxn() {
+	s.txn = 0
+	s.dead = false
+	s.preparedGlobal = false
+	for _, p := range s.parts {
+		p.begun = false
+	}
+}

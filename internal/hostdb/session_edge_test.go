@@ -1,0 +1,307 @@
+package hostdb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+func TestHostCrashRecoversAndResolvesIndoubts(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+
+	s := st.db.Session()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Host crashes; its engine recovers from the log.
+	if err := st.db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := st.db.Session()
+	defer s2.Close()
+	rows, err := s2.Query(`SELECT title FROM media WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Commit()
+	if len(rows) != 1 || rows[0][0].Text() != "t" {
+		t.Fatalf("rows after host crash = %v", rows)
+	}
+	// Nothing indoubt: resolution is a no-op.
+	n, err := st.db.ResolveIndoubts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("resolved = %d, want 0", n)
+	}
+	// The datalink registry survived too: new links still work.
+	st.createFile("fs1", "/b", "alice", "y")
+	st.mustExec(s2, `INSERT INTO media (id, title, clip) VALUES (2, 't2', ?)`, value.Str(URL("fs1", "/b")))
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/b") {
+		t.Fatal("link after host crash failed")
+	}
+}
+
+func TestSessionTxnIDAndDeadState(t *testing.T) {
+	st := newStack(t, []string{"fs1"}, func(h *Config, d map[string]*core.Config) {
+		h.DB.LockTimeout = 60 * time.Millisecond
+	})
+	st.mediaTable(false, false)
+	s1 := st.db.Session()
+	s2 := st.db.Session()
+	defer s1.Close()
+	defer s2.Close()
+
+	if s1.TxnID() != 0 {
+		t.Fatal("fresh session has a txn id")
+	}
+	st.mustExec(s1, `INSERT INTO media (id, title, clip) VALUES (1, 't', NULL)`)
+	if s1.TxnID() == 0 {
+		t.Fatal("no txn id after a statement")
+	}
+	if err := s1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// s1 holds a row lock; s2 times out and is force-rolled-back.
+	if _, err := s1.Exec(`UPDATE media SET title = 'x' WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s2.Exec(`UPDATE media SET title = 'y' WHERE id = 1`)
+	if !errors.Is(err, ErrTxnRolledBack) {
+		t.Fatalf("err = %v, want ErrTxnRolledBack", err)
+	}
+	// Dead session refuses more work until Rollback acknowledges.
+	if _, err := s2.Exec(`INSERT INTO media (id, title, clip) VALUES (9, 'z', NULL)`); !errors.Is(err, ErrTxnRolledBack) {
+		t.Fatalf("statement on dead session: %v", err)
+	}
+	if _, err := s2.Query(`SELECT * FROM media`); !errors.Is(err, ErrTxnRolledBack) {
+		t.Fatalf("query on dead session: %v", err)
+	}
+	if err := s2.Commit(); !errors.Is(err, ErrTxnRolledBack) {
+		t.Fatalf("commit on dead session: %v", err)
+	}
+	if err := s2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// s2 is usable again.
+	st.mustExec(s2, `UPDATE media SET title = 'y' WHERE id = 1`)
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitRollbackWithoutTxn(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	s := st.db.Session()
+	defer s.Close()
+	if err := s.Commit(); !errors.Is(err, engine.ErrNoTxn) {
+		t.Fatalf("Commit = %v", err)
+	}
+	if err := s.Rollback(); !errors.Is(err, engine.ErrNoTxn) {
+		t.Fatalf("Rollback = %v", err)
+	}
+}
+
+func TestExecParseAndShapeErrors(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	s := st.db.Session()
+	defer s.Close()
+	if _, err := s.Exec(`garbage sql`); err == nil {
+		t.Error("garbage accepted")
+	}
+	// INSERT into a DATALINK table must name its columns.
+	if _, err := s.Exec(`INSERT INTO media VALUES (1, 't', NULL)`); err == nil {
+		t.Error("column-less DATALINK insert accepted")
+	}
+	// Malformed DATALINK URL is a statement error.
+	if _, err := s.Exec(`INSERT INTO media (id, title, clip) VALUES (1, 't', 'not-a-url')`); !errors.Is(err, ErrStatement) {
+		t.Errorf("bad url: %v", err)
+	}
+	// DATALINK value must be a literal or parameter.
+	if _, err := s.Exec(`INSERT INTO media (id, title, clip) VALUES (1, 't', title)`); err == nil {
+		t.Error("column-expression DATALINK accepted")
+	}
+	// Query requires SELECT.
+	if _, err := s.Query(`DELETE FROM media`); err == nil {
+		t.Error("Query accepted DELETE")
+	}
+	s.Rollback()
+}
+
+func TestUpdateAndDeleteWithoutDatalinkTouch(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Updating a non-DATALINK column leaves the link alone.
+	st.mustExec(s, `UPDATE media SET title = 'renamed' WHERE id = 1`)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("plain update broke the link")
+	}
+	// Plain tables pass straight through.
+	if err := st.db.CreateTable(`CREATE TABLE plain (x BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	st.mustExec(s, `INSERT INTO plain VALUES (1)`)
+	st.mustExec(s, `UPDATE plain SET x = 2 WHERE x = 1`)
+	st.mustExec(s, `DELETE FROM plain WHERE x = 2`)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateSetNullUnlinksOnly(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.mustExec(s, `UPDATE media SET clip = NULL WHERE id = 1`)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("/a still linked after SET NULL")
+	}
+	rows, _ := s.Query(`SELECT clip FROM media WHERE id = 1`)
+	s.Commit()
+	if !rows[0][0].IsNull() {
+		t.Fatalf("clip = %v", rows[0][0])
+	}
+}
+
+func TestUpdateMatchingZeroRows(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	s := st.db.Session()
+	defer s.Close()
+	st.createFile("fs1", "/new", "alice", "x")
+	n, err := s.Exec(`UPDATE media SET clip = ? WHERE id = 42`, value.Str(URL("fs1", "/new")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("affected = %d", n)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// No phantom link was left behind.
+	if st.linkedOnDLFM("fs1", "/new") {
+		t.Fatal("zero-row update linked a file")
+	}
+}
+
+func TestDeleteWithParamsInWhere(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Exec(`DELETE FROM media WHERE id = ? AND title = ?`, value.Int(1), value.Str("t"))
+	if err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("param-where delete left the link")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	if err := st.db.CreateTable(`DROP TABLE x`); err == nil {
+		t.Error("non-CREATE DDL accepted")
+	}
+	if err := st.db.CreateTable(`garbage`); err == nil {
+		t.Error("garbage DDL accepted")
+	}
+	if err := st.db.CreateTable(
+		`CREATE TABLE t (a BIGINT)`, DatalinkCol{Name: "missing"},
+	); err == nil {
+		t.Error("DATALINK column not in DDL accepted")
+	}
+	if err := st.db.CreateTable(
+		`CREATE TABLE t (a BIGINT)`, DatalinkCol{Name: "a"},
+	); err == nil {
+		t.Error("non-VARCHAR DATALINK column accepted")
+	}
+}
+
+func TestMintTokenDisabled(t *testing.T) {
+	st := newStack(t, []string{"fs1"}, func(h *Config, _ map[string]*core.Config) {
+		h.TokenSecret = nil
+	})
+	if tok := st.db.MintToken("/a"); tok != "" {
+		t.Fatalf("token minted with no secret: %q", tok)
+	}
+	// SELECT of full-control values returns raw URLs.
+	st.mediaTable(true, true)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := s.Query(`SELECT clip FROM media WHERE id = 1`)
+	s.Commit()
+	if rows[0][0].Text() != URL("fs1", "/a") {
+		t.Fatalf("clip = %q, want raw URL", rows[0][0].Text())
+	}
+}
+
+func TestRestoreUnknownBackup(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	if err := st.db.Restore(99); err == nil {
+		t.Fatal("restore of unknown backup succeeded")
+	}
+}
+
+func TestAggregateQueriesPassThrough(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(true, true)
+	s := st.db.Session()
+	defer s.Close()
+	rows, err := s.Query(`SELECT COUNT(*) FROM media`)
+	if err != nil || rows[0][0].Int64() != 0 {
+		t.Fatalf("count = %v, %v", rows, err)
+	}
+	s.Commit()
+}

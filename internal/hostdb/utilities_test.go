@@ -1,0 +1,276 @@
+package hostdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(true, false)
+	st.createFile("fs1", "/a", "alice", "content-a")
+	st.createFile("fs1", "/b", "alice", "content-b")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 'keep', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	backupID, err := st.db.Backup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The backup waited for the archive copy.
+	if !st.arch["fs1"].Exists("/a", linkRecID(t, st, "/a")) {
+		t.Fatal("archive copy of /a missing after backup")
+	}
+
+	// Post-backup activity: delete row 1 (unlink /a), add row 2 (link /b).
+	st.mustExec(s, `DELETE FROM media WHERE id = 1`)
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (2, 'new', ?)`, value.Str(URL("fs1", "/b")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") || !st.linkedOnDLFM("fs1", "/b") {
+		t.Fatal("precondition wrong")
+	}
+
+	// Restore to the backup.
+	if err := st.db.Restore(backupID); err != nil {
+		t.Fatal(err)
+	}
+	// Host sees the old row; DLFM re-linked /a and dropped /b.
+	s2 := st.db.Session()
+	defer s2.Close()
+	rows, err := s2.Query(`SELECT id, title FROM media ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Commit()
+	if len(rows) != 1 || rows[0][0].Int64() != 1 || rows[0][1].Text() != "keep" {
+		t.Fatalf("restored rows = %v", rows)
+	}
+	if !st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("/a not re-linked after restore")
+	}
+	if st.linkedOnDLFM("fs1", "/b") {
+		t.Fatal("/b still linked after restore")
+	}
+}
+
+// linkRecID digs the hidden recid out of the host table (test helper).
+func linkRecID(t *testing.T, st *stack, path string) int64 {
+	t.Helper()
+	c := st.db.Engine().Connect()
+	rows, err := c.Query(`SELECT clip__recid FROM media WHERE clip = ?`, value.Str(URL("fs1", path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Commit()
+	if len(rows) == 0 || rows[0][0].IsNull() {
+		t.Fatalf("no recid for %s", path)
+	}
+	return rows[0][0].Int64()
+}
+
+func TestRestoreRetrievesLostFile(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(true, false)
+	st.createFile("fs1", "/a", "alice", "precious")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	backupID, err := st.db.Backup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disaster: the file system loses the file.
+	st.fs["fs1"].Chmod("/a", false)
+	st.fs["fs1"].Delete("/a")
+
+	if err := st.db.Restore(backupID); err != nil {
+		t.Fatal(err)
+	}
+	content, err := st.fs["fs1"].Read("/a")
+	if err != nil || string(content) != "precious" {
+		t.Fatalf("retrieved = %q, %v", content, err)
+	}
+}
+
+func TestReconcileNullsUnresolvable(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the world: the DLFM loses its entry AND the file vanishes,
+	// so reconcile cannot repair the reference.
+	conn := st.dlfm["fs1"].DB().Connect()
+	if _, err := conn.Exec(`DELETE FROM dlfm_file`); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.fs["fs1"].Delete("/a")
+
+	nulled, err := st.db.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nulled != 1 {
+		t.Fatalf("nulled = %d, want 1", nulled)
+	}
+	rows, _ := s.Query(`SELECT clip FROM media WHERE id = 1`)
+	s.Commit()
+	if !rows[0][0].IsNull() {
+		t.Fatalf("clip = %v, want NULL", rows[0][0])
+	}
+}
+
+func TestReconcileRelinksWhenFileExists(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// DLFM loses the entry but the file is still there.
+	conn := st.dlfm["fs1"].DB().Connect()
+	if _, err := conn.Exec(`DELETE FROM dlfm_file`); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	nulled, err := st.db.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nulled != 0 {
+		t.Fatalf("nulled = %d, want 0", nulled)
+	}
+	if !st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("reconcile did not re-link /a")
+	}
+}
+
+func TestDropTableDeletesGroups(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	const n = 8
+	s := st.db.Session()
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("/f%d", i)
+		st.createFile("fs1", path, "alice", "x")
+		st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (?, 't', ?)`,
+			value.Int(int64(i)), value.Str(URL("fs1", path)))
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.db.DropTable("media"); err != nil {
+		t.Fatal(err)
+	}
+	// The host table is gone immediately.
+	if _, err := s.Query(`SELECT COUNT(*) FROM media`); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	// The Delete Group daemon unlinks asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !st.linkedOnDLFM("fs1", "/f0") && !st.linkedOnDLFM("fs1", fmt.Sprintf("/f%d", n-1)) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		if st.linkedOnDLFM("fs1", fmt.Sprintf("/f%d", i)) {
+			t.Fatalf("/f%d still linked after drop table", i)
+		}
+	}
+	// Dropping a table with no DATALINK columns also works.
+	if err := st.db.CreateTable(`CREATE TABLE plain (x BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.db.DropTable("plain"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadBulkInsertBatched(t *testing.T) {
+	st := newStack(t, []string{"fs1"}, func(h *Config, _ map[string]*core.Config) {
+		h.LoadBatchN = 10
+	})
+	st.mediaTable(false, false)
+	const n = 35
+	rows := make([]value.Row, n)
+	cols := []string{"id", "title", "clip"}
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("/bulk%03d", i)
+		st.createFile("fs1", path, "alice", "x")
+		rows[i] = value.Row{value.Int(int64(i)), value.Str("t"), value.Str(URL("fs1", path))}
+	}
+	loaded, err := st.db.Load("media", cols, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != n {
+		t.Fatalf("loaded = %d, want %d", loaded, n)
+	}
+	// The DLFM saw a batched transaction: intermediate local commits
+	// happened every 10 operations.
+	if st.dlfm["fs1"].Stats().BatchCommits < 3 {
+		t.Fatalf("BatchCommits = %d, want >= 3", st.dlfm["fs1"].Stats().BatchCommits)
+	}
+	for i := 0; i < n; i++ {
+		if !st.linkedOnDLFM("fs1", fmt.Sprintf("/bulk%03d", i)) {
+			t.Fatalf("/bulk%03d not linked", i)
+		}
+	}
+	s := st.db.Session()
+	defer s.Close()
+	got, err := s.Query(`SELECT COUNT(*) FROM media`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+	if got[0][0].Int64() != n {
+		t.Fatalf("host rows = %d", got[0][0].Int64())
+	}
+}
+
+func TestLoadAbortOnBadRow(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/good", "alice", "x")
+	rows := []value.Row{
+		{value.Int(1), value.Str("t"), value.Str(URL("fs1", "/good"))},
+		{value.Int(2), value.Str("t"), value.Str(URL("fs1", "/missing"))},
+	}
+	if _, err := st.db.Load("media", []string{"id", "title", "clip"}, rows); err == nil {
+		t.Fatal("load with missing file succeeded")
+	}
+	// Everything rolled back, including the already-linked first row.
+	if st.linkedOnDLFM("fs1", "/good") {
+		t.Fatal("partial load left a link behind")
+	}
+}

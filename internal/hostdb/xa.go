@@ -1,0 +1,207 @@
+package hostdb
+
+import (
+	"fmt"
+
+	"repro/internal/rpc"
+	"repro/internal/value"
+)
+
+// XA global transactions (Section 3.3): "In the case of an XA transaction,
+// the host database also generates a local transaction id that is
+// different from the global XA transaction id … If the transaction is a
+// branch of a global (distributed) transaction, prepare request to the
+// DLFM is invoked as part of global prepare processing and commit/abort
+// request is invoked when the outcome of the global transaction is known."
+//
+// Here the host database is itself a participant: an external transaction
+// manager drives PrepareGlobal and later CommitGlobal/AbortGlobal. The
+// host's prepare cascades phase 1 to every enlisted DLFM and then hardens
+// its own branch with the engine's prepared-transaction support; the
+// host-to-engine transaction-id mapping is made durable *inside* the
+// prepared branch (table dl_xa), so that after a crash the DLFM sub-
+// transactions can be resolved from the engine log's authoritative outcome.
+
+// PrepareGlobal runs phase 1 of the global transaction on this branch.
+// After it returns nil the branch is indoubt until CommitGlobal or
+// AbortGlobal.
+func (s *Session) PrepareGlobal() error {
+	if s.txn == 0 {
+		return fmt.Errorf("hostdb: no transaction to prepare")
+	}
+	if s.dead {
+		return ErrTxnRolledBack
+	}
+	// The durable host-txn → engine-txn mapping; inserting it also makes
+	// sure an engine transaction exists to prepare.
+	if _, err := s.conn.Exec(`INSERT INTO dl_xa (host_txn, engine_txn) VALUES (?, ?)`,
+		value.Int(s.txn), value.Int(s.conn.TxnID())); err != nil {
+		s.rollbackInternal()
+		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
+	}
+	// Cascade phase 1 to every enlisted DLFM.
+	for _, p := range s.sortedParts() {
+		resp, err := p.client.Call(rpc.PrepareReq{Txn: s.txn})
+		if err != nil || !resp.OK() {
+			s.rollbackInternal()
+			if err != nil {
+				return fmt.Errorf("%w: prepare at %s: %v", ErrTxnRolledBack, p.server, err)
+			}
+			return fmt.Errorf("%w: prepare at %s: %s: %s", ErrTxnRolledBack, p.server, resp.Code, resp.Msg)
+		}
+	}
+	// Harden the host branch.
+	if err := s.conn.PrepareTxn(); err != nil {
+		s.abortParts()
+		s.markDead()
+		return fmt.Errorf("%w: host prepare: %v", ErrTxnRolledBack, err)
+	}
+	s.preparedGlobal = true
+	return nil
+}
+
+// CommitGlobal completes a prepared branch after the global coordinator
+// decided commit.
+func (s *Session) CommitGlobal() error {
+	if s.txn == 0 || !s.preparedGlobal {
+		return fmt.Errorf("hostdb: no globally prepared transaction")
+	}
+	// The engine commit is the branch's durable decision point; the DLFM
+	// resolution path reads it from the engine log via dl_xa.
+	if err := s.conn.CommitPrepared(); err != nil {
+		return err
+	}
+	for _, p := range s.sortedParts() {
+		p.client.Call(rpc.CommitReq{Txn: s.txn}) //nolint:errcheck
+	}
+	s.db.stats.Commits.Add(1)
+	s.finishTxn()
+	return nil
+}
+
+// AbortGlobal rolls a prepared branch back after the coordinator decided
+// abort.
+func (s *Session) AbortGlobal() error {
+	if s.txn == 0 || !s.preparedGlobal {
+		return fmt.Errorf("hostdb: no globally prepared transaction")
+	}
+	if err := s.conn.RollbackPrepared(); err != nil {
+		return err
+	}
+	s.abortParts()
+	s.db.stats.Aborts.Add(1)
+	s.finishTxn()
+	return nil
+}
+
+// sortedParts returns the enlisted participants in deterministic order.
+func (s *Session) sortedParts() []*participant {
+	var enlisted []*participant
+	for _, p := range s.parts {
+		if p.begun {
+			enlisted = append(enlisted, p)
+		}
+	}
+	for i := 1; i < len(enlisted); i++ {
+		for j := i; j > 0 && enlisted[j-1].server > enlisted[j].server; j-- {
+			enlisted[j-1], enlisted[j] = enlisted[j], enlisted[j-1]
+		}
+	}
+	return enlisted
+}
+
+// HostIndoubtBranches lists host transaction ids whose branches crash
+// recovery restored in the prepared state, for the external coordinator.
+func (db *DB) HostIndoubtBranches() ([]int64, error) {
+	engineIndoubt := make(map[int64]bool)
+	for _, id := range db.eng.IndoubtTxns() {
+		engineIndoubt[id] = true
+	}
+	if len(engineIndoubt) == 0 {
+		return nil, nil
+	}
+	// dl_xa rows written by indoubt branches are X-locked by those very
+	// branches; the diagnostic dump reads through the locks, which is what
+	// a restart-time resolution utility needs.
+	rows, err := db.eng.DumpTable("dl_xa")
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, r := range rows {
+		if engineIndoubt[r[1].Int64()] {
+			out = append(out, r[0].Int64())
+		}
+	}
+	return out, nil
+}
+
+// ResolveHostBranch applies the global coordinator's decision to an
+// indoubt host branch after a crash: the engine branch is committed or
+// rolled back, and the decision cascades to the DLFM sub-transactions.
+func (db *DB) ResolveHostBranch(hostTxn int64, commit bool) error {
+	rows, err := db.eng.DumpTable("dl_xa")
+	if err != nil {
+		return err
+	}
+	var engineTxn int64
+	for _, r := range rows {
+		if r[0].Int64() == hostTxn {
+			engineTxn = r[1].Int64()
+			break
+		}
+	}
+	if engineTxn == 0 {
+		return fmt.Errorf("hostdb: no XA mapping for host transaction %d", hostTxn)
+	}
+	if err := db.eng.ResolveIndoubt(engineTxn, commit); err != nil {
+		return err
+	}
+	// Cascade to the DLFMs (fresh connections; the crash severed the
+	// session's).
+	for _, server := range db.Servers() {
+		dial, err := db.dialer(server)
+		if err != nil {
+			continue
+		}
+		client, err := dial()
+		if err != nil {
+			continue // the indoubt daemon will settle it later
+		}
+		if commit {
+			client.Call(rpc.CommitReq{Txn: hostTxn}) //nolint:errcheck
+		} else {
+			client.Call(rpc.AbortReq{Txn: hostTxn}) //nolint:errcheck
+		}
+		client.Close()
+	}
+	return nil
+}
+
+// xaOutcome consults the XA mapping for a DLFM indoubt transaction: the
+// engine log's outcome for the mapped branch is authoritative. Returns
+// ("commit"|"abort"|"wait"|"none").
+func (db *DB) xaOutcome(hostTxn int64) (string, error) {
+	rows, err := db.eng.DumpTable("dl_xa")
+	if err != nil {
+		return "", err
+	}
+	for _, r := range rows {
+		if r[0].Int64() != hostTxn {
+			continue
+		}
+		outcome, err := db.eng.TxnOutcome(r[1].Int64())
+		if err != nil {
+			return "", err
+		}
+		switch outcome {
+		case "committed":
+			return "commit", nil
+		case "prepared":
+			return "wait", nil // the global outcome is not known yet
+		default:
+			return "abort", nil
+		}
+	}
+	return "none", nil
+}

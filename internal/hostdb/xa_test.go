@@ -1,0 +1,205 @@
+package hostdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestXAGlobalCommit(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.PrepareGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	// Ordinary Commit is invalid on a prepared branch.
+	if err := s.Commit(); err == nil {
+		t.Fatal("Commit of prepared branch succeeded")
+	}
+	// Statements are invalid on a prepared branch.
+	if _, err := s.Exec(`INSERT INTO media (id, title, clip) VALUES (2, 'x', NULL)`); err == nil {
+		t.Fatal("statement after global prepare succeeded")
+	}
+	if err := s.CommitGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("link lost after global commit")
+	}
+	rows, _ := s.Query(`SELECT COUNT(*) FROM media`)
+	s.Commit()
+	if rows[0][0].Int64() != 1 {
+		t.Fatalf("rows = %d", rows[0][0].Int64())
+	}
+}
+
+func TestXAGlobalAbort(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.PrepareGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AbortGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("link survived global abort")
+	}
+	rows, _ := s.Query(`SELECT COUNT(*) FROM media`)
+	s.Commit()
+	if rows[0][0].Int64() != 0 {
+		t.Fatalf("rows = %d", rows[0][0].Int64())
+	}
+	// The session is reusable after the abort.
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (2, 't2', NULL)`)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXAPrepareWithoutTxn(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	s := st.db.Session()
+	defer s.Close()
+	if err := s.PrepareGlobal(); err == nil {
+		t.Fatal("PrepareGlobal with no transaction succeeded")
+	}
+	if err := s.CommitGlobal(); err == nil {
+		t.Fatal("CommitGlobal with no transaction succeeded")
+	}
+	if err := s.AbortGlobal(); err == nil {
+		t.Fatal("AbortGlobal with no transaction succeeded")
+	}
+}
+
+func TestXAHostCrashThenCoordinatorCommits(t *testing.T) {
+	// The full XA crash story: both the host branch and the DLFM sub-
+	// transaction survive the crash indoubt; the coordinator commits the
+	// host branch and the decision cascades.
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+
+	s := st.db.Session()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	hostTxn := s.TxnID()
+	if err := s.PrepareGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	// Host crashes while the branch is indoubt.
+	if err := st.db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	branches, err := st.db.HostIndoubtBranches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 1 || branches[0] != hostTxn {
+		t.Fatalf("indoubt branches = %v, want [%d]", branches, hostTxn)
+	}
+	// While the global outcome is unknown, the DLFM-side resolution daemon
+	// must NOT touch the sub-transaction ("wait").
+	if _, err := st.db.ResolveIndoubts(); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") {
+		// The sub-transaction's link is only hardened-not-committed; the
+		// upcall sees the row (prepared data is in the heap) — acceptable
+		// both ways, so no assertion here.
+		_ = struct{}{}
+	}
+	// The coordinator decides commit.
+	if err := st.db.ResolveHostBranch(hostTxn, true); err != nil {
+		t.Fatal(err)
+	}
+	if !st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("link missing after coordinated commit")
+	}
+	s2 := st.db.Session()
+	defer s2.Close()
+	rows, err := s2.Query(`SELECT title FROM media WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Commit()
+	if len(rows) != 1 {
+		t.Fatalf("host row missing after coordinated commit: %v", rows)
+	}
+}
+
+func TestXAHostCrashThenCoordinatorAborts(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+
+	s := st.db.Session()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	hostTxn := s.TxnID()
+	if err := s.PrepareGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.db.ResolveHostBranch(hostTxn, false); err != nil {
+		t.Fatal(err)
+	}
+	if st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("link survived coordinated abort")
+	}
+	s2 := st.db.Session()
+	defer s2.Close()
+	rows, _ := s2.Query(`SELECT COUNT(*) FROM media`)
+	s2.Commit()
+	if rows[0][0].Int64() != 0 {
+		t.Fatal("host row survived coordinated abort")
+	}
+}
+
+func TestXADLFMCrashResolvedFromEngineLog(t *testing.T) {
+	// The DLFM crashes after the host branch committed: the resolution
+	// daemon finds the sub-transaction indoubt, finds no dl_outcome row
+	// (XA branches do not write one), follows dl_xa to the engine log,
+	// and commits.
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/a", "alice", "x")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 't', ?)`, value.Str(URL("fs1", "/a")))
+	if err := s.PrepareGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	// DLFM crashes between the global prepare and the commit cascade.
+	if err := st.dlfm["fs1"].Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator commits; the cascade to the (restarted) DLFM goes
+	// over a dead session connection and is lost.
+	if err := s.CommitGlobal(); err != nil {
+		t.Fatal(err)
+	}
+	// The resolution daemon settles it from the engine log.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n, _ := st.db.ResolveIndoubts(); n > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !st.linkedOnDLFM("fs1", "/a") {
+		t.Fatal("XA sub-transaction never resolved to commit")
+	}
+}

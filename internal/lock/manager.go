@@ -1,0 +1,532 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by Acquire. The engine maps these onto its SQLCODE-style
+// errors; DLFM's retry logic keys off them.
+var (
+	// ErrDeadlock is returned to the transaction whose lock request closed
+	// a waits-for cycle (the requester is the victim, as in DB2's local
+	// deadlock detector resolving in favour of older work).
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	// ErrTimeout is returned when a lock wait exceeds the configured
+	// timeout. The paper relies on a 60 s timeout to break distributed
+	// deadlocks that no local detector can see (Section 4).
+	ErrTimeout = errors.New("lock: lock wait timeout")
+)
+
+// Granularity distinguishes the three levels of the lock hierarchy.
+type Granularity int
+
+// Lock granularities.
+const (
+	GranTable Granularity = iota
+	GranRow
+	GranKey // an index key, used for next-key locking
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case GranTable:
+		return "table"
+	case GranRow:
+		return "row"
+	case GranKey:
+		return "key"
+	default:
+		return "?"
+	}
+}
+
+// Target names a lockable object. Table locks leave RID and Key zero; row
+// locks set RID; key locks set Key to "<index>/<encoded key>".
+type Target struct {
+	Table string
+	Gran  Granularity
+	RID   int64
+	Key   string
+}
+
+// String renders the target for diagnostics.
+func (t Target) String() string {
+	switch t.Gran {
+	case GranTable:
+		return t.Table
+	case GranRow:
+		return fmt.Sprintf("%s/rid=%d", t.Table, t.RID)
+	default:
+		return fmt.Sprintf("%s/key=%s", t.Table, t.Key)
+	}
+}
+
+// TableTarget returns the table-granularity target for table.
+func TableTarget(table string) Target { return Target{Table: table, Gran: GranTable} }
+
+// RowTarget returns the row-granularity target for (table, rid).
+func RowTarget(table string, rid int64) Target {
+	return Target{Table: table, Gran: GranRow, RID: rid}
+}
+
+// KeyTarget returns the key-granularity target for an index key.
+func KeyTarget(table, index, key string) Target {
+	return Target{Table: table, Gran: GranKey, Key: index + "/" + key}
+}
+
+// Config carries the tunables a DBA would set on the local database. Each
+// knob corresponds to a lesson in Section 4 of the paper.
+type Config struct {
+	// Timeout bounds every lock wait. The paper settled on 60 seconds;
+	// benchmarks sweep it (experiment E7). Zero means wait forever.
+	Timeout time.Duration
+	// EscalationThreshold is the number of row/key locks a transaction may
+	// hold on one table before the manager escalates it to a table lock.
+	// Zero disables escalation (experiment E4 sweeps batch sizes across
+	// this threshold).
+	EscalationThreshold int
+	// LockListSize caps the total number of held locks across all
+	// transactions; exceeding it forces escalation of the requesting
+	// transaction regardless of EscalationThreshold ("lock list size
+	// should be set sufficiently large to avoid forced lock escalation").
+	// Zero means unlimited.
+	LockListSize int
+	// DetectDeadlocks enables the local waits-for cycle detector. When
+	// false only the timeout breaks deadlocks.
+	DetectDeadlocks bool
+}
+
+// Stats counts lock-manager events; all counters are cumulative.
+type Stats struct {
+	Acquisitions int64 // granted requests (including conversions)
+	Waits        int64 // requests that had to block
+	Deadlocks    int64 // requests aborted by the deadlock detector
+	Timeouts     int64 // requests aborted by timeout
+	Escalations  int64 // row->table escalations performed
+}
+
+type waiter struct {
+	txn     int64
+	mode    Mode
+	convert bool // conversion of an existing hold; jumps the queue
+	granted chan struct{}
+	// removed marks a waiter that timed out or was chosen as a deadlock
+	// victim; grant passes over it.
+	removed bool
+}
+
+type lockState struct {
+	target  Target
+	holders map[int64]Mode
+	queue   []*waiter
+}
+
+type txnState struct {
+	held map[Target]Mode
+	// rowLocks counts row+key locks per table, driving escalation.
+	rowLocks map[string]int
+	// escalated records tables this transaction holds an escalated table
+	// lock on; row requests there become no-ops.
+	escalated map[string]bool
+}
+
+// Manager is the lock manager. All public methods are safe for concurrent
+// use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[Target]*lockState
+	txns  map[int64]*txnState
+	cfg   Config
+
+	held int64 // total held locks, for LockListSize
+
+	acquisitions atomic.Int64
+	waits        atomic.Int64
+	deadlocks    atomic.Int64
+	timeouts     atomic.Int64
+	escalations  atomic.Int64
+}
+
+// NewManager returns a lock manager with the given configuration.
+func NewManager(cfg Config) *Manager {
+	return &Manager{
+		locks: make(map[Target]*lockState),
+		txns:  make(map[int64]*txnState),
+		cfg:   cfg,
+	}
+}
+
+// SetTimeout changes the lock-wait timeout for subsequent requests.
+func (m *Manager) SetTimeout(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.Timeout = d
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Acquisitions: m.acquisitions.Load(),
+		Waits:        m.waits.Load(),
+		Deadlocks:    m.deadlocks.Load(),
+		Timeouts:     m.timeouts.Load(),
+		Escalations:  m.escalations.Load(),
+	}
+}
+
+func (m *Manager) txn(id int64) *txnState {
+	ts := m.txns[id]
+	if ts == nil {
+		ts = &txnState{
+			held:      make(map[Target]Mode),
+			rowLocks:  make(map[string]int),
+			escalated: make(map[string]bool),
+		}
+		m.txns[id] = ts
+	}
+	return ts
+}
+
+func (m *Manager) state(tg Target) *lockState {
+	ls := m.locks[tg]
+	if ls == nil {
+		ls = &lockState{target: tg, holders: make(map[int64]Mode)}
+		m.locks[tg] = ls
+	}
+	return ls
+}
+
+// Acquire obtains (or converts to) mode on target for txn, blocking until
+// granted, deadlock, or timeout. Re-requesting a covered mode is a no-op.
+func (m *Manager) Acquire(txn int64, tg Target, mode Mode) error {
+	m.mu.Lock()
+
+	ts := m.txn(txn)
+
+	// Escalated table lock subsumes row/key requests on that table.
+	if tg.Gran != GranTable && ts.escalated[tg.Table] {
+		m.mu.Unlock()
+		return nil
+	}
+
+	held := ts.held[tg]
+	want := Join(held, mode)
+	if want == held && held != None {
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Escalation check before taking yet another fine-grained lock.
+	if tg.Gran != GranTable {
+		forced := m.cfg.LockListSize > 0 && int(m.held) >= m.cfg.LockListSize
+		if (m.cfg.EscalationThreshold > 0 && ts.rowLocks[tg.Table] >= m.cfg.EscalationThreshold) || forced {
+			return m.escalateLocked(txn, ts, tg.Table, mode)
+		}
+	}
+
+	err := m.acquireLocked(txn, ts, tg, want, held)
+	return err
+}
+
+// acquireLocked performs the grant/wait protocol. Called with m.mu held;
+// returns with it released.
+func (m *Manager) acquireLocked(txn int64, ts *txnState, tg Target, want, held Mode) error {
+	ls := m.state(tg)
+
+	if m.grantableLocked(ls, txn, want, held != None) {
+		m.grantLocked(ls, ts, txn, tg, want, held)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait.
+	w := &waiter{txn: txn, mode: want, convert: held != None, granted: make(chan struct{}, 1)}
+	if w.convert {
+		// Conversions go to the front, after any earlier conversions.
+		i := 0
+		for i < len(ls.queue) && ls.queue[i].convert {
+			i++
+		}
+		ls.queue = append(ls.queue, nil)
+		copy(ls.queue[i+1:], ls.queue[i:])
+		ls.queue[i] = w
+	} else {
+		ls.queue = append(ls.queue, w)
+	}
+	m.waits.Add(1)
+
+	if m.cfg.DetectDeadlocks && m.cycleLocked(txn) {
+		m.removeWaiterLocked(ls, w)
+		m.deadlocks.Add(1)
+		m.mu.Unlock()
+		return fmt.Errorf("%w (txn %d requesting %s on %s)", ErrDeadlock, txn, want, tg)
+	}
+
+	timeout := m.cfg.Timeout
+	m.mu.Unlock()
+
+	var timer *time.Timer
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+
+	select {
+	case <-w.granted:
+		return nil
+	case <-timeoutC:
+		m.mu.Lock()
+		// A grant may have raced the timer.
+		select {
+		case <-w.granted:
+			m.mu.Unlock()
+			return nil
+		default:
+		}
+		m.removeWaiterLocked(ls, w)
+		m.timeouts.Add(1)
+		m.mu.Unlock()
+		return fmt.Errorf("%w (txn %d requesting %s on %s after %v)", ErrTimeout, txn, want, tg, timeout)
+	}
+}
+
+// grantableLocked reports whether txn may hold mode on ls right now.
+// Conversions only check the holders; fresh requests also respect FIFO
+// fairness (no grant while earlier waiters queue, unless fully compatible
+// with them too).
+func (m *Manager) grantableLocked(ls *lockState, txn int64, mode Mode, convert bool) bool {
+	for h, hm := range ls.holders {
+		if h == txn {
+			continue
+		}
+		if !Compatible(hm, mode) {
+			return false
+		}
+	}
+	if convert {
+		return true
+	}
+	for _, w := range ls.queue {
+		if w.removed || w.txn == txn {
+			continue
+		}
+		if !Compatible(w.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grantLocked(ls *lockState, ts *txnState, txn int64, tg Target, want, held Mode) {
+	ls.holders[txn] = want
+	ts.held[tg] = want
+	if held == None {
+		m.held++
+		if tg.Gran != GranTable {
+			ts.rowLocks[tg.Table]++
+		}
+	}
+	m.acquisitions.Add(1)
+}
+
+func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter) {
+	w.removed = true
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			break
+		}
+	}
+	// Our departure may unblock FIFO successors.
+	m.sweepQueueLocked(ls)
+}
+
+// sweepQueueLocked grants queued waiters, conversions first, then FIFO,
+// stopping at the first non-grantable fresh request.
+func (m *Manager) sweepQueueLocked(ls *lockState) {
+	for i := 0; i < len(ls.queue); {
+		w := ls.queue[i]
+		if w.removed {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			continue
+		}
+		ok := true
+		for h, hm := range ls.holders {
+			if h == w.txn {
+				continue
+			}
+			if !Compatible(hm, w.mode) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			// Fair FIFO: a blocked waiter blocks everyone behind it.
+			return
+		}
+		// Grant.
+		ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+		ts := m.txn(w.txn)
+		tg := ls.target
+		held := ts.held[tg]
+		m.grantLocked(ls, ts, w.txn, tg, w.mode, held)
+		w.granted <- struct{}{}
+	}
+}
+
+// escalateLocked converts txn's row/key locks on table into a single table
+// lock. Called with m.mu held; returns with it released.
+func (m *Manager) escalateLocked(txn int64, ts *txnState, table string, reqMode Mode) error {
+	// Table mode: X if the transaction writes (holds or wants X/IX),
+	// otherwise S.
+	tmode := S
+	if reqMode == X || reqMode == IX {
+		tmode = X
+	} else {
+		for tg, hm := range ts.held {
+			if tg.Table == table && (hm == X || hm == IX || hm == SIX) {
+				tmode = X
+				break
+			}
+		}
+	}
+	tgt := TableTarget(table)
+	held := ts.held[tgt]
+	want := Join(held, tmode)
+	m.escalations.Add(1)
+
+	if err := m.acquireLocked(txn, ts, tgt, want, held); err != nil {
+		return err
+	}
+
+	// Drop the fine-grained locks now covered by the table lock.
+	m.mu.Lock()
+	ts = m.txns[txn]
+	if ts != nil {
+		ts.escalated[table] = true
+		for tg := range ts.held {
+			if tg.Table == table && tg.Gran != GranTable {
+				m.releaseOneLocked(txn, ts, tg)
+			}
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) releaseOneLocked(txn int64, ts *txnState, tg Target) {
+	ls := m.locks[tg]
+	if ls == nil {
+		return
+	}
+	if _, ok := ls.holders[txn]; !ok {
+		return
+	}
+	delete(ls.holders, txn)
+	delete(ts.held, tg)
+	m.held--
+	if tg.Gran != GranTable {
+		ts.rowLocks[tg.Table]--
+	}
+	m.sweepQueueLocked(ls)
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, tg)
+	}
+}
+
+// Release drops txn's lock on target, if held. Used for instant-duration
+// next-key locks on insert.
+func (m *Manager) Release(txn int64, tg Target) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.txns[txn]
+	if ts == nil {
+		return
+	}
+	m.releaseOneLocked(txn, ts, tg)
+}
+
+// ReleaseAll drops every lock txn holds (commit/rollback).
+func (m *Manager) ReleaseAll(txn int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.txns[txn]
+	if ts == nil {
+		return
+	}
+	for tg := range ts.held {
+		m.releaseOneLocked(txn, ts, tg)
+	}
+	delete(m.txns, txn)
+}
+
+// HeldCount returns the number of locks txn currently holds (diagnostics
+// and tests).
+func (m *Manager) HeldCount(txn int64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.txns[txn]
+	if ts == nil {
+		return 0
+	}
+	return len(ts.held)
+}
+
+// Holds reports the mode txn holds on target (None if not held).
+func (m *Manager) Holds(txn int64, tg Target) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.txns[txn]
+	if ts == nil {
+		return None
+	}
+	return ts.held[tg]
+}
+
+// cycleLocked reports whether txn participates in a waits-for cycle. Edges:
+// each waiter waits for every conflicting holder of its lock and for every
+// conflicting waiter queued ahead of it.
+func (m *Manager) cycleLocked(start int64) bool {
+	edges := make(map[int64][]int64)
+	for _, ls := range m.locks {
+		for qi, w := range ls.queue {
+			if w.removed {
+				continue
+			}
+			for h, hm := range ls.holders {
+				if h != w.txn && !Compatible(hm, w.mode) {
+					edges[w.txn] = append(edges[w.txn], h)
+				}
+			}
+			for _, ahead := range ls.queue[:qi] {
+				if !ahead.removed && ahead.txn != w.txn && !Compatible(ahead.mode, w.mode) {
+					edges[w.txn] = append(edges[w.txn], ahead.txn)
+				}
+			}
+		}
+	}
+	// DFS from start looking for a cycle back to start.
+	seen := make(map[int64]bool)
+	var dfs func(n int64) bool
+	dfs = func(n int64) bool {
+		for _, next := range edges[n] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}

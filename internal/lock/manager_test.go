@@ -1,0 +1,497 @@
+package lock
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mgr(cfg Config) *Manager {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second // keep tests from hanging
+	}
+	return NewManager(cfg)
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	m := mgr(Config{DetectDeadlocks: true})
+	if err := m.Acquire(1, RowTarget("f", 1), X); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds(1, RowTarget("f", 1)) != X {
+		t.Error("Holds != X after acquire")
+	}
+	if m.HeldCount(1) != 1 {
+		t.Error("HeldCount != 1")
+	}
+	m.ReleaseAll(1)
+	if m.HeldCount(1) != 0 {
+		t.Error("HeldCount != 0 after ReleaseAll")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := mgr(Config{})
+	for i := 0; i < 3; i++ {
+		if err := m.Acquire(1, RowTarget("f", 1), S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats().Acquisitions; got != 1 {
+		t.Errorf("Acquisitions = %d, want 1 (re-requests are no-ops)", got)
+	}
+	// X covers S.
+	if err := m.Acquire(1, RowTarget("f", 2), X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, RowTarget("f", 2), S); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds(1, RowTarget("f", 2)) != X {
+		t.Error("S request downgraded an X hold")
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := mgr(Config{})
+	for txn := int64(1); txn <= 5; txn++ {
+		if err := m.Acquire(txn, RowTarget("f", 1), S); err != nil {
+			t.Fatalf("txn %d: %v", txn, err)
+		}
+	}
+}
+
+func TestXBlocksUntilRelease(t *testing.T) {
+	m := mgr(Config{})
+	if err := m.Acquire(1, RowTarget("f", 1), X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, RowTarget("f", 1), X) }()
+	select {
+	case err := <-got:
+		t.Fatalf("txn 2 acquired while txn 1 held X: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatalf("txn 2 after release: %v", err)
+	}
+	if m.Stats().Waits != 1 {
+		t.Errorf("Waits = %d, want 1", m.Stats().Waits)
+	}
+}
+
+func TestConversionSToX(t *testing.T) {
+	m := mgr(Config{})
+	if err := m.Acquire(1, RowTarget("f", 1), S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, RowTarget("f", 1), X); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds(1, RowTarget("f", 1)) != X {
+		t.Error("conversion did not reach X")
+	}
+	if m.HeldCount(1) != 1 {
+		t.Error("conversion duplicated the lock")
+	}
+}
+
+func TestConversionWaitsForOtherReaders(t *testing.T) {
+	m := mgr(Config{})
+	tgt := RowTarget("f", 1)
+	if err := m.Acquire(1, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(1, tgt, X) }()
+	select {
+	case err := <-got:
+		t.Fatalf("conversion granted while another reader held S: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionJumpsQueue(t *testing.T) {
+	m := mgr(Config{})
+	tgt := RowTarget("f", 1)
+	if err := m.Acquire(1, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 3 queues a fresh X request.
+	fresh := make(chan error, 1)
+	go func() { fresh <- m.Acquire(3, tgt, X) }()
+	time.Sleep(20 * time.Millisecond)
+	// Txn 1 requests conversion; it must be served before txn 3.
+	conv := make(chan error, 1)
+	go func() { conv <- m.Acquire(1, tgt, X) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(2)
+	select {
+	case err := <-conv:
+		if err != nil {
+			t.Fatalf("conversion: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("conversion starved behind fresh X request")
+	}
+	select {
+	case <-fresh:
+		t.Fatal("fresh X granted while converter still holds X")
+	default:
+	}
+	m.ReleaseAll(1)
+	if err := <-fresh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := mgr(Config{DetectDeadlocks: true})
+	a, b := RowTarget("f", 1), RowTarget("f", 2)
+	if err := m.Acquire(1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan error, 1)
+	go func() { done1 <- m.Acquire(1, b, X) }()
+	time.Sleep(30 * time.Millisecond)
+	// Txn 2's request closes the cycle; txn 2 is the victim.
+	err := m.Acquire(2, a, X)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	if m.Stats().Deadlocks != 1 {
+		t.Errorf("Deadlocks = %d, want 1", m.Stats().Deadlocks)
+	}
+	// Victim rolls back; txn 1 proceeds.
+	m.ReleaseAll(2)
+	if err := <-done1; err != nil {
+		t.Fatalf("txn 1 after victim rollback: %v", err)
+	}
+}
+
+func TestConversionDeadlock(t *testing.T) {
+	// Two readers both upgrading to X: the classic conversion deadlock.
+	m := mgr(Config{DetectDeadlocks: true})
+	tgt := RowTarget("f", 1)
+	if err := m.Acquire(1, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, tgt, S); err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan error, 1)
+	go func() { done1 <- m.Acquire(1, tgt, X) }()
+	time.Sleep(30 * time.Millisecond)
+	err := m.Acquire(2, tgt, X)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected conversion deadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockThreeWay(t *testing.T) {
+	m := mgr(Config{DetectDeadlocks: true})
+	r := func(i int64) Target { return RowTarget("f", i) }
+	for txn := int64(1); txn <= 3; txn++ {
+		if err := m.Acquire(txn, r(txn), X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1 := make(chan error, 1)
+	c2 := make(chan error, 1)
+	go func() { c1 <- m.Acquire(1, r(2), X) }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { c2 <- m.Acquire(2, r(3), X) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Acquire(3, r(1), X); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected 3-way deadlock, got %v", err)
+	}
+	m.ReleaseAll(3)
+	if err := <-c2; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if err := <-c1; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeoutBreaksUndetectedDeadlock(t *testing.T) {
+	// Detector off: only the timeout resolves the deadlock — this is the
+	// paper's global-deadlock scenario where no local detector can see the
+	// cycle (experiment E7).
+	m := NewManager(Config{Timeout: time.Second, DetectDeadlocks: false})
+	a, b := RowTarget("f", 1), RowTarget("f", 2)
+	if err := m.Acquire(1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	c1 := make(chan error, 1)
+	go func() { c1 <- m.Acquire(1, b, X) }() // waits up to 1s
+	time.Sleep(30 * time.Millisecond)
+	m.SetTimeout(60 * time.Millisecond) // the victim's wait is shorter
+	start := time.Now()
+	err := m.Acquire(2, a, X)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("timed out too early: %v", d)
+	}
+	if m.Stats().Timeouts == 0 {
+		t.Error("Timeouts counter not bumped")
+	}
+	m.ReleaseAll(2)
+	if err := <-c1; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetTimeout(t *testing.T) {
+	m := NewManager(Config{Timeout: time.Hour})
+	m.SetTimeout(30 * time.Millisecond)
+	if err := m.Acquire(1, RowTarget("f", 1), X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, RowTarget("f", 1), X); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout after SetTimeout, got %v", err)
+	}
+}
+
+func TestEscalationAtThreshold(t *testing.T) {
+	m := mgr(Config{EscalationThreshold: 10})
+	for i := int64(0); i < 10; i++ {
+		if err := m.Acquire(1, RowTarget("f", i), X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().Escalations != 0 {
+		t.Fatal("escalated before threshold")
+	}
+	// The 11th row lock triggers escalation to a table X lock.
+	if err := m.Acquire(1, RowTarget("f", 10), X); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Escalations != 1 {
+		t.Errorf("Escalations = %d, want 1", m.Stats().Escalations)
+	}
+	if m.Holds(1, TableTarget("f")) != X {
+		t.Error("table lock not held after escalation")
+	}
+	if got := m.HeldCount(1); got != 1 {
+		t.Errorf("HeldCount = %d, want 1 (row locks replaced by table lock)", got)
+	}
+	// Subsequent row locks on the escalated table are free.
+	if err := m.Acquire(1, RowTarget("f", 99), X); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeldCount(1); got != 1 {
+		t.Errorf("HeldCount after covered request = %d, want 1", got)
+	}
+}
+
+func TestEscalationReadOnlyTakesTableS(t *testing.T) {
+	m := mgr(Config{EscalationThreshold: 5})
+	for i := int64(0); i < 6; i++ {
+		if err := m.Acquire(1, RowTarget("f", i), S); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Holds(1, TableTarget("f")) != S {
+		t.Errorf("escalated mode = %s, want S", m.Holds(1, TableTarget("f")))
+	}
+	// Another reader still gets row locks; a writer blocks.
+	if err := m.Acquire(2, RowTarget("f", 100), S); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscalationBlocksWholeTable(t *testing.T) {
+	// The paper: "lock escalation in any of the metadata tables usually
+	// brings the system to its knees" — after escalation every other
+	// transaction's row access blocks.
+	m := NewManager(Config{EscalationThreshold: 3, Timeout: 50 * time.Millisecond})
+	if err := m.Acquire(1, TableTarget("f"), IX); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := m.Acquire(1, RowTarget("f", i), X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Holds(1, TableTarget("f")) != X {
+		t.Fatalf("table lock after escalation = %s, want X", m.Holds(1, TableTarget("f")))
+	}
+	// A disjoint row is now unreachable for txn 2: its intent lock on the
+	// table blocks against the escalated X.
+	err := m.Acquire(2, TableTarget("f"), IX)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout against escalated table lock, got %v", err)
+	}
+}
+
+func TestForcedEscalationByLockList(t *testing.T) {
+	m := mgr(Config{LockListSize: 8})
+	for i := int64(0); i < 8; i++ {
+		if err := m.Acquire(1, RowTarget("f", i), X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Acquire(1, RowTarget("f", 8), X); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Escalations != 1 {
+		t.Errorf("forced escalation did not happen: %+v", m.Stats())
+	}
+}
+
+func TestInstantReleaseOfKeyLock(t *testing.T) {
+	m := mgr(Config{})
+	tgt := KeyTarget("f", "ix1", "[k]")
+	if err := m.Acquire(1, tgt, X); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(1, tgt)
+	if m.HeldCount(1) != 0 {
+		t.Error("key lock not released")
+	}
+	// Someone else can take it immediately.
+	if err := m.Acquire(2, tgt, X); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseUnheldIsNoop(t *testing.T) {
+	m := mgr(Config{})
+	m.Release(1, RowTarget("f", 1))
+	m.ReleaseAll(42)
+	if m.Holds(99, TableTarget("f")) != None {
+		t.Error("Holds on unknown txn")
+	}
+}
+
+func TestIntentAndRowLockInterplay(t *testing.T) {
+	m := NewManager(Config{Timeout: 50 * time.Millisecond})
+	// Writer: IX on table, X on row 1.
+	if err := m.Acquire(1, TableTarget("f"), IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, RowTarget("f", 1), X); err != nil {
+		t.Fatal(err)
+	}
+	// Reader of another row proceeds (IS compatible with IX).
+	if err := m.Acquire(2, TableTarget("f"), IS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, RowTarget("f", 2), S); err != nil {
+		t.Fatal(err)
+	}
+	// Full-table S lock blocks against IX.
+	if err := m.Acquire(3, TableTarget("f"), S); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("table S vs IX: got %v, want timeout", err)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	m := mgr(Config{})
+	tgt := RowTarget("f", 1)
+	if err := m.Acquire(1, tgt, X); err != nil {
+		t.Fatal(err)
+	}
+	var order []int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for txn := int64(2); txn <= 4; txn++ {
+		wg.Add(1)
+		txn := txn
+		go func() {
+			defer wg.Done()
+			if err := m.Acquire(txn, tgt, X); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, txn)
+			mu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+			m.ReleaseAll(txn)
+		}()
+		time.Sleep(30 * time.Millisecond) // enforce queue order 2,3,4
+	}
+	m.ReleaseAll(1)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Errorf("grant order = %v, want [2 3 4]", order)
+	}
+}
+
+func TestConcurrentStressNoLostLocks(t *testing.T) {
+	m := NewManager(Config{Timeout: 2 * time.Second, DetectDeadlocks: true})
+	const workers = 8
+	const opsPerWorker = 200
+	var wg sync.WaitGroup
+	var aborted, committed int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		seed := int64(w)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerWorker; i++ {
+				txn := seed*opsPerWorker*10 + int64(i) + 1
+				ok := true
+				for j := 0; j < 3; j++ {
+					mode := S
+					if r.Intn(2) == 0 {
+						mode = X
+					}
+					if err := m.Acquire(txn, RowTarget("f", int64(r.Intn(20))), mode); err != nil {
+						ok = false
+						break
+					}
+				}
+				m.ReleaseAll(txn)
+				mu.Lock()
+				if ok {
+					committed++
+				} else {
+					aborted++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if committed == 0 {
+		t.Error("no transaction ever committed under contention")
+	}
+	// All locks must be gone.
+	for i := int64(0); i < 20; i++ {
+		if err := m.Acquire(9999, RowTarget("f", i), X); err != nil {
+			t.Fatalf("row %d still locked after all released: %v", i, err)
+		}
+	}
+}

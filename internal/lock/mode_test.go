@@ -1,0 +1,123 @@
+package lock
+
+import "testing"
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{None: "NL", IS: "IS", IX: "IX", S: "S", SIX: "SIX", X: "X", Mode(42): "?"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestCompatMatrixSymmetric(t *testing.T) {
+	modes := []Mode{None, IS, IX, S, SIX, X}
+	for _, a := range modes {
+		for _, b := range modes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("compat(%s,%s) asymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestCompatKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, SIX, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, SIX, false}, {IX, X, false},
+		{S, S, true}, {S, SIX, false}, {S, X, false},
+		{SIX, SIX, false}, {SIX, X, false},
+		{X, X, false},
+		{None, X, true},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	cases := []struct {
+		a, b, want Mode
+	}{
+		{None, S, S},
+		{IS, IX, IX},
+		{S, IX, SIX},
+		{IX, S, SIX},
+		{S, X, X},
+		{SIX, S, SIX},
+		{X, IS, X},
+		{S, S, S},
+	}
+	for _, c := range cases {
+		if got := Join(c.a, c.b); got != c.want {
+			t.Errorf("Join(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJoinIsUpperBound(t *testing.T) {
+	modes := []Mode{None, IS, IX, S, SIX, X}
+	for _, a := range modes {
+		for _, b := range modes {
+			j := Join(a, b)
+			if !Covers(j, a) || !Covers(j, b) {
+				t.Errorf("Join(%s,%s)=%s does not cover both", a, b, j)
+			}
+			if Join(a, b) != Join(b, a) {
+				t.Errorf("Join(%s,%s) not commutative", a, b)
+			}
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers(X, S) || !Covers(X, IX) || !Covers(SIX, S) || !Covers(SIX, IX) {
+		t.Error("stronger modes should cover weaker ones")
+	}
+	if Covers(S, IX) || Covers(IX, S) {
+		t.Error("S and IX are incomparable")
+	}
+}
+
+func TestJoinStrongerIsLessCompatible(t *testing.T) {
+	// Monotonicity: if j = Join(a,b), anything compatible with j must be
+	// compatible with a and b.
+	modes := []Mode{None, IS, IX, S, SIX, X}
+	for _, a := range modes {
+		for _, b := range modes {
+			j := Join(a, b)
+			for _, c := range modes {
+				if Compatible(j, c) && (!Compatible(a, c) || !Compatible(b, c)) {
+					t.Errorf("Join(%s,%s)=%s compatible with %s but operand is not", a, b, j, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTargets(t *testing.T) {
+	if TableTarget("t").String() != "t" {
+		t.Error("TableTarget string")
+	}
+	if RowTarget("t", 5).String() != "t/rid=5" {
+		t.Error("RowTarget string")
+	}
+	if KeyTarget("t", "ix", "[a]").String() != "t/key=ix/[a]" {
+		t.Error("KeyTarget string")
+	}
+	if RowTarget("t", 1) == RowTarget("t", 2) {
+		t.Error("distinct rows compare equal")
+	}
+	if TableTarget("t") != TableTarget("t") {
+		t.Error("same table targets differ")
+	}
+	for _, g := range []Granularity{GranTable, GranRow, GranKey, Granularity(9)} {
+		_ = g.String()
+	}
+}

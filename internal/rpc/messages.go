@@ -1,0 +1,161 @@
+// Package rpc implements the remote-procedure-call mechanism between the
+// host database's datalink engine and DLFM (Section 2: "Invoking the API's
+// is through remote procedure call mechanism").
+//
+// Each connection is served by one DLFM child agent and carries one request
+// at a time — the same serialization the paper relies on when it analyses
+// the asynchronous-commit distributed deadlock ("T11 is blocked on message
+// send as the DLFM child is still doing the commit processing for T1",
+// Section 4; experiment E6).
+package rpc
+
+import "encoding/gob"
+
+// Request messages. The set mirrors the DLFM API surface the paper
+// describes: transaction control (Section 3.3), link/unlink with the
+// in_backout flag (Section 3.2), group management for DROP TABLE (Section
+// 3.5), upcalls (Section 3.5), and the coordinated backup/restore/reconcile
+// calls (Section 3.4).
+
+// BeginTxnReq starts a DLFM sub-transaction in the host transaction's
+// context. Batched marks a long-running utility transaction that DLFM
+// should locally commit every BatchN operations (Section 4's log-full
+// lesson).
+type BeginTxnReq struct {
+	Txn     int64
+	Batched bool
+	BatchN  int
+}
+
+// LinkFileReq links Name under group Grp with recovery id RecID. With
+// InBackout set it instead undoes a link performed earlier in the same
+// transaction (statement-level rollback).
+type LinkFileReq struct {
+	Txn       int64
+	Name      string
+	RecID     int64
+	Grp       int64
+	InBackout bool
+}
+
+// UnlinkFileReq unlinks Name. With InBackout set it restores an entry this
+// transaction unlinked back to linked state.
+type UnlinkFileReq struct {
+	Txn       int64
+	Name      string
+	RecID     int64
+	Grp       int64
+	InBackout bool
+}
+
+// PrepareReq is phase 1 of the two-phase commit: DLFM hardens the
+// transaction's changes in its local database and votes.
+type PrepareReq struct{ Txn int64 }
+
+// CommitReq is phase 2 commit; DLFM retries internally until it succeeds.
+type CommitReq struct{ Txn int64 }
+
+// AbortReq is phase 2 abort (or a forward-progress abort before prepare).
+type AbortReq struct{ Txn int64 }
+
+// CreateGroupReq registers a file group — one per DATALINK column
+// (Section 3: "A File Group corresponds to all files that are referenced
+// by a particular datalink column of an SQL table").
+type CreateGroupReq struct {
+	Txn         int64
+	Grp         int64
+	Recovery    bool // DLFM archives and restores these files
+	FullControl bool // reads require a database token
+}
+
+// DeleteGroupReq marks a file group deleted (DROP TABLE); the files are
+// unlinked asynchronously by the Delete Group daemon after commit.
+type DeleteGroupReq struct {
+	Txn int64
+	Grp int64
+}
+
+// IsLinkedReq is the DLFF upcall.
+type IsLinkedReq struct{ Name string }
+
+// ListIndoubtReq asks for transactions prepared but not yet resolved; the
+// host's indoubt-resolution daemon polls with it after a failure.
+type ListIndoubtReq struct{}
+
+// WaitArchiveReq is issued by the host Backup utility: all pending archive
+// copies with recovery id <= RecID are promoted to high priority, and the
+// call returns once they are on the archive server (Section 3.4).
+type WaitArchiveReq struct{ RecID int64 }
+
+// RegisterBackupReq records a successful host backup (its id and recovery-
+// id watermark) so the Garbage Collector can apply the keep-last-N policy.
+type RegisterBackupReq struct {
+	BackupID int64
+	RecID    int64
+}
+
+// RestoreToReq tells DLFM the host database was restored to the backup with
+// the given recovery-id watermark: entries linked before and unlinked after
+// the watermark return to linked state, entries linked after it are
+// removed, and missing files are retrieved from the archive server.
+type RestoreToReq struct{ RecID int64 }
+
+// ReconcileReq carries the host's view of every linked file on this server
+// (name and link recovery id); DLFM loads it into a temp table, compares,
+// and repairs its metadata. The response lists files the host references
+// that DLFM cannot produce (the host should null those columns).
+type ReconcileReq struct {
+	Names  []string
+	RecIDs []int64
+}
+
+// PingReq checks liveness.
+type PingReq struct{}
+
+// StatsReq asks the DLFM for its internal counters (diagnostics).
+type StatsReq struct{}
+
+// Response is the uniform reply envelope.
+type Response struct {
+	// Code "" means success. Error codes: "deadlock", "timeout",
+	// "duplicate", "notlinked", "nofile", "nogroup", "notxn", "logfull",
+	// "severe".
+	Code string
+	Msg  string
+
+	// IsLinked answer.
+	Linked      bool
+	FullControl bool
+
+	// ListIndoubt answer.
+	Txns []int64
+
+	// Generic numeric answer (WaitArchive: copies flushed; Restore:
+	// entries repaired; Stats: encoded counters).
+	N int64
+
+	// Reconcile answer: names unresolvable on the DLFM side.
+	Names []string
+}
+
+// OK reports whether the response is a success.
+func (r Response) OK() bool { return r.Code == "" }
+
+func init() {
+	gob.Register(BeginTxnReq{})
+	gob.Register(LinkFileReq{})
+	gob.Register(UnlinkFileReq{})
+	gob.Register(PrepareReq{})
+	gob.Register(CommitReq{})
+	gob.Register(AbortReq{})
+	gob.Register(CreateGroupReq{})
+	gob.Register(DeleteGroupReq{})
+	gob.Register(IsLinkedReq{})
+	gob.Register(ListIndoubtReq{})
+	gob.Register(WaitArchiveReq{})
+	gob.Register(RegisterBackupReq{})
+	gob.Register(RestoreToReq{})
+	gob.Register(ReconcileReq{})
+	gob.Register(PingReq{})
+	gob.Register(StatsReq{})
+}

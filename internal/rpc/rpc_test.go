@@ -1,0 +1,220 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoAgent answers every request with a response describing it.
+type echoAgent struct {
+	closed  *atomic.Int64
+	handled *atomic.Int64
+	delay   time.Duration
+}
+
+func (a *echoAgent) Handle(req any) Response {
+	if a.delay > 0 {
+		time.Sleep(a.delay)
+	}
+	if a.handled != nil {
+		a.handled.Add(1)
+	}
+	switch r := req.(type) {
+	case PingReq:
+		return Response{Msg: "pong"}
+	case LinkFileReq:
+		return Response{Msg: "linked:" + r.Name, N: r.RecID}
+	case IsLinkedReq:
+		return Response{Linked: strings.HasPrefix(r.Name, "/linked")}
+	case ListIndoubtReq:
+		return Response{Txns: []int64{3, 7}}
+	default:
+		return Response{Code: "severe", Msg: fmt.Sprintf("unknown request %T", req)}
+	}
+}
+
+func (a *echoAgent) Close() {
+	if a.closed != nil {
+		a.closed.Add(1)
+	}
+}
+
+type echoFactory struct {
+	agents  atomic.Int64
+	closed  atomic.Int64
+	handled atomic.Int64
+	delay   time.Duration
+}
+
+func (f *echoFactory) NewAgent() Agent {
+	f.agents.Add(1)
+	return &echoAgent{closed: &f.closed, handled: &f.handled, delay: f.delay}
+}
+
+func TestLocalPairRoundTrip(t *testing.T) {
+	c := LocalPair(&echoFactory{})
+	defer c.Close()
+	resp, err := c.Call(PingReq{})
+	if err != nil || resp.Msg != "pong" {
+		t.Fatalf("ping = %+v, %v", resp, err)
+	}
+	resp, err = c.Call(LinkFileReq{Name: "/data/a", RecID: 42})
+	if err != nil || resp.Msg != "linked:/data/a" || resp.N != 42 {
+		t.Fatalf("link = %+v, %v", resp, err)
+	}
+	resp, err = c.Call(ListIndoubtReq{})
+	if err != nil || len(resp.Txns) != 2 || resp.Txns[1] != 7 {
+		t.Fatalf("indoubt = %+v, %v", resp, err)
+	}
+}
+
+func TestTCPServerRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &echoFactory{}
+	srv := Serve(ln, f)
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(IsLinkedReq{Name: "/linked/x"})
+	if err != nil || !resp.Linked {
+		t.Fatalf("upcall = %+v, %v", resp, err)
+	}
+	resp, err = c.Call(IsLinkedReq{Name: "/free/x"})
+	if err != nil || resp.Linked {
+		t.Fatalf("upcall = %+v, %v", resp, err)
+	}
+}
+
+func TestEachConnectionGetsOwnAgent(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	f := &echoFactory{}
+	srv := Serve(ln, f)
+	defer srv.Close()
+
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Call(PingReq{}); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	if f.agents.Load() != 3 {
+		t.Fatalf("agents = %d, want 3 (one per connection)", f.agents.Load())
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+	// Agents are closed when their peers disconnect.
+	deadline := time.Now().Add(2 * time.Second)
+	for f.closed.Load() != 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.closed.Load() != 3 {
+		t.Fatalf("closed = %d, want 3", f.closed.Load())
+	}
+}
+
+func TestCallsAreSerializedPerConnection(t *testing.T) {
+	// Two concurrent Calls on one client must not overlap: the second
+	// waits for the first — the child-agent protocol the paper's E6
+	// distributed-deadlock analysis depends on.
+	f := &echoFactory{delay: 80 * time.Millisecond}
+	c := LocalPair(f)
+	defer c.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(PingReq{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := time.Since(start); d < 160*time.Millisecond {
+		t.Fatalf("two calls finished in %v; they overlapped", d)
+	}
+}
+
+func TestServerCloseSeversConnections(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	f := &echoFactory{}
+	srv := Serve(ln, f)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(PingReq{}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // simulated DLFM crash
+	if _, err := c.Call(PingReq{}); err == nil {
+		t.Fatal("call succeeded after server crash")
+	}
+	c.Close()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestResponseOK(t *testing.T) {
+	if !(Response{}).OK() {
+		t.Error("empty code should be OK")
+	}
+	if (Response{Code: "deadlock"}).OK() {
+		t.Error("error code should not be OK")
+	}
+}
+
+func TestConcurrentClientsOnTCP(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	f := &echoFactory{}
+	srv := Serve(ln, f)
+	defer srv.Close()
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := c.Call(PingReq{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f.handled.Load() != n*20 {
+		t.Fatalf("handled = %d, want %d", f.handled.Load(), n*20)
+	}
+}

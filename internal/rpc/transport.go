@@ -1,0 +1,192 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// envelope wraps the request for gob so the concrete type travels with it.
+type envelope struct{ Req any }
+
+// Agent serves one connection's requests — the paper's DLFM child agent.
+// Handle is called serially, one request at a time, in arrival order.
+type Agent interface {
+	Handle(req any) Response
+	// Close releases the agent's resources (its local database connection)
+	// when the peer disconnects.
+	Close()
+}
+
+// AgentFactory creates a child agent per accepted connection, exactly as
+// the DLFM main daemon "spawns the child agent when a connect request from
+// a DB2 agent is received" (Section 3.5).
+type AgentFactory interface {
+	NewAgent() Agent
+}
+
+// Client is the host side of one connection. Calls are serialized: a
+// second Call blocks until the first completes, mirroring the paper's
+// one-outstanding-request child-agent protocol.
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Dial connects to a DLFM server over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// Call sends req and waits for the response. A transport failure (the DLFM
+// died or the connection broke) is returned as an error, distinct from an
+// application-level error code inside the Response.
+func (c *Client) Call(req any) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(envelope{Req: req}); err != nil {
+		return Response{}, fmt.Errorf("rpc: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("rpc: receive: %w", err)
+	}
+	return resp, nil
+}
+
+// CallResult carries an asynchronous call's outcome.
+type CallResult struct {
+	Resp Response
+	Err  error
+}
+
+// Go sends req immediately and returns a channel delivering the response.
+// The connection stays busy until the response arrives: a subsequent Call
+// blocks, exactly the "blocked on message send as the DLFM child is still
+// doing the commit processing" behaviour of the paper's asynchronous-commit
+// analysis (Section 4). The host's async commit mode uses it.
+func (c *Client) Go(req any) <-chan CallResult {
+	ch := make(chan CallResult, 1)
+	c.mu.Lock()
+	if err := c.enc.Encode(envelope{Req: req}); err != nil {
+		c.mu.Unlock()
+		ch <- CallResult{Err: fmt.Errorf("rpc: send: %w", err)}
+		return ch
+	}
+	go func() {
+		defer c.mu.Unlock()
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			ch <- CallResult{Err: fmt.Errorf("rpc: receive: %w", err)}
+			return
+		}
+		ch <- CallResult{Resp: resp}
+	}()
+	return ch
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Server accepts connections and runs one agent per connection.
+type Server struct {
+	ln      net.Listener
+	factory AgentFactory
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting on ln. It returns immediately; the accept loop
+// runs until Close.
+func Serve(ln net.Listener, factory AgentFactory) *Server {
+	s := &Server{ln: ln, factory: factory, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address (for clients to dial).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ServeConn(conn, s.factory.NewAgent())
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, severs every live connection (as a DLFM crash
+// would), and waits for agent goroutines to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// ServeConn runs the request loop for one connection until the peer
+// disconnects, then closes the agent.
+func ServeConn(conn io.ReadWriteCloser, agent Agent) {
+	defer conn.Close()
+	defer agent.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		resp := agent.Handle(env.Req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// LocalPair creates an in-process client/agent pair over a synchronous
+// pipe: the same gob protocol and child-agent serialization without
+// sockets. Tests and single-process benchmarks use it.
+func LocalPair(factory AgentFactory) *Client {
+	hostSide, dlfmSide := net.Pipe()
+	go ServeConn(dlfmSide, factory.NewAgent())
+	return NewClient(hostSide)
+}

@@ -1,0 +1,184 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColDef is one column definition in CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    value.Kind
+	NotNull bool
+}
+
+// CreateTable is CREATE TABLE name (col type [NOT NULL], ...).
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (col, ...).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Cols   []string
+	Unique bool
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// Insert is INSERT INTO table [(cols)] VALUES (exprs).
+type Insert struct {
+	Table string
+	Cols  []string // nil means full schema order
+	Vals  []Expr
+}
+
+// AggFunc identifies the aggregate in a single-aggregate SELECT.
+type AggFunc int
+
+// Aggregates supported in the select list.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+// Select is SELECT list FROM table [WHERE ...] [ORDER BY col [DESC]]
+// [LIMIT n] [FOR UPDATE].
+type Select struct {
+	Table      string
+	Star       bool
+	Agg        AggFunc
+	AggCol     string   // column for MIN/MAX
+	Cols       []string // projection when not Star/Agg
+	Where      []Pred
+	OrderBy    string
+	Desc       bool
+	Limit      int // -1 = no limit (ignored when LimitParam >= 0)
+	LimitParam int // parameter index supplying the limit; -1 = none
+	ForUpdate  bool
+}
+
+// Update is UPDATE table SET col = expr, ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []Assign
+	Where []Pred
+}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where []Pred
+}
+
+func (CreateTable) stmt() {}
+func (CreateIndex) stmt() {}
+func (DropTable) stmt()   {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}
+func (Update) stmt()      {}
+func (Delete) stmt()      {}
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Eval applies the operator to a three-way comparison result.
+func (o CmpOp) Eval(cmp int) bool {
+	switch o {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Pred is one conjunct of a WHERE clause: column op expr.
+type Pred struct {
+	Col string
+	Op  CmpOp
+	Val Expr
+}
+
+// Assign is one SET clause in UPDATE.
+type Assign struct {
+	Col string
+	Val Expr
+}
+
+// Expr is a scalar expression: a literal, a parameter marker, or a column
+// reference.
+type Expr interface {
+	exprString() string
+}
+
+// Literal is a constant value.
+type Literal struct{ V value.Value }
+
+// Param is the i-th (0-based) ? parameter marker.
+type Param struct{ Idx int }
+
+// Column is a reference to a column of the statement's table.
+type Column struct{ Name string }
+
+func (l Literal) exprString() string { return l.V.SQLLiteral() }
+func (p Param) exprString() string   { return fmt.Sprintf("?%d", p.Idx+1) }
+func (c Column) exprString() string  { return c.Name }
+
+// FormatPreds renders a predicate list for plan diagnostics.
+func FormatPreds(preds []Pred) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.Col + " " + p.Op.String() + " " + p.Val.exprString()
+	}
+	return strings.Join(parts, " AND ")
+}

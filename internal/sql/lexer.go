@@ -1,0 +1,207 @@
+// Package sql implements the lexer, AST, and parser for the SQL subset the
+// engine executes. DLFM accesses all of its metadata through this language,
+// treating the engine as a black box exactly as the paper's DLFM treats its
+// local DB2 (Section 1, Section 3.1).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokParam  // ?
+	tokLParen // (
+	tokRParen // )
+	tokComma
+	tokStar
+	tokEq  // =
+	tokNe  // <>
+	tokLt  // <
+	tokLe  // <=
+	tokGt  // >
+	tokGe  // >=
+	tokDot // .
+)
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "UNIQUE": true, "INDEX": true, "ON": true,
+	"DROP": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "FOR": true,
+	"INTEGER": true, "INT": true, "BIGINT": true, "VARCHAR": true,
+	"BOOLEAN": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"COUNT": true, "MIN": true, "MAX": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keyword text is uppercased; idents keep original case
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of statement"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning a helpful error for invalid input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '(':
+			l.emit(tokLParen, "(")
+			l.pos++
+		case c == ')':
+			l.emit(tokRParen, ")")
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",")
+			l.pos++
+		case c == '*':
+			l.emit(tokStar, "*")
+			l.pos++
+		case c == '?':
+			l.emit(tokParam, "?")
+			l.pos++
+		case c == '.':
+			l.emit(tokDot, ".")
+			l.pos++
+		case c == '=':
+			l.emit(tokEq, "=")
+			l.pos++
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit(tokLe, "<=")
+				l.pos += 2
+			} else if l.peek(1) == '>' {
+				l.emit(tokNe, "<>")
+				l.pos += 2
+			} else {
+				l.emit(tokLt, "<")
+				l.pos++
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit(tokGe, ">=")
+				l.pos += 2
+			} else {
+				l.emit(tokGt, ">")
+				l.pos++
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '-' || unicode.IsDigit(rune(c)):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '_' || unicode.IsLetter(rune(c)):
+			l.lexWord()
+		default:
+			return nil, fmt.Errorf("sql: invalid character %q at position %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peek(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at position %d", start)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.src) || !unicode.IsDigit(rune(l.src[l.pos])) {
+			return fmt.Errorf("sql: bare '-' at position %d", start)
+		}
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c) {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(word), pos: start})
+	}
+}

@@ -1,0 +1,504 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/value"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("unexpected %s after statement", p.cur())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	src    string
+	toks   []token
+	pos    int
+	params int
+}
+
+func (p *parser) cur() token          { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKw(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.atKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %s, found %s", what, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at position %d in %q)",
+		fmt.Sprintf(format, args...), p.cur().pos, p.src)
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "identifier")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.atKw("CREATE"):
+		return p.create()
+	case p.atKw("DROP"):
+		return p.dropTable()
+	case p.atKw("INSERT"):
+		return p.insert()
+	case p.atKw("SELECT"):
+		return p.selectStmt()
+	case p.atKw("UPDATE"):
+		return p.update()
+	case p.atKw("DELETE"):
+		return p.deleteStmt()
+	default:
+		return nil, p.errf("expected a statement, found %s", p.cur())
+	}
+}
+
+func (p *parser) create() (Statement, error) {
+	p.advance() // CREATE
+	switch {
+	case p.acceptKw("TABLE"):
+		return p.createTable()
+	case p.atKw("UNIQUE") || p.atKw("INDEX"):
+		unique := p.acceptKw("UNIQUE")
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.createIndex(unique)
+	default:
+		return nil, p.errf("expected TABLE or INDEX after CREATE, found %s", p.cur())
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColDef
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := p.colType()
+		if err != nil {
+			return nil, err
+		}
+		def := ColDef{Name: col, Type: kind}
+		if p.acceptKw("NOT") {
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			def.NotNull = true
+		}
+		cols = append(cols, def)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return CreateTable{Name: name, Cols: cols}, nil
+}
+
+func (p *parser) colType() (value.Kind, error) {
+	switch {
+	case p.acceptKw("INTEGER"), p.acceptKw("INT"), p.acceptKw("BIGINT"):
+		return value.KindInt, nil
+	case p.acceptKw("VARCHAR"):
+		// Optional length, accepted and ignored (lengths are advisory).
+		if p.at(tokLParen) {
+			p.advance()
+			if _, err := p.expect(tokNumber, "length"); err != nil {
+				return 0, err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return 0, err
+			}
+		}
+		return value.KindString, nil
+	case p.acceptKw("BOOLEAN"):
+		return value.KindBool, nil
+	default:
+		return 0, p.errf("expected a column type, found %s", p.cur())
+	}
+}
+
+func (p *parser) createIndex(unique bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parenIdentList()
+	if err != nil {
+		return nil, err
+	}
+	return CreateIndex{Name: name, Table: table, Cols: cols, Unique: unique}, nil
+}
+
+func (p *parser) parenIdentList() ([]string, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *parser) dropTable() (Statement, error) {
+	p.advance() // DROP
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return DropTable{Name: name}, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.at(tokLParen) {
+		cols, err = p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var vals []Expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, e)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return Insert{Table: table, Cols: cols, Vals: vals}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.advance() // SELECT
+	sel := Select{Limit: -1, LimitParam: -1}
+	switch {
+	case p.at(tokStar):
+		p.advance()
+		sel.Star = true
+	case p.atKw("COUNT"):
+		p.advance()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokStar, "*"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		sel.Agg = AggCount
+	case p.atKw("MIN"), p.atKw("MAX"):
+		if p.atKw("MIN") {
+			sel.Agg = AggMin
+		} else {
+			sel.Agg = AggMax
+		}
+		p.advance()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		sel.AggCol = col
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+	default:
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.Cols = append(sel.Cols, col)
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table
+	if sel.Where, err = p.whereOpt(); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		if sel.OrderBy, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if p.acceptKw("DESC") {
+			sel.Desc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		if p.at(tokParam) {
+			p.advance()
+			sel.LimitParam = p.params
+			p.params++
+		} else {
+			t, err := p.expect(tokNumber, "limit count")
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(t.text)
+			if err != nil || n < 0 {
+				return nil, p.errf("invalid LIMIT %q", t.text)
+			}
+			sel.Limit = n
+		}
+	}
+	if p.acceptKw("FOR") {
+		if err := p.expectKw("UPDATE"); err != nil {
+			return nil, err
+		}
+		sel.ForUpdate = true
+	}
+	return sel, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	p.advance() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	var sets []Assign
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, Assign{Col: col, Val: e})
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	where, err := p.whereOpt()
+	if err != nil {
+		return nil, err
+	}
+	return Update{Table: table, Sets: sets, Where: where}, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.whereOpt()
+	if err != nil {
+		return nil, err
+	}
+	return Delete{Table: table, Where: where}, nil
+}
+
+func (p *parser) whereOpt() ([]Pred, error) {
+	if !p.acceptKw("WHERE") {
+		return nil, nil
+	}
+	var preds []Pred
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var op CmpOp
+		switch p.cur().kind {
+		case tokEq:
+			op = OpEq
+		case tokNe:
+			op = OpNe
+		case tokLt:
+			op = OpLt
+		case tokLe:
+			op = OpLe
+		case tokGt:
+			op = OpGt
+		case tokGe:
+			op = OpGe
+		default:
+			return nil, p.errf("expected comparison operator, found %s", p.cur())
+		}
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, Pred{Col: col, Op: op, Val: e})
+		if p.acceptKw("AND") {
+			continue
+		}
+		break
+	}
+	return preds, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return Literal{V: value.Int(n)}, nil
+	case tokString:
+		p.advance()
+		return Literal{V: value.Str(t.text)}, nil
+	case tokParam:
+		p.advance()
+		e := Param{Idx: p.params}
+		p.params++
+		return e, nil
+	case tokIdent:
+		p.advance()
+		return Column{Name: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return Literal{V: value.Null}, nil
+		case "TRUE":
+			p.advance()
+			return Literal{V: value.Bool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return Literal{V: value.Bool(false)}, nil
+		}
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}

@@ -1,0 +1,229 @@
+// Package value defines the SQL value model shared by the storage engine,
+// the SQL layer, and the DLFM metadata code: typed scalar values, rows, and
+// composite keys with a total ordering suitable for B-tree indexes.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind int
+
+// The supported value kinds. The ordering of the constants defines the
+// cross-kind sort order (NULL sorts lowest, as in DB2 ascending indexes
+// with NULLS FIRST).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an INTEGER value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Str returns a VARCHAR value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a BOOLEAN value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int64 returns the integer payload. It panics unless v is an INTEGER or
+// BOOLEAN value; callers are expected to have type-checked already.
+func (v Value) Int64() int64 {
+	if v.kind != KindInt && v.kind != KindBool {
+		panic("value: Int64 on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Text returns the string payload. It panics unless v is a VARCHAR.
+func (v Value) Text() string {
+	if v.kind != KindString {
+		panic("value: Text on " + v.kind.String())
+	}
+	return v.s
+}
+
+// IsTrue reports whether v is the boolean TRUE.
+func (v Value) IsTrue() bool { return v.kind == KindBool && v.i != 0 }
+
+// Compare orders two values. Values of different kinds order by kind
+// (NULL < BOOLEAN < INTEGER < VARCHAR); within a kind the natural order
+// applies. The result is -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool, KindInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	}
+	return 0
+}
+
+// Equal reports whether v and o are the same value (NULL equals NULL here;
+// SQL ternary logic is applied at the expression layer, not in storage).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String renders the value for diagnostics and query output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal (strings quoted and
+// escaped), usable when composing statements.
+func (v Value) SQLLiteral() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Row is an ordered tuple of values, matching a table schema.
+type Row []Value
+
+// Clone returns a copy of the row that shares no mutable state.
+func (r Row) Clone() Row {
+	if r == nil {
+		return nil
+	}
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row for diagnostics.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key is a composite index key: an ordered tuple of values compared
+// lexicographically.
+type Key []Value
+
+// CompareKeys orders two composite keys lexicographically; a shorter key
+// that is a prefix of a longer one sorts first (so a prefix probe can use
+// CompareKeys as a lower bound).
+func CompareKeys(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// HasPrefix reports whether k begins with the given prefix key.
+func (k Key) HasPrefix(prefix Key) bool {
+	if len(prefix) > len(k) {
+		return false
+	}
+	for i, v := range prefix {
+		if k[i].Compare(v) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the key.
+func (k Key) Clone() Key {
+	if k == nil {
+		return nil
+	}
+	out := make(Key, len(k))
+	copy(out, k)
+	return out
+}
+
+// String renders the key for diagnostics and lock names.
+func (k Key) String() string {
+	parts := make([]string, len(k))
+	for i, v := range k {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, "|") + "]"
+}

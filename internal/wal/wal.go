@@ -1,0 +1,401 @@
+// Package wal implements the engine's write-ahead log: sequenced redo/undo
+// records, durable append with group commit syncing, and circular log-space
+// accounting.
+//
+// The space accounting models DB2's circular log: space between the first
+// record of the oldest in-flight transaction and the end of the log is
+// "active" and cannot be reclaimed, so one long transaction that writes more
+// than the configured capacity hits ErrLogFull. That is the failure mode the
+// paper's batched-commit lesson is about (Section 4; experiment E8).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// ErrLogFull is returned by Append when the active portion of the log would
+// exceed its capacity — the local database's "log full" error condition.
+var ErrLogFull = errors.New("wal: transaction log full")
+
+// RecType identifies a log record type.
+type RecType byte
+
+// Log record types.
+const (
+	RecBegin RecType = iota + 1
+	RecInsert
+	RecDelete
+	RecUpdate
+	RecCommit
+	RecAbort
+	RecPrepare
+	RecCheckpoint
+	// DDL records carry the statement text in the Table field; DDL is
+	// autocommitted, so recovery replays these unconditionally.
+	RecCreateTable
+	RecCreateIndex
+	RecDropTable
+)
+
+// String names the record type for diagnostics.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecUpdate:
+		return "UPDATE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecPrepare:
+		return "PREPARE"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	case RecCreateTable:
+		return "CREATE-TABLE"
+	case RecCreateIndex:
+		return "CREATE-INDEX"
+	case RecDropTable:
+		return "DROP-TABLE"
+	default:
+		return fmt.Sprintf("RecType(%d)", byte(t))
+	}
+}
+
+// Record is one write-ahead log record. Data records carry the table, row
+// id, and before/after images needed for redo and undo.
+type Record struct {
+	LSN    int64
+	Txn    int64
+	Type   RecType
+	Table  string
+	RID    int64
+	Before value.Row
+	After  value.Row
+}
+
+func (r *Record) encode(buf []byte) []byte {
+	body := make([]byte, 0, 64)
+	body = append(body, byte(r.Type))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(r.LSN))
+	body = append(body, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(r.Txn))
+	body = append(body, tmp[:]...)
+	var t4 [4]byte
+	binary.BigEndian.PutUint32(t4[:], uint32(len(r.Table)))
+	body = append(body, t4[:]...)
+	body = append(body, r.Table...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(r.RID))
+	body = append(body, tmp[:]...)
+	body = value.AppendRow(body, r.Before)
+	body = value.AppendRow(body, r.After)
+
+	binary.BigEndian.PutUint32(t4[:], uint32(len(body)))
+	buf = append(buf, t4[:]...)
+	return append(buf, body...)
+}
+
+func decodeRecord(body []byte) (Record, error) {
+	var r Record
+	if len(body) < 1+8+8+4 {
+		return r, fmt.Errorf("wal: truncated record header")
+	}
+	r.Type = RecType(body[0])
+	r.LSN = int64(binary.BigEndian.Uint64(body[1:9]))
+	r.Txn = int64(binary.BigEndian.Uint64(body[9:17]))
+	tlen := int(binary.BigEndian.Uint32(body[17:21]))
+	off := 21
+	if len(body) < off+tlen+8 {
+		return r, fmt.Errorf("wal: truncated table name")
+	}
+	r.Table = string(body[off : off+tlen])
+	off += tlen
+	r.RID = int64(binary.BigEndian.Uint64(body[off : off+8]))
+	off += 8
+	before, n, err := value.DecodeRow(body[off:])
+	if err != nil {
+		return r, fmt.Errorf("wal: before image: %w", err)
+	}
+	off += n
+	after, n, err := value.DecodeRow(body[off:])
+	if err != nil {
+		return r, fmt.Errorf("wal: after image: %w", err)
+	}
+	off += n
+	if off != len(body) {
+		return r, fmt.Errorf("wal: %d trailing bytes in record", len(body)-off)
+	}
+	if len(before) > 0 {
+		r.Before = before
+	}
+	if len(after) > 0 {
+		r.After = after
+	}
+	return r, nil
+}
+
+// Stats reports cumulative log activity.
+type Stats struct {
+	Appends   int64
+	Bytes     int64 // total bytes ever appended
+	Syncs     int64
+	LogFulls  int64 // Append calls rejected with ErrLogFull
+	Active    int64 // current active (unreclaimable) bytes
+	ActiveTxn int   // transactions currently holding log space
+}
+
+// Log is the write-ahead log. A Log with an empty path keeps records in
+// memory only — it still enforces capacity and supports recovery scans, so
+// in-process crash simulation works without touching disk.
+type Log struct {
+	mu sync.Mutex
+
+	f    *os.File
+	mem  []Record
+	path string
+
+	nextLSN  int64
+	end      int64 // logical end offset in bytes
+	capacity int64 // 0 = unlimited
+
+	// firstOffset maps each in-flight transaction to the byte offset of
+	// its first record; the minimum is the tail of the active log.
+	firstOffset map[int64]int64
+
+	stats Stats
+}
+
+// Open opens (creating or appending to) the log at path, or an in-memory
+// log when path is empty. capacity is the circular-log size in bytes; zero
+// means unlimited.
+func Open(path string, capacity int64) (*Log, error) {
+	l := &Log{
+		path:        path,
+		capacity:    capacity,
+		nextLSN:     1,
+		firstOffset: make(map[int64]int64),
+	}
+	if path == "" {
+		return l, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l.f = f
+	// Resume LSN numbering and logical end after existing records.
+	recs, err := readAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.LSN >= l.nextLSN {
+			l.nextLSN = r.LSN + 1
+		}
+	}
+	if info, err := f.Stat(); err == nil {
+		l.end = info.Size()
+	}
+	return l, nil
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Append writes a record, assigning and returning its LSN. Commit and abort
+// records always fit (the engine must always be able to finish a
+// transaction); any other record fails with ErrLogFull if the active log
+// would exceed capacity.
+func (l *Log) Append(r Record) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	r.LSN = l.nextLSN
+	encoded := r.encode(nil)
+	size := int64(len(encoded))
+
+	if l.capacity > 0 && r.Type != RecCommit && r.Type != RecAbort {
+		tail := l.tailLocked()
+		if l.end+size-tail > l.capacity {
+			l.stats.LogFulls++
+			return 0, fmt.Errorf("%w (txn %d needs %d bytes, active %d of %d)",
+				ErrLogFull, r.Txn, size, l.end-tail, l.capacity)
+		}
+	}
+
+	if l.f != nil {
+		if _, err := l.f.Write(encoded); err != nil {
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+	} else {
+		l.mem = append(l.mem, r)
+	}
+
+	if r.Txn != 0 {
+		switch r.Type {
+		case RecCommit, RecAbort:
+			delete(l.firstOffset, r.Txn)
+		default:
+			if _, ok := l.firstOffset[r.Txn]; !ok {
+				l.firstOffset[r.Txn] = l.end
+			}
+		}
+	}
+
+	l.nextLSN++
+	l.end += size
+	l.stats.Appends++
+	l.stats.Bytes += size
+	return r.LSN, nil
+}
+
+// tailLocked returns the offset of the oldest active transaction's first
+// record, or the end of the log when no transaction is active.
+func (l *Log) tailLocked() int64 {
+	tail := l.end
+	for _, off := range l.firstOffset {
+		if off < tail {
+			tail = off
+		}
+	}
+	return tail
+}
+
+// ForgetTxn releases txn's active log space without a commit/abort record
+// (used when a transaction never wrote a data record).
+func (l *Log) ForgetTxn(txn int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.firstOffset, txn)
+}
+
+// Sync forces appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Syncs++
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Stats returns a snapshot of log statistics.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Active = l.end - l.tailLocked()
+	s.ActiveTxn = len(l.firstOffset)
+	return s
+}
+
+// Records returns every record in the log in append order, for recovery.
+func (l *Log) Records() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		out := make([]Record, len(l.mem))
+		copy(out, l.mem)
+		return out, nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return nil, fmt.Errorf("wal: sync before scan: %w", err)
+	}
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopen for scan: %w", err)
+	}
+	defer f.Close()
+	return readAll(f)
+}
+
+func readAll(f *os.File) ([]Record, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	var recs []Record
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				// Torn final record from a crash mid-append: ignore it.
+				return recs, nil
+			}
+			return nil, fmt.Errorf("wal: read header: %w", err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		body := make([]byte, n)
+		if _, err := io.ReadFull(f, body); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, nil // torn record
+			}
+			return nil, fmt.Errorf("wal: read body: %w", err)
+		}
+		r, err := decodeRecord(body)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+}
+
+// Reset truncates the log to empty after a checkpoint captured its state
+// elsewhere. LSN numbering continues monotonically. It is invalid while
+// transactions hold active log space.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.firstOffset) != 0 {
+		return fmt.Errorf("wal: cannot reset with %d active transactions", len(l.firstOffset))
+	}
+	if l.f == nil {
+		l.mem = nil
+		l.end = 0
+		return nil
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset sync: %w", err)
+	}
+	l.end = 0
+	return nil
+}
+
+// Close releases the underlying file, if any.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

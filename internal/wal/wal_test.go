@@ -1,0 +1,333 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func rec(txn int64, t RecType, table string, rid int64) Record {
+	return Record{Txn: txn, Type: t, Table: table, RID: rid,
+		After: value.Row{value.Int(rid), value.Str("payload")}}
+}
+
+func TestRecTypeString(t *testing.T) {
+	types := []RecType{RecBegin, RecInsert, RecDelete, RecUpdate, RecCommit, RecAbort, RecPrepare, RecCheckpoint, RecType(99)}
+	for _, rt := range types {
+		if rt.String() == "" {
+			t.Errorf("empty String for %d", rt)
+		}
+	}
+}
+
+func TestMemoryAppendAndScan(t *testing.T) {
+	l, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn1, err := l.Append(rec(1, RecInsert, "f", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := l.Append(rec(1, RecCommit, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn2 != lsn1+1 {
+		t.Errorf("LSNs not sequential: %d then %d", lsn1, lsn2)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Type != RecInsert || recs[1].Type != RecCommit {
+		t.Fatalf("scan returned %+v", recs)
+	}
+	if recs[0].After[1].Text() != "payload" {
+		t.Error("after image lost")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Txn: 1, Type: RecBegin},
+		{Txn: 1, Type: RecInsert, Table: "dlfm_file", RID: 7,
+			After: value.Row{value.Str("a.txt"), value.Int(0), value.Null}},
+		{Txn: 1, Type: RecUpdate, Table: "dlfm_file", RID: 7,
+			Before: value.Row{value.Str("a.txt")}, After: value.Row{value.Str("b.txt")}},
+		{Txn: 1, Type: RecCommit},
+	}
+	for _, r := range want {
+		if _, err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Type != want[i].Type || r.Txn != want[i].Txn || r.Table != want[i].Table || r.RID != want[i].RID {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if recs[2].Before[0].Text() != "a.txt" || recs[2].After[0].Text() != "b.txt" {
+		t.Error("update images corrupted")
+	}
+	// LSN numbering resumes after reopen.
+	lsn, err := l2.Append(rec(2, RecInsert, "f", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != int64(len(want))+1 {
+		t.Errorf("resumed LSN = %d, want %d", lsn, len(want)+1)
+	}
+}
+
+func TestTornFinalRecordIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	l, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if _, err := l.Append(rec(1, RecInsert, "f", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Simulate a crash mid-append: truncate the file inside the last record.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("after torn tail: %d records, want 2", len(recs))
+	}
+}
+
+func TestLogFullSingleLongTransaction(t *testing.T) {
+	l, err := Open("", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hitFull bool
+	for i := int64(0); i < 1000; i++ {
+		if _, err := l.Append(rec(1, RecInsert, "dlfm_file", i)); err != nil {
+			if !errors.Is(err, ErrLogFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			hitFull = true
+			break
+		}
+	}
+	if !hitFull {
+		t.Fatal("long transaction never hit log full")
+	}
+	if l.Stats().LogFulls != 1 {
+		t.Errorf("LogFulls = %d, want 1", l.Stats().LogFulls)
+	}
+	// Abort must still be appendable so the engine can clean up.
+	if _, err := l.Append(Record{Txn: 1, Type: RecAbort}); err != nil {
+		t.Fatalf("abort rejected during log full: %v", err)
+	}
+}
+
+func TestBatchedCommitsAvoidLogFull(t *testing.T) {
+	// The paper's lesson: commit every N records and the circular log space
+	// is reclaimed, so the same total work fits in the same capacity.
+	l, err := Open("", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := int64(1)
+	for i := int64(0); i < 1000; i++ {
+		if _, err := l.Append(rec(txn, RecInsert, "dlfm_file", i)); err != nil {
+			t.Fatalf("row %d: %v (batched commits should never hit log full)", i, err)
+		}
+		if i%10 == 9 {
+			if _, err := l.Append(Record{Txn: txn, Type: RecCommit}); err != nil {
+				t.Fatal(err)
+			}
+			txn++
+		}
+	}
+	if l.Stats().LogFulls != 0 {
+		t.Errorf("LogFulls = %d, want 0", l.Stats().LogFulls)
+	}
+}
+
+func TestActiveSpaceAccounting(t *testing.T) {
+	l, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec(1, RecInsert, "f", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec(2, RecInsert, "f", 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.ActiveTxn != 2 || s.Active == 0 {
+		t.Fatalf("stats = %+v, want 2 active txns with space", s)
+	}
+	// Committing txn 2 does not reclaim space (txn 1 is older).
+	if _, err := l.Append(Record{Txn: 2, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	s = l.Stats()
+	if s.ActiveTxn != 1 || s.Active == 0 {
+		t.Fatalf("after newer commit: %+v", s)
+	}
+	// Committing txn 1 reclaims everything.
+	if _, err := l.Append(Record{Txn: 1, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if s = l.Stats(); s.Active != 0 || s.ActiveTxn != 0 {
+		t.Fatalf("after all commits: %+v", s)
+	}
+}
+
+func TestForgetTxn(t *testing.T) {
+	l, _ := Open("", 0)
+	if _, err := l.Append(rec(5, RecInsert, "f", 1)); err != nil {
+		t.Fatal(err)
+	}
+	l.ForgetTxn(5)
+	if s := l.Stats(); s.ActiveTxn != 0 {
+		t.Fatalf("ForgetTxn did not release: %+v", s)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decodeRecord(nil); err == nil {
+		t.Error("nil body decoded")
+	}
+	if _, err := decodeRecord(make([]byte, 10)); err == nil {
+		t.Error("short body decoded")
+	}
+	// Valid record plus trailing junk must be rejected.
+	r := rec(1, RecInsert, "t", 1)
+	r.LSN = 1
+	enc := r.encode(nil)
+	body := append(enc[4:], 0xFF)
+	if _, err := decodeRecord(body); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestNextLSN(t *testing.T) {
+	l, _ := Open("", 0)
+	if l.NextLSN() != 1 {
+		t.Errorf("fresh log NextLSN = %d", l.NextLSN())
+	}
+	l.Append(rec(1, RecInsert, "f", 1))
+	if l.NextLSN() != 2 {
+		t.Errorf("NextLSN after one append = %d", l.NextLSN())
+	}
+}
+
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reset.wal")
+	l, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(rec(1, RecInsert, "f", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Reset is refused while a transaction holds log space.
+	if err := l.Reset(); err == nil {
+		t.Fatal("Reset succeeded with an active transaction")
+	}
+	if _, err := l.Append(Record{Txn: 1, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	lsnBefore := l.NextLSN()
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("records after reset = %d", len(recs))
+	}
+	// LSNs continue monotonically.
+	lsn, err := l.Append(rec(2, RecInsert, "f", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn < lsnBefore {
+		t.Fatalf("LSN went backwards: %d < %d", lsn, lsnBefore)
+	}
+	// In-memory logs reset too.
+	m, _ := Open("", 0)
+	m.Append(rec(1, RecInsert, "f", 1))
+	m.Append(Record{Txn: 1, Type: RecCommit})
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ := m.Records(); len(rs) != 0 {
+		t.Fatal("in-memory reset left records")
+	}
+}
+
+func TestEmptyRowsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.wal")
+	l, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Txn: 3, Type: RecBegin}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, _ := Open(path, 0)
+	defer l2.Close()
+	recs, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Before != nil || recs[0].After != nil {
+		t.Fatalf("round trip of imageless record: %+v", recs)
+	}
+}

@@ -1,0 +1,140 @@
+// Package workload assembles complete DataLinks deployments (host database
+// + DLFM-managed file servers) and drives them with configurable
+// multi-client workloads, collecting the metrics the paper reports:
+// throughput (link inserts and updates per minute), deadlocks, timeouts,
+// retries, and latency (Abstract, Section 3.2.1; experiments E1-E2).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fsim"
+	"repro/internal/hostdb"
+	"repro/internal/rpc"
+)
+
+// Stack is one deployment: a host database and one or more DLFMs, each
+// with its file server and archive server, wired over in-process pipes
+// (the same gob protocol as TCP without the socket overhead, keeping
+// benchmarks about the system rather than the kernel).
+type Stack struct {
+	Host  *hostdb.DB
+	DLFMs map[string]*core.Server
+	FS    map[string]*fsim.Server
+	Arch  map[string]*archive.Server
+}
+
+// StackConfig controls deployment construction.
+type StackConfig struct {
+	// Servers are the file-server names; one DLFM runs per server.
+	Servers []string
+	// MutateHost adjusts the host configuration before opening.
+	MutateHost func(*hostdb.Config)
+	// MutateDLFM adjusts each DLFM configuration before opening.
+	MutateDLFM func(name string, cfg *core.Config)
+}
+
+// NewStack builds and starts a deployment.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if len(cfg.Servers) == 0 {
+		cfg.Servers = []string{"fs1"}
+	}
+	hostCfg := hostdb.DefaultConfig("host")
+	if cfg.MutateHost != nil {
+		cfg.MutateHost(&hostCfg)
+	}
+	host, err := hostdb.Open(hostCfg)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{
+		Host:  host,
+		DLFMs: make(map[string]*core.Server, len(cfg.Servers)),
+		FS:    make(map[string]*fsim.Server, len(cfg.Servers)),
+		Arch:  make(map[string]*archive.Server, len(cfg.Servers)),
+	}
+	for _, name := range cfg.Servers {
+		fs := fsim.NewServer(name)
+		ar := archive.NewServer()
+		dlfmCfg := core.DefaultConfig(name)
+		if cfg.MutateDLFM != nil {
+			cfg.MutateDLFM(name, &dlfmCfg)
+		}
+		dlfm, err := core.New(dlfmCfg, fs, ar)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("workload: start DLFM %s: %w", name, err)
+		}
+		st.DLFMs[name] = dlfm
+		st.FS[name] = fs
+		st.Arch[name] = ar
+		srv := dlfm
+		host.RegisterDLFM(name, func() (*rpc.Client, error) {
+			return rpc.LocalPair(srv), nil
+		})
+	}
+	return st, nil
+}
+
+// Close shuts the deployment down.
+func (st *Stack) Close() {
+	for _, d := range st.DLFMs {
+		d.Close()
+	}
+	if st.Host != nil {
+		st.Host.Close()
+	}
+}
+
+// EngineStats aggregates the DLFM local-database statistics across every
+// DLFM in the stack — the counters the paper's lessons are about.
+func (st *Stack) EngineStats() engine.Stats {
+	var agg engine.Stats
+	for _, d := range st.DLFMs {
+		s := d.DB().Stats()
+		agg.Selects += s.Selects
+		agg.Inserts += s.Inserts
+		agg.Updates += s.Updates
+		agg.Deletes += s.Deletes
+		agg.Commits += s.Commits
+		agg.Rollbacks += s.Rollbacks
+		agg.TableScans += s.TableScans
+		agg.IndexScans += s.IndexScans
+		agg.RowsRead += s.RowsRead
+		agg.Rebinds += s.Rebinds
+		agg.Lock.Acquisitions += s.Lock.Acquisitions
+		agg.Lock.Waits += s.Lock.Waits
+		agg.Lock.Deadlocks += s.Lock.Deadlocks
+		agg.Lock.Timeouts += s.Lock.Timeouts
+		agg.Lock.Escalations += s.Lock.Escalations
+		agg.Log.Appends += s.Log.Appends
+		agg.Log.Bytes += s.Log.Bytes
+		agg.Log.LogFulls += s.Log.LogFulls
+	}
+	return agg
+}
+
+// DLFMStats aggregates DLFM-level counters across the stack.
+func (st *Stack) DLFMStats() core.Snapshot {
+	var agg core.Snapshot
+	for _, d := range st.DLFMs {
+		s := d.Stats()
+		agg.Links += s.Links
+		agg.Unlinks += s.Unlinks
+		agg.Backouts += s.Backouts
+		agg.Prepares += s.Prepares
+		agg.PrepareFails += s.PrepareFails
+		agg.Commits += s.Commits
+		agg.Aborts += s.Aborts
+		agg.Phase2Retries += s.Phase2Retries
+		agg.Compensations += s.Compensations
+		agg.BatchCommits += s.BatchCommits
+		agg.ArchiveCopies += s.ArchiveCopies
+		agg.ChownOps += s.ChownOps
+		agg.Upcalls += s.Upcalls
+	}
+	return agg
+}
