@@ -1,0 +1,25 @@
+# Build, vet, and test the whole reproduction. `make ci` is what the
+# GitHub Actions workflow runs; the stdlib is the only dependency.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+ci: build vet race

@@ -13,12 +13,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 type runner struct {
@@ -80,14 +82,19 @@ func main() {
 
 	run := func(r runner) {
 		fmt.Printf("=== %s (%s)\n", r.name, r.desc)
+		// The process-wide registry accumulates workload histograms; reset
+		// so the BENCH line covers exactly this experiment.
+		obs.Default().Reset()
 		start := time.Now()
 		rep, err := r.run(opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dlfmbench %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(rep.String())
-		fmt.Printf("(%s in %s)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		printBenchLine(r.name, elapsed)
+		fmt.Printf("(%s in %s)\n\n", r.name, elapsed.Round(time.Millisecond))
 	}
 
 	if cmd == "all" {
@@ -105,4 +112,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dlfmbench: unknown experiment %q\n\n", cmd)
 	fs.Usage()
 	os.Exit(2)
+}
+
+// printBenchLine emits one machine-readable result line per experiment:
+//
+//	BENCH {"experiment":"soak","elapsed_ms":5012,"metrics":{...}}
+//
+// metrics is the process-wide obs registry snapshot: counters as integers,
+// histograms as {count, sum_ms, p50_ms, p95_ms, p99_ms, max_ms}. Harness
+// scripts grep for the BENCH prefix and parse the rest as JSON.
+func printBenchLine(name string, elapsed time.Duration) {
+	line := map[string]any{
+		"experiment": name,
+		"elapsed_ms": elapsed.Milliseconds(),
+		"metrics":    obs.Default().Snapshot(),
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	fmt.Printf("BENCH %s\n", b)
 }

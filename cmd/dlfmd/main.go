@@ -24,6 +24,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/fsim"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 )
 
@@ -34,6 +35,7 @@ func main() {
 	timeout := flag.Duration("lock-timeout", 60*time.Second, "local database lock timeout (the paper's 60 s)")
 	nextKey := flag.Bool("next-key-locking", false, "enable next-key locking in the local database (the paper disables it)")
 	seed := flag.Int("seed-files", 0, "pre-create this many files under /data for experiments")
+	admin := flag.String("admin", "", "HTTP admin address serving /metrics, /debug/traces, /debug/locks (empty = disabled)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*name)
@@ -55,6 +57,20 @@ func main() {
 		log.Fatalf("dlfmd: start DLFM: %v", err)
 	}
 	defer srv.Close()
+
+	if *admin != "" {
+		adm := &obs.Admin{
+			Registries: []*obs.Registry{srv.Obs()},
+			Tracer:     srv.Tracer(),
+			LockDump:   func() any { return srv.DB().LockManager().Dump() },
+		}
+		adminSrv, err := adm.Start(*admin)
+		if err != nil {
+			log.Fatalf("dlfmd: admin listener: %v", err)
+		}
+		defer adminSrv.Close()
+		log.Printf("dlfmd: admin endpoint on http://%s (/metrics, /debug/traces, /debug/locks)", adminSrv.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

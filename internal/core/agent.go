@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fsim"
@@ -69,6 +70,7 @@ var ok = rpc.Response{}
 // Handle dispatches one request. Requests on a connection are served
 // serially by the RPC layer.
 func (a *ChildAgent) Handle(req any) rpc.Response {
+	a.srv.tracer.Emit(rpc.TxnOf(req), "agent", "dispatch", rpc.Name(req))
 	switch r := req.(type) {
 	case rpc.BeginTxnReq:
 		return a.beginTxn(r)
@@ -147,6 +149,7 @@ func (a *ChildAgent) beginTxn(r rpc.BeginTxnReq) rpc.Response {
 	}
 	a.ops = 0
 	a.txnRow = false
+	a.srv.tracer.Emit(r.Txn, "agent", "txn_begin", "")
 	return ok
 }
 
@@ -193,6 +196,7 @@ func (a *ChildAgent) linkFile(r rpc.LinkFileReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	start := time.Now()
 	if r.InBackout {
 		// Undo a link performed earlier in this transaction: delete the
 		// entry it inserted, plus its pending archive request.
@@ -235,6 +239,8 @@ func (a *ChildAgent) linkFile(r rpc.LinkFileReq) rpc.Response {
 		return fail(err)
 	}
 	a.srv.stats.Links.Add(1)
+	a.srv.linkHist.Observe(time.Since(start))
+	a.srv.tracer.Emit(r.Txn, "agent", "link", r.Name)
 	return ok
 }
 
@@ -293,6 +299,7 @@ func (a *ChildAgent) unlinkFile(r rpc.UnlinkFileReq) rpc.Response {
 		return fail(err)
 	}
 	a.srv.stats.Unlinks.Add(1)
+	a.srv.tracer.Emit(r.Txn, "agent", "unlink", r.Name)
 	return ok
 }
 
@@ -339,6 +346,7 @@ func (a *ChildAgent) prepare(r rpc.PrepareReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	start := time.Now()
 	ngroups, _, err := a.srv.stmts.get(sqlCountGroupsDel).QueryInt(a.conn, value.Int(r.Txn))
 	if err != nil {
 		a.voteNo()
@@ -359,12 +367,15 @@ func (a *ChildAgent) prepare(r rpc.PrepareReq) rpc.Response {
 		return fail(err)
 	}
 	a.srv.stats.Prepares.Add(1)
+	a.srv.prepareHist.Observe(time.Since(start))
+	a.srv.tracer.Emit(r.Txn, "agent", "prepare_vote_yes", "")
 	return ok
 }
 
 // voteNo rolls the local transaction back after a failed prepare.
 func (a *ChildAgent) voteNo() {
 	a.srv.stats.PrepareFails.Add(1)
+	a.srv.tracer.Emit(a.cur, "agent", "prepare_vote_no", "")
 	if a.conn.InTxn() {
 		a.conn.Rollback()
 	}

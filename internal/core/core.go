@@ -22,6 +22,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/engine"
 	"repro/internal/fsim"
+	"repro/internal/obs"
 )
 
 // Config tunes one DLFM instance. Defaults reproduce the paper's production
@@ -66,6 +67,15 @@ type Config struct {
 	// processing; work is driven through RunDeleteGroup instead. Tests and
 	// the E8 benchmark use it to control the batch size deterministically.
 	ManualDeleteGroup bool
+	// Obs receives every counter and histogram of this DLFM and its local
+	// database. Nil means a fresh registry labeled server=<ServerName> is
+	// created; retrieve it with Server.Obs.
+	Obs *obs.Registry
+	// Tracer receives the 2PC lifecycle trace events. Nil means a fresh
+	// ring of obs.DefaultTraceCapacity events is created; retrieve it with
+	// Server.Tracer. Multi-DLFM stacks share one tracer so the chain stays
+	// chronological.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's production configuration for a DLFM on
@@ -106,7 +116,13 @@ type Server struct {
 	gc       *gcDaemon
 	delGroup *deleteGroupDaemon
 
-	stats Stats
+	stats  Stats
+	obs    *obs.Registry
+	tracer *obs.Tracer
+	// Phase latency histograms (exposed as dlfm_*_seconds).
+	linkHist    *obs.Histogram
+	prepareHist *obs.Histogram
+	phase2Hist  *obs.Histogram
 
 	mu      sync.Mutex
 	stopped bool
@@ -120,11 +136,35 @@ func New(cfg Config, fs *fsim.Server, arch *archive.Server) (*Server, error) {
 	if cfg.AdminUser == "" {
 		cfg.AdminUser = "dlfmadm"
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New().Label("server", cfg.ServerName)
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	// The local database shares the DLFM's registry and tracer, so one
+	// scrape covers the whole instance: dlfm_*, engine_*, lock_*, wal_*.
+	cfg.DB.Obs = cfg.Obs
+	cfg.DB.Tracer = cfg.Tracer
 	db, err := engine.Open(cfg.DB)
 	if err != nil {
 		return nil, fmt.Errorf("core: open local database: %w", err)
 	}
-	s := &Server{cfg: cfg, db: db, fs: fs, arch: arch}
+	s := &Server{
+		cfg:         cfg,
+		db:          db,
+		fs:          fs,
+		arch:        arch,
+		obs:         cfg.Obs,
+		tracer:      cfg.Tracer,
+		linkHist:    obs.NewHistogram(),
+		prepareHist: obs.NewHistogram(),
+		phase2Hist:  obs.NewHistogram(),
+	}
+	s.stats.register(s.obs)
+	s.obs.RegisterHistogram("dlfm_link_seconds", s.linkHist)
+	s.obs.RegisterHistogram("dlfm_prepare_seconds", s.prepareHist)
+	s.obs.RegisterHistogram("dlfm_phase2_commit_seconds", s.phase2Hist)
 	if err := s.bootstrapSchema(); err != nil {
 		db.Close()
 		return nil, err
@@ -157,6 +197,13 @@ func (s *Server) Upcaller() fsim.Upcaller { return s.upcall }
 
 // Name returns the file server name this DLFM manages.
 func (s *Server) Name() string { return s.cfg.ServerName }
+
+// Obs returns the registry holding this DLFM's metrics (and those of its
+// local database), for /metrics exposition.
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Tracer returns the trace ring receiving this DLFM's 2PC lifecycle events.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Close stops the daemons and the local database.
 func (s *Server) Close() error {

@@ -620,6 +620,7 @@ func (s *Server) runDeleteGroup(conn *engine.Conn, txn int64, batchN int) error 
 		}
 		if errors.Is(err, engine.ErrLogFull) {
 			s.stats.DaemonLogFulls.Add(1)
+			s.tracer.Emit(txn, "daemon", "delete_group_log_full", "")
 		}
 		return err
 	}
@@ -680,6 +681,7 @@ func (s *Server) runDeleteGroup(conn *engine.Conn, txn int64, batchN int) error 
 			return abort(err)
 		}
 		s.stats.GroupsDeleted.Add(1)
+		s.tracer.Emitf(txn, "daemon", "group_deleted", "group %d", grpID)
 	}
 	if _, err := s.stmts.get(sqlDeleteTxn).Exec(conn, value.Int(txn)); err != nil {
 		return abort(err)

@@ -1,30 +1,59 @@
 package core
 
-import "sync/atomic"
+import "repro/internal/obs"
 
 // Stats counts DLFM-level events. All fields are cumulative and safe to
-// read concurrently.
+// read concurrently. The same counters back the server's obs registry
+// (dlfm_* metric names), so Stats() snapshots and /metrics scrapes can
+// never disagree.
 type Stats struct {
-	Links          atomic.Int64 // LinkFile operations applied
-	Unlinks        atomic.Int64 // UnlinkFile operations applied
-	Backouts       atomic.Int64 // in_backout link/unlink requests
-	Prepares       atomic.Int64 // successful prepare votes
-	PrepareFails   atomic.Int64 // prepare votes of "no"
-	Commits        atomic.Int64 // phase-2 commits completed
-	Aborts         atomic.Int64 // aborts completed (either phase)
-	Phase2Retries  atomic.Int64 // phase-2 commit/abort attempts retried
-	Compensations  atomic.Int64 // delayed-update rollbacks after local commit
-	BatchCommits   atomic.Int64 // intermediate local commits of batched txns
-	ArchiveCopies  atomic.Int64 // files copied to the archive server
-	Retrievals     atomic.Int64 // files restored from the archive server
-	ChownOps       atomic.Int64 // takeover/release operations
-	Upcalls        atomic.Int64 // IsLinked upcalls served
-	GroupsDeleted  atomic.Int64 // groups fully unlinked by the daemon
-	FilesGCed      atomic.Int64 // unlinked entries garbage collected
-	BackupsGCed    atomic.Int64 // backup rows aged out
-	StatsRepairs   atomic.Int64 // stats-guard re-installations
-	IndoubtReports atomic.Int64 // ListIndoubt calls answered
-	DaemonLogFulls atomic.Int64 // log-full errors hit by daemons (E8)
+	Links          obs.Counter // LinkFile operations applied
+	Unlinks        obs.Counter // UnlinkFile operations applied
+	Backouts       obs.Counter // in_backout link/unlink requests
+	Prepares       obs.Counter // successful prepare votes
+	PrepareFails   obs.Counter // prepare votes of "no"
+	Commits        obs.Counter // phase-2 commits completed
+	Aborts         obs.Counter // aborts completed (either phase)
+	Phase2Retries  obs.Counter // phase-2 commit/abort attempts retried
+	Compensations  obs.Counter // delayed-update rollbacks after local commit
+	BatchCommits   obs.Counter // intermediate local commits of batched txns
+	ArchiveCopies  obs.Counter // files copied to the archive server
+	Retrievals     obs.Counter // files restored from the archive server
+	ChownOps       obs.Counter // takeover/release operations
+	Upcalls        obs.Counter // IsLinked upcalls served
+	GroupsDeleted  obs.Counter // groups fully unlinked by the daemon
+	FilesGCed      obs.Counter // unlinked entries garbage collected
+	BackupsGCed    obs.Counter // backup rows aged out
+	StatsRepairs   obs.Counter // stats-guard re-installations
+	IndoubtReports obs.Counter // ListIndoubt calls answered
+	DaemonLogFulls obs.Counter // log-full errors hit by daemons (E8)
+}
+
+// register exposes every counter on reg under its dlfm_* metric name.
+func (st *Stats) register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("dlfm_links_total", &st.Links)
+	reg.RegisterCounter("dlfm_unlinks_total", &st.Unlinks)
+	reg.RegisterCounter("dlfm_backouts_total", &st.Backouts)
+	reg.RegisterCounter("dlfm_prepares_total", &st.Prepares)
+	reg.RegisterCounter("dlfm_prepare_fails_total", &st.PrepareFails)
+	reg.RegisterCounter("dlfm_commits_total", &st.Commits)
+	reg.RegisterCounter("dlfm_aborts_total", &st.Aborts)
+	reg.RegisterCounter("dlfm_phase2_retries_total", &st.Phase2Retries)
+	reg.RegisterCounter("dlfm_compensations_total", &st.Compensations)
+	reg.RegisterCounter("dlfm_batch_commits_total", &st.BatchCommits)
+	reg.RegisterCounter("dlfm_archive_copies_total", &st.ArchiveCopies)
+	reg.RegisterCounter("dlfm_retrievals_total", &st.Retrievals)
+	reg.RegisterCounter("dlfm_chown_ops_total", &st.ChownOps)
+	reg.RegisterCounter("dlfm_upcalls_total", &st.Upcalls)
+	reg.RegisterCounter("dlfm_groups_deleted_total", &st.GroupsDeleted)
+	reg.RegisterCounter("dlfm_files_gced_total", &st.FilesGCed)
+	reg.RegisterCounter("dlfm_backups_gced_total", &st.BackupsGCed)
+	reg.RegisterCounter("dlfm_stats_repairs_total", &st.StatsRepairs)
+	reg.RegisterCounter("dlfm_indoubt_reports_total", &st.IndoubtReports)
+	reg.RegisterCounter("dlfm_daemon_log_fulls_total", &st.DaemonLogFulls)
 }
 
 // Snapshot is a point-in-time copy of Stats for reporting.

@@ -31,15 +31,21 @@ type chownWork struct {
 // is already gone returns success, so the host may safely re-drive it after
 // a lost acknowledgement.
 func (s *Server) phase2Commit(conn *engine.Conn, txn int64) rpc.Response {
+	start := time.Now()
 	for {
 		resp, retry := s.tryCommit(conn, txn)
 		if !retry {
+			if resp.OK() {
+				s.phase2Hist.Observe(time.Since(start))
+				s.tracer.Emit(txn, "2pc", "phase2_commit", "")
+			}
 			return resp
 		}
 		if conn.InTxn() {
 			conn.Rollback()
 		}
 		s.stats.Phase2Retries.Add(1)
+		s.tracer.Emit(txn, "2pc", "phase2_retry", "commit")
 		if s.cfg.Phase2Backoff > 0 {
 			time.Sleep(s.cfg.Phase2Backoff)
 		}
@@ -178,12 +184,16 @@ func (s *Server) phase2Abort(conn *engine.Conn, txn int64) rpc.Response {
 	for {
 		resp, retry := s.tryAbort(conn, txn)
 		if !retry {
+			if resp.OK() {
+				s.tracer.Emit(txn, "2pc", "phase2_abort", "")
+			}
 			return resp
 		}
 		if conn.InTxn() {
 			conn.Rollback()
 		}
 		s.stats.Phase2Retries.Add(1)
+		s.tracer.Emit(txn, "2pc", "phase2_retry", "abort")
 		if s.cfg.Phase2Backoff > 0 {
 			time.Sleep(s.cfg.Phase2Backoff)
 		}
@@ -245,5 +255,6 @@ func (s *Server) tryAbort(conn *engine.Conn, txn int64) (rpc.Response, bool) {
 	}
 	s.stats.Compensations.Add(1)
 	s.stats.Aborts.Add(1)
+	s.tracer.Emit(txn, "2pc", "compensation", "")
 	return ok, false
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/value"
 	"repro/internal/wal"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	LockListSize int
 	// SyncCommit fsyncs the log on every commit.
 	SyncCommit bool
+	// Obs, when non-nil, receives the engine's counters and histograms
+	// (engine_*, lock_*, wal_* metric names) for /metrics exposition.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives lock/WAL/recovery trace events.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the configuration the DLFM installation guide would
@@ -112,16 +118,18 @@ type DB struct {
 
 	nextTxn atomic.Int64
 
-	selects    atomic.Int64
-	inserts    atomic.Int64
-	updates    atomic.Int64
-	deletes    atomic.Int64
-	commits    atomic.Int64
-	rollbacks  atomic.Int64
-	tableScans atomic.Int64
-	indexScans atomic.Int64
-	rowsRead   atomic.Int64
-	rebinds    atomic.Int64
+	tracer *obs.Tracer
+
+	selects    obs.Counter
+	inserts    obs.Counter
+	updates    obs.Counter
+	deletes    obs.Counter
+	commits    obs.Counter
+	rollbacks  obs.Counter
+	tableScans obs.Counter
+	indexScans obs.Counter
+	rowsRead   obs.Counter
+	rebinds    obs.Counter
 }
 
 // Open creates or reopens the database described by cfg, replaying the
@@ -138,17 +146,44 @@ func Open(cfg Config) (*DB, error) {
 		tables:  make(map[string]*table),
 		indoubt: make(map[int64]*txn),
 	}
-	db.lm = lock.NewManager(lock.Config{
-		Timeout:             cfg.LockTimeout,
-		EscalationThreshold: cfg.EscalationThreshold,
-		LockListSize:        cfg.LockListSize,
-		DetectDeadlocks:     cfg.DetectDeadlocks,
-	})
+	db.tracer = cfg.Tracer
+	db.lm = lock.NewManager(db.lockConfig())
+	db.log.Instrument(cfg.Obs, cfg.Tracer)
+	db.registerMetrics(cfg.Obs)
 	if err := db.recover(); err != nil {
 		log.Close()
 		return nil, err
 	}
 	return db, nil
+}
+
+func (db *DB) lockConfig() lock.Config {
+	return lock.Config{
+		Timeout:             db.cfg.LockTimeout,
+		EscalationThreshold: db.cfg.EscalationThreshold,
+		LockListSize:        db.cfg.LockListSize,
+		DetectDeadlocks:     db.cfg.DetectDeadlocks,
+		Obs:                 db.cfg.Obs,
+		Tracer:              db.cfg.Tracer,
+	}
+}
+
+// registerMetrics exposes the engine's counters on reg so that Stats() and
+// /metrics read the same atomics and can never disagree.
+func (db *DB) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("engine_selects_total", &db.selects)
+	reg.RegisterCounter("engine_inserts_total", &db.inserts)
+	reg.RegisterCounter("engine_updates_total", &db.updates)
+	reg.RegisterCounter("engine_deletes_total", &db.deletes)
+	reg.RegisterCounter("engine_commits_total", &db.commits)
+	reg.RegisterCounter("engine_rollbacks_total", &db.rollbacks)
+	reg.RegisterCounter("engine_table_scans_total", &db.tableScans)
+	reg.RegisterCounter("engine_index_scans_total", &db.indexScans)
+	reg.RegisterCounter("engine_rows_read_total", &db.rowsRead)
+	reg.RegisterCounter("engine_rebinds_total", &db.rebinds)
 }
 
 // Close releases the log file. Outstanding transactions are abandoned (as
@@ -164,12 +199,10 @@ func (db *DB) Crash() error {
 	db.cat = catalog.New()
 	db.indoubt = make(map[int64]*txn)
 	db.latch.Unlock()
-	db.lm = lock.NewManager(lock.Config{
-		Timeout:             db.cfg.LockTimeout,
-		EscalationThreshold: db.cfg.EscalationThreshold,
-		LockListSize:        db.cfg.LockListSize,
-		DetectDeadlocks:     db.cfg.DetectDeadlocks,
-	})
+	// NewManager re-registers the lock_* metrics; the registry's replace
+	// semantics make the fresh manager's counters the live ones.
+	db.lm = lock.NewManager(db.lockConfig())
+	db.tracer.Emit(0, "engine", "crash", db.cfg.Name)
 	return db.recover()
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 )
 
@@ -43,6 +44,13 @@ type Config struct {
 	TokenTTL time.Duration
 	// LoadBatchN is the DLFM batch-commit interval for the Load utility.
 	LoadBatchN int
+	// Obs receives the host's counters and histograms (host_* names) plus
+	// those of its engine. Nil creates a fresh registry labeled
+	// host=<Name>; retrieve it with DB.Obs.
+	Obs *obs.Registry
+	// Tracer receives host-side 2PC trace events. Nil creates a fresh
+	// ring; share one tracer with the DLFMs for a unified chain.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the production host configuration: synchronous
@@ -65,15 +73,29 @@ func DefaultConfig(name string) Config {
 	}
 }
 
-// Stats counts host-side datalink activity.
+// Stats counts host-side datalink activity. The counters also back the
+// host_* metrics on the obs registry.
 type Stats struct {
-	Links            atomic.Int64
-	Unlinks          atomic.Int64
-	Commits          atomic.Int64
-	Aborts           atomic.Int64
-	StmtBackouts     atomic.Int64
-	IndoubtsResolved atomic.Int64
-	TokensMinted     atomic.Int64
+	Links            obs.Counter
+	Unlinks          obs.Counter
+	Commits          obs.Counter
+	Aborts           obs.Counter
+	StmtBackouts     obs.Counter
+	IndoubtsResolved obs.Counter
+	TokensMinted     obs.Counter
+}
+
+func (st *Stats) register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("host_links_total", &st.Links)
+	reg.RegisterCounter("host_unlinks_total", &st.Unlinks)
+	reg.RegisterCounter("host_commits_total", &st.Commits)
+	reg.RegisterCounter("host_aborts_total", &st.Aborts)
+	reg.RegisterCounter("host_stmt_backouts_total", &st.StmtBackouts)
+	reg.RegisterCounter("host_indoubts_resolved_total", &st.IndoubtsResolved)
+	reg.RegisterCounter("host_tokens_minted_total", &st.TokensMinted)
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -94,7 +116,12 @@ type DB struct {
 	txnSeq atomic.Int64
 	recSeq atomic.Int64
 
-	stats Stats
+	stats  Stats
+	obs    *obs.Registry
+	tracer *obs.Tracer
+	// commitHist times Session.Commit end to end: both 2PC phases plus the
+	// local decision hardening (host_commit_seconds).
+	commitHist *obs.Histogram
 
 	// backups holds the quiesced backup images (the paper's backup files).
 	backups map[int64]*backupImage
@@ -103,16 +130,29 @@ type DB struct {
 
 // Open creates or recovers a host database.
 func Open(cfg Config) (*DB, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New().Label("host", cfg.Name)
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	cfg.DB.Obs = cfg.Obs
+	cfg.DB.Tracer = cfg.Tracer
 	eng, err := engine.Open(cfg.DB)
 	if err != nil {
 		return nil, fmt.Errorf("hostdb: open engine: %w", err)
 	}
 	db := &DB{
-		cfg:     cfg,
-		eng:     eng,
-		dialers: make(map[string]Dialer),
-		backups: make(map[int64]*backupImage),
+		cfg:        cfg,
+		eng:        eng,
+		obs:        cfg.Obs,
+		tracer:     cfg.Tracer,
+		commitHist: obs.NewHistogram(),
+		dialers:    make(map[string]Dialer),
+		backups:    make(map[int64]*backupImage),
 	}
+	db.stats.register(db.obs)
+	db.obs.RegisterHistogram("host_commit_seconds", db.commitHist)
 	now := time.Now().UnixNano()
 	db.txnSeq.Store(now)
 	db.recSeq.Store(now)
@@ -125,6 +165,12 @@ func Open(cfg Config) (*DB, error) {
 
 // Engine exposes the underlying host engine for diagnostics and tests.
 func (db *DB) Engine() *engine.DB { return db.eng }
+
+// Obs returns the registry holding the host's metrics.
+func (db *DB) Obs() *obs.Registry { return db.obs }
+
+// Tracer returns the trace ring receiving host-side 2PC events.
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
 
 // Stats returns a snapshot of the counters.
 func (db *DB) Stats() Snapshot {

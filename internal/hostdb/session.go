@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/rpc"
@@ -79,6 +80,7 @@ func (s *Session) begin() {
 	if s.txn == 0 {
 		s.txn = s.db.NextTxn()
 		s.dead = false
+		s.db.tracer.Emit(s.txn, "host", "txn_begin", "")
 	}
 }
 
@@ -95,6 +97,7 @@ func (s *Session) part(server string) (*participant, error) {
 		if err != nil {
 			return nil, fmt.Errorf("hostdb: connect to DLFM %q: %w", server, err)
 		}
+		client.SetTracer(s.db.tracer)
 		p = &participant{server: server, client: client}
 		s.parts[server] = p
 	}
@@ -704,6 +707,9 @@ func (s *Session) Commit() error {
 		return err
 	}
 
+	start := time.Now()
+	s.db.tracer.Emitf(s.txn, "host", "2pc_prepare", "%d participants", len(enlisted))
+
 	// Phase 1: prepare every DLFM. One "no" vote aborts everyone,
 	// including participants that already voted yes.
 	for _, p := range enlisted {
@@ -741,6 +747,7 @@ func (s *Session) Commit() error {
 		s.db.stats.Aborts.Add(1)
 		return err
 	}
+	s.db.tracer.Emit(s.txn, "host", "2pc_decision_commit", "")
 
 	// Phase 2. The paper's hard-won rule: this must be synchronous, or the
 	// T1/T11/T2 distributed deadlock of Section 4 appears (experiment E6).
@@ -759,6 +766,8 @@ func (s *Session) Commit() error {
 		}
 	}
 	s.db.stats.Commits.Add(1)
+	s.db.commitHist.Observe(time.Since(start))
+	s.db.tracer.Emit(s.txn, "host", "2pc_done", "")
 	s.finishTxn()
 	return nil
 }
@@ -790,6 +799,7 @@ func (s *Session) Rollback() error {
 // rollbackInternal aborts DLFM participants and the local engine txn, then
 // marks the session dead until the application acknowledges.
 func (s *Session) rollbackInternal() {
+	s.db.tracer.Emit(s.txn, "host", "rollback", "")
 	s.abortParts()
 	if s.conn.InTxn() {
 		s.conn.Rollback()

@@ -3,9 +3,11 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by Acquire. The engine maps these onto its SQLCODE-style
@@ -98,6 +100,12 @@ type Config struct {
 	// DetectDeadlocks enables the local waits-for cycle detector. When
 	// false only the timeout breaks deadlocks.
 	DetectDeadlocks bool
+	// Obs, when set, exposes the manager's counters and the lock-wait
+	// histogram on the registry (lock_* metric names).
+	Obs *obs.Registry
+	// Tracer, when set, receives wait/grant/deadlock/timeout/escalation
+	// events keyed by the local transaction id.
+	Tracer *obs.Tracer
 }
 
 // Stats counts lock-manager events; all counters are cumulative.
@@ -144,20 +152,46 @@ type Manager struct {
 
 	held int64 // total held locks, for LockListSize
 
-	acquisitions atomic.Int64
-	waits        atomic.Int64
-	deadlocks    atomic.Int64
-	timeouts     atomic.Int64
-	escalations  atomic.Int64
+	acquisitions obs.Counter
+	waits        obs.Counter
+	deadlocks    obs.Counter
+	timeouts     obs.Counter
+	escalations  obs.Counter
+
+	// waitHist records how long blocked requests waited — the direct
+	// measurement behind the paper's 60 s timeout tuning (experiment E7).
+	waitHist *obs.Histogram
+	tracer   *obs.Tracer
 }
 
 // NewManager returns a lock manager with the given configuration.
 func NewManager(cfg Config) *Manager {
-	return &Manager{
-		locks: make(map[Target]*lockState),
-		txns:  make(map[int64]*txnState),
-		cfg:   cfg,
+	m := &Manager{
+		locks:    make(map[Target]*lockState),
+		txns:     make(map[int64]*txnState),
+		cfg:      cfg,
+		waitHist: obs.NewHistogram(),
+		tracer:   cfg.Tracer,
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.RegisterCounter("lock_acquisitions_total", &m.acquisitions)
+		cfg.Obs.RegisterCounter("lock_waits_total", &m.waits)
+		cfg.Obs.RegisterCounter("lock_deadlocks_total", &m.deadlocks)
+		cfg.Obs.RegisterCounter("lock_timeouts_total", &m.timeouts)
+		cfg.Obs.RegisterCounter("lock_escalations_total", &m.escalations)
+		cfg.Obs.RegisterHistogram("lock_wait_seconds", m.waitHist)
+		cfg.Obs.GaugeFunc("lock_held", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.held)
+		})
+		cfg.Obs.GaugeFunc("lock_txns", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.txns))
+		})
+	}
+	return m
 }
 
 // SetTimeout changes the lock-wait timeout for subsequent requests.
@@ -258,17 +292,20 @@ func (m *Manager) acquireLocked(txn int64, ts *txnState, tg Target, want, held M
 		ls.queue = append(ls.queue, w)
 	}
 	m.waits.Add(1)
+	m.tracer.Emitf(txn, "lock", "lock_wait", "%s on %s", want, tg)
 
 	if m.cfg.DetectDeadlocks && m.cycleLocked(txn) {
 		m.removeWaiterLocked(ls, w)
 		m.deadlocks.Add(1)
 		m.mu.Unlock()
+		m.tracer.Emitf(txn, "lock", "lock_deadlock", "%s on %s", want, tg)
 		return fmt.Errorf("%w (txn %d requesting %s on %s)", ErrDeadlock, txn, want, tg)
 	}
 
 	timeout := m.cfg.Timeout
 	m.mu.Unlock()
 
+	waitStart := time.Now()
 	var timer *time.Timer
 	var timeoutC <-chan time.Time
 	if timeout > 0 {
@@ -279,6 +316,8 @@ func (m *Manager) acquireLocked(txn int64, ts *txnState, tg Target, want, held M
 
 	select {
 	case <-w.granted:
+		m.waitHist.Observe(time.Since(waitStart))
+		m.tracer.Emitf(txn, "lock", "lock_grant", "%s on %s after %v", want, tg, time.Since(waitStart).Round(time.Microsecond))
 		return nil
 	case <-timeoutC:
 		m.mu.Lock()
@@ -286,12 +325,15 @@ func (m *Manager) acquireLocked(txn int64, ts *txnState, tg Target, want, held M
 		select {
 		case <-w.granted:
 			m.mu.Unlock()
+			m.waitHist.Observe(time.Since(waitStart))
 			return nil
 		default:
 		}
 		m.removeWaiterLocked(ls, w)
 		m.timeouts.Add(1)
 		m.mu.Unlock()
+		m.waitHist.Observe(time.Since(waitStart))
+		m.tracer.Emitf(txn, "lock", "lock_timeout", "%s on %s after %v", want, tg, timeout)
 		return fmt.Errorf("%w (txn %d requesting %s on %s after %v)", ErrTimeout, txn, want, tg, timeout)
 	}
 }
@@ -400,6 +442,7 @@ func (m *Manager) escalateLocked(txn int64, ts *txnState, table string, reqMode 
 	held := ts.held[tgt]
 	want := Join(held, tmode)
 	m.escalations.Add(1)
+	m.tracer.Emitf(txn, "lock", "lock_escalation", "%s to %s (%d row locks)", table, want, ts.rowLocks[table])
 
 	if err := m.acquireLocked(txn, ts, tgt, want, held); err != nil {
 		return err
@@ -487,6 +530,91 @@ func (m *Manager) Holds(txn int64, tg Target) Mode {
 		return None
 	}
 	return ts.held[tg]
+}
+
+// WaitHistogram exposes the lock-wait latency histogram (always present,
+// even when no registry was configured).
+func (m *Manager) WaitHistogram() *obs.Histogram { return m.waitHist }
+
+// DumpWaiter is one queued request in a Dump.
+type DumpWaiter struct {
+	Txn     int64  `json:"txn"`
+	Mode    string `json:"mode"`
+	Convert bool   `json:"convert,omitempty"`
+}
+
+// DumpLock is one lock's live state in a Dump.
+type DumpLock struct {
+	Target  string           `json:"target"`
+	Holders map[int64]string `json:"holders"`
+	Queue   []DumpWaiter     `json:"queue,omitempty"`
+}
+
+// Dump is a point-in-time snapshot of the lock table for /debug/locks:
+// every held lock, every queued request, and the waits-for edges the
+// deadlock detector would walk.
+type Dump struct {
+	Locks     []DumpLock        `json:"locks"`
+	WaitsFor  map[int64][]int64 `json:"waits_for,omitempty"`
+	HeldTotal int64             `json:"held_total"`
+	Txns      int               `json:"txns"`
+}
+
+// Dump captures the live lock table. Diagnostics only: it holds the
+// manager mutex while copying, so scrape it, don't poll it hot.
+func (m *Manager) Dump() Dump {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := Dump{HeldTotal: m.held, Txns: len(m.txns)}
+	for _, ls := range m.locks {
+		dl := DumpLock{Target: ls.target.String(), Holders: make(map[int64]string, len(ls.holders))}
+		for txn, mode := range ls.holders {
+			dl.Holders[txn] = mode.String()
+		}
+		for _, w := range ls.queue {
+			if w.removed {
+				continue
+			}
+			dl.Queue = append(dl.Queue, DumpWaiter{Txn: w.txn, Mode: w.mode.String(), Convert: w.convert})
+		}
+		d.Locks = append(d.Locks, dl)
+	}
+	sort.Slice(d.Locks, func(i, j int) bool { return d.Locks[i].Target < d.Locks[j].Target })
+
+	edges := make(map[int64]map[int64]bool)
+	addEdge := func(from, to int64) {
+		if edges[from] == nil {
+			edges[from] = make(map[int64]bool)
+		}
+		edges[from][to] = true
+	}
+	for _, ls := range m.locks {
+		for qi, w := range ls.queue {
+			if w.removed {
+				continue
+			}
+			for h, hm := range ls.holders {
+				if h != w.txn && !Compatible(hm, w.mode) {
+					addEdge(w.txn, h)
+				}
+			}
+			for _, ahead := range ls.queue[:qi] {
+				if !ahead.removed && ahead.txn != w.txn && !Compatible(ahead.mode, w.mode) {
+					addEdge(w.txn, ahead.txn)
+				}
+			}
+		}
+	}
+	if len(edges) > 0 {
+		d.WaitsFor = make(map[int64][]int64, len(edges))
+		for from, tos := range edges {
+			for to := range tos {
+				d.WaitsFor[from] = append(d.WaitsFor[from], to)
+			}
+			sort.Slice(d.WaitsFor[from], func(i, j int) bool { return d.WaitsFor[from][i] < d.WaitsFor[from][j] })
+		}
+	}
+	return d
 }
 
 // cycleLocked reports whether txn participates in a waits-for cycle. Edges:

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Admin assembles the HTTP admin surface:
+//
+//	/metrics            Prometheus text exposition of every registry
+//	/debug/traces       JSON trace events; ?txn=<id> filters to one chain
+//	/debug/locks        live lock-table and waits-for dump
+//
+// The zero value serves empty responses; populate the fields before Start.
+type Admin struct {
+	// Registries are scraped in order by /metrics.
+	Registries []*Registry
+	// Tracer backs /debug/traces.
+	Tracer *Tracer
+	// LockDump, when set, supplies the /debug/locks payload (the lock
+	// manager's Dump result); it is JSON-encoded as-is.
+	LockDump func() any
+}
+
+// Handler returns the admin mux.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		for _, r := range a.Registries {
+			if r == nil {
+				continue
+			}
+			if err := r.WriteProm(bw); err != nil {
+				return
+			}
+		}
+		bw.Flush()
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := a.Tracer.Events()
+		if q := req.URL.Query().Get("txn"); q != "" {
+			txn, err := strconv.ParseInt(q, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad txn %q: %v", q, err), http.StatusBadRequest)
+				return
+			}
+			events = a.Tracer.ByTxn(txn)
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(events) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/locks", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var dump any
+		if a.LockDump != nil {
+			dump = a.LockDump()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(dump) //nolint:errcheck
+	})
+	return mux
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "127.0.0.1:7118") and serves the admin
+// endpoints until Close.
+func (a *Admin) Start(addr string) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: a.Handler()}
+	go srv.Serve(ln) //nolint:errcheck
+	return &AdminServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (for clients and logs).
+func (s *AdminServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *AdminServer) Close() error { return s.srv.Close() }

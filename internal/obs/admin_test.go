@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := New().Label("server", "fs1")
+	reg.Counter("dlfm_links_total").Add(2)
+	reg.Histogram("lock_wait_seconds").Observe(time.Millisecond)
+	tr := NewTracer(64)
+	tr.Emit(7, "agent", "link", "/data/f1")
+	tr.Emit(7, "agent", "prepare_vote_yes", "")
+	tr.Emit(8, "agent", "link", "/data/f2")
+
+	admin := &Admin{
+		Registries: []*Registry{reg},
+		Tracer:     tr,
+		LockDump:   func() any { return map[string]any{"held_total": 3} },
+	}
+	ts := httptest.NewServer(admin.Handler())
+	defer ts.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("metrics content type = %q", ctype)
+	}
+	if !strings.Contains(metrics, `dlfm_links_total{server="fs1"} 2`) ||
+		!strings.Contains(metrics, "lock_wait_seconds_bucket") {
+		t.Fatalf("unexpected /metrics:\n%s", metrics)
+	}
+
+	traces, _ := get("/debug/traces?txn=7")
+	var events []Event
+	if err := json.Unmarshal([]byte(traces), &events); err != nil {
+		t.Fatalf("traces decode: %v", err)
+	}
+	if len(events) != 2 || events[0].Kind != "link" || events[1].Kind != "prepare_vote_yes" {
+		t.Fatalf("traces = %v", events)
+	}
+
+	all, _ := get("/debug/traces")
+	var allEvents []Event
+	if err := json.Unmarshal([]byte(all), &allEvents); err != nil || len(allEvents) != 3 {
+		t.Fatalf("all traces = %v (err %v)", allEvents, err)
+	}
+
+	locks, _ := get("/debug/locks")
+	var dump map[string]any
+	if err := json.Unmarshal([]byte(locks), &dump); err != nil {
+		t.Fatalf("locks decode: %v", err)
+	}
+	if dump["held_total"].(float64) != 3 {
+		t.Fatalf("locks dump = %v", dump)
+	}
+
+	// Bad txn filter is a 400, not a panic.
+	resp, err := http.Get(ts.URL + "/debug/traces?txn=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad txn filter status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// defaultBounds are the latency bucket upper bounds, in nanoseconds:
+// exponential from 10µs to 60s. The top of the range is deliberately the
+// paper's 60 s lock timeout, so a lock-wait histogram resolves the whole
+// tuning surface of experiment E7.
+var defaultBounds = []int64{
+	int64(10 * time.Microsecond),
+	int64(20 * time.Microsecond),
+	int64(50 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(200 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2 * time.Millisecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(20 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(200 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2 * time.Second),
+	int64(5 * time.Second),
+	int64(10 * time.Second),
+	int64(30 * time.Second),
+	int64(60 * time.Second),
+}
+
+// Histogram counts durations into fixed exponential buckets and tracks
+// count, sum, and exact maximum. Observe is lock- and allocation-free; all
+// read methods are safe concurrently with writers.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds in ns; implicit +Inf after
+	counts []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds, exact
+}
+
+// NewHistogram returns a histogram with the default latency buckets
+// (10µs .. 60s, exponential).
+func NewHistogram() *Histogram { return NewHistogramBounds(defaultBounds) }
+
+// NewHistogramBounds returns a histogram with the given ascending upper
+// bounds in nanoseconds; an overflow (+Inf) bucket is added implicitly.
+func NewHistogramBounds(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	// Binary search for the first bound >= ns; the slice is small enough
+	// that this stays in cache and performs no allocation.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < ns {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest observation (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the owning bucket, clamped to the exact observed maximum. Returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: the max is the best estimate.
+			return time.Duration(h.max.Load())
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := float64(target-cum) / float64(n)
+		est := lo + int64(frac*float64(hi-lo))
+		if m := h.max.Load(); est > m {
+			est = m
+		}
+		return time.Duration(est)
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Summary is a point-in-time percentile digest of a histogram.
+type Summary struct {
+	Count int64
+	Sum   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarize returns count, sum, p50/p95/p99, and max.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// buckets returns the cumulative per-bucket counts, for rendering.
+func (h *Histogram) buckets() (bounds []int64, cumulative []int64) {
+	cumulative = make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return h.bounds, cumulative
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the ring size servers use when none is given:
+// large enough to hold the full 2PC lifecycle of hundreds of concurrent
+// transactions, small enough to be dumped whole over the admin endpoint.
+const DefaultTraceCapacity = 8192
+
+// Event is one structured trace record. At is monotonic (nanoseconds since
+// the tracer started), so the ordering of one transaction's chain —
+// host txn begin → RPC send/recv → agent dispatch → lock wait → WAL append
+// → prepare vote → phase-2 commit — is exact even across components.
+type Event struct {
+	Seq    int64  `json:"seq"`
+	AtNS   int64  `json:"at_ns"`
+	Txn    int64  `json:"txn"`
+	Comp   string `json:"comp"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event for logs and test failures.
+func (e Event) String() string {
+	return fmt.Sprintf("%10.3fms txn=%d %s/%s %s",
+		float64(e.AtNS)/1e6, e.Txn, e.Comp, e.Kind, e.Detail)
+}
+
+// ring is the shared bounded buffer behind one or more Tracer handles.
+type ring struct {
+	mu    sync.Mutex
+	start time.Time
+	seq   int64
+	buf   []Event
+	next  int
+	full  bool
+}
+
+// Tracer records events into a bounded ring buffer, overwriting the oldest
+// when full. All methods are safe for concurrent use and safe on a nil
+// receiver, so components can be instrumented unconditionally.
+//
+// Named returns a derived handle over the same ring whose component names
+// are prefixed (a stack with several DLFMs gives each a Named view so one
+// transaction's events interleave in a single chronological chain).
+type Tracer struct {
+	r      *ring
+	prefix string
+}
+
+// NewTracer returns a tracer with the given ring capacity (<= 0 uses
+// DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{r: &ring{start: time.Now(), buf: make([]Event, capacity)}}
+}
+
+// Named returns a tracer sharing this ring that prefixes every component
+// name with name + "/".
+func (t *Tracer) Named(name string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{r: t.r, prefix: t.prefix + name + "/"}
+}
+
+// Emit records one event. Nil-safe.
+func (t *Tracer) Emit(txn int64, comp, kind, detail string) {
+	if t == nil {
+		return
+	}
+	r := t.r
+	at := time.Since(r.start)
+	r.mu.Lock()
+	r.seq++
+	r.buf[r.next] = Event{
+		Seq:    r.seq,
+		AtNS:   int64(at),
+		Txn:    txn,
+		Comp:   t.prefix + comp,
+		Kind:   kind,
+		Detail: detail,
+	}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Emitf records one event with a formatted detail. Use only off the hot
+// path: the formatting allocates.
+func (t *Tracer) Emitf(txn int64, comp, kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(txn, comp, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns a chronological copy of the buffered events. Nil-safe
+// (returns nil).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	r := t.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	if r.full {
+		out = make([]Event, 0, len(r.buf))
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf[:r.next]...)
+	}
+	return out
+}
+
+// ByTxn returns the buffered events for one transaction, chronological.
+func (t *Tracer) ByTxn(txn int64) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Txn == txn {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestTracerOrderAndFilter(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(1, "host", "txn_begin", "")
+	tr.Emit(2, "host", "txn_begin", "")
+	tr.Emit(1, "agent", "link", "/data/f1")
+	tr.Emit(1, "agent", "prepare_vote_yes", "")
+	tr.Emit(1, "2pc", "phase2_commit", "")
+
+	events := tr.ByTxn(1)
+	if len(events) != 4 {
+		t.Fatalf("ByTxn(1) = %d events, want 4", len(events))
+	}
+	kinds := []string{"txn_begin", "link", "prepare_vote_yes", "phase2_commit"}
+	for i, e := range events {
+		if e.Kind != kinds[i] {
+			t.Fatalf("event %d kind = %q, want %q", i, e.Kind, kinds[i])
+		}
+		if i > 0 && (e.Seq <= events[i-1].Seq || e.AtNS < events[i-1].AtNS) {
+			t.Fatalf("events out of order: %v after %v", e, events[i-1])
+		}
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := int64(1); i <= 10; i++ {
+		tr.Emit(i, "c", "k", "")
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4 (ring capacity)", len(events))
+	}
+	for i, e := range events {
+		if e.Txn != int64(7+i) {
+			t.Fatalf("event %d txn = %d, want %d (oldest evicted)", i, e.Txn, 7+i)
+		}
+	}
+}
+
+func TestTracerNamedPrefix(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Named("dlfm.fs1").Emit(1, "agent", "link", "")
+	events := tr.Events()
+	if len(events) != 1 || events[0].Comp != "dlfm.fs1/agent" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, "a", "b", "")
+	tr.Emitf(1, "a", "b", "%d", 2)
+	if tr.Events() != nil || tr.ByTxn(1) != nil || tr.Named("x") != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+}

@@ -141,6 +141,71 @@ type Response struct {
 // OK reports whether the response is a success.
 func (r Response) OK() bool { return r.Code == "" }
 
+// Name returns a request's wire name for diagnostics and trace events.
+func Name(req any) string {
+	switch req.(type) {
+	case BeginTxnReq:
+		return "BeginTxn"
+	case LinkFileReq:
+		return "LinkFile"
+	case UnlinkFileReq:
+		return "UnlinkFile"
+	case PrepareReq:
+		return "Prepare"
+	case CommitReq:
+		return "Commit"
+	case AbortReq:
+		return "Abort"
+	case CreateGroupReq:
+		return "CreateGroup"
+	case DeleteGroupReq:
+		return "DeleteGroup"
+	case IsLinkedReq:
+		return "IsLinked"
+	case ListIndoubtReq:
+		return "ListIndoubt"
+	case WaitArchiveReq:
+		return "WaitArchive"
+	case RegisterBackupReq:
+		return "RegisterBackup"
+	case RestoreToReq:
+		return "RestoreTo"
+	case ReconcileReq:
+		return "Reconcile"
+	case PingReq:
+		return "Ping"
+	case StatsReq:
+		return "Stats"
+	default:
+		return "Unknown"
+	}
+}
+
+// TxnOf returns the host transaction id a request runs under, or 0 for
+// requests outside any transaction context.
+func TxnOf(req any) int64 {
+	switch r := req.(type) {
+	case BeginTxnReq:
+		return r.Txn
+	case LinkFileReq:
+		return r.Txn
+	case UnlinkFileReq:
+		return r.Txn
+	case PrepareReq:
+		return r.Txn
+	case CommitReq:
+		return r.Txn
+	case AbortReq:
+		return r.Txn
+	case CreateGroupReq:
+		return r.Txn
+	case DeleteGroupReq:
+		return r.Txn
+	default:
+		return 0
+	}
+}
+
 func init() {
 	gob.Register(BeginTxnReq{})
 	gob.Register(LinkFileReq{})

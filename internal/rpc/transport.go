@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // envelope wraps the request for gob so the concrete type travels with it.
@@ -31,11 +33,15 @@ type AgentFactory interface {
 // second Call blocks until the first completes, mirroring the paper's
 // one-outstanding-request child-agent protocol.
 type Client struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu     sync.Mutex
+	conn   io.ReadWriteCloser
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	tracer *obs.Tracer
 }
+
+// SetTracer directs rpc_send/rpc_recv trace events at tr (nil disables).
+func (c *Client) SetTracer(tr *obs.Tracer) { c.tracer = tr }
 
 // NewClient wraps an established connection.
 func NewClient(conn io.ReadWriteCloser) *Client {
@@ -57,6 +63,7 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Call(req any) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.tracer.Emit(TxnOf(req), "rpc", "rpc_send", Name(req))
 	if err := c.enc.Encode(envelope{Req: req}); err != nil {
 		return Response{}, fmt.Errorf("rpc: send: %w", err)
 	}
@@ -64,6 +71,7 @@ func (c *Client) Call(req any) (Response, error) {
 	if err := c.dec.Decode(&resp); err != nil {
 		return Response{}, fmt.Errorf("rpc: receive: %w", err)
 	}
+	c.tracer.Emit(TxnOf(req), "rpc", "rpc_recv", Name(req))
 	return resp, nil
 }
 
@@ -81,6 +89,7 @@ type CallResult struct {
 func (c *Client) Go(req any) <-chan CallResult {
 	ch := make(chan CallResult, 1)
 	c.mu.Lock()
+	c.tracer.Emit(TxnOf(req), "rpc", "rpc_send", Name(req))
 	if err := c.enc.Encode(envelope{Req: req}); err != nil {
 		c.mu.Unlock()
 		ch <- CallResult{Err: fmt.Errorf("rpc: send: %w", err)}
@@ -93,6 +102,7 @@ func (c *Client) Go(req any) <-chan CallResult {
 			ch <- CallResult{Err: fmt.Errorf("rpc: receive: %w", err)}
 			return
 		}
+		c.tracer.Emit(TxnOf(req), "rpc", "rpc_recv", Name(req))
 		ch <- CallResult{Resp: resp}
 	}()
 	return ch

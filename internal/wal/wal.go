@@ -16,7 +16,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -175,7 +177,39 @@ type Log struct {
 	// its first record; the minimum is the tail of the active log.
 	firstOffset map[int64]int64
 
-	stats Stats
+	appends  obs.Counter
+	bytes    obs.Counter
+	syncs    obs.Counter
+	logFulls obs.Counter
+	// syncHist measures the stable-write delay that dominates commit cost
+	// in the Gray-Lamport accounting of 2PC.
+	syncHist *obs.Histogram
+	tracer   *obs.Tracer
+}
+
+// Instrument exposes the log's counters on reg (wal_* metric names) and
+// directs trace events — control-record appends and log-full rejections —
+// at tr. Both arguments may be nil. Call before concurrent use.
+func (l *Log) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	l.tracer = tr
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("wal_appends_total", &l.appends)
+	reg.RegisterCounter("wal_bytes_total", &l.bytes)
+	reg.RegisterCounter("wal_syncs_total", &l.syncs)
+	reg.RegisterCounter("wal_log_fulls_total", &l.logFulls)
+	reg.RegisterHistogram("wal_sync_seconds", l.syncHist)
+	reg.GaugeFunc("wal_active_bytes", func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(l.end - l.tailLocked())
+	})
+	reg.GaugeFunc("wal_active_txns", func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(len(l.firstOffset))
+	})
 }
 
 // Open opens (creating or appending to) the log at path, or an in-memory
@@ -187,6 +221,7 @@ func Open(path string, capacity int64) (*Log, error) {
 		capacity:    capacity,
 		nextLSN:     1,
 		firstOffset: make(map[int64]int64),
+		syncHist:    obs.NewHistogram(),
 	}
 	if path == "" {
 		return l, nil
@@ -235,7 +270,9 @@ func (l *Log) Append(r Record) (int64, error) {
 	if l.capacity > 0 && r.Type != RecCommit && r.Type != RecAbort {
 		tail := l.tailLocked()
 		if l.end+size-tail > l.capacity {
-			l.stats.LogFulls++
+			l.logFulls.Add(1)
+			l.tracer.Emitf(r.Txn, "wal", "log_full", "%s needs %d bytes, active %d of %d",
+				r.Type, size, l.end-tail, l.capacity)
 			return 0, fmt.Errorf("%w (txn %d needs %d bytes, active %d of %d)",
 				ErrLogFull, r.Txn, size, l.end-tail, l.capacity)
 		}
@@ -262,8 +299,14 @@ func (l *Log) Append(r Record) (int64, error) {
 
 	l.nextLSN++
 	l.end += size
-	l.stats.Appends++
-	l.stats.Bytes += size
+	l.appends.Add(1)
+	l.bytes.Add(size)
+	switch r.Type {
+	case RecCommit, RecAbort, RecPrepare, RecCheckpoint:
+		// Only control records are traced; data-record appends are the hot
+		// path and would flood the ring.
+		l.tracer.Emit(r.Txn, "wal", "append", r.Type.String())
+	}
 	return r.LSN, nil
 }
 
@@ -291,21 +334,28 @@ func (l *Log) ForgetTxn(txn int64) {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.stats.Syncs++
+	l.syncs.Add(1)
 	if l.f == nil {
 		return nil
 	}
-	return l.f.Sync()
+	start := time.Now()
+	err := l.f.Sync()
+	l.syncHist.Observe(time.Since(start))
+	return err
 }
 
 // Stats returns a snapshot of log statistics.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	s := l.stats
-	s.Active = l.end - l.tailLocked()
-	s.ActiveTxn = len(l.firstOffset)
-	return s
+	return Stats{
+		Appends:   l.appends.Load(),
+		Bytes:     l.bytes.Load(),
+		Syncs:     l.syncs.Load(),
+		LogFulls:  l.logFulls.Load(),
+		Active:    l.end - l.tailLocked(),
+		ActiveTxn: len(l.firstOffset),
+	}
 }
 
 // Records returns every record in the log in append order, for recovery.

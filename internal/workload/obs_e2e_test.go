@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hostdb"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// TestTracedCommitChain runs one link transaction end to end and asserts
+// the shared trace ring holds the ordered 2PC lifecycle for that host
+// transaction: begin → RPC → agent link → prepare vote → decision →
+// phase-2 commit.
+func TestTracedCommitChain(t *testing.T) {
+	st := testStack(t)
+	if err := st.Host.CreateTable(
+		`CREATE TABLE docs (id BIGINT NOT NULL, doc VARCHAR)`,
+		hostdb.DatalinkCol{Name: "doc"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.FS["fs1"].Create("/data/a1", "app", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	s := st.Host.Session()
+	defer s.Close()
+	if _, err := s.Exec(`INSERT INTO docs (id, doc) VALUES (?, ?)`,
+		value.Int(1), value.Str(hostdb.URL("fs1", "/data/a1"))); err != nil {
+		t.Fatal(err)
+	}
+	txn := s.TxnID()
+	if txn == 0 {
+		t.Fatal("no transaction id")
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := st.Tracer.ByTxn(txn)
+	if len(events) == 0 {
+		t.Fatal("no trace events for the transaction")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq || events[i].AtNS < events[i-1].AtNS {
+			t.Fatalf("events out of order at %d: %v then %v", i, events[i-1], events[i])
+		}
+	}
+
+	// The lifecycle kinds must appear in protocol order.
+	want := []string{
+		"txn_begin",           // host began the transaction
+		"rpc_send",            // at least one RPC crossed the wire
+		"link",                // the DLFM agent applied LinkFile
+		"prepare_vote_yes",    // phase 1 vote
+		"2pc_decision_commit", // host hardened the decision
+		"phase2_commit",       // DLFM completed phase 2
+		"2pc_done",            // host finished the protocol
+	}
+	pos := 0
+	for _, e := range events {
+		if pos < len(want) && e.Kind == want[pos] {
+			pos++
+		}
+	}
+	if pos != len(want) {
+		var got []string
+		for _, e := range events {
+			got = append(got, e.Comp+":"+e.Kind)
+		}
+		t.Fatalf("missing %q from the chain; events:\n%s", want[pos], strings.Join(got, "\n"))
+	}
+
+	// DLFM events carry the server-name prefix from Tracer.Named.
+	sawPrefixed := false
+	for _, e := range events {
+		if strings.HasPrefix(e.Comp, "fs1/") {
+			sawPrefixed = true
+			break
+		}
+	}
+	if !sawPrefixed {
+		t.Fatal("no fs1-prefixed DLFM events in the chain")
+	}
+
+	// The DLFM's registry must agree with its legacy Stats() snapshot —
+	// they read the same counters.
+	dlfm := st.DLFMs["fs1"]
+	snap := dlfm.Stats()
+	if got := counterValue(t, dlfm.Obs(), "dlfm_links_total"); got != snap.Links || got == 0 {
+		t.Fatalf("dlfm_links_total = %d, Stats().Links = %d", got, snap.Links)
+	}
+	if got := counterValue(t, dlfm.Obs(), "dlfm_commits_total"); got != snap.Commits || got == 0 {
+		t.Fatalf("dlfm_commits_total = %d, Stats().Commits = %d", got, snap.Commits)
+	}
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	snap := reg.Snapshot()
+	v, exists := snap[name]
+	if !exists {
+		t.Fatalf("metric %s not registered", name)
+	}
+	n, isInt := v.(int64)
+	if !isInt {
+		t.Fatalf("metric %s is %T, want counter", name, v)
+	}
+	return n
+}

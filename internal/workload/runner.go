@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/hostdb"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -72,16 +72,18 @@ type Result struct {
 
 	LatencyP50 time.Duration
 	LatencyP95 time.Duration
+	LatencyP99 time.Duration
 	LatencyMax time.Duration
 }
 
 // String renders the result the way the harness prints report rows.
 func (r Result) String() string {
 	return fmt.Sprintf(
-		"ops=%d commits=%d rollbacks=%d retries=%d | inserts/min=%.0f updates/min=%.0f ops/s=%.1f | p50=%s p95=%s max=%s",
+		"ops=%d commits=%d rollbacks=%d retries=%d | inserts/min=%.0f updates/min=%.0f ops/s=%.1f | p50=%s p95=%s p99=%s max=%s",
 		r.Ops, r.Commits, r.Rollback, r.Retries,
 		r.InsertsPerMin, r.UpdatesPerMin, r.OpsPerSec,
-		r.LatencyP50.Round(time.Microsecond), r.LatencyP95.Round(time.Microsecond), r.LatencyMax.Round(time.Microsecond))
+		r.LatencyP50.Round(time.Microsecond), r.LatencyP95.Round(time.Microsecond),
+		r.LatencyP99.Round(time.Microsecond), r.LatencyMax.Round(time.Microsecond))
 }
 
 // Runner drives a workload against a stack.
@@ -191,7 +193,11 @@ func (r *Runner) Run() (Result, error) {
 		ops, commits, rollbacks, retries atomic.Int64
 		inserts, updates, deletes, reads atomic.Int64
 	)
-	latencies := make([][]time.Duration, r.cfg.Clients)
+	// Per-op latency is accumulated in a fresh histogram each run; it is
+	// also published on the process-wide registry (replace semantics), so a
+	// concurrent /metrics scrape sees the run in flight.
+	lat := obs.NewHistogram()
+	obs.Default().RegisterHistogram("workload_op_seconds", lat)
 
 	deadline := time.Now().Add(r.cfg.Duration)
 	var wg sync.WaitGroup
@@ -216,7 +222,7 @@ func (r *Runner) Run() (Result, error) {
 				}
 				start := time.Now()
 				kind, err := r.oneOp(cs)
-				latencies[cl] = append(latencies[cl], time.Since(start))
+				lat.Observe(time.Since(start))
 				ops.Add(1)
 				switch {
 				case err == nil:
@@ -261,17 +267,9 @@ func (r *Runner) Run() (Result, error) {
 	if r.cfg.OpsPerClient > 0 || elapsed <= 0 {
 		elapsed = 0
 	}
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	var total time.Duration
-	for _, d := range all {
-		total += d
-	}
+	sum := lat.Summarize()
 	if elapsed == 0 {
-		elapsed = total / time.Duration(max(r.cfg.Clients, 1))
+		elapsed = sum.Sum / time.Duration(max(r.cfg.Clients, 1))
 		if elapsed == 0 {
 			elapsed = time.Millisecond
 		}
@@ -294,10 +292,11 @@ func (r *Runner) Run() (Result, error) {
 		res.UpdatesPerMin = float64(res.Updates) / mins
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
 	}
-	if n := len(all); n > 0 {
-		res.LatencyP50 = all[n/2]
-		res.LatencyP95 = all[n*95/100]
-		res.LatencyMax = all[n-1]
+	if sum.Count > 0 {
+		res.LatencyP50 = sum.P50
+		res.LatencyP95 = sum.P95
+		res.LatencyP99 = sum.P99
+		res.LatencyMax = sum.Max
 	}
 	return res, nil
 }

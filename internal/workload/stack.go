@@ -7,12 +7,14 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fsim"
 	"repro/internal/hostdb"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 )
 
@@ -25,6 +27,28 @@ type Stack struct {
 	DLFMs map[string]*core.Server
 	FS    map[string]*fsim.Server
 	Arch  map[string]*archive.Server
+	// Tracer is the shared trace ring: the host and every DLFM emit into
+	// it, so one chronological chain covers a transaction end to end.
+	Tracer *obs.Tracer
+}
+
+// Registries returns every obs registry in the deployment (host first,
+// then each DLFM sorted by name) for /metrics exposition.
+func (st *Stack) Registries() []*obs.Registry {
+	regs := []*obs.Registry{st.Host.Obs()}
+	for _, name := range sortedNames(st.DLFMs) {
+		regs = append(regs, st.DLFMs[name].Obs())
+	}
+	return regs
+}
+
+func sortedNames(m map[string]*core.Server) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // StackConfig controls deployment construction.
@@ -42,7 +66,11 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	if len(cfg.Servers) == 0 {
 		cfg.Servers = []string{"fs1"}
 	}
+	// One shared trace ring: host and DLFM events interleave in emission
+	// order, so a transaction's full 2PC chain reads top to bottom.
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
 	hostCfg := hostdb.DefaultConfig("host")
+	hostCfg.Tracer = tracer
 	if cfg.MutateHost != nil {
 		cfg.MutateHost(&hostCfg)
 	}
@@ -51,15 +79,19 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		return nil, err
 	}
 	st := &Stack{
-		Host:  host,
-		DLFMs: make(map[string]*core.Server, len(cfg.Servers)),
-		FS:    make(map[string]*fsim.Server, len(cfg.Servers)),
-		Arch:  make(map[string]*archive.Server, len(cfg.Servers)),
+		Host:   host,
+		DLFMs:  make(map[string]*core.Server, len(cfg.Servers)),
+		FS:     make(map[string]*fsim.Server, len(cfg.Servers)),
+		Arch:   make(map[string]*archive.Server, len(cfg.Servers)),
+		Tracer: tracer,
 	}
 	for _, name := range cfg.Servers {
 		fs := fsim.NewServer(name)
 		ar := archive.NewServer()
 		dlfmCfg := core.DefaultConfig(name)
+		// Each DLFM emits into the shared ring under its server-name
+		// prefix (component reads "fs1/agent" and so on).
+		dlfmCfg.Tracer = tracer.Named(name)
 		if cfg.MutateDLFM != nil {
 			cfg.MutateDLFM(name, &dlfmCfg)
 		}
