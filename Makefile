@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench chaos-smoke ci
 
 all: ci
 
@@ -22,4 +22,9 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-ci: build vet race
+# Short fault-injection soak: seeded kill/drop schedule, indoubt drain,
+# cross-system invariant check. Exits non-zero on any violation.
+chaos-smoke:
+	$(GO) run ./cmd/dlfmbench chaos -seed 1 -dur 5s -clients 20
+
+ci: build vet race chaos-smoke

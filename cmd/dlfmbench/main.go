@@ -5,11 +5,13 @@
 //
 //	dlfmbench all                      # run every experiment
 //	dlfmbench soak -clients 100 -dur 30s
+//	dlfmbench chaos -seed 1 -dur 10s   # fault-injection soak + invariant check
 //	dlfmbench throughput | nextkey | escalation | optimizer |
 //	          synccommit | timeout | batchcommit | twophase |
 //	          commitlocks | processmodel
 //
-// Flags -clients, -ops, and -dur scale the runs.
+// Flags -clients, -ops, and -dur scale the runs; -seed replays a chaos
+// run's kill/drop schedule.
 package main
 
 import (
@@ -35,6 +37,7 @@ func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) func(experimen
 
 var all = []runner{
 	{"soak", "E1: 100-client stability soak", wrap(experiments.RunE1Soak)},
+	{"chaos", "E1 under fault injection: kills, drops, indoubt drain", wrap(experiments.RunChaos)},
 	{"throughput", "E2: insert/update rates", wrap(experiments.RunE2Throughput)},
 	{"nextkey", "E3: next-key locking ablation", wrap(experiments.RunE3NextKey)},
 	{"escalation", "E4: lock escalation sweep", wrap(experiments.RunE4Escalation)},
@@ -51,7 +54,8 @@ func main() {
 	fs := flag.NewFlagSet("dlfmbench", flag.ExitOnError)
 	clients := fs.Int("clients", 100, "concurrent clients for workload experiments")
 	ops := fs.Int("ops", 30, "operations per client for fixed-size experiments")
-	dur := fs.Duration("dur", 5*time.Second, "duration of the E1 soak")
+	dur := fs.Duration("dur", 5*time.Second, "duration of the E1 and chaos soaks")
+	seed := fs.Int64("seed", 1, "seed for the chaos soak's fault schedule")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dlfmbench [flags] <experiment>\n\nexperiments:\n  all\n")
 		for _, r := range all {
@@ -78,7 +82,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	opt := experiments.Options{Clients: *clients, Ops: *ops, SoakDuration: *dur}
+	opt := experiments.Options{Clients: *clients, Ops: *ops, SoakDuration: *dur, Seed: *seed}
 
 	run := func(r runner) {
 		fmt.Printf("=== %s (%s)\n", r.name, r.desc)

@@ -6,9 +6,20 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/rpc"
 	"repro/internal/value"
+)
+
+// Fault points on the classic 2PC failure windows (Section 3.3): after the
+// prepare's local commit the DLFM holds a hardened 'P' entry but the vote
+// may never reach the host; after phase-2 work the decision is applied but
+// the acknowledgement may be lost. Crash/drop armings at these points
+// exercise indoubt resolution and idempotent re-issue respectively.
+var (
+	fpPrepareAfterCommit = fault.P("core.prepare.after_local_commit")
+	fpPhase2BeforeAck    = fault.P("core.phase2.before_ack")
 )
 
 // ChildAgent serves one host connection, exactly as the paper's DLFM main
@@ -366,6 +377,11 @@ func (a *ChildAgent) prepare(r rpc.PrepareReq) rpc.Response {
 		a.voteNo()
 		return fail(err)
 	}
+	if err := fpPrepareAfterCommit.Fire(); err != nil {
+		// The 'P' entry is already durable; the vote is lost in transit.
+		// The transaction is now indoubt and waits for resolution.
+		return failCode("severe", "prepare of transaction %d: %v", r.Txn, err)
+	}
 	a.srv.stats.Prepares.Add(1)
 	a.srv.prepareHist.Observe(time.Since(start))
 	a.srv.tracer.Emit(r.Txn, "agent", "prepare_vote_yes", "")
@@ -386,6 +402,10 @@ func (a *ChildAgent) commit(r rpc.CommitReq) rpc.Response {
 		return failCode("severe", "commit for transaction %d on agent serving %d", r.Txn, a.cur)
 	}
 	resp := a.srv.phase2Commit(a.conn, r.Txn)
+	if err := fpPhase2BeforeAck.FireDetail("commit"); err != nil {
+		a.resetTxn()
+		return failCode("severe", "commit ack of transaction %d: %v", r.Txn, err)
+	}
 	a.resetTxn()
 	return resp
 }
@@ -399,6 +419,10 @@ func (a *ChildAgent) abort(r rpc.AbortReq) rpc.Response {
 		a.conn.Rollback()
 	}
 	resp := a.srv.phase2Abort(a.conn, r.Txn)
+	if err := fpPhase2BeforeAck.FireDetail("abort"); err != nil {
+		a.resetTxn()
+		return failCode("severe", "abort ack of transaction %d: %v", r.Txn, err)
+	}
 	a.resetTxn()
 	return resp
 }

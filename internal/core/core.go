@@ -56,8 +56,24 @@ type Config struct {
 	// CopyInterval and GCInterval are daemon polling periods.
 	CopyInterval time.Duration
 	GCInterval   time.Duration
-	// Phase2Backoff is the pause between phase-2 commit/abort retries.
+	// Phase2Backoff is the base pause between phase-2 commit/abort retries;
+	// it grows exponentially (with jitter) up to Phase2BackoffCap. Zero
+	// retries without sleeping.
 	Phase2Backoff time.Duration
+	// Phase2BackoffCap bounds the exponential growth of the retry pause.
+	// Zero defaults to 64× the base.
+	Phase2BackoffCap time.Duration
+	// Phase2MaxRetries caps phase-2 retry attempts. The paper's DLFM "keeps
+	// retrying until it succeeds"; the cap surfaces a permanently wedged
+	// transaction (dlfm_phase2_giveups_total, 2pc/phase2_giveup trace event)
+	// instead of spinning forever — the transaction entry survives, so the
+	// host's indoubt resolution re-drives it later. Zero or negative means
+	// retry forever.
+	Phase2MaxRetries int
+	// UpcallTimeout bounds how long a DLFF upcall waits for the Upcall
+	// daemon; an expired wait denies the file operation. Zero defaults to
+	// 5 s.
+	UpcallTimeout time.Duration
 	// Phase2Delay injects latency at the start of commit processing,
 	// modelling the real work the paper's DLFM did there (SQL against the
 	// local database, chown traffic). Experiment E6 uses it to open the
@@ -97,6 +113,11 @@ func DefaultConfig(name string) Config {
 		CopyInterval:   10 * time.Millisecond,
 		GCInterval:     50 * time.Millisecond,
 		Phase2Backoff:  time.Millisecond,
+		// ~100 attempts against a 50 ms cap gives several seconds of retry
+		// before a wedged transaction is surfaced and left for resolution.
+		Phase2BackoffCap: 50 * time.Millisecond,
+		Phase2MaxRetries: 100,
+		UpcallTimeout:    5 * time.Second,
 	}
 }
 

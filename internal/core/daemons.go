@@ -5,9 +5,37 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/value"
 )
+
+// Fault points at each daemon's unit of work. The paper's daemons are
+// separate processes respawned by the main daemon; goroutines have no such
+// supervisor, so Crash armings are converted to an error by fireGuarded —
+// the daemon loses that iteration of work, not the whole process.
+var (
+	fpChownWork    = fault.P("daemon.chown.work")
+	fpUpcallWork   = fault.P("daemon.upcall.work")
+	fpCopyWork     = fault.P("daemon.copy.work")
+	fpRetrieveWork = fault.P("daemon.retrieve.work")
+	fpGCWork       = fault.P("daemon.gc.work")
+	fpDelGroupWork = fault.P("daemon.delgroup.work")
+)
+
+// fireGuarded fires p, demoting an injected crash to an ordinary error.
+func fireGuarded(p *fault.Point, detail string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cp, isCrash := fault.AsCrash(r)
+			if !isCrash {
+				panic(r)
+			}
+			err = errors.New(cp.String())
+		}
+	}()
+	return p.FireDetail(detail)
+}
 
 // The DLFM process model (Section 3.5, Figure 5): besides the per-
 // connection child agents, the main daemon runs six service daemons. Here
@@ -80,6 +108,9 @@ func (d *chownDaemon) run() {
 }
 
 func (d *chownDaemon) apply(op chownOp) error {
+	if err := fireGuarded(fpChownWork, op.name); err != nil {
+		return err
+	}
 	if op.auth != d.token {
 		return errors.New("core: chown daemon: unauthenticated request")
 	}
@@ -166,6 +197,9 @@ func (d *upcallDaemon) run() {
 }
 
 func (d *upcallDaemon) answer(conn *engine.Conn, name string) upcallResp {
+	if err := fireGuarded(fpUpcallWork, name); err != nil {
+		return upcallResp{err: err}
+	}
 	s := d.srv
 	s.stats.Upcalls.Add(1)
 	rows, err := s.stmts.get(sqlIsLinked).Query(conn, value.Str(name))
@@ -193,15 +227,33 @@ func (d *upcallDaemon) answer(conn *engine.Conn, name string) upcallResp {
 	return upcallResp{st: st}
 }
 
-// IsLinked implements fsim.Upcaller for the DLFF.
+// ErrUpcallTimeout is returned when the Upcall daemon does not answer an
+// IsLinked query within Config.UpcallTimeout. The DLFF treats it like any
+// upcall failure: the file-system operation is denied, never allowed.
+var ErrUpcallTimeout = errors.New("core: upcall timed out")
+
+// IsLinked implements fsim.Upcaller for the DLFF. The call is bounded by
+// Config.UpcallTimeout so a wedged daemon cannot hang file-system requests.
 func (d *upcallDaemon) IsLinked(name string) (fsim.LinkStatus, error) {
+	to := d.srv.cfg.UpcallTimeout
+	if to <= 0 {
+		to = 5 * time.Second
+	}
+	timer := time.NewTimer(to)
+	defer timer.Stop()
 	r := upcallReq{name: name, reply: make(chan upcallResp, 1)}
 	select {
 	case d.req <- r:
-		resp := <-r.reply
-		return resp.st, resp.err
 	case <-d.quit:
 		return fsim.LinkStatus{}, errors.New("core: upcall daemon stopped")
+	case <-timer.C:
+		return fsim.LinkStatus{}, ErrUpcallTimeout
+	}
+	select {
+	case resp := <-r.reply:
+		return resp.st, resp.err
+	case <-timer.C:
+		return fsim.LinkStatus{}, ErrUpcallTimeout
 	}
 }
 
@@ -257,6 +309,9 @@ func (d *copyDaemon) run() {
 // files it copied. It is also called synchronously by WaitArchive's
 // priority path.
 func (s *Server) copyBatch(conn *engine.Conn) int {
+	if err := fireGuarded(fpCopyWork, ""); err != nil {
+		return 0
+	}
 	rows, err := s.stmts.get(sqlPendingCopies).Query(conn, value.Int(32))
 	if err != nil {
 		if conn.InTxn() {
@@ -332,6 +387,10 @@ func (d *retrieveDaemon) run() {
 		case <-d.quit:
 			return
 		case r := <-d.req:
+			if err := fireGuarded(fpRetrieveWork, r.name); err != nil {
+				r.reply <- err
+				continue
+			}
 			content, err := d.srv.arch.Retrieve(r.name, r.recID)
 			if err == nil {
 				err = d.srv.fs.Restore(r.name, r.owner, content, r.readOnly)
@@ -406,6 +465,9 @@ func (s *Server) RunGC() error {
 }
 
 func (s *Server) gcOnce(conn *engine.Conn) error {
+	if err := fireGuarded(fpGCWork, ""); err != nil {
+		return err
+	}
 	if err := s.gcBackups(conn); err != nil {
 		return err
 	}
@@ -623,6 +685,9 @@ func (s *Server) runDeleteGroup(conn *engine.Conn, txn int64, batchN int) error 
 			s.tracer.Emit(txn, "daemon", "delete_group_log_full", "")
 		}
 		return err
+	}
+	if err := fireGuarded(fpDelGroupWork, ""); err != nil {
+		return abort(err)
 	}
 	groups, err := s.stmts.get(sqlGroupsOfTxn).Query(conn, value.Int(txn))
 	if err != nil {

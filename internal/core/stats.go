@@ -15,6 +15,7 @@ type Stats struct {
 	Commits        obs.Counter // phase-2 commits completed
 	Aborts         obs.Counter // aborts completed (either phase)
 	Phase2Retries  obs.Counter // phase-2 commit/abort attempts retried
+	Phase2Giveups  obs.Counter // phase-2 retry caps hit (txn left for resolution)
 	Compensations  obs.Counter // delayed-update rollbacks after local commit
 	BatchCommits   obs.Counter // intermediate local commits of batched txns
 	ArchiveCopies  obs.Counter // files copied to the archive server
@@ -42,6 +43,7 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.RegisterCounter("dlfm_commits_total", &st.Commits)
 	reg.RegisterCounter("dlfm_aborts_total", &st.Aborts)
 	reg.RegisterCounter("dlfm_phase2_retries_total", &st.Phase2Retries)
+	reg.RegisterCounter("dlfm_phase2_giveups_total", &st.Phase2Giveups)
 	reg.RegisterCounter("dlfm_compensations_total", &st.Compensations)
 	reg.RegisterCounter("dlfm_batch_commits_total", &st.BatchCommits)
 	reg.RegisterCounter("dlfm_archive_copies_total", &st.ArchiveCopies)
@@ -60,7 +62,8 @@ func (st *Stats) register(reg *obs.Registry) {
 type Snapshot struct {
 	Links, Unlinks, Backouts                int64
 	Prepares, PrepareFails, Commits, Aborts int64
-	Phase2Retries, Compensations            int64
+	Phase2Retries, Phase2Giveups            int64
+	Compensations                           int64
 	BatchCommits                            int64
 	ArchiveCopies, Retrievals               int64
 	ChownOps, Upcalls                       int64
@@ -80,6 +83,7 @@ func (s *Server) Stats() Snapshot {
 		Commits:        s.stats.Commits.Load(),
 		Aborts:         s.stats.Aborts.Load(),
 		Phase2Retries:  s.stats.Phase2Retries.Load(),
+		Phase2Giveups:  s.stats.Phase2Giveups.Load(),
 		Compensations:  s.stats.Compensations.Load(),
 		BatchCommits:   s.stats.BatchCommits.Load(),
 		ArchiveCopies:  s.stats.ArchiveCopies.Load(),

@@ -4,9 +4,15 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/rpc"
 	"repro/internal/value"
 )
+
+// fpPhase2Work fires at the start of every phase-2 commit/abort attempt
+// (detail "commit" or "abort"). Armed with a retryable engine error it
+// drives the retry loop to its cap.
+var fpPhase2Work = fault.P("core.phase2.work")
 
 // Phase 2 of the two-phase commit protocol (Sections 3.3 and 4, Figure 4).
 //
@@ -32,7 +38,8 @@ type chownWork struct {
 // a lost acknowledgement.
 func (s *Server) phase2Commit(conn *engine.Conn, txn int64) rpc.Response {
 	start := time.Now()
-	for {
+	bo := fault.Backoff{Base: s.cfg.Phase2Backoff, Cap: s.cfg.Phase2BackoffCap}
+	for attempt := 0; ; attempt++ {
 		resp, retry := s.tryCommit(conn, txn)
 		if !retry {
 			if resp.OK() {
@@ -44,12 +51,26 @@ func (s *Server) phase2Commit(conn *engine.Conn, txn int64) rpc.Response {
 		if conn.InTxn() {
 			conn.Rollback()
 		}
+		if s.cfg.Phase2MaxRetries > 0 && attempt+1 >= s.cfg.Phase2MaxRetries {
+			return s.phase2Giveup(txn, "commit")
+		}
 		s.stats.Phase2Retries.Add(1)
 		s.tracer.Emit(txn, "2pc", "phase2_retry", "commit")
-		if s.cfg.Phase2Backoff > 0 {
-			time.Sleep(s.cfg.Phase2Backoff)
+		if d := bo.Delay(attempt); d > 0 {
+			time.Sleep(d)
 		}
 	}
+}
+
+// phase2Giveup surfaces a transaction whose phase-2 processing exhausted
+// its retry cap. The transaction entry is untouched — still 'P' for a
+// commit, still pending compensation for an abort — so the host's indoubt
+// resolution daemon re-drives it once the local contention clears; the cap
+// only stops this agent from spinning forever while holding its connection.
+func (s *Server) phase2Giveup(txn int64, what string) rpc.Response {
+	s.stats.Phase2Giveups.Add(1)
+	s.tracer.Emit(txn, "2pc", "phase2_giveup", what)
+	return failCode("severe", "phase-2 %s of transaction %d gave up after %d attempts", what, txn, s.cfg.Phase2MaxRetries)
 }
 
 func (s *Server) tryCommit(conn *engine.Conn, txn int64) (rpc.Response, bool) {
@@ -66,6 +87,9 @@ func (s *Server) tryCommit(conn *engine.Conn, txn int64) (rpc.Response, bool) {
 		return fail(err), false
 	}
 
+	if err := fpPhase2Work.FireDetail("commit"); err != nil {
+		return fatal(err)
+	}
 	rows, err := s.stmts.get(sqlTxnState).Query(conn, value.Int(txn))
 	if err != nil {
 		return fatal(err)
@@ -181,7 +205,8 @@ func (s *Server) applyChownWork(conn *engine.Conn, work []chownWork) {
 // rolling back transaction update after local database commit" (Abstract,
 // Section 4). Like commit, it retries until it succeeds.
 func (s *Server) phase2Abort(conn *engine.Conn, txn int64) rpc.Response {
-	for {
+	bo := fault.Backoff{Base: s.cfg.Phase2Backoff, Cap: s.cfg.Phase2BackoffCap}
+	for attempt := 0; ; attempt++ {
 		resp, retry := s.tryAbort(conn, txn)
 		if !retry {
 			if resp.OK() {
@@ -192,10 +217,13 @@ func (s *Server) phase2Abort(conn *engine.Conn, txn int64) rpc.Response {
 		if conn.InTxn() {
 			conn.Rollback()
 		}
+		if s.cfg.Phase2MaxRetries > 0 && attempt+1 >= s.cfg.Phase2MaxRetries {
+			return s.phase2Giveup(txn, "abort")
+		}
 		s.stats.Phase2Retries.Add(1)
 		s.tracer.Emit(txn, "2pc", "phase2_retry", "abort")
-		if s.cfg.Phase2Backoff > 0 {
-			time.Sleep(s.cfg.Phase2Backoff)
+		if d := bo.Delay(attempt); d > 0 {
+			time.Sleep(d)
 		}
 	}
 }
@@ -211,6 +239,9 @@ func (s *Server) tryAbort(conn *engine.Conn, txn int64) (rpc.Response, bool) {
 		return fail(err), false
 	}
 
+	if err := fpPhase2Work.FireDetail("abort"); err != nil {
+		return fatal(err)
+	}
 	rows, err := s.stmts.get(sqlTxnState).Query(conn, value.Int(txn))
 	if err != nil {
 		return fatal(err)

@@ -29,6 +29,9 @@ func (c *Conn) PrepareTxn() error {
 	if t.prepared {
 		return fmt.Errorf("engine: transaction %d is already prepared", t.id)
 	}
+	if err := fpTxnPrepare.Fire(); err != nil {
+		return err
+	}
 	if _, err := c.db.log.Append(wal.Record{Txn: t.id, Type: wal.RecPrepare}); err != nil {
 		return err
 	}

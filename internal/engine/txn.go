@@ -3,8 +3,17 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/value"
 	"repro/internal/wal"
+)
+
+// Fault points on the engine's transaction-hardening paths: a fire before
+// the commit/prepare record reaches the log fails the operation while the
+// transaction stays open, so the caller's rollback path is exercised.
+var (
+	fpTxnCommit  = fault.P("engine.txn.commit")
+	fpTxnPrepare = fault.P("engine.txn.prepare")
 )
 
 // undoOp is one entry of a transaction's in-memory undo list. Rollback
@@ -80,6 +89,9 @@ func (c *Conn) Commit() error {
 		return fmt.Errorf("engine: transaction %d is prepared; use CommitPrepared/RollbackPrepared", t.id)
 	}
 	if t.wrote {
+		if err := fpTxnCommit.Fire(); err != nil {
+			return err
+		}
 		if _, err := c.db.log.Append(wal.Record{Txn: t.id, Type: wal.RecCommit}); err != nil {
 			return err
 		}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hostdb"
+	"repro/internal/workload"
+)
+
+// RunChaos is the fault-injection soak: the E1 workload spread across two
+// DLFMs while a seeded injector crash-restarts servers and severs
+// connections, followed by an indoubt drain and the cross-system
+// consistency check. A clean run ends with zero violations and zero
+// phase-2 giveups; the seed replays the same fault schedule.
+func RunChaos(o Options) (*ChaosReport, error) {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	dur := o.SoakDuration
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+	st, err := workload.NewStack(workload.StackConfig{
+		Servers: []string{"fs1", "fs2"},
+		MutateHost: func(h *hostdb.Config) {
+			// Short lock timeouts keep victims moving while servers bounce.
+			h.DB.LockTimeout = 2 * time.Second
+		},
+		MutateDLFM: func(_ string, c *core.Config) {
+			c.DB.LockTimeout = 2 * time.Second
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	res, err := workload.RunChaos(st, workload.ChaosConfig{
+		Clients:     o.clients(),
+		Duration:    dur,
+		Seed:        seed,
+		PreloadRows: 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChaosReport{Seed: seed, Res: res}
+	if len(res.Violations) > 0 {
+		return nil, fmt.Errorf("chaos: %d invariant violations (seed %d replays the run):\n  %s",
+			len(res.Violations), seed, strings.Join(res.Violations, "\n  "))
+	}
+	return rep, nil
+}
+
+// ChaosReport renders the soak outcome.
+type ChaosReport struct {
+	Seed int64
+	Res  workload.ChaosResult
+}
+
+func (r *ChaosReport) String() string {
+	t := &table{header: []string{"metric", "value"}}
+	t.add("seed", fmtI(r.Seed))
+	t.add("ops", fmtI(r.Res.Workload.Ops))
+	t.add("commits", fmtI(r.Res.Workload.Commits))
+	t.add("rollbacks", fmtI(r.Res.Workload.Rollback))
+	t.add("server kills", fmtI(r.Res.Kills))
+	t.add("drop armings", fmtI(r.Res.DropArms))
+	t.add("faults injected", fmtI(r.Res.FaultsInjected))
+	t.add("indoubts resolved", fmtI(int64(r.Res.IndoubtsResolved)))
+	t.add("phase-2 giveups", fmtI(r.Res.Phase2Giveups))
+	t.add("invariant violations", fmtI(int64(len(r.Res.Violations))))
+	return t.String()
+}

@@ -27,6 +27,9 @@ type Options struct {
 	SoakDuration time.Duration
 	// Ops is the per-client operation budget for fixed-size experiments.
 	Ops int
+	// Seed drives every pseudo-random decision of seeded experiments (the
+	// chaos soak's kill/drop schedule); equal seeds replay equal runs.
+	Seed int64
 	// Verbose enables progress lines on stdout.
 	Verbose bool
 }

@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with jitter — the shared
+// policy behind the RPC client's reconnect loop and DLFM's phase-2 retry
+// loop. A zero Base disables sleeping entirely (tests that want tight retry
+// loops keep their speed); a zero Cap defaults to 64×Base.
+type Backoff struct {
+	Base time.Duration
+	Cap  time.Duration
+}
+
+// Delay returns the sleep before retry attempt (0-based). The uncapped
+// schedule is Base<<attempt; the result is jittered uniformly over the
+// upper half of the capped value so concurrent retriers spread out.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 64 * b.Base
+	}
+	d := b.Base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

@@ -1,0 +1,55 @@
+package fsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// errUpcaller models a DLFM whose Upcall daemon is down or unreachable:
+// every upcall errors.
+type errUpcaller struct{ err error }
+
+func (u errUpcaller) IsLinked(string) (LinkStatus, error) { return LinkStatus{}, u.err }
+
+// TestFilterFailsClosedOnUpcallError: a DLFF that cannot reach the DLFM
+// must deny every guarded operation rather than guess — an unanswered
+// upcall could be hiding a linked file.
+func TestFilterFailsClosedOnUpcallError(t *testing.T) {
+	s := NewServer("fs1")
+	s.Create("/doc", "alice", []byte("payload"))
+	boom := errors.New("upcall daemon unreachable")
+	f := NewFilter(s, errUpcaller{err: boom}, []byte("k"))
+
+	if _, err := f.Open("/doc", ""); !errors.Is(err, boom) || !strings.Contains(err.Error(), "upcall failed") {
+		t.Errorf("Open = %v, want wrapped upcall failure", err)
+	}
+	if err := f.Delete("/doc"); !errors.Is(err, boom) {
+		t.Errorf("Delete = %v, want denial", err)
+	}
+	if err := f.Rename("/doc", "/moved"); !errors.Is(err, boom) {
+		t.Errorf("Rename = %v, want denial", err)
+	}
+	if err := f.Write("/doc", []byte("new")); !errors.Is(err, boom) {
+		t.Errorf("Write = %v, want denial", err)
+	}
+
+	// The denials changed nothing: the file is intact under its old name
+	// with its old content.
+	if _, err := s.Stat("/moved"); err == nil {
+		t.Error("denied rename still moved the file")
+	}
+	got, err := s.Read("/doc")
+	if err != nil || string(got) != "payload" {
+		t.Errorf("file after denied ops = %q, %v, want original payload", got, err)
+	}
+
+	// Create and Stat are pass-through: new files are never linked, so no
+	// upcall guards them and a DLFM outage must not block them.
+	if err := f.Create("/new", "alice", []byte("x")); err != nil {
+		t.Errorf("Create during outage = %v, want pass-through", err)
+	}
+	if _, err := f.Stat("/doc"); err != nil {
+		t.Errorf("Stat during outage = %v, want pass-through", err)
+	}
+}

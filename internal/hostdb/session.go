@@ -8,10 +8,17 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/rpc"
 	"repro/internal/sql"
 	"repro/internal/value"
 )
+
+// fpBetweenPhases interrupts Commit after the decision is durably recorded
+// but before any phase-2 request is sent — the coordinator-crash window.
+// Participants stay prepared (indoubt) until ResolveIndoubts re-drives the
+// recorded decision.
+var fpBetweenPhases = fault.P("hostdb.commit.between_phases")
 
 // Errors surfaced by sessions.
 var (
@@ -723,9 +730,9 @@ func (s *Session) Commit() error {
 			s.finishTxn()
 			s.db.stats.Aborts.Add(1)
 			if err != nil {
-				return fmt.Errorf("hostdb: prepare of txn %d failed: %v", txn, err)
+				return fmt.Errorf("%w: prepare of txn %d failed: %v", ErrTxnRolledBack, txn, err)
 			}
-			return fmt.Errorf("hostdb: prepare of txn %d failed: %s: %s", txn, resp.Code, resp.Msg)
+			return fmt.Errorf("%w: prepare of txn %d failed: %s: %s", ErrTxnRolledBack, txn, resp.Code, resp.Msg)
 		}
 	}
 
@@ -739,15 +746,22 @@ func (s *Session) Commit() error {
 		}
 		s.finishTxn()
 		s.db.stats.Aborts.Add(1)
-		return err
+		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
 	}
 	if err := s.commitLocal(); err != nil {
 		s.abortParts()
 		s.finishTxn()
 		s.db.stats.Aborts.Add(1)
-		return err
+		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
 	}
 	s.db.tracer.Emit(s.txn, "host", "2pc_decision_commit", "")
+	if err := fpBetweenPhases.Fire(); err != nil {
+		// The decision is already durable; the transaction IS committed even
+		// though no participant has heard. Deliberately not ErrTxnRolledBack.
+		txn := s.txn
+		s.finishTxn()
+		return fmt.Errorf("hostdb: commit of txn %d interrupted before phase 2 (outcome recorded): %v", txn, err)
+	}
 
 	// Phase 2. The paper's hard-won rule: this must be synchronous, or the
 	// T1/T11/T2 distributed deadlock of Section 4 appears (experiment E6).

@@ -181,6 +181,22 @@ func Name(req any) string {
 	}
 }
 
+// Idempotent reports whether a request may be safely re-issued on a fresh
+// connection after a transport failure, when the server might already have
+// processed the lost original. Phase-2 Commit and Abort are the paper's
+// canonical cases: DLFM's commit processing "is idempotent: retrying a
+// commit whose transaction entry is already gone returns success", and
+// abort likewise finds nothing left to compensate. BeginTxn re-delivery
+// re-adopts the same transaction id; the read-only requests have no
+// server-side effects worth protecting.
+func Idempotent(req any) bool {
+	switch req.(type) {
+	case CommitReq, AbortReq, BeginTxnReq, ListIndoubtReq, IsLinkedReq, PingReq, StatsReq:
+		return true
+	}
+	return false
+}
+
 // TxnOf returns the host transaction id a request runs under, or 0 for
 // requests outside any transaction context.
 func TxnOf(req any) int64 {

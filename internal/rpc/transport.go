@@ -2,16 +2,66 @@ package rpc
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
 // envelope wraps the request for gob so the concrete type travels with it.
 type envelope struct{ Req any }
+
+// ErrCallTimeout marks a Call that exceeded its per-call deadline: the DLFM
+// stalled rather than died. The connection is severed (the reply, if it ever
+// comes, would desynchronize the stream) and redialled on the next use.
+var ErrCallTimeout = errors.New("rpc: call timed out")
+
+// DefaultCallTimeout is the per-call I/O deadline, echoing the paper's 60 s
+// lock timeout: any single DLFM request should resolve within one lock wait.
+const DefaultCallTimeout = 60 * time.Second
+
+// defaultRedialRetries bounds the reconnect/re-issue loop for idempotent
+// calls (capped exponential backoff with jitter between attempts).
+const defaultRedialRetries = 4
+
+// Fault points woven through both transports (net.Pipe and TCP). The client
+// points fire with the request name as detail, so a chaos run can target
+// e.g. only Commit traffic via fault.Match("Commit").
+var (
+	fpSendBefore   = fault.P("rpc.send.before")
+	fpRecvBefore   = fault.P("rpc.recv.before")
+	fpServerHandle = fault.P("rpc.server.handle")
+)
+
+// Transport-wide counters (all clients in the process), for chaos reports.
+var rpcStats struct {
+	timeouts   obs.Counter
+	reconnects obs.Counter
+	reissues   obs.Counter
+}
+
+// Instrument registers the transport counters on reg.
+func Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("rpc_call_timeouts_total", &rpcStats.timeouts)
+	reg.RegisterCounter("rpc_reconnects_total", &rpcStats.reconnects)
+	reg.RegisterCounter("rpc_reissues_total", &rpcStats.reissues)
+}
+
+// Stats returns the process-wide transport counters: call timeouts,
+// reconnects, and idempotent re-issues.
+func Stats() (timeouts, reconnects, reissues int64) {
+	return rpcStats.timeouts.Load(), rpcStats.reconnects.Load(), rpcStats.reissues.Load()
+}
+
+// deadliner is the optional conn capability behind per-call deadlines; both
+// net.Conn and net.Pipe implement it.
+type deadliner interface{ SetDeadline(t time.Time) error }
 
 // Agent serves one connection's requests — the paper's DLFM child agent.
 // Handle is called serially, one request at a time, in arrival order.
@@ -32,47 +82,190 @@ type AgentFactory interface {
 // Client is the host side of one connection. Calls are serialized: a
 // second Call blocks until the first completes, mirroring the paper's
 // one-outstanding-request child-agent protocol.
+//
+// The client survives transport failures: a broken connection is redialled
+// (when a redial function is available — Dial, LocalPair, and
+// NewClientDialer install one) with capped exponential backoff plus jitter,
+// and idempotent requests — notably phase-2 Commit/Abort, whose DLFM-side
+// processing tolerates re-delivery — are safely re-issued on the new
+// connection. Non-idempotent requests fail fast once sent, but the next
+// Call still gets a fresh connection.
 type Client struct {
-	mu     sync.Mutex
-	conn   io.ReadWriteCloser
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	tracer *obs.Tracer
+	mu      sync.Mutex
+	conn    io.ReadWriteCloser
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	tracer  *obs.Tracer
+	redial  func() (io.ReadWriteCloser, error)
+	broken  bool
+	timeout time.Duration // per-call deadline; <0 disables
+	retries int           // reconnect/re-issue attempts
 }
 
 // SetTracer directs rpc_send/rpc_recv trace events at tr (nil disables).
 func (c *Client) SetTracer(tr *obs.Tracer) { c.tracer = tr }
 
-// NewClient wraps an established connection.
-func NewClient(conn io.ReadWriteCloser) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+// SetCallTimeout overrides the per-call I/O deadline (0 restores the
+// default, negative disables deadlines entirely).
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
 }
 
-// Dial connects to a DLFM server over TCP.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+// NewClient wraps an established connection. Without a redial function the
+// client cannot reconnect; broken stays broken.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	return &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		timeout: DefaultCallTimeout,
+		retries: defaultRedialRetries,
 	}
-	return NewClient(conn), nil
+}
+
+// NewClientDialer dials through dial and keeps it for reconnects.
+func NewClientDialer(dial func() (io.ReadWriteCloser, error)) (*Client, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(conn)
+	c.redial = dial
+	return c, nil
+}
+
+// Dial connects to a DLFM server over TCP, reconnecting on failures.
+func Dial(addr string) (*Client, error) {
+	return NewClientDialer(func() (io.ReadWriteCloser, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+		}
+		return conn, nil
+	})
 }
 
 // Call sends req and waits for the response. A transport failure (the DLFM
-// died or the connection broke) is returned as an error, distinct from an
-// application-level error code inside the Response.
+// died, stalled past the call deadline, or the connection broke) is
+// returned as an error, distinct from an application-level error code
+// inside the Response. Failures before the request reaches the wire are
+// always retried against a fresh connection; failures after are retried
+// only for idempotent requests.
 func (c *Client) Call(req any) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	bo := fault.Backoff{Base: 2 * time.Millisecond, Cap: 100 * time.Millisecond}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		sent := false
+		resp, err := c.callLocked(req, &sent)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if c.redial == nil || (sent && !Idempotent(req)) || attempt >= c.retries {
+			return Response{}, lastErr
+		}
+		if sent {
+			rpcStats.reissues.Add(1)
+			c.tracer.Emit(TxnOf(req), "rpc", "rpc_reissue", Name(req))
+		}
+		if d := bo.Delay(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// callLocked performs one send/receive on the current connection,
+// (re)establishing it first if needed. sent is set once the request may
+// have reached the server.
+func (c *Client) callLocked(req any, sent *bool) (Response, error) {
+	if err := c.ensureConn(); err != nil {
+		return Response{}, err
+	}
 	c.tracer.Emit(TxnOf(req), "rpc", "rpc_send", Name(req))
-	if err := c.enc.Encode(envelope{Req: req}); err != nil {
+	if err := fpSendBefore.FireDetail(Name(req)); err != nil {
+		c.sever()
 		return Response{}, fmt.Errorf("rpc: send: %w", err)
+	}
+	c.setDeadline()
+	*sent = true
+	if err := c.enc.Encode(envelope{Req: req}); err != nil {
+		c.sever()
+		return Response{}, c.transportErr("send", err)
+	}
+	if err := fpRecvBefore.FireDetail(Name(req)); err != nil {
+		c.sever()
+		return Response{}, fmt.Errorf("rpc: receive: %w", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("rpc: receive: %w", err)
+		c.sever()
+		return Response{}, c.transportErr("receive", err)
 	}
+	c.clearDeadline()
 	c.tracer.Emit(TxnOf(req), "rpc", "rpc_recv", Name(req))
 	return resp, nil
+}
+
+// ensureConn redials a broken connection, if a redial function exists.
+func (c *Client) ensureConn() error {
+	if !c.broken {
+		return nil
+	}
+	if c.redial == nil {
+		return errors.New("rpc: connection is broken and not redialable")
+	}
+	conn, err := c.redial()
+	if err != nil {
+		return fmt.Errorf("rpc: reconnect: %w", err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	c.broken = false
+	rpcStats.reconnects.Add(1)
+	c.tracer.Emit(0, "rpc", "rpc_reconnect", "")
+	return nil
+}
+
+// sever closes and marks the connection broken. A half-done exchange cannot
+// be resumed (the gob stream is positional), so any failure mid-call kills
+// the whole connection, exactly as a child-agent death would.
+func (c *Client) sever() {
+	c.conn.Close()
+	c.broken = true
+}
+
+func (c *Client) setDeadline() {
+	if c.timeout == 0 {
+		c.timeout = DefaultCallTimeout
+	}
+	if c.timeout < 0 {
+		return
+	}
+	if d, ok := c.conn.(deadliner); ok {
+		d.SetDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+	}
+}
+
+func (c *Client) clearDeadline() {
+	if d, ok := c.conn.(deadliner); ok {
+		d.SetDeadline(time.Time{}) //nolint:errcheck
+	}
+}
+
+// transportErr classifies an I/O failure, mapping deadline expiry to the
+// typed ErrCallTimeout.
+func (c *Client) transportErr(what string, err error) error {
+	var ne net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		rpcStats.timeouts.Add(1)
+		return fmt.Errorf("rpc: %s: %w: %v", what, ErrCallTimeout, err)
+	}
+	return fmt.Errorf("rpc: %s: %w", what, err)
 }
 
 // CallResult carries an asynchronous call's outcome.
@@ -89,17 +282,24 @@ type CallResult struct {
 func (c *Client) Go(req any) <-chan CallResult {
 	ch := make(chan CallResult, 1)
 	c.mu.Lock()
+	if err := c.ensureConn(); err != nil {
+		c.mu.Unlock()
+		ch <- CallResult{Err: err}
+		return ch
+	}
 	c.tracer.Emit(TxnOf(req), "rpc", "rpc_send", Name(req))
 	if err := c.enc.Encode(envelope{Req: req}); err != nil {
+		c.sever()
 		c.mu.Unlock()
-		ch <- CallResult{Err: fmt.Errorf("rpc: send: %w", err)}
+		ch <- CallResult{Err: c.transportErr("send", err)}
 		return ch
 	}
 	go func() {
 		defer c.mu.Unlock()
 		var resp Response
 		if err := c.dec.Decode(&resp); err != nil {
-			ch <- CallResult{Err: fmt.Errorf("rpc: receive: %w", err)}
+			c.sever()
+			ch <- CallResult{Err: c.transportErr("receive", err)}
 			return
 		}
 		c.tracer.Emit(TxnOf(req), "rpc", "rpc_recv", Name(req))
@@ -174,7 +374,10 @@ func (s *Server) Close() {
 }
 
 // ServeConn runs the request loop for one connection until the peer
-// disconnects, then closes the agent.
+// disconnects, then closes the agent. An injected fault.CrashPanic from
+// inside the handler severs the connection without a response — the child
+// agent "process" died mid-request — while agent.Close still runs, rolling
+// back its in-flight local transaction as a real process exit would.
 func ServeConn(conn io.ReadWriteCloser, agent Agent) {
 	defer conn.Close()
 	defer agent.Close()
@@ -185,18 +388,46 @@ func ServeConn(conn io.ReadWriteCloser, agent Agent) {
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		resp := agent.Handle(env.Req)
+		resp, severed := safeHandle(agent, env.Req)
+		if severed {
+			return
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
+// safeHandle dispatches one request through the server-side fault point and
+// the agent, converting injected crashes into a severed connection.
+func safeHandle(agent Agent, req any) (resp Response, severed bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := fault.AsCrash(v); ok {
+				severed = true
+				return
+			}
+			panic(v)
+		}
+	}()
+	if err := fpServerHandle.FireDetail(Name(req)); err != nil {
+		if errors.Is(err, fault.ErrDrop) {
+			return Response{}, true
+		}
+		return Response{Code: "severe", Msg: err.Error()}, false
+	}
+	return agent.Handle(req), false
+}
+
 // LocalPair creates an in-process client/agent pair over a synchronous
 // pipe: the same gob protocol and child-agent serialization without
-// sockets. Tests and single-process benchmarks use it.
+// sockets. Tests and single-process benchmarks use it. Reconnects spawn a
+// fresh agent, exactly as redialling a TCP server would.
 func LocalPair(factory AgentFactory) *Client {
-	hostSide, dlfmSide := net.Pipe()
-	go ServeConn(dlfmSide, factory.NewAgent())
-	return NewClient(hostSide)
+	c, _ := NewClientDialer(func() (io.ReadWriteCloser, error) { //nolint:errcheck
+		hostSide, dlfmSide := net.Pipe()
+		go ServeConn(dlfmSide, factory.NewAgent())
+		return hostSide, nil
+	})
+	return c
 }

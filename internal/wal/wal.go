@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/value"
 )
@@ -25,6 +26,10 @@ import (
 // ErrLogFull is returned by Append when the active portion of the log would
 // exceed its capacity — the local database's "log full" error condition.
 var ErrLogFull = errors.New("wal: transaction log full")
+
+// fpAppendFsync models a failing (or slow) log-device fsync: the durability
+// point of commit and prepare processing.
+var fpAppendFsync = fault.P("wal.append.fsync")
 
 // RecType identifies a log record type.
 type RecType byte
@@ -335,6 +340,9 @@ func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.syncs.Add(1)
+	if err := fpAppendFsync.Fire(); err != nil {
+		return err
+	}
 	if l.f == nil {
 		return nil
 	}

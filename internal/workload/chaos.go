@@ -1,0 +1,364 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/hostdb"
+	"repro/internal/obs"
+)
+
+// Chaos soak mode: the E1 multi-client workload runs while a seeded
+// injector kills and restarts DLFMs and drops live connections. Afterwards
+// the harness drains every indoubt transaction and asserts the cross-system
+// invariant the paper's recovery design guarantees (Section 3.3): each
+// linked DATALINK value has exactly one linked DLFM entry and a real file,
+// and no DLFM entry or prepared transaction is left orphaned.
+
+// ChaosConfig controls one soak run. Zero values get defaults sized to
+// Duration, so `ChaosConfig{Seed: 1, Duration: 10 * time.Second}` works.
+type ChaosConfig struct {
+	// Clients is the total client count, split evenly across the stack's
+	// DLFMs (one workload table per server, so every server is loaded and
+	// every kill lands on live traffic).
+	Clients     int
+	Duration    time.Duration
+	Seed        int64
+	Mix         Mix
+	TablePrefix string
+	PreloadRows int
+
+	// KillInterval is the mean time between DLFM kills; a killed server
+	// stays down for DownTime before restarting. DropInterval is the mean
+	// time between armings of the rpc.recv.before drop fault (each arming
+	// severs the next two answered calls somewhere in the stack).
+	KillInterval time.Duration
+	DownTime     time.Duration
+	DropInterval time.Duration
+}
+
+// ChaosResult reports what the soak did and what the invariant check found.
+type ChaosResult struct {
+	Workload Result
+
+	Kills          int64
+	DropArms       int64
+	FaultsInjected int64
+
+	IndoubtsResolved int
+	LeftoverIndoubts int
+	Phase2Giveups    int64
+	Violations       []string
+}
+
+// RunChaos executes the soak against st. The returned error covers harness
+// failures (a client died on a non-retryable error, drain failed); invariant
+// violations are reported in the result, not as an error.
+func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 100
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.TablePrefix == "" {
+		cfg.TablePrefix = "chaos"
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.KillInterval <= 0 {
+		cfg.KillInterval = maxDur(cfg.Duration/5, 200*time.Millisecond)
+	}
+	if cfg.DownTime <= 0 {
+		cfg.DownTime = maxDur(cfg.KillInterval/3, 50*time.Millisecond)
+	}
+	if cfg.DropInterval <= 0 {
+		cfg.DropInterval = maxDur(cfg.Duration/10, 50*time.Millisecond)
+	}
+
+	// Chaos event counters ride on the process registry so the BENCH line
+	// carries them.
+	var kills, drops, injected, resolved, violated obs.Counter
+	reg := obs.Default()
+	reg.RegisterCounter("chaos_kills_total", &kills)
+	reg.RegisterCounter("chaos_drop_arms_total", &drops)
+	reg.RegisterCounter("chaos_faults_injected_total", &injected)
+	reg.RegisterCounter("chaos_indoubts_resolved_total", &resolved)
+	reg.RegisterCounter("chaos_violations_total", &violated)
+
+	fault.Default().Seed(cfg.Seed)
+	firedBefore := fault.Default().Injected()
+
+	names := sortedNames(st.DLFMs)
+	per := cfg.Clients / len(names)
+	if per <= 0 {
+		per = 1
+	}
+	runners := make([]*Runner, 0, len(names))
+	tables := make([]string, 0, len(names))
+	for i, name := range names {
+		table := fmt.Sprintf("%s_%s", cfg.TablePrefix, name)
+		r, err := NewRunner(st, Config{
+			Clients:     per,
+			Duration:    cfg.Duration,
+			Mix:         cfg.Mix,
+			Server:      name,
+			Table:       table,
+			PreloadRows: cfg.PreloadRows,
+			Seed:        cfg.Seed + int64(i)*1001,
+		})
+		if err != nil {
+			return ChaosResult{}, err
+		}
+		if err := r.Prepare(); err != nil {
+			return ChaosResult{}, err
+		}
+		runners = append(runners, r)
+		tables = append(tables, table)
+	}
+
+	// The injector: one goroutine, all decisions from one seeded PRNG, so a
+	// given seed replays the same kill/drop schedule.
+	quit := make(chan struct{})
+	injDone := make(chan struct{})
+	go func() {
+		defer close(injDone)
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + 1))
+		nextKill := time.NewTimer(jitterDur(rng, cfg.KillInterval))
+		nextDrop := time.NewTimer(jitterDur(rng, cfg.DropInterval))
+		defer nextKill.Stop()
+		defer nextDrop.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-nextKill.C:
+				name := names[rng.Intn(len(names))]
+				st.Kill(name)
+				kills.Add(1)
+				select {
+				case <-time.After(jitterDur(rng, cfg.DownTime)):
+				case <-quit:
+					st.Restart(name)
+					return
+				}
+				st.Restart(name)
+				nextKill.Reset(jitterDur(rng, cfg.KillInterval))
+			case <-nextDrop.C:
+				fault.Default().Arm("rpc.recv.before", fault.Action{Drop: true}, fault.Times(2))
+				drops.Add(1)
+				nextDrop.Reset(jitterDur(rng, cfg.DropInterval))
+			}
+		}
+	}()
+
+	results := make([]Result, len(runners))
+	errs := make([]error, len(runners))
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r *Runner) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run()
+		}(i, r)
+	}
+	wg.Wait()
+	close(quit)
+	<-injDone
+	fault.Default().Disarm("rpc.recv.before")
+	for _, name := range names {
+		st.Restart(name)
+	}
+
+	res := ChaosResult{
+		Workload:       mergeResults(results, cfg.Duration),
+		Kills:          kills.Load(),
+		DropArms:       drops.Load(),
+		FaultsInjected: fault.Default().Injected() - firedBefore,
+	}
+	injected.Add(res.FaultsInjected)
+	for _, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("workload: chaos soak: %w", err)
+		}
+	}
+
+	// Drain: re-drive indoubt resolution until no DLFM holds a prepared
+	// transaction (presumed abort settles the ones with no recorded
+	// outcome; recorded commits are re-driven to completion).
+	for round := 0; round < 100; round++ {
+		n, err := st.Host.ResolveIndoubts()
+		if err != nil {
+			return res, fmt.Errorf("workload: chaos drain: %w", err)
+		}
+		res.IndoubtsResolved += n
+		if res.LeftoverIndoubts = countPrepared(st); res.LeftoverIndoubts == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resolved.Add(int64(res.IndoubtsResolved))
+	res.Phase2Giveups = st.DLFMStats().Phase2Giveups
+
+	if res.LeftoverIndoubts > 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%d prepared transactions remain after drain", res.LeftoverIndoubts))
+	}
+	vs, err := CheckConsistency(st, tables...)
+	if err != nil {
+		return res, fmt.Errorf("workload: chaos consistency check: %w", err)
+	}
+	res.Violations = append(res.Violations, vs...)
+	violated.Add(int64(len(res.Violations)))
+	return res, nil
+}
+
+// mergeResults sums the per-server runs into one report; latency
+// percentiles are conservative (worst server wins).
+func mergeResults(rs []Result, dur time.Duration) Result {
+	var m Result
+	m.Duration = dur
+	for _, r := range rs {
+		m.Ops += r.Ops
+		m.Commits += r.Commits
+		m.Rollback += r.Rollback
+		m.Retries += r.Retries
+		m.Inserts += r.Inserts
+		m.Updates += r.Updates
+		m.Deletes += r.Deletes
+		m.Reads += r.Reads
+		m.LatencyP50 = maxDur(m.LatencyP50, r.LatencyP50)
+		m.LatencyP95 = maxDur(m.LatencyP95, r.LatencyP95)
+		m.LatencyP99 = maxDur(m.LatencyP99, r.LatencyP99)
+		m.LatencyMax = maxDur(m.LatencyMax, r.LatencyMax)
+	}
+	if mins := dur.Minutes(); mins > 0 {
+		m.InsertsPerMin = float64(m.Inserts) / mins
+		m.UpdatesPerMin = float64(m.Updates) / mins
+		m.OpsPerSec = float64(m.Ops) / dur.Seconds()
+	}
+	return m
+}
+
+// countPrepared totals prepared ('P') transaction entries across all DLFMs.
+func countPrepared(st *Stack) int {
+	n := 0
+	for _, d := range st.DLFMs {
+		rows, err := d.DB().DumpTable("dlfm_txn")
+		if err != nil {
+			continue
+		}
+		for _, r := range rows {
+			if r[1].Text() == "P" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckConsistency asserts the cross-system invariant over the given host
+// tables, the DLFM metadata, and the file servers: every linked DATALINK
+// value has exactly one linked dlfm_file entry and an existing file, and
+// every linked dlfm_file entry is referenced by some host row. Call it only
+// on a quiesced stack (after drain); DumpTable bypasses locking.
+func CheckConsistency(st *Stack, tables ...string) ([]string, error) {
+	var violations []string
+	hostLinked := make(map[string]map[string]bool, len(st.DLFMs)) // server -> path set
+	for _, table := range tables {
+		meta, err := st.Host.Engine().Catalog().Table(table)
+		if err != nil {
+			return nil, err
+		}
+		dlIdx := -1
+		for i, c := range meta.Schema.Cols {
+			if c.Name == "doc" {
+				dlIdx = i
+			}
+		}
+		if dlIdx < 0 {
+			return nil, fmt.Errorf("workload: table %s has no doc column", table)
+		}
+		rows, err := st.Host.Engine().DumpTable(table)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			v := row[dlIdx]
+			if v.IsNull() || v.Text() == "" {
+				continue
+			}
+			server, path, err := hostdb.ParseURL(v.Text())
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("host row has malformed DATALINK %q", v.Text()))
+				continue
+			}
+			if hostLinked[server] == nil {
+				hostLinked[server] = make(map[string]bool)
+			}
+			if hostLinked[server][path] {
+				violations = append(violations, fmt.Sprintf("path %s on %s linked by more than one host row", path, server))
+			}
+			hostLinked[server][path] = true
+		}
+	}
+
+	for _, server := range sortedNames(st.DLFMs) {
+		dlfmRows, err := st.DLFMs[server].DB().DumpTable("dlfm_file")
+		if err != nil {
+			return nil, err
+		}
+		linked := make(map[string]int)
+		for _, r := range dlfmRows {
+			// dlfm_file: name, grpid, recid, lnk_txn, unlnk_txn, unlnk_time,
+			// state, chkflag, del_txn, owner
+			if r[6].Text() == "L" && r[7].Int64() == 0 {
+				linked[r[0].Text()]++
+			}
+		}
+		for path, n := range linked {
+			if n > 1 {
+				violations = append(violations, fmt.Sprintf("%s: %d linked entries for %s", server, n, path))
+			}
+			if !hostLinked[server][path] {
+				violations = append(violations, fmt.Sprintf("%s: orphan linked entry %s (no host row)", server, path))
+			}
+			if _, err := st.FS[server].Stat(path); err != nil {
+				violations = append(violations, fmt.Sprintf("%s: linked file %s missing from file server", server, path))
+			}
+		}
+		for path := range hostLinked[server] {
+			if linked[path] == 0 {
+				violations = append(violations, fmt.Sprintf("%s: host links %s but DLFM has no linked entry", server, path))
+			}
+		}
+	}
+	for server := range hostLinked {
+		if _, exists := st.DLFMs[server]; !exists {
+			violations = append(violations, fmt.Sprintf("host links files on unknown server %s", server))
+		}
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// jitterDur spreads d over [d/2, 3d/2) so injector events do not beat in
+// lockstep with workload periodicity.
+func jitterDur(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

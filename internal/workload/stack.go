@@ -6,8 +6,12 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sort"
+	"sync"
 
 	"repro/internal/archive"
 	"repro/internal/core"
@@ -30,6 +34,80 @@ type Stack struct {
 	// Tracer is the shared trace ring: the host and every DLFM emit into
 	// it, so one chronological chain covers a transaction end to end.
 	Tracer *obs.Tracer
+
+	eps map[string]*chaosEndpoint
+}
+
+// ErrServerDown is the dial error while a DLFM is killed; host sessions see
+// it as a transport failure and roll the transaction back.
+var ErrServerDown = errors.New("workload: DLFM is down")
+
+// chaosEndpoint stands in for a DLFM's network listener: it accepts dials
+// while up, tracks the server side of every live connection, and can sever
+// them all at once when the chaos injector kills the server.
+type chaosEndpoint struct {
+	srv *core.Server
+
+	mu    sync.Mutex
+	down  bool
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+func (e *chaosEndpoint) dial() (io.ReadWriteCloser, error) {
+	e.mu.Lock()
+	if e.down {
+		e.mu.Unlock()
+		return nil, ErrServerDown
+	}
+	hostSide, dlfmSide := net.Pipe()
+	e.conns[dlfmSide] = struct{}{}
+	e.wg.Add(1)
+	e.mu.Unlock()
+	agent := e.srv.NewAgent()
+	go func() {
+		defer e.wg.Done()
+		rpc.ServeConn(dlfmSide, agent)
+		e.mu.Lock()
+		delete(e.conns, dlfmSide)
+		e.mu.Unlock()
+	}()
+	return hostSide, nil
+}
+
+// halt refuses new dials, severs live connections, and waits for their
+// serving goroutines (agents roll back in-flight local transactions).
+func (e *chaosEndpoint) halt() {
+	e.mu.Lock()
+	e.down = true
+	for c := range e.conns {
+		c.Close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Kill crash-stops the named DLFM: all its connections drop, dials fail
+// until Restart, and the server recovers from its log exactly as after a
+// process crash. No-op for unknown names.
+func (st *Stack) Kill(name string) {
+	e := st.eps[name]
+	if e == nil {
+		return
+	}
+	e.halt()
+	e.srv.Crash()
+}
+
+// Restart reopens the named DLFM's endpoint after a Kill.
+func (st *Stack) Restart(name string) {
+	e := st.eps[name]
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.down = false
+	e.mu.Unlock()
 }
 
 // Registries returns every obs registry in the deployment (host first,
@@ -84,6 +162,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		FS:     make(map[string]*fsim.Server, len(cfg.Servers)),
 		Arch:   make(map[string]*archive.Server, len(cfg.Servers)),
 		Tracer: tracer,
+		eps:    make(map[string]*chaosEndpoint, len(cfg.Servers)),
 	}
 	for _, name := range cfg.Servers {
 		fs := fsim.NewServer(name)
@@ -103,9 +182,12 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		st.DLFMs[name] = dlfm
 		st.FS[name] = fs
 		st.Arch[name] = ar
-		srv := dlfm
+		ep := &chaosEndpoint{srv: dlfm, conns: make(map[net.Conn]struct{})}
+		st.eps[name] = ep
 		host.RegisterDLFM(name, func() (*rpc.Client, error) {
-			return rpc.LocalPair(srv), nil
+			// The client redials through the endpoint, so a session's
+			// connection survives kill/restart cycles of its DLFM.
+			return rpc.NewClientDialer(ep.dial)
 		})
 	}
 	return st, nil
@@ -113,6 +195,9 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 
 // Close shuts the deployment down.
 func (st *Stack) Close() {
+	for _, e := range st.eps {
+		e.halt()
+	}
 	for _, d := range st.DLFMs {
 		d.Close()
 	}
@@ -162,6 +247,7 @@ func (st *Stack) DLFMStats() core.Snapshot {
 		agg.Commits += s.Commits
 		agg.Aborts += s.Aborts
 		agg.Phase2Retries += s.Phase2Retries
+		agg.Phase2Giveups += s.Phase2Giveups
 		agg.Compensations += s.Compensations
 		agg.BatchCommits += s.BatchCommits
 		agg.ArchiveCopies += s.ArchiveCopies
