@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos-smoke ci
+.PHONY: all build vet test race bench chaos-smoke failover-smoke ci
 
 all: ci
 
@@ -27,4 +27,10 @@ bench:
 chaos-smoke:
 	$(GO) run ./cmd/dlfmbench chaos -seed 1 -dur 5s -clients 20
 
-ci: build vet race chaos-smoke
+# Failover soak under the race detector: kill one primary for good mid-run,
+# promote its log-shipping standby, fail host traffic over, drain indoubts,
+# and check consistency — zero lost committed links or the run fails.
+failover-smoke:
+	$(GO) run -race ./cmd/dlfmbench failover -seed 1 -dur 5s -clients 20
+
+ci: build vet race chaos-smoke failover-smoke

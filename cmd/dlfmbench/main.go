@@ -6,6 +6,7 @@
 //	dlfmbench all                      # run every experiment
 //	dlfmbench soak -clients 100 -dur 30s
 //	dlfmbench chaos -seed 1 -dur 10s   # fault-injection soak + invariant check
+//	dlfmbench failover -seed 1 -dur 5s # kill a primary, promote its standby
 //	dlfmbench throughput | nextkey | escalation | optimizer |
 //	          synccommit | timeout | batchcommit | twophase |
 //	          commitlocks | processmodel
@@ -38,6 +39,7 @@ func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) func(experimen
 var all = []runner{
 	{"soak", "E1: 100-client stability soak", wrap(experiments.RunE1Soak)},
 	{"chaos", "E1 under fault injection: kills, drops, indoubt drain", wrap(experiments.RunChaos)},
+	{"failover", "E1 with a mid-run primary kill: standby promotion + host failover", wrap(experiments.RunFailover)},
 	{"throughput", "E2: insert/update rates", wrap(experiments.RunE2Throughput)},
 	{"nextkey", "E3: next-key locking ablation", wrap(experiments.RunE3NextKey)},
 	{"escalation", "E4: lock escalation sweep", wrap(experiments.RunE4Escalation)},

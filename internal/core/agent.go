@@ -82,6 +82,15 @@ var ok = rpc.Response{}
 // serially by the RPC layer.
 func (a *ChildAgent) Handle(req any) rpc.Response {
 	a.srv.tracer.Emit(rpc.TxnOf(req), "agent", "dispatch", rpc.Name(req))
+	if a.srv.IsStandby() {
+		// Write fencing: a hot spare serves reads and the replication
+		// stream only. Anything transactional is refused until Promote.
+		switch req.(type) {
+		case rpc.PingReq, rpc.StatsReq, rpc.IsLinkedReq, rpc.ReplFetchReq:
+		default:
+			return failCode("standby", "server %s is a standby; %s refused", a.srv.cfg.ServerName, rpc.Name(req))
+		}
+	}
 	switch r := req.(type) {
 	case rpc.BeginTxnReq:
 		return a.beginTxn(r)
@@ -100,6 +109,11 @@ func (a *ChildAgent) Handle(req any) rpc.Response {
 	case rpc.AbortReq:
 		return a.abort(r)
 	case rpc.IsLinkedReq:
+		if a.srv.IsStandby() {
+			// No Upcall daemon runs on a standby; answer from the
+			// replicated metadata directly.
+			return a.srv.isLinkedStandby(a.conn, r.Name)
+		}
 		st, err := a.srv.upcall.IsLinked(r.Name)
 		if err != nil {
 			return fail(err)
@@ -115,6 +129,8 @@ func (a *ChildAgent) Handle(req any) rpc.Response {
 		return a.srv.restoreTo(a.conn, r.RecID)
 	case rpc.ReconcileReq:
 		return a.srv.reconcile(a.conn, r)
+	case rpc.ReplFetchReq:
+		return a.srv.replFetch(r)
 	case rpc.PingReq:
 		return rpc.Response{Msg: "dlfm:" + a.srv.cfg.ServerName}
 	case rpc.StatsReq:

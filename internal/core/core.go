@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/archive"
@@ -145,6 +146,11 @@ type Server struct {
 	prepareHist *obs.Histogram
 	phase2Hist  *obs.Histogram
 
+	// standby marks a hot-spare instance: its database is populated only
+	// by the replication apply path, writes are fenced at the agent, and
+	// the daemons wait for Promote.
+	standby atomic.Bool
+
 	mu      sync.Mutex
 	stopped bool
 }
@@ -154,6 +160,20 @@ type Server struct {
 // schema is bootstrapped, statistics are crafted, the SQL programs are
 // bound, and the service daemons start.
 func New(cfg Config, fs *fsim.Server, arch *archive.Server) (*Server, error) {
+	return newServer(cfg, fs, arch, false)
+}
+
+// NewStandby opens a DLFM in standby (hot-spare) mode. The local database
+// starts empty — schema and data arrive exclusively through the engine's
+// replication apply path, fed by a repl.Standby — so no schema is
+// bootstrapped, no SQL is bound, and no daemons run. The agent fences
+// every request except Ping, Stats, IsLinked, and ReplFetch until Promote
+// flips the instance to primary.
+func NewStandby(cfg Config, fs *fsim.Server, arch *archive.Server) (*Server, error) {
+	return newServer(cfg, fs, arch, true)
+}
+
+func newServer(cfg Config, fs *fsim.Server, arch *archive.Server, standby bool) (*Server, error) {
 	if cfg.AdminUser == "" {
 		cfg.AdminUser = "dlfmadm"
 	}
@@ -186,6 +206,11 @@ func New(cfg Config, fs *fsim.Server, arch *archive.Server) (*Server, error) {
 	s.obs.RegisterHistogram("dlfm_link_seconds", s.linkHist)
 	s.obs.RegisterHistogram("dlfm_prepare_seconds", s.prepareHist)
 	s.obs.RegisterHistogram("dlfm_phase2_commit_seconds", s.phase2Hist)
+	s.stmts = newStmtCache(s)
+	if standby {
+		s.standby.Store(true)
+		return s, nil
+	}
 	if err := s.bootstrapSchema(); err != nil {
 		db.Close()
 		return nil, err
@@ -193,13 +218,50 @@ func New(cfg Config, fs *fsim.Server, arch *archive.Server) (*Server, error) {
 	if cfg.HandCraftStats {
 		s.craftStats()
 	}
-	s.stmts = newStmtCache(s)
 	if err := s.stmts.bindAll(); err != nil {
 		db.Close()
 		return nil, err
 	}
 	s.startDaemons()
 	return s, nil
+}
+
+// IsStandby reports whether the instance is still a fenced hot spare.
+func (s *Server) IsStandby() bool { return s.standby.Load() }
+
+// Promote flips a standby DLFM to primary: crafted statistics are
+// installed, the SQL programs are bound against the replicated schema, and
+// the six service daemons start. Prepared transactions that arrived through
+// the stream are already sitting in dlfm_txn as 'P' rows (and, for XA
+// branches, as engine indoubts), so the host's resolution daemon can drive
+// them to their outcome immediately after promotion. Promoting a primary is
+// a no-op.
+func (s *Server) Promote() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return fmt.Errorf("core: cannot promote stopped server %s", s.cfg.ServerName)
+	}
+	if !s.standby.Load() {
+		return nil
+	}
+	// Usually a no-op: the schema arrived as replicated DDL. A standby
+	// promoted before any records shipped still comes up as a working,
+	// empty primary.
+	if err := s.bootstrapSchema(); err != nil {
+		return fmt.Errorf("core: promote %s: %w", s.cfg.ServerName, err)
+	}
+	if s.cfg.HandCraftStats {
+		s.craftStats()
+	}
+	if err := s.stmts.bindAll(); err != nil {
+		return fmt.Errorf("core: promote %s: bind: %w", s.cfg.ServerName, err)
+	}
+	s.startDaemons()
+	s.standby.Store(false)
+	s.stats.Promotes.Add(1)
+	s.tracer.Emit(0, "repl", "promote", s.cfg.ServerName)
+	return nil
 }
 
 // DB exposes the local database for diagnostics, the benchmark harness, and
@@ -239,6 +301,22 @@ func (s *Server) Close() error {
 	return s.db.Close()
 }
 
+// Halt stops the server's daemons and refuses further service without
+// closing its local database: the DLFM process is gone for good, but its
+// durable state — in particular the write-ahead log — remains readable.
+// This is the shared-log-device failure model: a standby's Promote drains
+// the rest of the dead primary's log through a LogFeed over this database.
+func (s *Server) Halt() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.stopDaemons()
+}
+
 // Crash simulates a DLFM failure: daemons die, every in-flight local
 // transaction is lost, and the local database restarts from its log. Child
 // agents' connections are severed by the RPC layer. After Crash the DLFM is
@@ -248,6 +326,11 @@ func (s *Server) Crash() error {
 	s.stopDaemons()
 	if err := s.db.Crash(); err != nil {
 		return err
+	}
+	if s.standby.Load() {
+		// A crashed standby recovers its database from its own log and
+		// stays fenced; its replication client re-syncs it.
+		return nil
 	}
 	if s.cfg.HandCraftStats {
 		s.craftStats()

@@ -54,6 +54,12 @@ func (s *Server) startDaemons() {
 }
 
 func (s *Server) stopDaemons() {
+	// All six daemons are created together; on a standby that never
+	// promoted, none were (the typed-nil pointers below would defeat the
+	// interface nil check).
+	if s.delGroup == nil {
+		return
+	}
 	for _, stop := range []interface{ stop() }{s.delGroup, s.gc, s.retrieve, s.copyd, s.upcall, s.chown} {
 		if stop != nil {
 			stop.stop()

@@ -28,6 +28,8 @@ type Stats struct {
 	StatsRepairs   obs.Counter // stats-guard re-installations
 	IndoubtReports obs.Counter // ListIndoubt calls answered
 	DaemonLogFulls obs.Counter // log-full errors hit by daemons (E8)
+	ReplFetches    obs.Counter // replication fetches served to a standby
+	Promotes       obs.Counter // standby-to-primary promotions
 }
 
 // register exposes every counter on reg under its dlfm_* metric name.
@@ -56,6 +58,8 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.RegisterCounter("dlfm_stats_repairs_total", &st.StatsRepairs)
 	reg.RegisterCounter("dlfm_indoubt_reports_total", &st.IndoubtReports)
 	reg.RegisterCounter("dlfm_daemon_log_fulls_total", &st.DaemonLogFulls)
+	reg.RegisterCounter("dlfm_repl_fetches_total", &st.ReplFetches)
+	reg.RegisterCounter("dlfm_promotes_total", &st.Promotes)
 }
 
 // Snapshot is a point-in-time copy of Stats for reporting.
@@ -70,6 +74,7 @@ type Snapshot struct {
 	GroupsDeleted, FilesGCed, BackupsGCed   int64
 	StatsRepairs, IndoubtReports            int64
 	DaemonLogFulls                          int64
+	ReplFetches, Promotes                   int64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -96,5 +101,7 @@ func (s *Server) Stats() Snapshot {
 		StatsRepairs:   s.stats.StatsRepairs.Load(),
 		IndoubtReports: s.stats.IndoubtReports.Load(),
 		DaemonLogFulls: s.stats.DaemonLogFulls.Load(),
+		ReplFetches:    s.stats.ReplFetches.Load(),
+		Promotes:       s.stats.Promotes.Load(),
 	}
 }

@@ -55,51 +55,15 @@ func (db *DB) recover() error {
 	for _, r := range recs {
 		switch r.Type {
 		case wal.RecCreateTable, wal.RecCreateIndex, wal.RecDropTable:
-			if err := db.replayDDLLocked(r); err != nil {
+			if err := db.applyRedoLocked(r); err != nil {
 				return err
 			}
-		case wal.RecInsert:
+		case wal.RecInsert, wal.RecDelete, wal.RecUpdate:
 			if !replay(r.Txn) {
 				continue
 			}
-			tbl := db.tables[r.Table]
-			if tbl == nil {
-				return fmt.Errorf("engine: recovery: insert into unknown table %q (LSN %d)", r.Table, r.LSN)
-			}
-			tbl.heap[r.RID] = r.After
-			for _, ix := range tbl.indexes {
-				ix.tree.Insert(ix.keyOf(r.After), r.RID)
-			}
-			if r.RID >= tbl.nextRID {
-				tbl.nextRID = r.RID + 1
-			}
-		case wal.RecDelete:
-			if !replay(r.Txn) {
-				continue
-			}
-			tbl := db.tables[r.Table]
-			if tbl == nil {
-				continue // table later dropped
-			}
-			delete(tbl.heap, r.RID)
-			for _, ix := range tbl.indexes {
-				ix.tree.Delete(ix.keyOf(r.Before), r.RID)
-			}
-		case wal.RecUpdate:
-			if !replay(r.Txn) {
-				continue
-			}
-			tbl := db.tables[r.Table]
-			if tbl == nil {
-				continue
-			}
-			tbl.heap[r.RID] = r.After
-			for _, ix := range tbl.indexes {
-				ix.tree.Delete(ix.keyOf(r.Before), r.RID)
-				ix.tree.Insert(ix.keyOf(r.After), r.RID)
-			}
-			if r.RID >= tbl.nextRID {
-				tbl.nextRID = r.RID + 1
+			if err := db.applyRedoLocked(r); err != nil {
+				return err
 			}
 		}
 	}
@@ -112,6 +76,52 @@ func (db *DB) recover() error {
 	}
 	db.tracer.Emitf(0, "engine", "recovery_done", "%s: %d records, %d committed, %d indoubt",
 		db.cfg.Name, len(recs), len(committed), len(prepared))
+	return nil
+}
+
+// applyRedoLocked replays one DDL or data record against the in-memory
+// state. It is the shared redo primitive of crash recovery and of the
+// standby's replicated-record apply path. Caller holds the latch and has
+// already decided the record should be applied.
+func (db *DB) applyRedoLocked(r wal.Record) error {
+	switch r.Type {
+	case wal.RecCreateTable, wal.RecCreateIndex, wal.RecDropTable:
+		return db.replayDDLLocked(r)
+	case wal.RecInsert:
+		tbl := db.tables[r.Table]
+		if tbl == nil {
+			return fmt.Errorf("engine: redo: insert into unknown table %q (LSN %d)", r.Table, r.LSN)
+		}
+		tbl.heap[r.RID] = r.After
+		for _, ix := range tbl.indexes {
+			ix.tree.Insert(ix.keyOf(r.After), r.RID)
+		}
+		if r.RID >= tbl.nextRID {
+			tbl.nextRID = r.RID + 1
+		}
+	case wal.RecDelete:
+		tbl := db.tables[r.Table]
+		if tbl == nil {
+			return nil // table later dropped
+		}
+		delete(tbl.heap, r.RID)
+		for _, ix := range tbl.indexes {
+			ix.tree.Delete(ix.keyOf(r.Before), r.RID)
+		}
+	case wal.RecUpdate:
+		tbl := db.tables[r.Table]
+		if tbl == nil {
+			return nil
+		}
+		tbl.heap[r.RID] = r.After
+		for _, ix := range tbl.indexes {
+			ix.tree.Delete(ix.keyOf(r.Before), r.RID)
+			ix.tree.Insert(ix.keyOf(r.After), r.RID)
+		}
+		if r.RID >= tbl.nextRID {
+			tbl.nextRID = r.RID + 1
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hostdb"
+	"repro/internal/workload"
+)
+
+// RunFailover is the hot-standby failover soak: the E1 workload runs across
+// two DLFMs, each shadowed by a log-shipping standby, while one primary is
+// killed for good mid-run. The host's failure accounting promotes the
+// standby (draining the dead primary's log through the LogFeed), traffic
+// fails over, indoubt transactions drain, and the consistency check must
+// find zero lost committed links. The seed replays the schedule.
+func RunFailover(o Options) (*FailoverReport, error) {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	dur := o.SoakDuration
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+	st, err := workload.NewStack(workload.StackConfig{
+		Servers:  []string{"fs1", "fs2"},
+		Standbys: true,
+		MutateHost: func(h *hostdb.Config) {
+			h.DB.LockTimeout = 2 * time.Second
+		},
+		MutateDLFM: func(_ string, c *core.Config) {
+			c.DB.LockTimeout = 2 * time.Second
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	res, err := workload.RunFailover(st, workload.FailoverConfig{
+		Clients:     o.clients(),
+		Duration:    dur,
+		Seed:        seed,
+		PreloadRows: 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &FailoverReport{Seed: seed, Res: res}
+	if len(res.Violations) > 0 {
+		return nil, fmt.Errorf("failover: %d invariant violations (seed %d replays the run):\n  %s",
+			len(res.Violations), seed, strings.Join(res.Violations, "\n  "))
+	}
+	return rep, nil
+}
+
+// FailoverReport renders the soak outcome.
+type FailoverReport struct {
+	Seed int64
+	Res  workload.FailoverResult
+}
+
+func (r *FailoverReport) String() string {
+	t := &table{header: []string{"metric", "value"}}
+	t.add("seed", fmtI(r.Seed))
+	t.add("victim", r.Res.Victim)
+	t.add("ops", fmtI(r.Res.Workload.Ops))
+	t.add("commits", fmtI(r.Res.Workload.Commits))
+	t.add("rollbacks", fmtI(r.Res.Workload.Rollback))
+	t.add("failed over", fmt.Sprintf("%v", r.Res.FailedOver))
+	t.add("promotions", fmtI(r.Res.Promotes))
+	t.add("standby apply LSN", fmtI(r.Res.ApplyLSN))
+	t.add("indoubts resolved", fmtI(int64(r.Res.IndoubtsResolved)))
+	t.add("invariant violations", fmtI(int64(len(r.Res.Violations))))
+	return t.String()
+}

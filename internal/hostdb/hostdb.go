@@ -44,6 +44,11 @@ type Config struct {
 	TokenTTL time.Duration
 	// LoadBatchN is the DLFM batch-commit interval for the Load utility.
 	LoadBatchN int
+	// FailoverThreshold is how many consecutive transport failures (or
+	// phase-2 give-ups) against a DLFM trigger failover to its registered
+	// standby. Zero defaults to 3. Only meaningful once RegisterStandby
+	// has armed a standby for the server.
+	FailoverThreshold int
 	// Obs receives the host's counters and histograms (host_* names) plus
 	// those of its engine. Nil creates a fresh registry labeled
 	// host=<Name>; retrieve it with DB.Obs.
@@ -83,6 +88,7 @@ type Stats struct {
 	StmtBackouts     obs.Counter
 	IndoubtsResolved obs.Counter
 	TokensMinted     obs.Counter
+	Failovers        obs.Counter
 }
 
 func (st *Stats) register(reg *obs.Registry) {
@@ -96,13 +102,14 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.RegisterCounter("host_stmt_backouts_total", &st.StmtBackouts)
 	reg.RegisterCounter("host_indoubts_resolved_total", &st.IndoubtsResolved)
 	reg.RegisterCounter("host_tokens_minted_total", &st.TokensMinted)
+	reg.RegisterCounter("host_failovers_total", &st.Failovers)
 }
 
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Links, Unlinks, Commits, Aborts int64
 	StmtBackouts, IndoubtsResolved  int64
-	TokensMinted                    int64
+	TokensMinted, Failovers         int64
 }
 
 // DB is one host database instance.
@@ -110,8 +117,15 @@ type DB struct {
 	cfg Config
 	eng *engine.DB
 
-	mu      sync.Mutex
-	dialers map[string]Dialer
+	mu        sync.Mutex
+	dialers   map[string]Dialer
+	standbys  map[string]*standbyEntry
+	failCount map[string]int
+	// activeTxns holds every transaction id a live session currently owns.
+	// Indoubt resolution must not presume abort for these: a prepared DLFM
+	// sub-transaction whose coordinator is alive is not in doubt — the
+	// session just has not hardened its decision yet.
+	activeTxns map[int64]struct{}
 
 	txnSeq atomic.Int64
 	recSeq atomic.Int64
@@ -149,7 +163,13 @@ func Open(cfg Config) (*DB, error) {
 		tracer:     cfg.Tracer,
 		commitHist: obs.NewHistogram(),
 		dialers:    make(map[string]Dialer),
+		standbys:   make(map[string]*standbyEntry),
+		failCount:  make(map[string]int),
+		activeTxns: make(map[int64]struct{}),
 		backups:    make(map[int64]*backupImage),
+	}
+	if db.cfg.FailoverThreshold <= 0 {
+		db.cfg.FailoverThreshold = 3
 	}
 	db.stats.register(db.obs)
 	db.obs.RegisterHistogram("host_commit_seconds", db.commitHist)
@@ -182,6 +202,7 @@ func (db *DB) Stats() Snapshot {
 		StmtBackouts:     db.stats.StmtBackouts.Load(),
 		IndoubtsResolved: db.stats.IndoubtsResolved.Load(),
 		TokensMinted:     db.stats.TokensMinted.Load(),
+		Failovers:        db.stats.Failovers.Load(),
 	}
 }
 
@@ -222,6 +243,27 @@ func (db *DB) Servers() []string {
 // paper calls "absolutely essential" (Section 3.3); the nanosecond base
 // keeps it monotonic across restarts.
 func (db *DB) NextTxn() int64 { return db.txnSeq.Add(1) }
+
+// markActive/unmarkActive bracket a session's ownership of a transaction
+// id; txnActive answers whether a live coordinator still owns it.
+func (db *DB) markActive(txn int64) {
+	db.mu.Lock()
+	db.activeTxns[txn] = struct{}{}
+	db.mu.Unlock()
+}
+
+func (db *DB) unmarkActive(txn int64) {
+	db.mu.Lock()
+	delete(db.activeTxns, txn)
+	db.mu.Unlock()
+}
+
+func (db *DB) txnActive(txn int64) bool {
+	db.mu.Lock()
+	_, active := db.activeTxns[txn]
+	db.mu.Unlock()
+	return active
+}
 
 // NextRecID mints a recovery id (dbid + timestamp in the paper; here a
 // monotone counter seeded by the clock, unique across restarts).

@@ -87,6 +87,7 @@ func (s *Session) begin() {
 	if s.txn == 0 {
 		s.txn = s.db.NextTxn()
 		s.dead = false
+		s.db.markActive(s.txn)
 		s.db.tracer.Emit(s.txn, "host", "txn_begin", "")
 	}
 }
@@ -102,6 +103,7 @@ func (s *Session) part(server string) (*participant, error) {
 		}
 		client, err := dial()
 		if err != nil {
+			s.db.noteDLFMFailure(server, err)
 			return nil, fmt.Errorf("hostdb: connect to DLFM %q: %w", server, err)
 		}
 		client.SetTracer(s.db.tracer)
@@ -111,14 +113,27 @@ func (s *Session) part(server string) (*participant, error) {
 	if !p.begun {
 		resp, err := p.client.Call(rpc.BeginTxnReq{Txn: s.txn})
 		if err != nil {
+			s.db.noteDLFMFailure(server, err)
+			s.dropPart(server)
 			return nil, err
 		}
 		if !resp.OK() {
 			return nil, fmt.Errorf("hostdb: BeginTransaction at %s: %s", server, resp.Msg)
 		}
 		p.begun = true
+		s.db.noteDLFMSuccess(server)
 	}
 	return p, nil
+}
+
+// dropPart closes and forgets a cached participant whose connection failed,
+// so the next transaction re-dials through the server's current dialer —
+// which after a failover points at the promoted standby.
+func (s *Session) dropPart(server string) {
+	if p := s.parts[server]; p != nil {
+		p.client.Close()
+		delete(s.parts, server)
+	}
 }
 
 // Exec executes one SQL statement, intercepting DATALINK column activity.
@@ -176,15 +191,19 @@ func (s *Session) markDead() {
 // dlfmFailure converts a DLFM error response mid-statement. Severe errors
 // (the DLFM's local database rolled its sub-transaction back) force a full
 // host rollback; benign ones surface as statement errors after the caller
-// backs out the statement's prior operations.
-func (s *Session) dlfmFailure(resp rpc.Response, callErr error, done []stmtOp) error {
+// backs out the statement's prior operations. A "standby" refusal means the
+// session reached a fenced standby — rolled back like a severe error; the
+// retry re-dials and lands on whichever server is primary by then.
+func (s *Session) dlfmFailure(server string, resp rpc.Response, callErr error, done []stmtOp) error {
 	if callErr != nil {
 		// Transport failure: the DLFM (or its connection) died.
+		s.db.noteDLFMFailure(server, callErr)
+		s.dropPart(server)
 		s.rollbackInternal()
 		return fmt.Errorf("%w: DLFM unreachable: %v", ErrTxnRolledBack, callErr)
 	}
 	switch resp.Code {
-	case "deadlock", "timeout", "severe", "logfull":
+	case "deadlock", "timeout", "severe", "logfull", "standby":
 		s.rollbackInternal()
 		return fmt.Errorf("%w: DLFM %s: %s", ErrTxnRolledBack, resp.Code, resp.Msg)
 	default:
@@ -236,7 +255,7 @@ func (s *Session) linkFile(url string, col dlCol) (int64, stmtOp, error) {
 	rec := s.db.NextRecID()
 	resp, err := p.client.Call(rpc.LinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
 	if err != nil || !resp.OK() {
-		return 0, stmtOp{}, s.dlfmFailure(resp, err, nil)
+		return 0, stmtOp{}, s.dlfmFailure(server, resp, err, nil)
 	}
 	s.db.stats.Links.Add(1)
 	return rec, stmtOp{server: server, name: path, isLink: true, recID: rec}, nil
@@ -256,7 +275,7 @@ func (s *Session) unlinkFile(url string, col dlCol) (stmtOp, error) {
 	rec := s.db.NextRecID()
 	resp, err := p.client.Call(rpc.UnlinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
 	if err != nil || !resp.OK() {
-		return stmtOp{}, s.dlfmFailure(resp, err, nil)
+		return stmtOp{}, s.dlfmFailure(server, resp, err, nil)
 	}
 	s.db.stats.Unlinks.Add(1)
 	return stmtOp{server: server, name: path, isLink: false, recID: rec}, nil
@@ -277,7 +296,7 @@ func (s *Session) ensureGroup(p *participant, col dlCol) error {
 		Txn: s.txn, Grp: col.grp, Recovery: col.recovery, FullControl: col.fullctl,
 	})
 	if err != nil || !resp.OK() {
-		return s.dlfmFailure(resp, err, nil)
+		return s.dlfmFailure(p.server, resp, err, nil)
 	}
 	if _, err := s.conn.Exec(`INSERT INTO dl_grpsrv (grp, server) VALUES (?, ?)`,
 		value.Int(col.grp), value.Str(p.server)); err != nil {
@@ -722,6 +741,10 @@ func (s *Session) Commit() error {
 	for _, p := range enlisted {
 		resp, err := p.client.Call(rpc.PrepareReq{Txn: s.txn})
 		if err != nil || !resp.OK() {
+			if err != nil {
+				s.db.noteDLFMFailure(p.server, err)
+				s.dropPart(p.server)
+			}
 			s.abortParts()
 			if s.conn.InTxn() {
 				s.conn.Rollback()
@@ -768,8 +791,19 @@ func (s *Session) Commit() error {
 	if s.db.cfg.SyncCommit {
 		for _, p := range enlisted {
 			// Transport errors leave the transaction indoubt; the
-			// resolution daemon settles it later.
-			p.client.Call(rpc.CommitReq{Txn: s.txn}) //nolint:errcheck
+			// resolution daemon settles it later. Both transport errors
+			// and phase-2 give-ups ("severe" after the DLFM exhausts its
+			// retries) count toward standby failover.
+			r, err := p.client.Call(rpc.CommitReq{Txn: s.txn})
+			switch {
+			case err != nil:
+				s.db.noteDLFMFailure(p.server, err)
+				s.dropPart(p.server)
+			case r.Code == "severe":
+				s.db.noteDLFMFailure(p.server, fmt.Errorf("phase-2 give-up: %s", r.Msg))
+			default:
+				s.db.noteDLFMSuccess(p.server)
+			}
 		}
 	} else {
 		// Asynchronous variant: the commit request is on the wire before
@@ -822,15 +856,23 @@ func (s *Session) rollbackInternal() {
 }
 
 func (s *Session) abortParts() {
-	for _, p := range s.parts {
+	for server, p := range s.parts {
 		if p.begun {
-			p.client.Call(rpc.AbortReq{Txn: s.txn}) //nolint:errcheck
+			if _, err := p.client.Call(rpc.AbortReq{Txn: s.txn}); err != nil {
+				// The abort is lost with the server; presumed abort covers
+				// it at resolution time.
+				s.db.noteDLFMFailure(server, err)
+				s.dropPart(server)
+			}
 		}
 	}
 }
 
 // finishTxn resets per-transaction state.
 func (s *Session) finishTxn() {
+	if s.txn != 0 {
+		s.db.unmarkActive(s.txn)
+	}
 	s.txn = 0
 	s.dead = false
 	s.preparedGlobal = false

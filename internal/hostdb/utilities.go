@@ -497,14 +497,26 @@ func (db *DB) ResolveIndoubts() (int, error) {
 		}
 		client, err := dial()
 		if err != nil {
+			db.noteDLFMFailure(server, err)
 			continue // DLFM down; the daemon retries later
 		}
 		resp, callErr := client.Call(rpc.ListIndoubtReq{})
 		if callErr != nil || !resp.OK() {
+			if callErr != nil {
+				db.noteDLFMFailure(server, callErr)
+			}
 			client.Close()
 			continue
 		}
+		db.noteDLFMSuccess(server)
 		for _, txn := range resp.Txns {
+			// A prepared transaction whose coordinator session is still
+			// alive is not in doubt: the session will harden and drive its
+			// own decision. Presuming abort here would race a live commit
+			// (failover runs this mid-traffic against healthy DLFMs too).
+			if db.txnActive(txn) {
+				continue
+			}
 			n, _, err := c.QueryInt(`SELECT COUNT(*) FROM dl_outcome WHERE txnid = ?`, value.Int(txn))
 			if err != nil {
 				client.Close()

@@ -6,8 +6,69 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/value"
 )
+
+// TestResolveIndoubtsSkipsLiveCoordinator pins the liveness rule: a DLFM
+// sub-transaction sitting in the prepared window of a session that is still
+// alive is NOT in doubt, and resolution must leave it alone — presuming
+// abort there races the coordinator's own commit (the failover path runs
+// ResolveIndoubts against healthy DLFMs mid-traffic).
+func TestResolveIndoubtsSkipsLiveCoordinator(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	st.mediaTable(false, false)
+	st.createFile("fs1", "/v/live.mpg", "alice", "x")
+
+	s := st.db.Session()
+	defer s.Close()
+	st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (1, 'live', ?)`,
+		value.Str(URL("fs1", "/v/live.mpg")))
+
+	// Drive phase 1 by hand: the DLFM now holds a prepared transaction while
+	// the live session has not hardened a decision (no dl_outcome row).
+	txn := s.txn
+	resp, err := s.parts["fs1"].client.Call(rpc.PrepareReq{Txn: txn})
+	if err != nil || !resp.OK() {
+		t.Fatalf("prepare: %v %s %s", err, resp.Code, resp.Msg)
+	}
+
+	if n, err := st.db.ResolveIndoubts(); err != nil {
+		t.Fatal(err)
+	} else if n != 0 {
+		t.Fatalf("resolution settled %d transactions out from under a live coordinator", n)
+	}
+	probe := rpc.LocalPair(st.dlfm["fs1"])
+	resp, err = probe.Call(rpc.ListIndoubtReq{})
+	if err != nil || !resp.OK() {
+		t.Fatalf("ListIndoubt: %v %s", err, resp.Msg)
+	}
+	still := false
+	for _, id := range resp.Txns {
+		if id == txn {
+			still = true
+		}
+	}
+	if !still {
+		t.Fatalf("prepared transaction %d vanished during live resolution (indoubts %v)", txn, resp.Txns)
+	}
+
+	// Once the session finishes, the id is fair game again: the rollback
+	// aborts the branch and nothing stays prepared.
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = probe.Call(rpc.ListIndoubtReq{})
+	if err != nil || !resp.OK() {
+		t.Fatalf("ListIndoubt: %v %s", err, resp.Msg)
+	}
+	if len(resp.Txns) != 0 {
+		t.Fatalf("indoubts %v remain after the coordinator finished", resp.Txns)
+	}
+	if st.linkedOnDLFM("fs1", "/v/live.mpg") {
+		t.Fatal("rolled-back link still visible")
+	}
+}
 
 func TestBackupRestoreRoundTrip(t *testing.T) {
 	st := newStack(t, []string{"fs1"})

@@ -1,0 +1,62 @@
+package repl
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/rpc"
+	"repro/internal/wal"
+)
+
+// fpLogFeed fires on the log device before a fetch is served, sharing the
+// primary-side ship window with core's agent path.
+var fpLogFeed = fault.P("repl.ship")
+
+// logFeedDefaultMax bounds one batch when the client does not.
+const logFeedDefaultMax = 512
+
+// LogFeed serves ReplFetch directly from a database's write-ahead log. It
+// is the stand-in for the paper's shared durable log device: deployments
+// wire the standby's dial to a LogFeed endpoint that outlives the primary
+// process, so Promote's drain can still read records the primary hardened
+// right before dying. Only ReplFetch and Ping are served — the feed is a
+// log reader, not a DLFM.
+type LogFeed struct {
+	DB *engine.DB
+}
+
+// NewAgent implements rpc.AgentFactory. The feed is stateless, so every
+// connection shares the one instance.
+func (f *LogFeed) NewAgent() rpc.Agent { return logFeedAgent{f.DB} }
+
+type logFeedAgent struct {
+	db *engine.DB
+}
+
+func (a logFeedAgent) Handle(req any) rpc.Response {
+	switch r := req.(type) {
+	case rpc.PingReq:
+		return rpc.Response{}
+	case rpc.ReplFetchReq:
+		if err := fpLogFeed.Fire(); err != nil {
+			return rpc.Response{Code: "error", Msg: err.Error()}
+		}
+		max := r.Max
+		if max <= 0 {
+			max = logFeedDefaultMax
+		}
+		recs, err := a.db.WAL().ReadFrom(r.FromLSN)
+		if err != nil {
+			return rpc.Response{Code: "error", Msg: err.Error()}
+		}
+		if len(recs) > max {
+			recs = recs[:max]
+		}
+		return rpc.Response{Data: wal.EncodeRecords(recs), LSN: a.db.WAL().NextLSN(), N: int64(len(recs))}
+	default:
+		return rpc.Response{Code: "error", Msg: fmt.Sprintf("logfeed: %s not served", rpc.Name(req))}
+	}
+}
+
+func (a logFeedAgent) Close() {}

@@ -1,0 +1,264 @@
+package repl
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/rpc"
+)
+
+// dialTo returns a dial function that serves each connection from a fresh
+// agent of the factory — the in-process equivalent of a TCP endpoint.
+func dialTo(f rpc.AgentFactory) func() (io.ReadWriteCloser, error) {
+	return func() (io.ReadWriteCloser, error) {
+		clientSide, serverSide := net.Pipe()
+		go rpc.ServeConn(serverSide, f.NewAgent())
+		return clientSide, nil
+	}
+}
+
+// pair builds a primary DLFM and a standby replicating from it through the
+// given dial target (the primary's agent endpoint, or a LogFeed).
+type pair struct {
+	t       *testing.T
+	fs      *fsim.Server
+	primary *core.Server
+	pc      *rpc.Client // client into the primary
+	sbSrv   *core.Server
+	sb      *Standby
+}
+
+func newPair(t *testing.T, cfg Config, feed bool) *pair {
+	t.Helper()
+	fs := fsim.NewServer("fs1")
+	arch := archive.NewServer()
+
+	pCfg := core.DefaultConfig("fs1")
+	pCfg.GCInterval = time.Hour
+	pCfg.CopyInterval = time.Hour
+	primary, err := core.New(pCfg, fs, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+
+	sbCfg := core.DefaultConfig("fs1")
+	sbCfg.GCInterval = time.Hour
+	sbCfg.CopyInterval = time.Hour
+	sbSrv, err := core.NewStandby(sbCfg, fs, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sbSrv.Close() })
+
+	var dial func() (io.ReadWriteCloser, error)
+	if feed {
+		dial = dialTo(&LogFeed{DB: primary.DB()})
+	} else {
+		dial = dialTo(primary)
+	}
+	sb := New(sbSrv, dial, cfg)
+	return &pair{t: t, fs: fs, primary: primary, pc: rpc.LocalPair(primary), sbSrv: sbSrv, sb: sb}
+}
+
+func (p *pair) must(resp rpc.Response, err error) rpc.Response {
+	p.t.Helper()
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	if !resp.OK() {
+		p.t.Fatalf("request failed: %s: %s", resp.Code, resp.Msg)
+	}
+	return resp
+}
+
+// linkCommitted creates the file and links it in its own 2PC transaction.
+func (p *pair) linkCommitted(txn int64, name string, grp int64) {
+	p.t.Helper()
+	if err := p.fs.Create(name, "alice", []byte(name)); err != nil {
+		p.t.Fatal(err)
+	}
+	p.must(p.pc.Call(rpc.BeginTxnReq{Txn: txn}))
+	p.must(p.pc.Call(rpc.LinkFileReq{Txn: txn, Name: name, RecID: txn * 100, Grp: grp}))
+	p.must(p.pc.Call(rpc.PrepareReq{Txn: txn}))
+	p.must(p.pc.Call(rpc.CommitReq{Txn: txn}))
+}
+
+// catchUp waits until the standby has applied everything the primary's log
+// currently holds.
+func (p *pair) catchUp() {
+	p.t.Helper()
+	target := p.primary.DB().WAL().NextLSN() - 1
+	deadline := time.Now().Add(5 * time.Second)
+	for p.sb.ApplyLSN() < target {
+		if time.Now().After(deadline) {
+			p.t.Fatalf("standby stuck: applyLSN %d, want %d", p.sb.ApplyLSN(), target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStandbyStreamsAndFences drives committed work through the primary and
+// checks the standby applies it, answers reads, and refuses writes.
+func TestStandbyStreamsAndFences(t *testing.T) {
+	p := newPair(t, Config{PollInterval: time.Millisecond}, false)
+	p.sb.Start()
+	defer p.sb.Stop()
+
+	p.must(p.pc.Call(rpc.BeginTxnReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CreateGroupReq{Txn: 1, Grp: 1}))
+	p.must(p.pc.Call(rpc.PrepareReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CommitReq{Txn: 1}))
+	p.linkCommitted(2, "a.txt", 1)
+	p.catchUp()
+
+	if !p.sbSrv.IsStandby() {
+		t.Fatal("standby server reports primary mode")
+	}
+	sc := rpc.LocalPair(p.sbSrv)
+	resp := p.must(sc.Call(rpc.IsLinkedReq{Name: "a.txt"}))
+	if !resp.Linked {
+		t.Fatal("standby does not see the replicated link")
+	}
+	resp, err := sc.Call(rpc.BeginTxnReq{Txn: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != "standby" {
+		t.Fatalf("standby accepted a write: code %q msg %q", resp.Code, resp.Msg)
+	}
+	if got := p.primary.Stats().ReplFetches; got == 0 {
+		t.Fatal("primary served no replication fetches")
+	}
+	if lag := p.sb.Lag(); lag != 0 {
+		t.Fatalf("lag = %d after catch-up", lag)
+	}
+}
+
+// TestStandbyRidesOutFaultWindows arms the ship and apply fault points and
+// checks the fetch loop retries through both: injected failures cost only
+// latency, never records.
+func TestStandbyRidesOutFaultWindows(t *testing.T) {
+	fault.Default().Arm("repl.ship", fault.Action{}, fault.Times(2))
+	fault.Default().Arm("repl.apply", fault.Action{}, fault.Times(2))
+	defer fault.Default().Disarm("repl.ship")
+	defer fault.Default().Disarm("repl.apply")
+
+	p := newPair(t, Config{PollInterval: time.Millisecond}, false)
+	p.sb.Start()
+	defer p.sb.Stop()
+
+	p.must(p.pc.Call(rpc.BeginTxnReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CreateGroupReq{Txn: 1, Grp: 1}))
+	p.must(p.pc.Call(rpc.PrepareReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CommitReq{Txn: 1}))
+	p.linkCommitted(2, "f.txt", 1)
+	p.catchUp()
+
+	sc := rpc.LocalPair(p.sbSrv)
+	resp := p.must(sc.Call(rpc.IsLinkedReq{Name: "f.txt"}))
+	if !resp.Linked {
+		t.Fatal("link lost across the fault windows")
+	}
+	if lag := p.sb.Lag(); lag != 0 {
+		t.Fatalf("lag = %d after convergence", lag)
+	}
+}
+
+// TestPromoteExposesIndoubt prepares a transaction on the primary without
+// resolving it, promotes the standby, and checks the transaction surfaces
+// through ListIndoubt and commits cleanly — the failover resolution path.
+func TestPromoteExposesIndoubt(t *testing.T) {
+	p := newPair(t, Config{PollInterval: time.Millisecond}, false)
+	p.sb.Start()
+
+	p.must(p.pc.Call(rpc.BeginTxnReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CreateGroupReq{Txn: 1, Grp: 1}))
+	p.must(p.pc.Call(rpc.PrepareReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CommitReq{Txn: 1}))
+
+	// Prepared but never resolved: the standby must re-materialize it as
+	// indoubt after promotion.
+	if err := p.fs.Create("b.txt", "alice", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	p.must(p.pc.Call(rpc.BeginTxnReq{Txn: 7}))
+	p.must(p.pc.Call(rpc.LinkFileReq{Txn: 7, Name: "b.txt", RecID: 700, Grp: 1}))
+	p.must(p.pc.Call(rpc.PrepareReq{Txn: 7}))
+
+	p.catchUp()
+	if err := p.sb.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if p.sbSrv.IsStandby() || !p.sb.Promoted() {
+		t.Fatal("promotion did not flip the server to primary")
+	}
+
+	sc := rpc.LocalPair(p.sbSrv)
+	resp := p.must(sc.Call(rpc.ListIndoubtReq{}))
+	found := false
+	for _, txn := range resp.Txns {
+		if txn == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("promoted standby lists indoubts %v, want txn 7", resp.Txns)
+	}
+	p.must(sc.Call(rpc.CommitReq{Txn: 7}))
+	resp = p.must(sc.Call(rpc.IsLinkedReq{Name: "b.txt"}))
+	if !resp.Linked {
+		t.Fatal("committed indoubt link not visible after promotion")
+	}
+
+	// The promoted server now takes writes end to end.
+	if err := p.fs.Create("c.txt", "alice", []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	p.must(sc.Call(rpc.BeginTxnReq{Txn: 8}))
+	p.must(sc.Call(rpc.LinkFileReq{Txn: 8, Name: "c.txt", RecID: 800, Grp: 1}))
+	p.must(sc.Call(rpc.PrepareReq{Txn: 8}))
+	p.must(sc.Call(rpc.CommitReq{Txn: 8}))
+	resp = p.must(sc.Call(rpc.IsLinkedReq{Name: "c.txt"}))
+	if !resp.Linked {
+		t.Fatal("post-promotion write not visible")
+	}
+}
+
+// TestPromoteDrainsFromLogFeed leaves the standby idle (no background
+// polling) while the primary commits work, then promotes through a LogFeed
+// — the shared-log-device drain must pull every record it never streamed.
+func TestPromoteDrainsFromLogFeed(t *testing.T) {
+	p := newPair(t, Config{PollInterval: time.Hour}, true)
+	p.sb.Start()
+
+	p.must(p.pc.Call(rpc.BeginTxnReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CreateGroupReq{Txn: 1, Grp: 1}))
+	p.must(p.pc.Call(rpc.PrepareReq{Txn: 1}))
+	p.must(p.pc.Call(rpc.CommitReq{Txn: 1}))
+	p.linkCommitted(2, "d.txt", 1)
+	p.linkCommitted(3, "e.txt", 1)
+
+	if got := p.sb.ApplyLSN(); got != 0 {
+		t.Fatalf("standby applied %d records before promote; want an idle standby", got)
+	}
+	if err := p.sb.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	sc := rpc.LocalPair(p.sbSrv)
+	for _, name := range []string{"d.txt", "e.txt"} {
+		resp := p.must(sc.Call(rpc.IsLinkedReq{Name: name}))
+		if !resp.Linked {
+			t.Fatalf("%s lost across the drain", name)
+		}
+	}
+	if lag := p.sb.Lag(); lag != 0 {
+		t.Fatalf("lag = %d after drain", lag)
+	}
+}

@@ -9,7 +9,10 @@
 // Section 4; experiment E6).
 package rpc
 
-import "encoding/gob"
+import (
+	"encoding/gob"
+	"reflect"
+)
 
 // Request messages. The set mirrors the DLFM API surface the paper
 // describes: transaction control (Section 3.3), link/unlink with the
@@ -115,6 +118,16 @@ type PingReq struct{}
 // StatsReq asks the DLFM for its internal counters (diagnostics).
 type StatsReq struct{}
 
+// ReplFetchReq asks a primary DLFM for write-ahead-log records with
+// LSN >= FromLSN, up to Max records per batch (0 = server default). The
+// standby's replication client polls with it; the response carries the
+// records wal.EncodeRecords-packed in Data and the primary's next LSN in
+// LSN, so the standby can compute its lag.
+type ReplFetchReq struct {
+	FromLSN int64
+	Max     int
+}
+
 // Response is the uniform reply envelope.
 type Response struct {
 	// Code "" means success. Error codes: "deadlock", "timeout",
@@ -136,49 +149,46 @@ type Response struct {
 
 	// Reconcile answer: names unresolvable on the DLFM side.
 	Names []string
+
+	// ReplFetch answer: wal.EncodeRecords-packed records, and the
+	// primary's next LSN (end of log) at the time of the fetch.
+	Data []byte
+	LSN  int64
 }
 
 // OK reports whether the response is a success.
 func (r Response) OK() bool { return r.Code == "" }
 
+// msgInfo is one message-type registry entry. The registry is the single
+// source of truth for a request type's wire name, gob registration, and
+// reconnect semantics: the Client's idempotent re-issue allowlist is driven
+// off it, so adding a message type without deciding its reconnect safety is
+// impossible.
+type msgInfo struct {
+	name       string
+	readOnly   bool            // no server-side state change at all
+	idempotent bool            // safe to re-issue after a transport failure
+	txnOf      func(any) int64 // nil: no transaction context
+}
+
+var registry = map[reflect.Type]msgInfo{}
+
+func register(proto any, info msgInfo) {
+	gob.Register(proto)
+	registry[reflect.TypeOf(proto)] = info
+}
+
+func lookup(req any) (msgInfo, bool) {
+	info, ok := registry[reflect.TypeOf(req)]
+	return info, ok
+}
+
 // Name returns a request's wire name for diagnostics and trace events.
 func Name(req any) string {
-	switch req.(type) {
-	case BeginTxnReq:
-		return "BeginTxn"
-	case LinkFileReq:
-		return "LinkFile"
-	case UnlinkFileReq:
-		return "UnlinkFile"
-	case PrepareReq:
-		return "Prepare"
-	case CommitReq:
-		return "Commit"
-	case AbortReq:
-		return "Abort"
-	case CreateGroupReq:
-		return "CreateGroup"
-	case DeleteGroupReq:
-		return "DeleteGroup"
-	case IsLinkedReq:
-		return "IsLinked"
-	case ListIndoubtReq:
-		return "ListIndoubt"
-	case WaitArchiveReq:
-		return "WaitArchive"
-	case RegisterBackupReq:
-		return "RegisterBackup"
-	case RestoreToReq:
-		return "RestoreTo"
-	case ReconcileReq:
-		return "Reconcile"
-	case PingReq:
-		return "Ping"
-	case StatsReq:
-		return "Stats"
-	default:
-		return "Unknown"
+	if info, ok := lookup(req); ok {
+		return info.name
 	}
+	return "Unknown"
 }
 
 // Idempotent reports whether a request may be safely re-issued on a fresh
@@ -190,53 +200,61 @@ func Name(req any) string {
 // re-adopts the same transaction id; the read-only requests have no
 // server-side effects worth protecting.
 func Idempotent(req any) bool {
-	switch req.(type) {
-	case CommitReq, AbortReq, BeginTxnReq, ListIndoubtReq, IsLinkedReq, PingReq, StatsReq:
-		return true
-	}
-	return false
+	info, ok := lookup(req)
+	return ok && info.idempotent
+}
+
+// ReadOnly reports whether a request has no server-side effects. Every
+// read-only request must be idempotent (enforced by test); the converse is
+// not true — Commit is idempotent but certainly not read-only.
+func ReadOnly(req any) bool {
+	info, ok := lookup(req)
+	return ok && info.readOnly
 }
 
 // TxnOf returns the host transaction id a request runs under, or 0 for
 // requests outside any transaction context.
 func TxnOf(req any) int64 {
-	switch r := req.(type) {
-	case BeginTxnReq:
-		return r.Txn
-	case LinkFileReq:
-		return r.Txn
-	case UnlinkFileReq:
-		return r.Txn
-	case PrepareReq:
-		return r.Txn
-	case CommitReq:
-		return r.Txn
-	case AbortReq:
-		return r.Txn
-	case CreateGroupReq:
-		return r.Txn
-	case DeleteGroupReq:
-		return r.Txn
-	default:
-		return 0
+	if info, ok := lookup(req); ok && info.txnOf != nil {
+		return info.txnOf(req)
 	}
+	return 0
+}
+
+// RequestTypes returns a zero value of every registered request type, for
+// exhaustiveness tests over the registry.
+func RequestTypes() []any {
+	out := make([]any, 0, len(registry))
+	for t := range registry {
+		out = append(out, reflect.Zero(t).Interface())
+	}
+	return out
 }
 
 func init() {
-	gob.Register(BeginTxnReq{})
-	gob.Register(LinkFileReq{})
-	gob.Register(UnlinkFileReq{})
-	gob.Register(PrepareReq{})
-	gob.Register(CommitReq{})
-	gob.Register(AbortReq{})
-	gob.Register(CreateGroupReq{})
-	gob.Register(DeleteGroupReq{})
-	gob.Register(IsLinkedReq{})
-	gob.Register(ListIndoubtReq{})
-	gob.Register(WaitArchiveReq{})
-	gob.Register(RegisterBackupReq{})
-	gob.Register(RestoreToReq{})
-	gob.Register(ReconcileReq{})
-	gob.Register(PingReq{})
-	gob.Register(StatsReq{})
+	register(BeginTxnReq{}, msgInfo{name: "BeginTxn", idempotent: true,
+		txnOf: func(r any) int64 { return r.(BeginTxnReq).Txn }})
+	register(LinkFileReq{}, msgInfo{name: "LinkFile",
+		txnOf: func(r any) int64 { return r.(LinkFileReq).Txn }})
+	register(UnlinkFileReq{}, msgInfo{name: "UnlinkFile",
+		txnOf: func(r any) int64 { return r.(UnlinkFileReq).Txn }})
+	register(PrepareReq{}, msgInfo{name: "Prepare",
+		txnOf: func(r any) int64 { return r.(PrepareReq).Txn }})
+	register(CommitReq{}, msgInfo{name: "Commit", idempotent: true,
+		txnOf: func(r any) int64 { return r.(CommitReq).Txn }})
+	register(AbortReq{}, msgInfo{name: "Abort", idempotent: true,
+		txnOf: func(r any) int64 { return r.(AbortReq).Txn }})
+	register(CreateGroupReq{}, msgInfo{name: "CreateGroup",
+		txnOf: func(r any) int64 { return r.(CreateGroupReq).Txn }})
+	register(DeleteGroupReq{}, msgInfo{name: "DeleteGroup",
+		txnOf: func(r any) int64 { return r.(DeleteGroupReq).Txn }})
+	register(IsLinkedReq{}, msgInfo{name: "IsLinked", readOnly: true, idempotent: true})
+	register(ListIndoubtReq{}, msgInfo{name: "ListIndoubt", readOnly: true, idempotent: true})
+	register(WaitArchiveReq{}, msgInfo{name: "WaitArchive"})
+	register(RegisterBackupReq{}, msgInfo{name: "RegisterBackup"})
+	register(RestoreToReq{}, msgInfo{name: "RestoreTo"})
+	register(ReconcileReq{}, msgInfo{name: "Reconcile"})
+	register(PingReq{}, msgInfo{name: "Ping", readOnly: true, idempotent: true})
+	register(StatsReq{}, msgInfo{name: "Stats", readOnly: true, idempotent: true})
+	register(ReplFetchReq{}, msgInfo{name: "ReplFetch", readOnly: true, idempotent: true})
 }

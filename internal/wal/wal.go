@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -181,6 +182,14 @@ type Log struct {
 	// firstOffset maps each in-flight transaction to the byte offset of
 	// its first record; the minimum is the tail of the active log.
 	firstOffset map[int64]int64
+
+	// Scan-position cache for ReadFrom: every record at a byte offset
+	// below scanOff has LSN < scanLSN, so an incremental read for any
+	// lsn >= scanLSN can seek straight to scanOff instead of decoding
+	// the whole file again. Reset clears scanOff; both fields are only
+	// meaningful for file-backed logs.
+	scanLSN int64
+	scanOff int64
 
 	appends  obs.Counter
 	bytes    obs.Counter
@@ -368,11 +377,21 @@ func (l *Log) Stats() Stats {
 
 // Records returns every record in the log in append order, for recovery.
 func (l *Log) Records() ([]Record, error) {
+	return l.ReadFrom(0)
+}
+
+// ReadFrom returns every record with LSN >= lsn in append order. Repeated
+// calls with non-decreasing lsn — the replication fetch pattern — resume
+// decoding from a cached byte offset instead of rescanning the file from
+// byte 0, so polling a log of n records costs O(new records) per call.
+func (l *Log) ReadFrom(lsn int64) ([]Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
-		out := make([]Record, len(l.mem))
-		copy(out, l.mem)
+		// Memory log: records are already decoded and LSN-ordered.
+		i := sort.Search(len(l.mem), func(i int) bool { return l.mem[i].LSN >= lsn })
+		out := make([]Record, len(l.mem)-i)
+		copy(out, l.mem[i:])
 		return out, nil
 	}
 	if err := l.f.Sync(); err != nil {
@@ -383,40 +402,97 @@ func (l *Log) Records() ([]Record, error) {
 		return nil, fmt.Errorf("wal: reopen for scan: %w", err)
 	}
 	defer f.Close()
-	return readAll(f)
+	start := int64(0)
+	if lsn >= l.scanLSN {
+		start = l.scanOff
+	}
+	recs, consumed, err := readFrom(f, start)
+	if err != nil {
+		return nil, err
+	}
+	// Everything on disk is now decoded through start+consumed, and every
+	// future append gets an LSN >= nextLSN at an offset >= that point.
+	l.scanLSN = l.nextLSN
+	l.scanOff = start + consumed
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].LSN >= lsn })
+	return recs[i:], nil
 }
 
 func readAll(f *os.File) ([]Record, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
+	recs, _, err := readFrom(f, 0)
+	return recs, err
+}
+
+// readFrom decodes records starting at byte offset start, returning them
+// with the number of bytes of complete records consumed (a torn final
+// record from a crash mid-append is tolerated and not counted).
+func readFrom(f *os.File, start int64) ([]Record, int64, error) {
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
+		return nil, 0, err
 	}
 	var recs []Record
+	var consumed int64
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
 			if err == io.EOF {
-				return recs, nil
+				return recs, consumed, nil
 			}
 			if err == io.ErrUnexpectedEOF {
 				// Torn final record from a crash mid-append: ignore it.
-				return recs, nil
+				return recs, consumed, nil
 			}
-			return nil, fmt.Errorf("wal: read header: %w", err)
+			return nil, 0, fmt.Errorf("wal: read header: %w", err)
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
 		body := make([]byte, n)
 		if _, err := io.ReadFull(f, body); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return recs, nil // torn record
+				return recs, consumed, nil // torn record
 			}
-			return nil, fmt.Errorf("wal: read body: %w", err)
+			return nil, 0, fmt.Errorf("wal: read body: %w", err)
 		}
 		r, err := decodeRecord(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		recs = append(recs, r)
+		consumed += int64(4 + len(body))
+	}
+}
+
+// EncodeRecords flattens recs into the log's framed binary format — the
+// same bytes Append writes to disk — for shipping record batches over the
+// replication wire.
+func EncodeRecords(recs []Record) []byte {
+	var buf []byte
+	for i := range recs {
+		buf = recs[i].encode(buf)
+	}
+	return buf
+}
+
+// DecodeRecords parses a buffer produced by EncodeRecords. Unlike a crash
+// recovery scan, truncation is an error here: the transport delivers whole
+// batches or nothing.
+func DecodeRecords(buf []byte) ([]Record, error) {
+	var recs []Record
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("wal: truncated batch header")
+		}
+		n := int(binary.BigEndian.Uint32(buf[:4]))
+		if len(buf) < 4+n {
+			return nil, fmt.Errorf("wal: truncated batch record (%d of %d bytes)", len(buf)-4, n)
+		}
+		r, err := decodeRecord(buf[4 : 4+n])
 		if err != nil {
 			return nil, err
 		}
 		recs = append(recs, r)
+		buf = buf[4+n:]
 	}
+	return recs, nil
 }
 
 // Reset truncates the log to empty after a checkpoint captured its state
@@ -443,6 +519,10 @@ func (l *Log) Reset() error {
 		return fmt.Errorf("wal: reset sync: %w", err)
 	}
 	l.end = 0
+	// The file is empty again: the cached scan offset no longer points at
+	// a record boundary. LSNs continue monotonically, so keeping scanLSN
+	// is safe once the offset restarts at zero.
+	l.scanOff = 0
 	return nil
 }
 

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Failover soak mode: the E1 multi-client workload runs against a stack
+// built with StackConfig.Standbys while a seeded schedule kills one primary
+// DLFM for good mid-run. The host's failure accounting trips, the standby
+// promotes (draining the dead primary's log through the LogFeed), traffic
+// fails over, indoubt transactions drain, and the cross-system consistency
+// invariant must hold with zero lost committed links.
+
+// FailoverConfig controls one failover soak run.
+type FailoverConfig struct {
+	// Clients is the total client count, split across the stack's DLFMs.
+	Clients     int
+	Duration    time.Duration
+	Seed        int64
+	Mix         Mix
+	TablePrefix string
+	PreloadRows int
+
+	// Victim is the server killed mid-run; empty picks the first (sorted).
+	Victim string
+	// KillAfter is when the victim dies, measured from run start; zero
+	// defaults to a third of Duration, leaving time to fail over and
+	// commit through the standby before the run ends.
+	KillAfter time.Duration
+}
+
+// FailoverResult reports what the soak did and what the checks found.
+type FailoverResult struct {
+	Workload Result
+
+	Victim     string
+	FailedOver bool
+	// Promotes counts standby-to-primary promotions observed on the
+	// victim's (promoted) server — 1 on a clean run.
+	Promotes int64
+	// ApplyLSN is the promoted standby's final applied primary LSN.
+	ApplyLSN int64
+
+	IndoubtsResolved int
+	LeftoverIndoubts int
+	Violations       []string
+}
+
+// RunFailover executes the soak against st, which must have been built with
+// StackConfig.Standbys (the victim needs a standby to fail over to). The
+// returned error covers harness failures; invariant violations are reported
+// in the result.
+func RunFailover(st *Stack, cfg FailoverConfig) (FailoverResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 100
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.TablePrefix == "" {
+		cfg.TablePrefix = "fo"
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+	names := sortedNames(st.DLFMs)
+	if cfg.Victim == "" {
+		cfg.Victim = names[0]
+	}
+	if st.Standbys[cfg.Victim] == nil {
+		return FailoverResult{}, fmt.Errorf("workload: failover soak: no standby for victim %q (build the stack with Standbys)", cfg.Victim)
+	}
+	if cfg.KillAfter <= 0 {
+		cfg.KillAfter = cfg.Duration / 3
+	}
+
+	var kills, resolved, violated obs.Counter
+	reg := obs.Default()
+	reg.RegisterCounter("failover_kills_total", &kills)
+	reg.RegisterCounter("failover_indoubts_resolved_total", &resolved)
+	reg.RegisterCounter("failover_violations_total", &violated)
+
+	per := cfg.Clients / len(names)
+	if per <= 0 {
+		per = 1
+	}
+	runners := make([]*Runner, 0, len(names))
+	tables := make([]string, 0, len(names))
+	for i, name := range names {
+		table := fmt.Sprintf("%s_%s", cfg.TablePrefix, name)
+		r, err := NewRunner(st, Config{
+			Clients:     per,
+			Duration:    cfg.Duration,
+			Mix:         cfg.Mix,
+			Server:      name,
+			Table:       table,
+			PreloadRows: cfg.PreloadRows,
+			Seed:        cfg.Seed + int64(i)*1001,
+		})
+		if err != nil {
+			return FailoverResult{}, err
+		}
+		if err := r.Prepare(); err != nil {
+			return FailoverResult{}, err
+		}
+		runners = append(runners, r)
+		tables = append(tables, table)
+	}
+
+	// The killer: one timer, one victim, no restart.
+	quit := make(chan struct{})
+	killDone := make(chan struct{})
+	go func() {
+		defer close(killDone)
+		select {
+		case <-quit:
+		case <-time.After(cfg.KillAfter):
+			st.KillForever(cfg.Victim)
+			kills.Add(1)
+		}
+	}()
+
+	results := make([]Result, len(runners))
+	errs := make([]error, len(runners))
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r *Runner) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run()
+		}(i, r)
+	}
+	wg.Wait()
+	close(quit)
+	<-killDone
+
+	res := FailoverResult{
+		Workload: mergeResults(results, cfg.Duration),
+		Victim:   cfg.Victim,
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("workload: failover soak: %w", err)
+		}
+	}
+
+	// The threshold normally trips during the run; a quiet run (victim died
+	// with no traffic left) fails over here so the drain has a primary.
+	if err := st.Host.Failover(cfg.Victim); err != nil {
+		return res, fmt.Errorf("workload: failover soak: %w", err)
+	}
+	res.FailedOver = st.Host.FailedOver(cfg.Victim)
+
+	// The promoted standby is now the victim server's DLFM of record: the
+	// drain, the prepared-transaction count, and the consistency check all
+	// read it from here on.
+	sb := st.Standbys[cfg.Victim]
+	st.DLFMs[cfg.Victim] = sb.Server()
+	res.Promotes = sb.Server().Stats().Promotes
+	res.ApplyLSN = sb.ApplyLSN()
+
+	for round := 0; round < 100; round++ {
+		n, err := st.Host.ResolveIndoubts()
+		if err != nil {
+			return res, fmt.Errorf("workload: failover drain: %w", err)
+		}
+		res.IndoubtsResolved += n
+		if res.LeftoverIndoubts = countPrepared(st); res.LeftoverIndoubts == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resolved.Add(int64(res.IndoubtsResolved))
+
+	if res.LeftoverIndoubts > 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%d prepared transactions remain after drain", res.LeftoverIndoubts))
+	}
+	if !res.FailedOver {
+		res.Violations = append(res.Violations, "host never failed over to the standby")
+	}
+	if res.Promotes != 1 {
+		res.Violations = append(res.Violations, fmt.Sprintf("expected 1 promotion, saw %d", res.Promotes))
+	}
+	vs, err := CheckConsistency(st, tables...)
+	if err != nil {
+		return res, fmt.Errorf("workload: failover consistency check: %w", err)
+	}
+	res.Violations = append(res.Violations, vs...)
+	violated.Add(int64(len(res.Violations)))
+	return res, nil
+}

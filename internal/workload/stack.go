@@ -19,6 +19,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/hostdb"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/rpc"
 )
 
@@ -31,11 +32,16 @@ type Stack struct {
 	DLFMs map[string]*core.Server
 	FS    map[string]*fsim.Server
 	Arch  map[string]*archive.Server
+	// Standbys holds each server's hot standby when StackConfig.Standbys
+	// is set: a fenced DLFM kept current by log-shipping replication,
+	// already registered with the host for failover.
+	Standbys map[string]*repl.Standby
 	// Tracer is the shared trace ring: the host and every DLFM emit into
 	// it, so one chronological chain covers a transaction end to end.
 	Tracer *obs.Tracer
 
-	eps map[string]*chaosEndpoint
+	eps   map[string]*chaosEndpoint
+	sbEps map[string]*chaosEndpoint
 }
 
 // ErrServerDown is the dial error while a DLFM is killed; host sessions see
@@ -110,12 +116,30 @@ func (st *Stack) Restart(name string) {
 	e.mu.Unlock()
 }
 
+// Dial opens a raw client to the named DLFM's current endpoint; tests use
+// it to drive protocol-level scenarios (for instance abandoning a prepared
+// transaction). Fails while the server is down.
+func (st *Stack) Dial(name string) (*rpc.Client, error) {
+	e := st.eps[name]
+	if e == nil {
+		return nil, fmt.Errorf("workload: unknown server %q", name)
+	}
+	return rpc.NewClientDialer(e.dial)
+}
+
 // Registries returns every obs registry in the deployment (host first,
-// then each DLFM sorted by name) for /metrics exposition.
+// each DLFM sorted by name, then each standby — carrying the repl_* lag
+// gauges) for /metrics exposition.
 func (st *Stack) Registries() []*obs.Registry {
 	regs := []*obs.Registry{st.Host.Obs()}
 	for _, name := range sortedNames(st.DLFMs) {
 		regs = append(regs, st.DLFMs[name].Obs())
+	}
+	for _, name := range sortedNames(st.DLFMs) {
+		// A promoted standby may already be the DLFM of record above.
+		if sb := st.Standbys[name]; sb != nil && sb.Server() != st.DLFMs[name] {
+			regs = append(regs, sb.Server().Obs())
+		}
 	}
 	return regs
 }
@@ -135,8 +159,16 @@ type StackConfig struct {
 	Servers []string
 	// MutateHost adjusts the host configuration before opening.
 	MutateHost func(*hostdb.Config)
-	// MutateDLFM adjusts each DLFM configuration before opening.
+	// MutateDLFM adjusts each DLFM configuration before opening. With
+	// Standbys set it also shapes each standby's configuration (identity
+	// fields are fixed up afterwards).
 	MutateDLFM func(name string, cfg *core.Config)
+	// Standbys adds a hot standby per DLFM, streaming the primary's log
+	// through an always-up LogFeed (the durable shared log device) and
+	// registered with the host for automatic failover.
+	Standbys bool
+	// MutateRepl adjusts each standby's replication configuration.
+	MutateRepl func(name string, cfg *repl.Config)
 }
 
 // NewStack builds and starts a deployment.
@@ -157,12 +189,14 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		return nil, err
 	}
 	st := &Stack{
-		Host:   host,
-		DLFMs:  make(map[string]*core.Server, len(cfg.Servers)),
-		FS:     make(map[string]*fsim.Server, len(cfg.Servers)),
-		Arch:   make(map[string]*archive.Server, len(cfg.Servers)),
-		Tracer: tracer,
-		eps:    make(map[string]*chaosEndpoint, len(cfg.Servers)),
+		Host:     host,
+		DLFMs:    make(map[string]*core.Server, len(cfg.Servers)),
+		FS:       make(map[string]*fsim.Server, len(cfg.Servers)),
+		Arch:     make(map[string]*archive.Server, len(cfg.Servers)),
+		Standbys: make(map[string]*repl.Standby),
+		Tracer:   tracer,
+		eps:      make(map[string]*chaosEndpoint, len(cfg.Servers)),
+		sbEps:    make(map[string]*chaosEndpoint),
 	}
 	for _, name := range cfg.Servers {
 		fs := fsim.NewServer(name)
@@ -189,14 +223,81 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			// connection survives kill/restart cycles of its DLFM.
 			return rpc.NewClientDialer(ep.dial)
 		})
+		if cfg.Standbys {
+			if err := st.addStandby(cfg, name, dlfm); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("workload: start standby for %s: %w", name, err)
+			}
+		}
 	}
 	return st, nil
+}
+
+// addStandby builds the hot standby for one DLFM: a fenced core server
+// sharing the primary's file and archive servers, a replication client
+// dialing a LogFeed over the primary's engine (the durable log device,
+// which outlives a killed primary), and host-side failover registration.
+func (st *Stack) addStandby(cfg StackConfig, name string, primary *core.Server) error {
+	sbCfg := core.DefaultConfig(name)
+	sbCfg.Tracer = st.Tracer.Named(name + "-sb")
+	if cfg.MutateDLFM != nil {
+		cfg.MutateDLFM(name, &sbCfg)
+	}
+	// Identity fixups after the mutator: the standby must not share the
+	// primary's database name or log file.
+	sbCfg.DB.Name += "-sb"
+	if sbCfg.DB.LogPath != "" {
+		sbCfg.DB.LogPath += "-sb"
+	}
+	sbSrv, err := core.NewStandby(sbCfg, st.FS[name], st.Arch[name])
+	if err != nil {
+		return err
+	}
+	feed := &repl.LogFeed{DB: primary.DB()}
+	replCfg := repl.Config{}
+	if cfg.MutateRepl != nil {
+		cfg.MutateRepl(name, &replCfg)
+	}
+	sb := repl.New(sbSrv, func() (io.ReadWriteCloser, error) {
+		feedSide, sbSide := net.Pipe()
+		go rpc.ServeConn(feedSide, feed.NewAgent())
+		return sbSide, nil
+	}, replCfg)
+	sb.Start()
+	st.Standbys[name] = sb
+
+	sbEp := &chaosEndpoint{srv: sbSrv, conns: make(map[net.Conn]struct{})}
+	st.sbEps[name] = sbEp
+	st.Host.RegisterStandby(name, func() (*rpc.Client, error) {
+		return rpc.NewClientDialer(sbEp.dial)
+	}, sb.Promote)
+	return nil
+}
+
+// KillForever crash-stops the named DLFM for good: connections drop, dials
+// fail, daemons stop, and the server never restarts — but its engine (and
+// so its log) stays readable, modeling a dead process whose durable log
+// device survives. With a standby registered, host traffic fails over.
+func (st *Stack) KillForever(name string) {
+	e := st.eps[name]
+	if e == nil {
+		return
+	}
+	e.halt()
+	e.srv.Halt()
 }
 
 // Close shuts the deployment down.
 func (st *Stack) Close() {
 	for _, e := range st.eps {
 		e.halt()
+	}
+	for _, e := range st.sbEps {
+		e.halt()
+	}
+	for _, sb := range st.Standbys {
+		sb.Stop()
+		sb.Server().Close()
 	}
 	for _, d := range st.DLFMs {
 		d.Close()
