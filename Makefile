@@ -19,8 +19,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Micro-benchmarks plus the two headline experiment sweeps; each dlfmbench
+# run prints a machine-readable `BENCH {...}` JSON line CI collects into
+# bench.jsonl.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/dlfmbench throughput -clients 20 -ops 10
+	$(GO) run ./cmd/dlfmbench fanout -ops 20
 
 # Short fault-injection soak: seeded kill/drop schedule, indoubt drain,
 # cross-system invariant check. Exits non-zero on any violation.

@@ -48,6 +48,7 @@ var all = []runner{
 	{"timeout", "E7: lock-timeout sweep", wrap(experiments.RunE7TimeoutSweep)},
 	{"batchcommit", "E8: batched commits vs log full", wrap(experiments.RunE8BatchCommit)},
 	{"twophase", "E9: 2PC / delayed update / indoubt", wrap(experiments.RunE9TwoPhase)},
+	{"fanout", "E10: commit latency vs participant count, sequential vs parallel 2PC", wrap(experiments.RunE10Fanout)},
 	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
 	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
 }

@@ -42,6 +42,9 @@ type Config struct {
 	// LockListSize caps total held locks before forced escalation; 0 =
 	// unlimited.
 	LockListSize int
+	// LockShards partitions the lock manager by table-name hash; 0 uses
+	// the lock package default (16), 1 restores the single global mutex.
+	LockShards int
 	// SyncCommit fsyncs the log on every commit.
 	SyncCommit bool
 	// Obs, when non-nil, receives the engine's counters and histograms
@@ -163,6 +166,7 @@ func (db *DB) lockConfig() lock.Config {
 		EscalationThreshold: db.cfg.EscalationThreshold,
 		LockListSize:        db.cfg.LockListSize,
 		DetectDeadlocks:     db.cfg.DetectDeadlocks,
+		Shards:              db.cfg.LockShards,
 		Obs:                 db.cfg.Obs,
 		Tracer:              db.cfg.Tracer,
 	}

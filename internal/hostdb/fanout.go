@@ -1,0 +1,107 @@
+package hostdb
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rpc"
+)
+
+// Parallel 2PC fan-out. Phase 1 and phase 2 are independent per-participant
+// exchanges (Gray & Lamport's observation about the commit protocol), so
+// the host issues them concurrently, bounded by Config.CommitFanout. All
+// failure/severe accounting and participant bookkeeping stays on the
+// session goroutine after the join: Session state is not goroutine-safe,
+// and keeping the mutation single-threaded makes the parallel pipeline's
+// accounting exactly as precise as the sequential one.
+
+// defaultCommitFanout is the fan-out bound when Config.CommitFanout is 0 —
+// wide enough to cover the e10 sweep's 8 participants in one wave.
+const defaultCommitFanout = 8
+
+// fanLimit resolves the configured fan-out bound.
+func (db *DB) fanLimit() int {
+	if db.cfg.CommitFanout > 0 {
+		return db.cfg.CommitFanout
+	}
+	return defaultCommitFanout
+}
+
+// partOutcome is one participant's result from a fanned-out 2PC call.
+type partOutcome struct {
+	p    *participant
+	resp rpc.Response
+	err  error
+	// skipped: the call was never issued because an earlier participant
+	// had already failed (stopOnFailure). The participant is covered by
+	// the caller's abort path, exactly like the not-yet-reached tail of
+	// the sequential prepare loop.
+	skipped bool
+}
+
+// failed reports whether the call was issued and did not come back OK.
+func (o *partOutcome) failed() bool {
+	return !o.skipped && (o.err != nil || !o.resp.OK())
+}
+
+// fanoutParts runs call against every participant with at most fanLimit in
+// flight, returning outcomes in input order. With stopOnFailure, the first
+// transport error or non-OK response prevents issuing calls that have not
+// started yet — the parallel analogue of the sequential prepare loop
+// breaking at the first "no" vote. Calls already on the wire run to
+// completion so their votes are accounted. With trackGauge the in-flight
+// count rides the host_prepare_fanout gauge.
+//
+// A fan-out limit of 1 degenerates to the exact sequential pipeline.
+func (db *DB) fanoutParts(parts []*participant, stopOnFailure, trackGauge bool, call func(*participant) (rpc.Response, error)) []partOutcome {
+	outs := make([]partOutcome, len(parts))
+	for i, p := range parts {
+		outs[i].p = p
+	}
+	if len(parts) == 0 {
+		return outs
+	}
+	run := func(o *partOutcome) {
+		if trackGauge {
+			db.prepFanout.Add(1)
+			defer db.prepFanout.Add(-1)
+		}
+		o.resp, o.err = call(o.p)
+	}
+	limit := db.fanLimit()
+	if limit <= 1 || len(parts) == 1 {
+		for i := range outs {
+			if stopOnFailure && i > 0 && outs[i-1].failed() {
+				// Propagate the stop: everything after the first failure
+				// is skipped, like the unreached tail of a sequential loop.
+				outs[i].skipped = true
+				continue
+			}
+			run(&outs[i])
+		}
+		return outs
+	}
+	var (
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, limit)
+		failed atomic.Bool
+	)
+	for i := range outs {
+		wg.Add(1)
+		go func(o *partOutcome) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if stopOnFailure && failed.Load() {
+				o.skipped = true
+				return
+			}
+			run(o)
+			if o.failed() {
+				failed.Store(true)
+			}
+		}(&outs[i])
+	}
+	wg.Wait()
+	return outs
+}

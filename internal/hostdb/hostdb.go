@@ -37,6 +37,11 @@ type Config struct {
 	// paper found this mandatory — the asynchronous variant produces the
 	// distributed deadlock of Section 4 (experiment E6).
 	SyncCommit bool
+	// CommitFanout bounds how many per-participant 2PC calls (prepare,
+	// phase-2 commit/abort, indoubt resolution) one operation issues
+	// concurrently. Zero defaults to 8; 1 restores the fully sequential
+	// pipeline.
+	CommitFanout int
 	// TokenSecret signs access tokens for full-access-control files; it is
 	// shared with the DLFF on each file server. Empty disables tokens.
 	TokenSecret []byte
@@ -136,6 +141,9 @@ type DB struct {
 	// commitHist times Session.Commit end to end: both 2PC phases plus the
 	// local decision hardening (host_commit_seconds).
 	commitHist *obs.Histogram
+	// prepFanout counts 2PC fan-out calls currently in flight across all
+	// sessions (host_prepare_fanout).
+	prepFanout obs.Gauge
 
 	// backups holds the quiesced backup images (the paper's backup files).
 	backups map[int64]*backupImage
@@ -173,6 +181,9 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.stats.register(db.obs)
 	db.obs.RegisterHistogram("host_commit_seconds", db.commitHist)
+	db.obs.GaugeFunc("host_prepare_fanout", func() float64 {
+		return float64(db.prepFanout.Load())
+	})
 	now := time.Now().UnixNano()
 	db.txnSeq.Store(now)
 	db.recSeq.Store(now)

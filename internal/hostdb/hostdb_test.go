@@ -410,8 +410,14 @@ func (a *vetoAgent) Close() { a.inner.Close() }
 func TestPrepareFailureAbortsAllParticipants(t *testing.T) {
 	// "if one of the DLFMs fails to prepare the transaction, the host
 	// database sends Abort request to all the remaining DLFMs, even though
-	// they may have prepared successfully" (Section 3.3).
-	st := newStack(t, []string{"fs1", "fs2"})
+	// they may have prepared successfully" (Section 3.3). Sequential
+	// fan-out pins the order: fs1 must have prepared before fs2 vetoes,
+	// so its abort is the compensating kind. (Parallel fan-out may cancel
+	// fs1's prepare before it is issued, which is also correct but does
+	// not exercise this path.)
+	st := newStack(t, []string{"fs1", "fs2"}, func(cfg *Config, _ map[string]*core.Config) {
+		cfg.CommitFanout = 1
+	})
 	veto := &vetoFactory{inner: st.dlfm["fs2"]}
 	st.db.RegisterDLFM("fs2", func() (*rpc.Client, error) {
 		return rpc.LocalPair(veto), nil

@@ -725,7 +725,14 @@ func (s *Session) Commit() error {
 			enlisted = append(enlisted, p)
 		}
 	}
-	// Deterministic prepare order (map iteration is random).
+	// Deterministic participant order (map iteration is random). With the
+	// parallel fan-out this no longer fixes the order prepares hit the
+	// wire — and it does not need to: each DLFM acquired its locks at
+	// statement (link/unlink) time, long before prepare, so send order
+	// never decides lock order and parallelizing it cannot create new
+	// deadlocks (cross-DLFM cycles are the lock timeout's job, Section 4).
+	// The sort fixes which failure is *reported* when several prepares
+	// fail at once, keeping errors and accounting deterministic.
 	sort.Slice(enlisted, func(i, j int) bool { return enlisted[i].server < enlisted[j].server })
 	if len(enlisted) == 0 {
 		err := s.commitLocal()
@@ -736,27 +743,39 @@ func (s *Session) Commit() error {
 	start := time.Now()
 	s.db.tracer.Emitf(s.txn, "host", "2pc_prepare", "%d participants", len(enlisted))
 
-	// Phase 1: prepare every DLFM. One "no" vote aborts everyone,
-	// including participants that already voted yes.
-	for _, p := range enlisted {
-		resp, err := p.client.Call(rpc.PrepareReq{Txn: s.txn})
-		if err != nil || !resp.OK() {
-			if err != nil {
-				s.db.noteDLFMFailure(p.server, err)
-				s.dropPart(p.server)
-			}
-			s.abortParts()
-			if s.conn.InTxn() {
-				s.conn.Rollback()
-			}
-			txn := s.txn
-			s.finishTxn()
-			s.db.stats.Aborts.Add(1)
-			if err != nil {
-				return fmt.Errorf("%w: prepare of txn %d failed: %v", ErrTxnRolledBack, txn, err)
-			}
-			return fmt.Errorf("%w: prepare of txn %d failed: %s: %s", ErrTxnRolledBack, txn, resp.Code, resp.Msg)
+	// Phase 1: prepare every DLFM concurrently (bounded by CommitFanout).
+	// One "no" vote or transport error aborts everyone — including
+	// participants that already voted yes — and cancels prepares not yet
+	// issued. Accounting runs after the join, on this goroutine, over the
+	// ordered outcome slice, so it is exactly as precise as the sequential
+	// loop was.
+	outs := s.db.fanoutParts(enlisted, true, true, func(p *participant) (rpc.Response, error) {
+		return p.client.Call(rpc.PrepareReq{Txn: s.txn})
+	})
+	var prepErr error
+	for i := range outs {
+		o := &outs[i]
+		if o.skipped {
+			continue
 		}
+		if o.err != nil {
+			s.db.noteDLFMFailure(o.p.server, o.err)
+			s.dropPart(o.p.server)
+			if prepErr == nil {
+				prepErr = fmt.Errorf("%w: prepare of txn %d failed: %v", ErrTxnRolledBack, s.txn, o.err)
+			}
+		} else if !o.resp.OK() && prepErr == nil {
+			prepErr = fmt.Errorf("%w: prepare of txn %d failed: %s: %s", ErrTxnRolledBack, s.txn, o.resp.Code, o.resp.Msg)
+		}
+	}
+	if prepErr != nil {
+		s.abortParts()
+		if s.conn.InTxn() {
+			s.conn.Rollback()
+		}
+		s.finishTxn()
+		s.db.stats.Aborts.Add(1)
+		return prepErr
 	}
 
 	// Decision: record the outcome inside the host transaction and commit
@@ -789,28 +808,47 @@ func (s *Session) Commit() error {
 	// Phase 2. The paper's hard-won rule: this must be synchronous, or the
 	// T1/T11/T2 distributed deadlock of Section 4 appears (experiment E6).
 	if s.db.cfg.SyncCommit {
-		for _, p := range enlisted {
-			// Transport errors leave the transaction indoubt; the
-			// resolution daemon settles it later. Both transport errors
-			// and phase-2 give-ups ("severe" after the DLFM exhausts its
-			// retries) count toward standby failover.
-			r, err := p.client.Call(rpc.CommitReq{Txn: s.txn})
+		// Transport errors leave the transaction indoubt; the resolution
+		// daemon settles it later. Both transport errors and phase-2
+		// give-ups ("severe" after the DLFM exhausts its retries) count
+		// toward standby failover. The fan-out never stops early: the
+		// decision is durable and every participant must hear it.
+		p2 := s.db.fanoutParts(enlisted, false, false, func(p *participant) (rpc.Response, error) {
+			return p.client.Call(rpc.CommitReq{Txn: s.txn})
+		})
+		for i := range p2 {
+			o := &p2[i]
 			switch {
-			case err != nil:
-				s.db.noteDLFMFailure(p.server, err)
-				s.dropPart(p.server)
-			case r.Code == "severe":
-				s.db.noteDLFMFailure(p.server, fmt.Errorf("phase-2 give-up: %s", r.Msg))
+			case o.err != nil:
+				s.db.noteDLFMFailure(o.p.server, o.err)
+				s.dropPart(o.p.server)
+			case o.resp.Code == "severe":
+				s.db.noteDLFMFailure(o.p.server, fmt.Errorf("phase-2 give-up: %s", o.resp.Msg))
 			default:
-				s.db.noteDLFMSuccess(p.server)
+				s.db.noteDLFMSuccess(o.p.server)
 			}
 		}
 	} else {
 		// Asynchronous variant: the commit request is on the wire before
 		// Commit returns, and the child agent stays busy until it answers
-		// — so the agent's next caller "blocks on message send".
+		// — so the agent's next caller "blocks on message send". The
+		// result is drained off-session so transport errors and severe
+		// give-ups still feed failover accounting; the session itself is
+		// gone by then, so no dropPart (Session state is not
+		// goroutine-safe) — the next dial replaces the participant anyway.
 		for _, p := range enlisted {
-			p.client.Go(rpc.CommitReq{Txn: s.txn})
+			res := p.client.Go(rpc.CommitReq{Txn: s.txn})
+			go func(server string, res <-chan rpc.CallResult) {
+				r := <-res
+				switch {
+				case r.Err != nil:
+					s.db.noteDLFMFailure(server, r.Err)
+				case r.Resp.Code == "severe":
+					s.db.noteDLFMFailure(server, fmt.Errorf("phase-2 give-up: %s", r.Resp.Msg))
+				default:
+					s.db.noteDLFMSuccess(server)
+				}
+			}(p.server, res)
 		}
 	}
 	s.db.stats.Commits.Add(1)
@@ -856,14 +894,22 @@ func (s *Session) rollbackInternal() {
 }
 
 func (s *Session) abortParts() {
-	for server, p := range s.parts {
+	var begun []*participant
+	for _, p := range s.parts {
 		if p.begun {
-			if _, err := p.client.Call(rpc.AbortReq{Txn: s.txn}); err != nil {
-				// The abort is lost with the server; presumed abort covers
-				// it at resolution time.
-				s.db.noteDLFMFailure(server, err)
-				s.dropPart(server)
-			}
+			begun = append(begun, p)
+		}
+	}
+	sort.Slice(begun, func(i, j int) bool { return begun[i].server < begun[j].server })
+	outs := s.db.fanoutParts(begun, false, false, func(p *participant) (rpc.Response, error) {
+		return p.client.Call(rpc.AbortReq{Txn: s.txn})
+	})
+	for i := range outs {
+		if outs[i].err != nil {
+			// The abort is lost with the server; presumed abort covers
+			// it at resolution time.
+			s.db.noteDLFMFailure(outs[i].p.server, outs[i].err)
+			s.dropPart(outs[i].p.server)
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -488,75 +490,105 @@ func (db *DB) Load(table string, cols []string, rows []value.Row) (int64, error)
 // transactions it resolved. The paper's host runs this at restart and from
 // a polling daemon while a DLFM is unreachable (Section 3.3).
 func (db *DB) ResolveIndoubts() (int, error) {
-	c := db.eng.Connect()
+	servers := db.Servers()
+	sort.Strings(servers)
+	// One goroutine per DLFM, bounded by the commit fan-out limit: a
+	// server that is down (dial timing out) must not delay resolution on
+	// the healthy ones. Each goroutine uses its own engine connection for
+	// the outcome lookups — engine.Conn is single-caller.
+	var (
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, db.fanLimit())
+		total atomic.Int64
+		errs  = make([]error, len(servers))
+	)
+	for i, server := range servers {
+		wg.Add(1)
+		go func(i int, server string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n, err := db.resolveServerIndoubts(server)
+			total.Add(int64(n))
+			errs[i] = err
+		}(i, server)
+	}
+	wg.Wait()
+	resolved := int(total.Load())
+	for _, err := range errs {
+		if err != nil {
+			return resolved, err
+		}
+	}
+	return resolved, nil
+}
+
+// resolveServerIndoubts settles one DLFM's prepared-but-unresolved
+// transactions and reports how many it resolved.
+func (db *DB) resolveServerIndoubts(server string) (int, error) {
 	resolved := 0
-	for _, server := range db.Servers() {
-		dial, err := db.dialer(server)
-		if err != nil {
+	dial, err := db.dialer(server)
+	if err != nil {
+		return 0, nil
+	}
+	client, err := dial()
+	if err != nil {
+		db.noteDLFMFailure(server, err)
+		return 0, nil // DLFM down; the daemon retries later
+	}
+	defer client.Close()
+	resp, callErr := client.Call(rpc.ListIndoubtReq{})
+	if callErr != nil || !resp.OK() {
+		if callErr != nil {
+			db.noteDLFMFailure(server, callErr)
+		}
+		return 0, nil
+	}
+	db.noteDLFMSuccess(server)
+	c := db.eng.Connect()
+	for _, txn := range resp.Txns {
+		// A prepared transaction whose coordinator session is still
+		// alive is not in doubt: the session will harden and drive its
+		// own decision. Presuming abort here would race a live commit
+		// (failover runs this mid-traffic against healthy DLFMs too).
+		if db.txnActive(txn) {
 			continue
 		}
-		client, err := dial()
+		n, _, err := c.QueryInt(`SELECT COUNT(*) FROM dl_outcome WHERE txnid = ?`, value.Int(txn))
 		if err != nil {
-			db.noteDLFMFailure(server, err)
-			continue // DLFM down; the daemon retries later
+			return resolved, err
 		}
-		resp, callErr := client.Call(rpc.ListIndoubtReq{})
-		if callErr != nil || !resp.OK() {
-			if callErr != nil {
-				db.noteDLFMFailure(server, callErr)
+		if err := c.Commit(); err != nil {
+			return resolved, err
+		}
+		decision := "abort" // presumed abort
+		if n > 0 {
+			decision = "commit"
+		} else {
+			// An XA branch's outcome lives in the engine log, reached
+			// through the dl_xa mapping; "wait" means the global
+			// coordinator has not decided yet.
+			xa, err := db.xaOutcome(txn)
+			if err != nil {
+				return resolved, err
 			}
-			client.Close()
-			continue
-		}
-		db.noteDLFMSuccess(server)
-		for _, txn := range resp.Txns {
-			// A prepared transaction whose coordinator session is still
-			// alive is not in doubt: the session will harden and drive its
-			// own decision. Presuming abort here would race a live commit
-			// (failover runs this mid-traffic against healthy DLFMs too).
-			if db.txnActive(txn) {
+			switch xa {
+			case "commit":
+				decision = "commit"
+			case "wait":
 				continue
 			}
-			n, _, err := c.QueryInt(`SELECT COUNT(*) FROM dl_outcome WHERE txnid = ?`, value.Int(txn))
-			if err != nil {
-				client.Close()
-				return resolved, err
-			}
-			if err := c.Commit(); err != nil {
-				client.Close()
-				return resolved, err
-			}
-			decision := "abort" // presumed abort
-			if n > 0 {
-				decision = "commit"
-			} else {
-				// An XA branch's outcome lives in the engine log, reached
-				// through the dl_xa mapping; "wait" means the global
-				// coordinator has not decided yet.
-				xa, err := db.xaOutcome(txn)
-				if err != nil {
-					client.Close()
-					return resolved, err
-				}
-				switch xa {
-				case "commit":
-					decision = "commit"
-				case "wait":
-					continue
-				}
-			}
-			var r rpc.Response
-			if decision == "commit" {
-				r, callErr = client.Call(rpc.CommitReq{Txn: txn})
-			} else {
-				r, callErr = client.Call(rpc.AbortReq{Txn: txn})
-			}
-			if callErr == nil && r.OK() {
-				resolved++
-				db.stats.IndoubtsResolved.Add(1)
-			}
 		}
-		client.Close()
+		var r rpc.Response
+		if decision == "commit" {
+			r, callErr = client.Call(rpc.CommitReq{Txn: txn})
+		} else {
+			r, callErr = client.Call(rpc.AbortReq{Txn: txn})
+		}
+		if callErr == nil && r.OK() {
+			resolved++
+			db.stats.IndoubtsResolved.Add(1)
+		}
 	}
 	return resolved, nil
 }

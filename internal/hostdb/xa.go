@@ -39,16 +39,20 @@ func (s *Session) PrepareGlobal() error {
 		s.rollbackInternal()
 		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
 	}
-	// Cascade phase 1 to every enlisted DLFM.
-	for _, p := range s.sortedParts() {
-		resp, err := p.client.Call(rpc.PrepareReq{Txn: s.txn})
-		if err != nil || !resp.OK() {
-			s.rollbackInternal()
-			if err != nil {
-				return fmt.Errorf("%w: prepare at %s: %v", ErrTxnRolledBack, p.server, err)
-			}
-			return fmt.Errorf("%w: prepare at %s: %s: %s", ErrTxnRolledBack, p.server, resp.Code, resp.Msg)
+	// Cascade phase 1 to every enlisted DLFM, fanned out like Commit's.
+	outs := s.db.fanoutParts(s.sortedParts(), true, true, func(p *participant) (rpc.Response, error) {
+		return p.client.Call(rpc.PrepareReq{Txn: s.txn})
+	})
+	for i := range outs {
+		o := &outs[i]
+		if o.skipped || !o.failed() {
+			continue
 		}
+		s.rollbackInternal()
+		if o.err != nil {
+			return fmt.Errorf("%w: prepare at %s: %v", ErrTxnRolledBack, o.p.server, o.err)
+		}
+		return fmt.Errorf("%w: prepare at %s: %s: %s", ErrTxnRolledBack, o.p.server, o.resp.Code, o.resp.Msg)
 	}
 	// Harden the host branch.
 	if err := s.conn.PrepareTxn(); err != nil {
@@ -71,9 +75,9 @@ func (s *Session) CommitGlobal() error {
 	if err := s.conn.CommitPrepared(); err != nil {
 		return err
 	}
-	for _, p := range s.sortedParts() {
-		p.client.Call(rpc.CommitReq{Txn: s.txn}) //nolint:errcheck
-	}
+	s.db.fanoutParts(s.sortedParts(), false, false, func(p *participant) (rpc.Response, error) {
+		return p.client.Call(rpc.CommitReq{Txn: s.txn}) // errors settle via indoubt resolution
+	})
 	s.db.stats.Commits.Add(1)
 	s.finishTxn()
 	return nil

@@ -3,8 +3,10 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -100,6 +102,12 @@ type Config struct {
 	// DetectDeadlocks enables the local waits-for cycle detector. When
 	// false only the timeout breaks deadlocks.
 	DetectDeadlocks bool
+	// Shards partitions the lock table by table-name hash into this many
+	// independently-locked shards, so sessions on different tables never
+	// contend on one global mutex. Zero defaults to 16; 1 restores the
+	// single-mutex manager. All of a table's table/row/key locks land in
+	// the same shard, which keeps escalation shard-local.
+	Shards int
 	// Obs, when set, exposes the manager's counters and the lock-wait
 	// histogram on the registry (lock_* metric names).
 	Obs *obs.Registry
@@ -108,13 +116,17 @@ type Config struct {
 	Tracer *obs.Tracer
 }
 
+// defaultShards is the shard count when Config.Shards is zero.
+const defaultShards = 16
+
 // Stats counts lock-manager events; all counters are cumulative.
 type Stats struct {
-	Acquisitions int64 // granted requests (including conversions)
-	Waits        int64 // requests that had to block
-	Deadlocks    int64 // requests aborted by the deadlock detector
-	Timeouts     int64 // requests aborted by timeout
-	Escalations  int64 // row->table escalations performed
+	Acquisitions    int64 // granted requests (including conversions)
+	Waits           int64 // requests that had to block
+	Deadlocks       int64 // requests aborted by the deadlock detector
+	Timeouts        int64 // requests aborted by timeout
+	Escalations     int64 // row->table escalations performed
+	ShardContention int64 // shard-mutex acquisitions that found it busy
 }
 
 type waiter struct {
@@ -142,21 +154,41 @@ type txnState struct {
 	escalated map[string]bool
 }
 
-// Manager is the lock manager. All public methods are safe for concurrent
-// use.
-type Manager struct {
+// shard is one partition of the lock table. locks holds every target whose
+// table hashes here; txns holds the per-transaction state for those same
+// tables (a transaction touching k distinct shards has k txnState slices).
+type shard struct {
 	mu    sync.Mutex
 	locks map[Target]*lockState
 	txns  map[int64]*txnState
-	cfg   Config
+}
 
-	held int64 // total held locks, for LockListSize
+// Manager is the lock manager. All public methods are safe for concurrent
+// use. State is partitioned into shards by table-name hash; a single
+// request only ever locks its own shard, except the deadlock detector,
+// which briefly locks every shard (in index order, so concurrent detectors
+// serialize instead of deadlocking) to take a consistent global waits-for
+// snapshot.
+type Manager struct {
+	shards []*shard
+	cfg    Config
+
+	// timeout is the lock-wait bound in nanoseconds (atomic so SetTimeout
+	// does not need any shard mutex).
+	timeout atomic.Int64
+	// held is the global held-lock count backing LockListSize and the
+	// lock_held gauge.
+	held atomic.Int64
 
 	acquisitions obs.Counter
 	waits        obs.Counter
 	deadlocks    obs.Counter
 	timeouts     obs.Counter
 	escalations  obs.Counter
+	// contention counts shard-mutex acquisitions that found the mutex
+	// already held (lock_shard_contention) — the signal the shard count
+	// is too low for the workload.
+	contention obs.Counter
 
 	// waitHist records how long blocked requests waited — the direct
 	// measurement behind the paper's 60 s timeout tuning (experiment E7).
@@ -166,70 +198,132 @@ type Manager struct {
 
 // NewManager returns a lock manager with the given configuration.
 func NewManager(cfg Config) *Manager {
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
 	m := &Manager{
-		locks:    make(map[Target]*lockState),
-		txns:     make(map[int64]*txnState),
+		shards:   make([]*shard, n),
 		cfg:      cfg,
 		waitHist: obs.NewHistogram(),
 		tracer:   cfg.Tracer,
 	}
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			locks: make(map[Target]*lockState),
+			txns:  make(map[int64]*txnState),
+		}
+	}
+	m.timeout.Store(int64(cfg.Timeout))
 	if cfg.Obs != nil {
 		cfg.Obs.RegisterCounter("lock_acquisitions_total", &m.acquisitions)
 		cfg.Obs.RegisterCounter("lock_waits_total", &m.waits)
 		cfg.Obs.RegisterCounter("lock_deadlocks_total", &m.deadlocks)
 		cfg.Obs.RegisterCounter("lock_timeouts_total", &m.timeouts)
 		cfg.Obs.RegisterCounter("lock_escalations_total", &m.escalations)
+		cfg.Obs.RegisterCounter("lock_shard_contention", &m.contention)
 		cfg.Obs.RegisterHistogram("lock_wait_seconds", m.waitHist)
 		cfg.Obs.GaugeFunc("lock_held", func() float64 {
-			m.mu.Lock()
-			defer m.mu.Unlock()
-			return float64(m.held)
+			return float64(m.held.Load())
 		})
 		cfg.Obs.GaugeFunc("lock_txns", func() float64 {
-			m.mu.Lock()
-			defer m.mu.Unlock()
-			return float64(len(m.txns))
+			m.lockAll()
+			defer m.unlockAll()
+			return float64(len(m.txnSetLocked()))
 		})
 	}
 	return m
 }
 
+// shardFor maps a target to its shard. Hashing only the table name keeps
+// every lock of one table — and therefore the whole escalation dance — in
+// a single shard.
+func (m *Manager) shardFor(tg Target) *shard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(tg.Table)) //nolint:errcheck
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// lockShard takes a shard mutex, counting the acquisitions that had to
+// contend.
+func (m *Manager) lockShard(sh *shard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	m.contention.Add(1)
+	sh.mu.Lock()
+}
+
+// lockAll/unlockAll bracket the stop-the-world sections (deadlock
+// detection, Dump, the lock_txns gauge). Always in index order so two
+// concurrent detectors serialize on shard 0 instead of deadlocking on each
+// other.
+func (m *Manager) lockAll() {
+	for _, sh := range m.shards {
+		m.lockShard(sh)
+	}
+}
+
+func (m *Manager) unlockAll() {
+	for _, sh := range m.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// txnSetLocked returns the set of live transaction ids. Caller holds all
+// shard mutexes.
+func (m *Manager) txnSetLocked() map[int64]struct{} {
+	set := make(map[int64]struct{})
+	for _, sh := range m.shards {
+		for id := range sh.txns {
+			set[id] = struct{}{}
+		}
+	}
+	return set
+}
+
 // SetTimeout changes the lock-wait timeout for subsequent requests.
 func (m *Manager) SetTimeout(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cfg.Timeout = d
+	m.timeout.Store(int64(d))
 }
 
 // Stats returns a snapshot of the cumulative counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Acquisitions: m.acquisitions.Load(),
-		Waits:        m.waits.Load(),
-		Deadlocks:    m.deadlocks.Load(),
-		Timeouts:     m.timeouts.Load(),
-		Escalations:  m.escalations.Load(),
+		Acquisitions:    m.acquisitions.Load(),
+		Waits:           m.waits.Load(),
+		Deadlocks:       m.deadlocks.Load(),
+		Timeouts:        m.timeouts.Load(),
+		Escalations:     m.escalations.Load(),
+		ShardContention: m.contention.Load(),
 	}
 }
 
-func (m *Manager) txn(id int64) *txnState {
-	ts := m.txns[id]
+// txn returns (creating if needed) txn's state slice in sh. Caller holds
+// sh.mu.
+func (sh *shard) txn(id int64) *txnState {
+	ts := sh.txns[id]
 	if ts == nil {
 		ts = &txnState{
 			held:      make(map[Target]Mode),
 			rowLocks:  make(map[string]int),
 			escalated: make(map[string]bool),
 		}
-		m.txns[id] = ts
+		sh.txns[id] = ts
 	}
 	return ts
 }
 
-func (m *Manager) state(tg Target) *lockState {
-	ls := m.locks[tg]
+// state returns (creating if needed) the lock state for tg in sh. Caller
+// holds sh.mu.
+func (sh *shard) state(tg Target) *lockState {
+	ls := sh.locks[tg]
 	if ls == nil {
 		ls = &lockState{target: tg, holders: make(map[int64]Mode)}
-		m.locks[tg] = ls
+		sh.locks[tg] = ls
 	}
 	return ls
 }
@@ -237,43 +331,44 @@ func (m *Manager) state(tg Target) *lockState {
 // Acquire obtains (or converts to) mode on target for txn, blocking until
 // granted, deadlock, or timeout. Re-requesting a covered mode is a no-op.
 func (m *Manager) Acquire(txn int64, tg Target, mode Mode) error {
-	m.mu.Lock()
+	sh := m.shardFor(tg)
+	m.lockShard(sh)
 
-	ts := m.txn(txn)
+	ts := sh.txn(txn)
 
 	// Escalated table lock subsumes row/key requests on that table.
 	if tg.Gran != GranTable && ts.escalated[tg.Table] {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 
 	held := ts.held[tg]
 	want := Join(held, mode)
 	if want == held && held != None {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 
 	// Escalation check before taking yet another fine-grained lock.
 	if tg.Gran != GranTable {
-		forced := m.cfg.LockListSize > 0 && int(m.held) >= m.cfg.LockListSize
+		forced := m.cfg.LockListSize > 0 && int(m.held.Load()) >= m.cfg.LockListSize
 		if (m.cfg.EscalationThreshold > 0 && ts.rowLocks[tg.Table] >= m.cfg.EscalationThreshold) || forced {
-			return m.escalateLocked(txn, ts, tg.Table, mode)
+			return m.escalateLocked(sh, txn, ts, tg.Table, mode)
 		}
 	}
 
-	err := m.acquireLocked(txn, ts, tg, want, held)
+	err := m.acquireLocked(sh, txn, ts, tg, want, held)
 	return err
 }
 
-// acquireLocked performs the grant/wait protocol. Called with m.mu held;
+// acquireLocked performs the grant/wait protocol. Called with sh.mu held;
 // returns with it released.
-func (m *Manager) acquireLocked(txn int64, ts *txnState, tg Target, want, held Mode) error {
-	ls := m.state(tg)
+func (m *Manager) acquireLocked(sh *shard, txn int64, ts *txnState, tg Target, want, held Mode) error {
+	ls := sh.state(tg)
 
-	if m.grantableLocked(ls, txn, want, held != None) {
+	if grantableLocked(ls, txn, want, held != None) {
 		m.grantLocked(ls, ts, txn, tg, want, held)
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 
@@ -293,17 +388,21 @@ func (m *Manager) acquireLocked(txn int64, ts *txnState, tg Target, want, held M
 	}
 	m.waits.Add(1)
 	m.tracer.Emitf(txn, "lock", "lock_wait", "%s on %s", want, tg)
+	sh.mu.Unlock()
 
-	if m.cfg.DetectDeadlocks && m.cycleLocked(txn) {
-		m.removeWaiterLocked(ls, w)
+	// The cycle may span shards (txn A waits in shard 1 for B, B waits in
+	// shard 2 for A), so detection needs a consistent global snapshot:
+	// every shard mutex, taken in index order. If a grant raced the window
+	// between enqueue and snapshot, the waiter is out of its queue and
+	// contributes no edges, so the DFS finds nothing and we fall through
+	// to the (already signalled) wait.
+	if m.cfg.DetectDeadlocks && m.detectDeadlock(sh, ls, w) {
 		m.deadlocks.Add(1)
-		m.mu.Unlock()
 		m.tracer.Emitf(txn, "lock", "lock_deadlock", "%s on %s", want, tg)
 		return fmt.Errorf("%w (txn %d requesting %s on %s)", ErrDeadlock, txn, want, tg)
 	}
 
-	timeout := m.cfg.Timeout
-	m.mu.Unlock()
+	timeout := time.Duration(m.timeout.Load())
 
 	waitStart := time.Now()
 	var timer *time.Timer
@@ -320,29 +419,46 @@ func (m *Manager) acquireLocked(txn int64, ts *txnState, tg Target, want, held M
 		m.tracer.Emitf(txn, "lock", "lock_grant", "%s on %s after %v", want, tg, time.Since(waitStart).Round(time.Microsecond))
 		return nil
 	case <-timeoutC:
-		m.mu.Lock()
+		m.lockShard(sh)
 		// A grant may have raced the timer.
 		select {
 		case <-w.granted:
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			m.waitHist.Observe(time.Since(waitStart))
 			return nil
 		default:
 		}
-		m.removeWaiterLocked(ls, w)
+		m.removeWaiterLocked(sh, ls, w)
 		m.timeouts.Add(1)
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		m.waitHist.Observe(time.Since(waitStart))
 		m.tracer.Emitf(txn, "lock", "lock_timeout", "%s on %s after %v", want, tg, timeout)
 		return fmt.Errorf("%w (txn %d requesting %s on %s after %v)", ErrTimeout, txn, want, tg, timeout)
 	}
 }
 
+// detectDeadlock takes the global snapshot and, if w's request closed a
+// waits-for cycle, removes w as the victim. Called with no shard mutex
+// held; the all-shard lock serializes concurrent detectors, so the first
+// one breaks the cycle and the second finds it already broken.
+func (m *Manager) detectDeadlock(sh *shard, ls *lockState, w *waiter) bool {
+	m.lockAll()
+	defer m.unlockAll()
+	if w.removed {
+		return false
+	}
+	if !m.cycleLocked(w.txn) {
+		return false
+	}
+	m.removeWaiterLocked(sh, ls, w)
+	return true
+}
+
 // grantableLocked reports whether txn may hold mode on ls right now.
 // Conversions only check the holders; fresh requests also respect FIFO
 // fairness (no grant while earlier waiters queue, unless fully compatible
 // with them too).
-func (m *Manager) grantableLocked(ls *lockState, txn int64, mode Mode, convert bool) bool {
+func grantableLocked(ls *lockState, txn int64, mode Mode, convert bool) bool {
 	for h, hm := range ls.holders {
 		if h == txn {
 			continue
@@ -369,7 +485,7 @@ func (m *Manager) grantLocked(ls *lockState, ts *txnState, txn int64, tg Target,
 	ls.holders[txn] = want
 	ts.held[tg] = want
 	if held == None {
-		m.held++
+		m.held.Add(1)
 		if tg.Gran != GranTable {
 			ts.rowLocks[tg.Table]++
 		}
@@ -377,7 +493,7 @@ func (m *Manager) grantLocked(ls *lockState, ts *txnState, txn int64, tg Target,
 	m.acquisitions.Add(1)
 }
 
-func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter) {
+func (m *Manager) removeWaiterLocked(sh *shard, ls *lockState, w *waiter) {
 	w.removed = true
 	for i, q := range ls.queue {
 		if q == w {
@@ -386,12 +502,12 @@ func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter) {
 		}
 	}
 	// Our departure may unblock FIFO successors.
-	m.sweepQueueLocked(ls)
+	m.sweepQueueLocked(sh, ls)
 }
 
 // sweepQueueLocked grants queued waiters, conversions first, then FIFO,
 // stopping at the first non-grantable fresh request.
-func (m *Manager) sweepQueueLocked(ls *lockState) {
+func (m *Manager) sweepQueueLocked(sh *shard, ls *lockState) {
 	for i := 0; i < len(ls.queue); {
 		w := ls.queue[i]
 		if w.removed {
@@ -414,7 +530,7 @@ func (m *Manager) sweepQueueLocked(ls *lockState) {
 		}
 		// Grant.
 		ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-		ts := m.txn(w.txn)
+		ts := sh.txn(w.txn)
 		tg := ls.target
 		held := ts.held[tg]
 		m.grantLocked(ls, ts, w.txn, tg, w.mode, held)
@@ -423,8 +539,9 @@ func (m *Manager) sweepQueueLocked(ls *lockState) {
 }
 
 // escalateLocked converts txn's row/key locks on table into a single table
-// lock. Called with m.mu held; returns with it released.
-func (m *Manager) escalateLocked(txn int64, ts *txnState, table string, reqMode Mode) error {
+// lock. Because targets shard by table name, everything it touches lives
+// in sh. Called with sh.mu held; returns with it released.
+func (m *Manager) escalateLocked(sh *shard, txn int64, ts *txnState, table string, reqMode Mode) error {
 	// Table mode: X if the transaction writes (holds or wants X/IX),
 	// otherwise S.
 	tmode := S
@@ -444,27 +561,27 @@ func (m *Manager) escalateLocked(txn int64, ts *txnState, table string, reqMode 
 	m.escalations.Add(1)
 	m.tracer.Emitf(txn, "lock", "lock_escalation", "%s to %s (%d row locks)", table, want, ts.rowLocks[table])
 
-	if err := m.acquireLocked(txn, ts, tgt, want, held); err != nil {
+	if err := m.acquireLocked(sh, txn, ts, tgt, want, held); err != nil {
 		return err
 	}
 
 	// Drop the fine-grained locks now covered by the table lock.
-	m.mu.Lock()
-	ts = m.txns[txn]
+	m.lockShard(sh)
+	ts = sh.txns[txn]
 	if ts != nil {
 		ts.escalated[table] = true
 		for tg := range ts.held {
 			if tg.Table == table && tg.Gran != GranTable {
-				m.releaseOneLocked(txn, ts, tg)
+				m.releaseOneLocked(sh, txn, ts, tg)
 			}
 		}
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	return nil
 }
 
-func (m *Manager) releaseOneLocked(txn int64, ts *txnState, tg Target) {
-	ls := m.locks[tg]
+func (m *Manager) releaseOneLocked(sh *shard, txn int64, ts *txnState, tg Target) {
+	ls := sh.locks[tg]
 	if ls == nil {
 		return
 	}
@@ -473,59 +590,63 @@ func (m *Manager) releaseOneLocked(txn int64, ts *txnState, tg Target) {
 	}
 	delete(ls.holders, txn)
 	delete(ts.held, tg)
-	m.held--
+	m.held.Add(-1)
 	if tg.Gran != GranTable {
 		ts.rowLocks[tg.Table]--
 	}
-	m.sweepQueueLocked(ls)
+	m.sweepQueueLocked(sh, ls)
 	if len(ls.holders) == 0 && len(ls.queue) == 0 {
-		delete(m.locks, tg)
+		delete(sh.locks, tg)
 	}
 }
 
 // Release drops txn's lock on target, if held. Used for instant-duration
 // next-key locks on insert.
 func (m *Manager) Release(txn int64, tg Target) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts := m.txns[txn]
+	sh := m.shardFor(tg)
+	m.lockShard(sh)
+	defer sh.mu.Unlock()
+	ts := sh.txns[txn]
 	if ts == nil {
 		return
 	}
-	m.releaseOneLocked(txn, ts, tg)
+	m.releaseOneLocked(sh, txn, ts, tg)
 }
 
 // ReleaseAll drops every lock txn holds (commit/rollback).
 func (m *Manager) ReleaseAll(txn int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts := m.txns[txn]
-	if ts == nil {
-		return
+	for _, sh := range m.shards {
+		m.lockShard(sh)
+		if ts := sh.txns[txn]; ts != nil {
+			for tg := range ts.held {
+				m.releaseOneLocked(sh, txn, ts, tg)
+			}
+			delete(sh.txns, txn)
+		}
+		sh.mu.Unlock()
 	}
-	for tg := range ts.held {
-		m.releaseOneLocked(txn, ts, tg)
-	}
-	delete(m.txns, txn)
 }
 
 // HeldCount returns the number of locks txn currently holds (diagnostics
 // and tests).
 func (m *Manager) HeldCount(txn int64) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts := m.txns[txn]
-	if ts == nil {
-		return 0
+	n := 0
+	for _, sh := range m.shards {
+		m.lockShard(sh)
+		if ts := sh.txns[txn]; ts != nil {
+			n += len(ts.held)
+		}
+		sh.mu.Unlock()
 	}
-	return len(ts.held)
+	return n
 }
 
 // Holds reports the mode txn holds on target (None if not held).
 func (m *Manager) Holds(txn int64, tg Target) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts := m.txns[txn]
+	sh := m.shardFor(tg)
+	m.lockShard(sh)
+	defer sh.mu.Unlock()
+	ts := sh.txns[txn]
 	if ts == nil {
 		return None
 	}
@@ -560,56 +681,39 @@ type Dump struct {
 	Txns      int               `json:"txns"`
 }
 
-// Dump captures the live lock table. Diagnostics only: it holds the
-// manager mutex while copying, so scrape it, don't poll it hot.
+// Dump captures the live lock table. Diagnostics only: it holds every
+// shard mutex while copying, so scrape it, don't poll it hot.
 func (m *Manager) Dump() Dump {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	d := Dump{HeldTotal: m.held, Txns: len(m.txns)}
-	for _, ls := range m.locks {
-		dl := DumpLock{Target: ls.target.String(), Holders: make(map[int64]string, len(ls.holders))}
-		for txn, mode := range ls.holders {
-			dl.Holders[txn] = mode.String()
-		}
-		for _, w := range ls.queue {
-			if w.removed {
-				continue
+	m.lockAll()
+	defer m.unlockAll()
+	d := Dump{HeldTotal: m.held.Load(), Txns: len(m.txnSetLocked())}
+	for _, sh := range m.shards {
+		for _, ls := range sh.locks {
+			dl := DumpLock{Target: ls.target.String(), Holders: make(map[int64]string, len(ls.holders))}
+			for txn, mode := range ls.holders {
+				dl.Holders[txn] = mode.String()
 			}
-			dl.Queue = append(dl.Queue, DumpWaiter{Txn: w.txn, Mode: w.mode.String(), Convert: w.convert})
+			for _, w := range ls.queue {
+				if w.removed {
+					continue
+				}
+				dl.Queue = append(dl.Queue, DumpWaiter{Txn: w.txn, Mode: w.mode.String(), Convert: w.convert})
+			}
+			d.Locks = append(d.Locks, dl)
 		}
-		d.Locks = append(d.Locks, dl)
 	}
 	sort.Slice(d.Locks, func(i, j int) bool { return d.Locks[i].Target < d.Locks[j].Target })
 
-	edges := make(map[int64]map[int64]bool)
-	addEdge := func(from, to int64) {
-		if edges[from] == nil {
-			edges[from] = make(map[int64]bool)
-		}
-		edges[from][to] = true
-	}
-	for _, ls := range m.locks {
-		for qi, w := range ls.queue {
-			if w.removed {
-				continue
-			}
-			for h, hm := range ls.holders {
-				if h != w.txn && !Compatible(hm, w.mode) {
-					addEdge(w.txn, h)
-				}
-			}
-			for _, ahead := range ls.queue[:qi] {
-				if !ahead.removed && ahead.txn != w.txn && !Compatible(ahead.mode, w.mode) {
-					addEdge(w.txn, ahead.txn)
-				}
-			}
-		}
-	}
+	edges := m.edgesLocked()
 	if len(edges) > 0 {
 		d.WaitsFor = make(map[int64][]int64, len(edges))
 		for from, tos := range edges {
-			for to := range tos {
-				d.WaitsFor[from] = append(d.WaitsFor[from], to)
+			seen := make(map[int64]bool)
+			for _, to := range tos {
+				if !seen[to] {
+					seen[to] = true
+					d.WaitsFor[from] = append(d.WaitsFor[from], to)
+				}
 			}
 			sort.Slice(d.WaitsFor[from], func(i, j int) bool { return d.WaitsFor[from][i] < d.WaitsFor[from][j] })
 		}
@@ -617,28 +721,38 @@ func (m *Manager) Dump() Dump {
 	return d
 }
 
-// cycleLocked reports whether txn participates in a waits-for cycle. Edges:
-// each waiter waits for every conflicting holder of its lock and for every
-// conflicting waiter queued ahead of it.
-func (m *Manager) cycleLocked(start int64) bool {
+// edgesLocked builds the global waits-for graph: each waiter waits for
+// every conflicting holder of its lock and for every conflicting waiter
+// queued ahead of it. Caller holds all shard mutexes.
+func (m *Manager) edgesLocked() map[int64][]int64 {
 	edges := make(map[int64][]int64)
-	for _, ls := range m.locks {
-		for qi, w := range ls.queue {
-			if w.removed {
-				continue
-			}
-			for h, hm := range ls.holders {
-				if h != w.txn && !Compatible(hm, w.mode) {
-					edges[w.txn] = append(edges[w.txn], h)
+	for _, sh := range m.shards {
+		for _, ls := range sh.locks {
+			for qi, w := range ls.queue {
+				if w.removed {
+					continue
 				}
-			}
-			for _, ahead := range ls.queue[:qi] {
-				if !ahead.removed && ahead.txn != w.txn && !Compatible(ahead.mode, w.mode) {
-					edges[w.txn] = append(edges[w.txn], ahead.txn)
+				for h, hm := range ls.holders {
+					if h != w.txn && !Compatible(hm, w.mode) {
+						edges[w.txn] = append(edges[w.txn], h)
+					}
+				}
+				for _, ahead := range ls.queue[:qi] {
+					if !ahead.removed && ahead.txn != w.txn && !Compatible(ahead.mode, w.mode) {
+						edges[w.txn] = append(edges[w.txn], ahead.txn)
+					}
 				}
 			}
 		}
 	}
+	return edges
+}
+
+// cycleLocked reports whether txn participates in a waits-for cycle.
+// Caller holds all shard mutexes (the snapshot must be globally
+// consistent — cycles routinely span shards).
+func (m *Manager) cycleLocked(start int64) bool {
+	edges := m.edgesLocked()
 	// DFS from start looking for a cycle back to start.
 	seen := make(map[int64]bool)
 	var dfs func(n int64) bool

@@ -1,0 +1,98 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression for the async-path deadline hole: Go used to skip the per-call
+// deadline entirely, so a hung DLFM parked the decode goroutine holding the
+// client mutex forever and every later call wedged behind it. Now Go
+// applies the same deadline as Call: the async result carries
+// ErrCallTimeout and the client recovers with a fresh connection.
+func TestGoAppliesCallDeadline(t *testing.T) {
+	f := &echoFactory{delay: 400 * time.Millisecond}
+	c := LocalPair(f)
+	defer c.Close()
+	c.SetCallTimeout(30 * time.Millisecond)
+
+	ch := c.Go(PingReq{})
+	select {
+	case res := <-ch:
+		if !errors.Is(res.Err, ErrCallTimeout) {
+			t.Fatalf("Go result = %+v, want ErrCallTimeout", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Go never delivered a result: client wedged on stalled server")
+	}
+
+	// The client must not be wedged: a follow-up Call gets a fresh
+	// connection (and a fresh, fast agent) and succeeds promptly.
+	c.SetCallTimeout(time.Second)
+	f.delay = 0
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(PingReq{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("follow-up Call after Go timeout: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follow-up Call hung: stalled Go wedged the client")
+	}
+}
+
+// Concurrent calls on one client are demultiplexed by sequence id: every
+// caller gets the reply to its own request, never a neighbour's.
+func TestPipelinedCallsDemuxBySequence(t *testing.T) {
+	c := LocalPair(&echoFactory{})
+	defer c.Close()
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("/data/f%d", i)
+			resp, err := c.Call(LinkFileReq{Name: name, RecID: int64(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Msg != "linked:"+name || resp.N != int64(i) {
+				errs <- fmt.Errorf("call %d got foreign reply %+v", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Closing a client fails its in-flight calls instead of leaking them.
+func TestCloseFailsInflightCalls(t *testing.T) {
+	hostSide, dlfmSide := net.Pipe()
+	go ServeConn(dlfmSide, &echoAgent{delay: 5 * time.Second})
+	c := NewClient(hostSide) // no redial: failure must surface, not retry
+	ch := c.Go(PingReq{})
+	time.Sleep(10 * time.Millisecond) // let the request reach the server
+	c.Close()
+	select {
+	case res := <-ch:
+		if res.Err == nil {
+			t.Fatalf("in-flight call after Close returned %+v, want error", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call never failed after Close")
+	}
+}

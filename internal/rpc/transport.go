@@ -15,7 +15,21 @@ import (
 )
 
 // envelope wraps the request for gob so the concrete type travels with it.
-type envelope struct{ Req any }
+// Seq tags the request so the client can demultiplex replies: several calls
+// may be in flight on one connection, and replies carry the sequence id of
+// the request they answer. The server still handles requests serially and
+// in arrival order, so replies also arrive in order — the id is what lets
+// the client pipeline sends without convoying every caller on one mutex.
+type envelope struct {
+	Seq uint64
+	Req any
+}
+
+// reply pairs a Response with the sequence id of the request it answers.
+type reply struct {
+	Seq  uint64
+	Resp Response
+}
 
 // ErrCallTimeout marks a Call that exceeded its per-call deadline: the DLFM
 // stalled rather than died. The connection is severed (the reply, if it ever
@@ -29,6 +43,11 @@ const DefaultCallTimeout = 60 * time.Second
 // defaultRedialRetries bounds the reconnect/re-issue loop for idempotent
 // calls (capped exponential backoff with jitter between attempts).
 const defaultRedialRetries = 4
+
+// serverPipelineDepth bounds how many decoded-but-unhandled requests the
+// server buffers per connection. Beyond this the reader stops decoding and
+// the client's sends block — natural backpressure.
+const serverPipelineDepth = 16
 
 // Fault points woven through both transports (net.Pipe and TCP). The client
 // points fire with the request name as detail, so a chaos run can target
@@ -44,6 +63,7 @@ var rpcStats struct {
 	timeouts   obs.Counter
 	reconnects obs.Counter
 	reissues   obs.Counter
+	inflight   obs.Gauge
 }
 
 // Instrument registers the transport counters on reg.
@@ -51,6 +71,7 @@ func Instrument(reg *obs.Registry) {
 	reg.RegisterCounter("rpc_call_timeouts_total", &rpcStats.timeouts)
 	reg.RegisterCounter("rpc_reconnects_total", &rpcStats.reconnects)
 	reg.RegisterCounter("rpc_reissues_total", &rpcStats.reissues)
+	reg.GaugeFunc("rpc_inflight", func() float64 { return float64(rpcStats.inflight.Load()) })
 }
 
 // Stats returns the process-wide transport counters: call timeouts,
@@ -59,9 +80,15 @@ func Stats() (timeouts, reconnects, reissues int64) {
 	return rpcStats.timeouts.Load(), rpcStats.reconnects.Load(), rpcStats.reissues.Load()
 }
 
-// deadliner is the optional conn capability behind per-call deadlines; both
-// net.Conn and net.Pipe implement it.
-type deadliner interface{ SetDeadline(t time.Time) error }
+// Inflight reports the number of RPC calls currently awaiting a reply
+// across all clients in the process.
+func Inflight() int64 { return rpcStats.inflight.Load() }
+
+// writeDeadliner is the optional conn capability behind send deadlines;
+// both net.Conn and net.Pipe implement it. Only the write half is armed:
+// reads are owned by the per-connection reader goroutine, whose lifetime is
+// bounded by severing the connection, not by deadlines.
+type writeDeadliner interface{ SetWriteDeadline(t time.Time) error }
 
 // Agent serves one connection's requests — the paper's DLFM child agent.
 // Handle is called serially, one request at a time, in arrival order.
@@ -79,9 +106,21 @@ type AgentFactory interface {
 	NewAgent() Agent
 }
 
-// Client is the host side of one connection. Calls are serialized: a
-// second Call blocks until the first completes, mirroring the paper's
-// one-outstanding-request child-agent protocol.
+// pendingCall tracks one in-flight request awaiting its demuxed reply.
+// done is buffered (capacity 1) and receives exactly one CallResult: either
+// the matched reply or a transport error when the connection dies.
+type pendingCall struct {
+	req  any
+	done chan CallResult
+}
+
+// Client is the host side of one connection. Requests are tagged with a
+// sequence id and may be pipelined: concurrent Calls are all written to the
+// connection immediately and a single reader goroutine demultiplexes the
+// replies, so a host session's parallel prepare fan-out and the resolution
+// daemon no longer convoy on one mutex. The DLFM child agent still handles
+// requests serially in arrival order (see ServeConn), preserving the
+// paper's one-request-at-a-time child-agent semantics per connection.
 //
 // The client survives transport failures: a broken connection is redialled
 // (when a redial function is available — Dial, LocalPair, and
@@ -91,15 +130,39 @@ type AgentFactory interface {
 // connection. Non-idempotent requests fail fast once sent, but the next
 // Call still gets a fresh connection.
 type Client struct {
-	mu      sync.Mutex
-	conn    io.ReadWriteCloser
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	tracer  *obs.Tracer
-	redial  func() (io.ReadWriteCloser, error)
-	broken  bool
-	timeout time.Duration // per-call deadline; <0 disables
-	retries int           // reconnect/re-issue attempts
+	// sendMu serializes encodes and may be held across a blocking write.
+	// mu guards connection state and the pending map and is never held
+	// across I/O — the reader goroutine takes it between replies, so
+	// holding it through a stalled write would stop reply draining and
+	// deadlock the pipeline. Lock order: sendMu before mu.
+	sendMu sync.Mutex
+	mu     sync.Mutex
+	conn   io.ReadWriteCloser
+	enc    *gob.Encoder
+	tracer *obs.Tracer
+	redial func() (io.ReadWriteCloser, error)
+	broken bool
+	// idleSever records that the connection died with no calls in flight.
+	// The next send must surface one transport error (as a write to the
+	// dead conn would have) instead of transparently redialling: the
+	// server-side agent carried this client's transaction state, and a
+	// non-idempotent request (Prepare!) silently re-sent to a fresh agent
+	// would be adopted as an empty transaction and voted yes — breaking
+	// 2PC atomicity. Failing once routes the session through its normal
+	// participant-failure handling; idempotent requests retry through the
+	// redial exactly as they would have after a failed write.
+	idleSever bool
+	// severedByCall marks that the current connection was severed by a
+	// call path that already surfaced an error (send failure, injected
+	// fault, per-call timeout) — the reader must not also flag an idle
+	// death for it.
+	severedByCall bool
+	started       bool // reader goroutine running for current conn
+	gen           int  // connection generation; bumps on redial
+	seq           uint64
+	pending       map[uint64]*pendingCall // in-flight on the current connection
+	timeout       time.Duration           // per-call deadline; <0 disables
+	retries       int                     // reconnect/re-issue attempts
 }
 
 // SetTracer directs rpc_send/rpc_recv trace events at tr (nil disables).
@@ -119,7 +182,7 @@ func NewClient(conn io.ReadWriteCloser) *Client {
 	return &Client{
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
-		dec:     gob.NewDecoder(conn),
+		pending: make(map[uint64]*pendingCall),
 		timeout: DefaultCallTimeout,
 		retries: defaultRedialRetries,
 	}
@@ -154,13 +217,11 @@ func Dial(addr string) (*Client, error) {
 // always retried against a fresh connection; failures after are retried
 // only for idempotent requests.
 func (c *Client) Call(req any) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	bo := fault.Backoff{Base: 2 * time.Millisecond, Cap: 100 * time.Millisecond}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		sent := false
-		resp, err := c.callLocked(req, &sent)
+		resp, err := c.call1(req, &sent)
 		if err == nil {
 			return resp, nil
 		}
@@ -178,45 +239,181 @@ func (c *Client) Call(req any) (Response, error) {
 	}
 }
 
-// callLocked performs one send/receive on the current connection,
-// (re)establishing it first if needed. sent is set once the request may
-// have reached the server.
-func (c *Client) callLocked(req any, sent *bool) (Response, error) {
-	if err := c.ensureConn(); err != nil {
+// call1 performs one send and waits for the demuxed reply, applying the
+// per-call deadline. sent is set once the request may have reached the
+// server.
+func (c *Client) call1(req any, sent *bool) (Response, error) {
+	pc, gen, err := c.send(req, sent)
+	if err != nil {
 		return Response{}, err
+	}
+	// Fire the pre-receive fault point: an injected error here models the
+	// connection dropping after the request reached the server but before
+	// the reply came back (the classic idempotence window).
+	if ferr := fpRecvBefore.FireDetail(Name(req)); ferr != nil {
+		c.severGen(gen)
+		<-pc.done // consume the drain so the call completes exactly once
+		rpcStats.inflight.Add(-1)
+		return Response{}, fmt.Errorf("rpc: receive: %w", ferr)
+	}
+	timeout := c.callTimeout()
+	if timeout < 0 {
+		res := <-pc.done
+		return c.finish(pc, res)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-pc.done:
+		return c.finish(pc, res)
+	case <-timer.C:
+		// Prefer a reply that raced the timer.
+		select {
+		case res := <-pc.done:
+			return c.finish(pc, res)
+		default:
+		}
+		c.severGen(gen)
+		<-pc.done // reader drains every pending call once severed
+		rpcStats.inflight.Add(-1)
+		rpcStats.timeouts.Add(1)
+		return Response{}, fmt.Errorf("rpc: receive: %w: no reply within %v", ErrCallTimeout, timeout)
+	}
+}
+
+// finish completes one call's accounting and unwraps its result.
+func (c *Client) finish(pc *pendingCall, res CallResult) (Response, error) {
+	rpcStats.inflight.Add(-1)
+	if res.Err != nil {
+		return Response{}, res.Err
+	}
+	c.tracer.Emit(TxnOf(pc.req), "rpc", "rpc_recv", Name(pc.req))
+	return res.Resp, nil
+}
+
+// send encodes one request on the current connection, registering it in the
+// pending map first so the reader can match the reply no matter how quickly
+// it arrives. Returns the pending call and the connection generation it was
+// sent on.
+func (c *Client) send(req any, sent *bool) (*pendingCall, int, error) {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.mu.Lock()
+	if c.idleSever {
+		c.idleSever = false
+		*sent = true // as if the write to the dead conn had failed
+		c.mu.Unlock()
+		return nil, 0, errors.New("rpc: send: connection severed while idle")
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, 0, err
 	}
 	c.tracer.Emit(TxnOf(req), "rpc", "rpc_send", Name(req))
 	if err := fpSendBefore.FireDetail(Name(req)); err != nil {
-		c.sever()
-		return Response{}, fmt.Errorf("rpc: send: %w", err)
+		c.severLocked()
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("rpc: send: %w", err)
 	}
-	c.setDeadline()
+	c.seq++
+	seq := c.seq
+	pc := &pendingCall{req: req, done: make(chan CallResult, 1)}
+	c.pending[seq] = pc
+	if c.timeout == 0 {
+		c.timeout = DefaultCallTimeout
+	}
+	enc, conn, gen, timeout := c.enc, c.conn, c.gen, c.timeout
+	c.mu.Unlock()
+	// Encode outside mu: a stalled peer blocks the write (bounded by the
+	// deadline below) and must not stop the reader from draining replies.
+	// sendMu is still held, so no other sender or redial can interleave.
 	*sent = true
-	if err := c.enc.Encode(envelope{Req: req}); err != nil {
-		c.sever()
-		return Response{}, c.transportErr("send", err)
+	setWriteDeadline(conn, timeout)
+	err := enc.Encode(envelope{Seq: seq, Req: req})
+	clearWriteDeadline(conn)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		if c.gen == gen {
+			c.severLocked()
+		}
+		c.mu.Unlock()
+		return nil, 0, c.transportErr("send", err)
 	}
-	if err := fpRecvBefore.FireDetail(Name(req)); err != nil {
-		c.sever()
-		return Response{}, fmt.Errorf("rpc: receive: %w", err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.sever()
-		return Response{}, c.transportErr("receive", err)
-	}
-	c.clearDeadline()
-	c.tracer.Emit(TxnOf(req), "rpc", "rpc_recv", Name(req))
-	return resp, nil
+	rpcStats.inflight.Add(1)
+	return pc, gen, nil
 }
 
-// ensureConn redials a broken connection, if a redial function exists.
-func (c *Client) ensureConn() error {
+// readLoop is the per-connection reader: it decodes replies and routes each
+// to its pending call by sequence id. On any decode failure it fails every
+// in-flight call on this connection — the gob stream is positional, so a
+// half-read reply kills the whole connection, exactly as a child-agent
+// death would.
+func (c *Client) readLoop(dec *gob.Decoder, gen int) {
+	for {
+		var rep reply
+		if err := dec.Decode(&rep); err != nil {
+			c.connFailed(gen, err)
+			return
+		}
+		c.mu.Lock()
+		if c.gen != gen {
+			c.mu.Unlock()
+			return
+		}
+		pc := c.pending[rep.Seq]
+		delete(c.pending, rep.Seq)
+		c.mu.Unlock()
+		if pc != nil {
+			pc.done <- CallResult{Resp: rep.Resp}
+		}
+	}
+}
+
+// connFailed marks generation gen broken and fails all its pending calls.
+// Map removal happens under the mutex, so each pending call is completed
+// exactly once even when a redial races the drain.
+func (c *Client) connFailed(gen int, err error) {
+	c.mu.Lock()
+	if c.gen != gen {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = true
+	c.conn.Close()
+	drained := c.pending
+	c.pending = make(map[uint64]*pendingCall)
+	if len(drained) == 0 && !c.severedByCall {
+		// Nobody was in flight to observe the death; the next sender
+		// must (see idleSever).
+		c.idleSever = true
+	}
+	c.mu.Unlock()
+	terr := c.transportErr("receive", err)
+	for _, pc := range drained {
+		pc.done <- CallResult{Err: terr}
+	}
+}
+
+// ensureConnLocked redials a broken connection, if a redial function
+// exists. Any calls still pending from the dead connection are failed here
+// (the old reader normally does it, but it may not have observed the close
+// yet and its drain is gen-gated).
+func (c *Client) ensureConnLocked() error {
+	if !c.started {
+		// First use of a conn handed to NewClient: start its reader.
+		c.started = true
+		go c.readLoop(gob.NewDecoder(c.conn), c.gen)
+	}
 	if !c.broken {
 		return nil
 	}
 	if c.redial == nil {
 		return errors.New("rpc: connection is broken and not redialable")
+	}
+	for seq, pc := range c.pending {
+		delete(c.pending, seq)
+		pc.done <- CallResult{Err: errors.New("rpc: receive: connection severed")}
 	}
 	conn, err := c.redial()
 	if err != nil {
@@ -224,36 +421,56 @@ func (c *Client) ensureConn() error {
 	}
 	c.conn = conn
 	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
 	c.broken = false
+	c.severedByCall = false
+	c.gen++
+	go c.readLoop(gob.NewDecoder(conn), c.gen)
 	rpcStats.reconnects.Add(1)
 	c.tracer.Emit(0, "rpc", "rpc_reconnect", "")
 	return nil
 }
 
-// sever closes and marks the connection broken. A half-done exchange cannot
-// be resumed (the gob stream is positional), so any failure mid-call kills
-// the whole connection, exactly as a child-agent death would.
-func (c *Client) sever() {
+// severLocked closes and marks the connection broken (c.mu held). The
+// reader goroutine observes the close and drains any pending calls.
+func (c *Client) severLocked() {
 	c.conn.Close()
 	c.broken = true
+	c.severedByCall = true
 }
 
-func (c *Client) setDeadline() {
+// severGen severs the connection only if it is still generation gen; a call
+// that timed out must not kill the healthy successor connection.
+func (c *Client) severGen(gen int) {
+	c.mu.Lock()
+	if c.gen == gen {
+		c.severLocked()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) callTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.timeout == 0 {
 		c.timeout = DefaultCallTimeout
 	}
-	if c.timeout < 0 {
+	return c.timeout
+}
+
+// setWriteDeadline bounds how long an encode may block (a stalled server
+// that stops reading would otherwise park the sender forever).
+func setWriteDeadline(conn io.ReadWriteCloser, timeout time.Duration) {
+	if timeout < 0 {
 		return
 	}
-	if d, ok := c.conn.(deadliner); ok {
-		d.SetDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+	if d, ok := conn.(writeDeadliner); ok {
+		d.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
 	}
 }
 
-func (c *Client) clearDeadline() {
-	if d, ok := c.conn.(deadliner); ok {
-		d.SetDeadline(time.Time{}) //nolint:errcheck
+func clearWriteDeadline(conn io.ReadWriteCloser) {
+	if d, ok := conn.(writeDeadliner); ok {
+		d.SetWriteDeadline(time.Time{}) //nolint:errcheck
 	}
 }
 
@@ -275,41 +492,61 @@ type CallResult struct {
 }
 
 // Go sends req immediately and returns a channel delivering the response.
-// The connection stays busy until the response arrives: a subsequent Call
-// blocks, exactly the "blocked on message send as the DLFM child is still
-// doing the commit processing" behaviour of the paper's asynchronous-commit
-// analysis (Section 4). The host's async commit mode uses it.
+// The host's async commit mode uses it: the session moves on while the DLFM
+// child is still doing the commit processing (Section 4's asynchronous-
+// commit analysis). Unlike Call, Go never re-issues; but it applies the
+// same per-call deadline, so a hung DLFM fails the call with ErrCallTimeout
+// and severs the connection instead of wedging the client forever.
 func (c *Client) Go(req any) <-chan CallResult {
-	ch := make(chan CallResult, 1)
-	c.mu.Lock()
-	if err := c.ensureConn(); err != nil {
-		c.mu.Unlock()
-		ch <- CallResult{Err: err}
-		return ch
+	out := make(chan CallResult, 1)
+	var sent bool
+	pc, gen, err := c.send(req, &sent)
+	if err != nil {
+		out <- CallResult{Err: err}
+		return out
 	}
-	c.tracer.Emit(TxnOf(req), "rpc", "rpc_send", Name(req))
-	if err := c.enc.Encode(envelope{Req: req}); err != nil {
-		c.sever()
-		c.mu.Unlock()
-		ch <- CallResult{Err: c.transportErr("send", err)}
-		return ch
+	timeout := c.callTimeout()
+	if timeout < 0 {
+		go func() {
+			res := <-pc.done
+			rpcStats.inflight.Add(-1)
+			out <- res
+		}()
+		return out
 	}
 	go func() {
-		defer c.mu.Unlock()
-		var resp Response
-		if err := c.dec.Decode(&resp); err != nil {
-			c.sever()
-			ch <- CallResult{Err: c.transportErr("receive", err)}
-			return
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case res := <-pc.done:
+			rpcStats.inflight.Add(-1)
+			out <- res
+		case <-timer.C:
+			select {
+			case res := <-pc.done:
+				rpcStats.inflight.Add(-1)
+				out <- res
+				return
+			default:
+			}
+			c.severGen(gen)
+			<-pc.done
+			rpcStats.inflight.Add(-1)
+			rpcStats.timeouts.Add(1)
+			out <- CallResult{Err: fmt.Errorf("rpc: receive: %w: no reply within %v", ErrCallTimeout, timeout)}
 		}
-		c.tracer.Emit(TxnOf(req), "rpc", "rpc_recv", Name(req))
-		ch <- CallResult{Resp: resp}
 	}()
-	return ch
+	return out
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears down the connection. In-flight calls fail with a transport
+// error as the reader observes the close.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = true
+	return c.conn.Close()
+}
 
 // Server accepts connections and runs one agent per connection.
 type Server struct {
@@ -374,28 +611,52 @@ func (s *Server) Close() {
 }
 
 // ServeConn runs the request loop for one connection until the peer
-// disconnects, then closes the agent. An injected fault.CrashPanic from
-// inside the handler severs the connection without a response — the child
-// agent "process" died mid-request — while agent.Close still runs, rolling
-// back its in-flight local transaction as a real process exit would.
+// disconnects, then closes the agent. A reader goroutine decodes pipelined
+// requests into a bounded queue while the handler loop dispatches them —
+// serially and in arrival order, preserving the child-agent semantics the
+// paper's deadlock analysis depends on (a session's next operation queues
+// behind in-progress commit work; the queue just moves the blocking from
+// the client's send to the server's dispatch). An injected fault.CrashPanic
+// from inside the handler severs the connection without a response — the
+// child agent "process" died mid-request — while agent.Close still runs,
+// rolling back its in-flight local transaction as a real process exit
+// would.
 func ServeConn(conn io.ReadWriteCloser, agent Agent) {
-	defer conn.Close()
 	defer agent.Close()
+	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	queue := make(chan envelope, serverPipelineDepth)
+	done := make(chan struct{})
+	go func() {
+		// Handler loop: owns enc; serial dispatch in arrival order.
+		defer close(done)
+		for env := range queue {
+			resp, severed := safeHandle(agent, env.Req)
+			if severed {
+				conn.Close()
+				return
+			}
+			if err := enc.Encode(reply{Seq: env.Seq, Resp: resp}); err != nil {
+				conn.Close()
+				return
+			}
+		}
+	}()
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
-			return
+			break
 		}
-		resp, severed := safeHandle(agent, env.Req)
-		if severed {
-			return
-		}
-		if err := enc.Encode(resp); err != nil {
+		select {
+		case queue <- env:
+		case <-done:
+			close(queue)
 			return
 		}
 	}
+	close(queue)
+	<-done
 }
 
 // safeHandle dispatches one request through the server-side fault point and

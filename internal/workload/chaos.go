@@ -270,41 +270,55 @@ func countPrepared(st *Stack) int {
 func CheckConsistency(st *Stack, tables ...string) ([]string, error) {
 	var violations []string
 	hostLinked := make(map[string]map[string]bool, len(st.DLFMs)) // server -> path set
+	// The DATALINK column registry names every linked column per table (a
+	// fan-out table has one per DLFM).
+	reg, err := st.Host.Engine().DumpTable("dl_cols")
+	if err != nil {
+		return nil, err
+	}
 	for _, table := range tables {
 		meta, err := st.Host.Engine().Catalog().Table(table)
 		if err != nil {
 			return nil, err
 		}
-		dlIdx := -1
-		for i, c := range meta.Schema.Cols {
-			if c.Name == "doc" {
-				dlIdx = i
+		dlNames := make(map[string]bool)
+		for _, r := range reg {
+			if r[0].Text() == table {
+				dlNames[r[1].Text()] = true
 			}
 		}
-		if dlIdx < 0 {
-			return nil, fmt.Errorf("workload: table %s has no doc column", table)
+		var dlIdxs []int
+		for i, c := range meta.Schema.Cols {
+			if dlNames[c.Name] {
+				dlIdxs = append(dlIdxs, i)
+			}
+		}
+		if len(dlIdxs) == 0 {
+			return nil, fmt.Errorf("workload: table %s has no DATALINK columns", table)
 		}
 		rows, err := st.Host.Engine().DumpTable(table)
 		if err != nil {
 			return nil, err
 		}
 		for _, row := range rows {
-			v := row[dlIdx]
-			if v.IsNull() || v.Text() == "" {
-				continue
+			for _, dlIdx := range dlIdxs {
+				v := row[dlIdx]
+				if v.IsNull() || v.Text() == "" {
+					continue
+				}
+				server, path, err := hostdb.ParseURL(v.Text())
+				if err != nil {
+					violations = append(violations, fmt.Sprintf("host row has malformed DATALINK %q", v.Text()))
+					continue
+				}
+				if hostLinked[server] == nil {
+					hostLinked[server] = make(map[string]bool)
+				}
+				if hostLinked[server][path] {
+					violations = append(violations, fmt.Sprintf("path %s on %s linked by more than one host row", path, server))
+				}
+				hostLinked[server][path] = true
 			}
-			server, path, err := hostdb.ParseURL(v.Text())
-			if err != nil {
-				violations = append(violations, fmt.Sprintf("host row has malformed DATALINK %q", v.Text()))
-				continue
-			}
-			if hostLinked[server] == nil {
-				hostLinked[server] = make(map[string]bool)
-			}
-			if hostLinked[server][path] {
-				violations = append(violations, fmt.Sprintf("path %s on %s linked by more than one host row", path, server))
-			}
-			hostLinked[server][path] = true
 		}
 	}
 
