@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos-smoke failover-smoke ci
+.PHONY: all build vet test race bench benchgate chaos-smoke failover-smoke ci
 
 all: ci
 
@@ -19,18 +19,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Micro-benchmarks plus the two headline experiment sweeps; each dlfmbench
+# Micro-benchmarks plus the headline experiment sweeps; each dlfmbench
 # run prints a machine-readable `BENCH {...}` JSON line CI collects into
 # bench.jsonl.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/dlfmbench throughput -clients 20 -ops 10
 	$(GO) run ./cmd/dlfmbench fanout -ops 20
+	$(GO) run ./cmd/dlfmbench traceoverhead -ops 20
+
+# Compare the current bench.jsonl against the committed baseline: gated
+# counts (counters + histogram counts) may drift at most ±10%. Regenerate
+# the baseline with `go run ./cmd/benchgate -current bench.jsonl -update`.
+benchgate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current bench.jsonl
 
 # Short fault-injection soak: seeded kill/drop schedule, indoubt drain,
-# cross-system invariant check. Exits non-zero on any violation.
+# cross-system invariant check. Exits non-zero on any violation. The slow
+# log (N slowest span trees of the soak) lands in slow.jsonl for CI to
+# archive.
 chaos-smoke:
-	$(GO) run ./cmd/dlfmbench chaos -seed 1 -dur 5s -clients 20
+	$(GO) run ./cmd/dlfmbench chaos -seed 1 -dur 5s -clients 20 -slow-out slow.jsonl
 
 # Failover soak under the race detector: kill one primary for good mid-run,
 # promote its log-shipping standby, fail host traffic over, drain indoubts,

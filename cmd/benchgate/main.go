@@ -1,0 +1,79 @@
+// Command benchgate gates CI on benchmark drift: it compares the BENCH
+// lines of the current run (bench.jsonl, or raw `make bench` output)
+// against the committed baseline and exits non-zero when a gated count
+// drifts past the tolerance.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current bench.jsonl
+//	benchgate -current bench.jsonl -update          # regenerate baseline
+//
+// Only deterministic counts are gated (counters and histogram "count"
+// fields); latencies and wall-clock times are machine-dependent and
+// ignored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchgate"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+	currentPath := flag.String("current", "bench.jsonl", "current run's BENCH lines (or raw bench output)")
+	tol := flag.Float64("tol", 0.10, "allowed relative drift per value")
+	floor := flag.Float64("floor", 50, "values below this on both sides are not gated")
+	update := flag.Bool("update", false, "rewrite the baseline from the current run instead of gating")
+	flag.Parse()
+
+	cf, err := os.Open(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := benchgate.ParseLines(cf)
+	cf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *currentPath, err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no BENCH lines in %s\n", *currentPath)
+		os.Exit(2)
+	}
+
+	if *update {
+		b, err := json.MarshalIndent(current, "", " ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %s (%d experiments)\n", *baselinePath, len(current))
+		return
+	}
+
+	bb, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v (run with -update to create it)\n", err)
+		os.Exit(2)
+	}
+	var baseline []benchgate.Line
+	if err := json.Unmarshal(bb, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	res := benchgate.Compare(baseline, current, *tol, *floor)
+	fmt.Println(res)
+	if !res.OK() {
+		os.Exit(1)
+	}
+}

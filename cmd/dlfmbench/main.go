@@ -49,6 +49,7 @@ var all = []runner{
 	{"batchcommit", "E8: batched commits vs log full", wrap(experiments.RunE8BatchCommit)},
 	{"twophase", "E9: 2PC / delayed update / indoubt", wrap(experiments.RunE9TwoPhase)},
 	{"fanout", "E10: commit latency vs participant count, sequential vs parallel 2PC", wrap(experiments.RunE10Fanout)},
+	{"traceoverhead", "E11: span tracing overhead, sampling 0% vs 100%", wrap(experiments.RunE11TraceOverhead)},
 	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
 	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
 }
@@ -59,6 +60,11 @@ func main() {
 	ops := fs.Int("ops", 30, "operations per client for fixed-size experiments")
 	dur := fs.Duration("dur", 5*time.Second, "duration of the E1 and chaos soaks")
 	seed := fs.Int64("seed", 1, "seed for the chaos soak's fault schedule")
+	traceRing := fs.Int("trace-ring", obs.DefaultSpanCapacity, "completed-span ring capacity per stack")
+	traceSample := fs.Float64("trace-sample", 1.0, "fraction of transactions traced with spans (0 disables, 1 traces all)")
+	slowThreshold := fs.Duration("slow-txn-threshold", obs.DefaultSlowThreshold, "commits slower than this keep their full span tree (<0 disables)")
+	slowKeep := fs.Int("slow-keep", obs.DefaultSlowKeep, "how many slowest span trees the slow log retains")
+	slowOut := fs.String("slow-out", "", "write the slow-transaction log as JSON to this file after each experiment")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dlfmbench [flags] <experiment>\n\nexperiments:\n  all\n")
 		for _, r := range all {
@@ -85,6 +91,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	rate := *traceSample
+	if rate <= 0 {
+		rate = -1 // the config's "disabled" sentinel; 0 there means default
+	}
+	obs.SetDefaultTracerConfig(obs.TracerConfig{
+		SpanCapacity:  *traceRing,
+		SampleRate:    rate,
+		SlowThreshold: *slowThreshold,
+		SlowKeep:      *slowKeep,
+	})
+
 	opt := experiments.Options{Clients: *clients, Ops: *ops, SoakDuration: *dur, Seed: *seed}
 
 	run := func(r runner) {
@@ -101,6 +118,9 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Println(rep.String())
 		printBenchLine(r.name, elapsed)
+		if *slowOut != "" {
+			dumpSlowLog(*slowOut, r.name)
+		}
 		fmt.Printf("(%s in %s)\n\n", r.name, elapsed.Round(time.Millisecond))
 	}
 
@@ -128,6 +148,32 @@ func main() {
 // metrics is the process-wide obs registry snapshot: counters as integers,
 // histograms as {count, sum_ms, p50_ms, p95_ms, p99_ms, max_ms}. Harness
 // scripts grep for the BENCH prefix and parse the rest as JSON.
+// dumpSlowLog appends the most recent stack's slow-transaction log (the
+// last workload.NewStack registers itself as the process tracer) to path,
+// one JSON object per experiment, so CI can archive the slowest span trees
+// of a chaos soak.
+func dumpSlowLog(path, experiment string) {
+	t := obs.ProcessTracer()
+	if t == nil {
+		return
+	}
+	entries := t.SlowEntries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	b, err := json.Marshal(map[string]any{"experiment": experiment, "slow": entries})
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlfmbench: slow-out %s: %v\n", path, err)
+		return
+	}
+	defer f.Close()
+	f.Write(append(b, '\n')) //nolint:errcheck
+}
+
 func printBenchLine(name string, elapsed time.Duration) {
 	line := map[string]any{
 		"experiment": name,

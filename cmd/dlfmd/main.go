@@ -28,6 +28,15 @@ import (
 	"repro/internal/rpc"
 )
 
+// sampleRate maps the flag's 0 (= tracing off) onto the tracer config's
+// "disabled" sentinel; in the config itself 0 means "use the default".
+func sampleRate(v float64) float64 {
+	if v <= 0 {
+		return -1
+	}
+	return v
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7117", "TCP address to serve the DLFM protocol on")
 	name := flag.String("name", "fs1", "file server name this DLFM manages")
@@ -36,12 +45,25 @@ func main() {
 	nextKey := flag.Bool("next-key-locking", false, "enable next-key locking in the local database (the paper disables it)")
 	seed := flag.Int("seed-files", 0, "pre-create this many files under /data for experiments")
 	admin := flag.String("admin", "", "HTTP admin address serving /metrics, /debug/traces, /debug/locks (empty = disabled)")
+	traceRing := flag.Int("trace-ring", obs.DefaultSpanCapacity, "completed-span ring capacity per process")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of transactions traced with spans (0 disables, 1 traces all)")
+	slowThreshold := flag.Duration("slow-txn-threshold", obs.DefaultSlowThreshold, "commits slower than this keep their full span tree in /debug/slow (<0 disables)")
+	slowKeep := flag.Int("slow-keep", obs.DefaultSlowKeep, "how many slowest span trees /debug/slow retains")
 	flag.Parse()
+
+	obs.SetDefaultTracerConfig(obs.TracerConfig{
+		SpanCapacity:  *traceRing,
+		SampleRate:    sampleRate(*traceSample),
+		SlowThreshold: *slowThreshold,
+		SlowKeep:      *slowKeep,
+	})
 
 	cfg := core.DefaultConfig(*name)
 	cfg.DB.LogPath = *walPath
 	cfg.DB.LockTimeout = *timeout
 	cfg.DB.NextKeyLocking = *nextKey
+	cfg.Tracer = obs.NewTracerDefault()
+	cfg.Flight = obs.NewFlightRecorder(0)
 
 	fs := fsim.NewServer(*name)
 	for i := 0; i < *seed; i++ {
@@ -63,13 +85,15 @@ func main() {
 			Registries: []*obs.Registry{srv.Obs()},
 			Tracer:     srv.Tracer(),
 			LockDump:   func() any { return srv.DB().LockManager().Dump() },
+			WaitGraph:  func() any { return srv.DB().LockManager().Dump() },
+			Flight:     cfg.Flight,
 		}
 		adminSrv, err := adm.Start(*admin)
 		if err != nil {
 			log.Fatalf("dlfmd: admin listener: %v", err)
 		}
 		defer adminSrv.Close()
-		log.Printf("dlfmd: admin endpoint on http://%s (/metrics, /debug/traces, /debug/locks)", adminSrv.Addr())
+		log.Printf("dlfmd: admin endpoint on http://%s (/metrics, /debug/traces, /debug/locks, /debug/txn/<id>, /debug/slow, /debug/waitgraph)", adminSrv.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)

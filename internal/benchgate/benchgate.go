@@ -1,0 +1,147 @@
+// Package benchgate compares a run's BENCH lines (dlfmbench's
+// machine-readable per-experiment output) against a committed baseline and
+// flags regressions. Only deterministic count-like values are gated —
+// plain counters and histogram "count" fields; latency and elapsed-time
+// numbers vary with the machine and are ignored. The tolerance is
+// relative, with a small-value floor so single-digit counters that wobble
+// by one don't fail the build.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Line is one parsed BENCH result.
+type Line struct {
+	Experiment string                 `json:"experiment"`
+	ElapsedMS  float64                `json:"elapsed_ms"`
+	Metrics    map[string]interface{} `json:"metrics"`
+}
+
+// ParseLines extracts BENCH lines from arbitrary command output (or a
+// bench.jsonl file that already contains only the JSON payloads).
+func ParseLines(r io.Reader) ([]Line, error) {
+	var out []Line
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		text = strings.TrimPrefix(text, "BENCH ")
+		if !strings.HasPrefix(text, "{") {
+			continue
+		}
+		var l Line
+		if err := json.Unmarshal([]byte(text), &l); err != nil {
+			continue // non-BENCH JSON-looking output
+		}
+		if l.Experiment == "" {
+			continue
+		}
+		out = append(out, l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// counts flattens a metrics map to its gateable values: plain numeric
+// counters keep their name; histograms contribute only "<name>.count".
+func counts(metrics map[string]interface{}) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range metrics {
+		switch m := v.(type) {
+		case float64:
+			out[name] = m
+		case map[string]interface{}:
+			if c, ok := m["count"].(float64); ok {
+				out[name+".count"] = c
+			}
+		}
+	}
+	return out
+}
+
+// Result is the outcome of one Compare.
+type Result struct {
+	Checked    int      // metric values compared
+	Violations []string // human-readable regression descriptions
+	Skipped    []string // experiments in one input but not the other
+}
+
+// OK reports whether the gate passes.
+func (r Result) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchgate: %d values checked, %d violations\n", r.Checked, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  FAIL %s\n", v)
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&b, "  skip %s\n", s)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Compare gates current against baseline. tol is the allowed relative
+// drift (0.10 = ±10%); floor exempts values where both sides are below it
+// (small-count noise). An experiment present in the baseline but absent
+// from the current run is a violation — a silently dropped benchmark looks
+// exactly like a passing one otherwise. New experiments (current only) are
+// reported as skipped; regenerate the baseline to start gating them.
+func Compare(baseline, current []Line, tol, floor float64) Result {
+	var res Result
+	cur := make(map[string]Line, len(current))
+	for _, l := range current {
+		cur[l.Experiment] = l
+	}
+	seen := make(map[string]bool, len(baseline))
+	for _, base := range baseline {
+		seen[base.Experiment] = true
+		c, ok := cur[base.Experiment]
+		if !ok {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%s: experiment missing from current run", base.Experiment))
+			continue
+		}
+		bc, cc := counts(base.Metrics), counts(c.Metrics)
+		names := make([]string, 0, len(bc))
+		for name := range bc {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bv := bc[name]
+			cv, ok := cc[name]
+			if !ok {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s: metric %s missing from current run (baseline %g)", base.Experiment, name, bv))
+				continue
+			}
+			res.Checked++
+			if bv < floor && cv < floor {
+				continue
+			}
+			ref := math.Max(bv, 1)
+			if math.Abs(cv-bv)/ref > tol {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s: %s = %g, baseline %g (> %.0f%% drift)",
+						base.Experiment, name, cv, bv, tol*100))
+			}
+		}
+	}
+	for _, l := range current {
+		if !seen[l.Experiment] {
+			res.Skipped = append(res.Skipped, l.Experiment+": not in baseline (regenerate to gate it)")
+		}
+	}
+	return res
+}

@@ -1,0 +1,113 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `=== throughput (E2: insert/update rates)
+some table output
+BENCH {"elapsed_ms":67,"experiment":"throughput","metrics":{"workload_op_seconds":{"count":200,"p50_ms":0.15,"sum_ms":33.0},"host_commits_total":120}}
+(throughput in 67ms)
+BENCH {"elapsed_ms":900,"experiment":"fanout","metrics":{}}
+not json
+{"experiment":"","metrics":{}}
+`
+
+func TestParseLines(t *testing.T) {
+	lines, err := ParseLines(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("parsed %d lines, want 2: %+v", len(lines), lines)
+	}
+	if lines[0].Experiment != "throughput" || lines[1].Experiment != "fanout" {
+		t.Fatalf("wrong experiments: %+v", lines)
+	}
+	c := counts(lines[0].Metrics)
+	if c["workload_op_seconds.count"] != 200 || c["host_commits_total"] != 120 {
+		t.Fatalf("counts flattening wrong: %v", c)
+	}
+	if _, ok := c["workload_op_seconds.p50_ms"]; ok {
+		t.Fatal("latency values must not be gated")
+	}
+}
+
+func mkLine(exp string, metrics map[string]interface{}) Line {
+	return Line{Experiment: exp, Metrics: metrics}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := []Line{mkLine("throughput", map[string]interface{}{
+		"workload_op_seconds": map[string]interface{}{"count": 200.0, "p50_ms": 0.1},
+		"host_commits_total":  100.0,
+	})}
+	cur := []Line{mkLine("throughput", map[string]interface{}{
+		"workload_op_seconds": map[string]interface{}{"count": 205.0, "p50_ms": 9.9},
+		"host_commits_total":  95.0,
+	})}
+	res := Compare(base, cur, 0.10, 50)
+	if !res.OK() {
+		t.Fatalf("within-tolerance drift flagged: %s", res)
+	}
+	if res.Checked != 2 {
+		t.Fatalf("checked %d values, want 2", res.Checked)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := []Line{mkLine("throughput", map[string]interface{}{"host_commits_total": 200.0})}
+	cur := []Line{mkLine("throughput", map[string]interface{}{"host_commits_total": 150.0})}
+	res := Compare(base, cur, 0.10, 50)
+	if res.OK() || len(res.Violations) != 1 {
+		t.Fatalf("25%% drop not flagged: %s", res)
+	}
+	if !strings.Contains(res.Violations[0], "host_commits_total") {
+		t.Fatalf("violation names wrong metric: %s", res.Violations[0])
+	}
+}
+
+func TestCompareSmallValueFloor(t *testing.T) {
+	base := []Line{mkLine("chaos", map[string]interface{}{"chaos_kills_total": 3.0})}
+	cur := []Line{mkLine("chaos", map[string]interface{}{"chaos_kills_total": 5.0})}
+	if res := Compare(base, cur, 0.10, 50); !res.OK() {
+		t.Fatalf("sub-floor wobble flagged: %s", res)
+	}
+	// Above the floor the same relative drift fails.
+	base[0].Metrics["chaos_kills_total"] = 300.0
+	cur[0].Metrics["chaos_kills_total"] = 500.0
+	if res := Compare(base, cur, 0.10, 50); res.OK() {
+		t.Fatal("67% drift above the floor passed")
+	}
+}
+
+func TestCompareMissingExperimentAndMetric(t *testing.T) {
+	base := []Line{
+		mkLine("throughput", map[string]interface{}{"host_commits_total": 200.0}),
+		mkLine("fanout", map[string]interface{}{}),
+	}
+	cur := []Line{
+		mkLine("throughput", map[string]interface{}{}),
+		mkLine("brandnew", map[string]interface{}{}),
+	}
+	res := Compare(base, cur, 0.10, 50)
+	if res.OK() {
+		t.Fatal("missing experiment/metric passed the gate")
+	}
+	var missingExp, missingMetric bool
+	for _, v := range res.Violations {
+		if strings.Contains(v, "fanout: experiment missing") {
+			missingExp = true
+		}
+		if strings.Contains(v, "host_commits_total missing") {
+			missingMetric = true
+		}
+	}
+	if !missingExp || !missingMetric {
+		t.Fatalf("expected both missing-experiment and missing-metric violations: %s", res)
+	}
+	if len(res.Skipped) != 1 || !strings.Contains(res.Skipped[0], "brandnew") {
+		t.Fatalf("new experiment should be skipped, not gated: %v", res.Skipped)
+	}
+}

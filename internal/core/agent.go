@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/fsim"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/value"
 )
@@ -77,6 +78,20 @@ func failCode(code, format string, args ...any) rpc.Response {
 }
 
 var ok = rpc.Response{}
+
+// HandleCtx implements rpc.TracedAgent: the span context carried in the RPC
+// envelope parents a dispatch span, and the agent's database connection
+// adopts it, so lock waits and WAL fsyncs inside the local database
+// attribute to the originating host transaction. The dispatch op is
+// deliberately not an attribution bucket ("handle:*", not "rpc:*") so the
+// inner lock_wait/wal_fsync spans credit their own buckets while the
+// coordinator's rpc:* spans absorb the rest as network+dispatch time.
+func (a *ChildAgent) HandleCtx(ctx obs.SpanCtx, req any) rpc.Response {
+	sp := a.srv.tracer.StartSpan(ctx, "agent", "handle:"+rpc.Name(req))
+	defer sp.End()
+	a.conn.SetSpanCtx(sp.Ctx())
+	return a.Handle(req)
+}
 
 // Handle dispatches one request. Requests on a connection are served
 // serially by the RPC layer.

@@ -93,6 +93,10 @@ type Config struct {
 	// Server.Tracer. Multi-DLFM stacks share one tracer so the chain stays
 	// chronological.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, receives deadlock/timeout victim captures from
+	// the local lock manager. Stacks share one recorder so /debug/waitgraph
+	// shows victims from every participant.
+	Flight *obs.FlightRecorder
 }
 
 // DefaultConfig returns the paper's production configuration for a DLFM on
@@ -102,6 +106,10 @@ type Config struct {
 func DefaultConfig(name string) Config {
 	db := engine.DefaultConfig("dlfmdb-" + name)
 	db.NextKeyLocking = false // the paper's fix for multi-index deadlocks
+	// A participant's yes-vote ('P' row) must be durable before it reaches
+	// the coordinator: the prepare handler hardens it with a local commit,
+	// so that commit has to force the log.
+	db.SyncCommit = true
 	return Config{
 		ServerName:     name,
 		DB:             db,
@@ -187,6 +195,9 @@ func newServer(cfg Config, fs *fsim.Server, arch *archive.Server, standby bool) 
 	// scrape covers the whole instance: dlfm_*, engine_*, lock_*, wal_*.
 	cfg.DB.Obs = cfg.Obs
 	cfg.DB.Tracer = cfg.Tracer
+	if cfg.DB.Flight == nil {
+		cfg.DB.Flight = cfg.Flight
+	}
 	db, err := engine.Open(cfg.DB)
 	if err != nil {
 		return nil, fmt.Errorf("core: open local database: %w", err)

@@ -331,7 +331,10 @@ func (s *Server) copyBatch(conn *engine.Conn) int {
 	}
 	copied := 0
 	for _, r := range rows {
-		name, recID := r[0].Text(), r[1].Int64()
+		name, recID, txn := r[0].Text(), r[1].Int64(), r[2].Int64()
+		// The archive entry remembers the linking transaction, so the
+		// deferred copy work is attributable to the trace that caused it.
+		sp := s.tracer.StartSpanInTrace(txn, 0, "daemon", "daemon:copy").Attr("file", name)
 		content, err := s.fs.Read(name)
 		if err != nil {
 			// The file vanished (should not happen for linked files);
@@ -339,9 +342,11 @@ func (s *Server) copyBatch(conn *engine.Conn) int {
 			content = nil
 		}
 		if err := s.arch.Store(name, recID, content); err != nil {
+			sp.End()
 			continue
 		}
 		if _, err := s.stmts.get(sqlDeleteArchive).Exec(conn, value.Str(name), value.Int(recID)); err != nil {
+			sp.End()
 			if conn.InTxn() {
 				conn.Rollback()
 			}
@@ -349,6 +354,7 @@ func (s *Server) copyBatch(conn *engine.Conn) int {
 		}
 		copied++
 		s.stats.ArchiveCopies.Add(1)
+		sp.End()
 	}
 	if err := conn.Commit(); err != nil {
 		return 0
@@ -682,6 +688,10 @@ func (s *Server) RunDeleteGroup(txn int64, batchN int) error {
 }
 
 func (s *Server) runDeleteGroup(conn *engine.Conn, txn int64, batchN int) error {
+	// The daemon works on behalf of the committed drop-table transaction;
+	// its span joins that trace as a late root-less child.
+	sp := s.tracer.StartSpanInTrace(txn, 0, "daemon", "daemon:delgroup")
+	defer sp.End()
 	abort := func(err error) error {
 		if conn.InTxn() {
 			conn.Rollback()

@@ -65,7 +65,7 @@ const (
 	sqlAbortArchives = `DELETE FROM dlfm_archive WHERE txnid = ?`
 
 	// Copy daemon (Section 3.5) and backup coordination (Section 3.4).
-	sqlPendingCopies = `SELECT name, recid FROM dlfm_archive WHERE state = 'R' ORDER BY prio DESC LIMIT ?`
+	sqlPendingCopies = `SELECT name, recid, txnid FROM dlfm_archive WHERE state = 'R' ORDER BY prio DESC LIMIT ?`
 	sqlDeleteArchive = `DELETE FROM dlfm_archive WHERE name = ? AND recid = ?`
 	sqlBoostPriority = `UPDATE dlfm_archive SET prio = 1 WHERE state = 'R' AND recid <= ?`
 	sqlCountPending  = `SELECT COUNT(*) FROM dlfm_archive WHERE state = 'R' AND recid <= ?`

@@ -52,6 +52,9 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer, when non-nil, receives lock/WAL/recovery trace events.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, records deadlock/timeout victims (wait-for
+	// graph + span tree) for post-mortem via /debug/waitgraph.
+	Flight *obs.FlightRecorder
 }
 
 // DefaultConfig returns the configuration the DLFM installation guide would
@@ -169,6 +172,7 @@ func (db *DB) lockConfig() lock.Config {
 		Shards:              db.cfg.LockShards,
 		Obs:                 db.cfg.Obs,
 		Tracer:              db.cfg.Tracer,
+		Flight:              db.cfg.Flight,
 	}
 }
 

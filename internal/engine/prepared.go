@@ -35,7 +35,10 @@ func (c *Conn) PrepareTxn() error {
 	if _, err := c.db.log.Append(wal.Record{Txn: t.id, Type: wal.RecPrepare}); err != nil {
 		return err
 	}
-	if err := c.db.log.Sync(); err != nil {
+	fsync := c.db.tracer.StartSpan(c.span, "engine", "wal_fsync")
+	err := c.db.log.Sync()
+	fsync.End()
+	if err != nil {
 		return err
 	}
 	t.prepared = true
@@ -171,4 +174,3 @@ func (db *DB) restoreIndoubtLocked(txnID int64, recs []wal.Record) {
 	}
 	db.indoubt[txnID] = t
 }
-

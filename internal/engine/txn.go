@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/value"
 	"repro/internal/wal"
 )
@@ -38,8 +39,19 @@ type txn struct {
 // Conn is a database connection (the paper's "child agent" holds one). A
 // Conn is not safe for concurrent use; each agent owns its own.
 type Conn struct {
-	db  *DB
-	txn *txn
+	db   *DB
+	txn  *txn
+	span obs.SpanCtx // current trace position; parents WAL-fsync spans
+}
+
+// SetSpanCtx attaches a span context to the connection: the next implicit
+// begin binds the engine-local txn id to it (so lock waits find their
+// trace), and WAL fsync spans parent under it. The zero context detaches.
+func (c *Conn) SetSpanCtx(ctx obs.SpanCtx) {
+	c.span = ctx
+	if c.txn != nil {
+		c.db.tracer.BindTxn(c.txn.id, ctx)
+	}
 }
 
 // Connect opens a new connection.
@@ -61,6 +73,9 @@ func (c *Conn) TxnID() int64 {
 func (c *Conn) begin() *txn {
 	if c.txn == nil {
 		c.txn = &txn{id: c.db.nextTxn.Add(1)}
+		if c.span.Valid() {
+			c.db.tracer.BindTxn(c.txn.id, c.span)
+		}
 	}
 	return c.txn
 }
@@ -96,7 +111,10 @@ func (c *Conn) Commit() error {
 			return err
 		}
 		if c.db.cfg.SyncCommit {
-			if err := c.db.log.Sync(); err != nil {
+			fsync := c.db.tracer.StartSpan(c.span, "engine", "wal_fsync")
+			err := c.db.log.Sync()
+			fsync.End()
+			if err != nil {
 				return err
 			}
 		}
@@ -104,6 +122,7 @@ func (c *Conn) Commit() error {
 		c.db.log.ForgetTxn(t.id)
 	}
 	c.db.lm.ReleaseAll(t.id)
+	c.db.tracer.UnbindTxn(t.id)
 	c.db.commits.Add(1)
 	c.txn = nil
 	return nil
@@ -168,6 +187,7 @@ func (db *DB) rollbackTxn(t *txn) {
 		db.log.ForgetTxn(t.id)
 	}
 	db.lm.ReleaseAll(t.id)
+	db.tracer.UnbindTxn(t.id)
 	db.rollbacks.Add(1)
 	t.aborted = true
 	t.undo = nil

@@ -72,6 +72,10 @@ type Config struct {
 func DefaultConfig(name string) Config {
 	db := engine.DefaultConfig("hostdb-" + name)
 	db.NextKeyLocking = false
+	// The 2PC commit decision (dl_outcome row) is hardened by the local
+	// commit in phase 1; presumed abort only works if that commit is
+	// forced before phase 2 starts.
+	db.SyncCommit = true
 	return Config{
 		Name:        name,
 		DBID:        1,
@@ -144,6 +148,10 @@ type DB struct {
 	// prepFanout counts 2PC fan-out calls currently in flight across all
 	// sessions (host_prepare_fanout).
 	prepFanout obs.Gauge
+	// attribHists export per-commit latency attribution, one histogram per
+	// bucket (host_attrib_<bucket>_seconds), each carrying an exemplar
+	// trace id pointing at the worst observed commit.
+	attribHists map[string]*obs.Histogram
 
 	// backups holds the quiesced backup images (the paper's backup files).
 	backups map[int64]*backupImage
@@ -184,6 +192,16 @@ func Open(cfg Config) (*DB, error) {
 	db.obs.GaugeFunc("host_prepare_fanout", func() float64 {
 		return float64(db.prepFanout.Load())
 	})
+	db.attribHists = make(map[string]*obs.Histogram, len(obs.AttributionBuckets))
+	for _, b := range obs.AttributionBuckets {
+		h := obs.NewHistogram()
+		db.attribHists[b] = h
+		db.obs.RegisterHistogram("host_attrib_"+b+"_seconds", h)
+	}
+	// The RPC transport's process-wide counters (rpc_inflight,
+	// rpc_call_timeouts_total, …) ride on the host registry so they reach
+	// /metrics and the BENCH snapshot.
+	rpc.Instrument(db.obs)
 	now := time.Now().UnixNano()
 	db.txnSeq.Store(now)
 	db.recSeq.Store(now)
@@ -202,6 +220,18 @@ func (db *DB) Obs() *obs.Registry { return db.obs }
 
 // Tracer returns the trace ring receiving host-side 2PC events.
 func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// observeAttribution folds the finished commit's span tree into the
+// per-bucket attribution histograms, using the txn id as the exemplar so a
+// histogram outlier links straight to /debug/txn/<id>.
+func (db *DB) observeAttribution(txn int64) {
+	a := db.tracer.Attribution(txn)
+	for b, ns := range a.Buckets {
+		if h := db.attribHists[b]; h != nil && ns > 0 {
+			h.ObserveEx(time.Duration(ns), txn)
+		}
+	}
+}
 
 // Stats returns a snapshot of the counters.
 func (db *DB) Stats() Snapshot {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/sql"
 	"repro/internal/value"
@@ -62,6 +63,9 @@ type Session struct {
 	// preparedGlobal marks an XA branch after PrepareGlobal: only
 	// CommitGlobal/AbortGlobal are valid until it resolves.
 	preparedGlobal bool
+	// stmtSpan is the span context of the statement currently executing,
+	// parenting the per-operation DLFM RPC spans.
+	stmtSpan obs.SpanCtx
 }
 
 // Session opens an application connection.
@@ -89,6 +93,13 @@ func (s *Session) begin() {
 		s.dead = false
 		s.db.markActive(s.txn)
 		s.db.tracer.Emit(s.txn, "host", "txn_begin", "")
+		// The host txn id doubles as the trace id. Attaching it to the
+		// engine connection makes the engine bind its local txn id on the
+		// implicit begin, so host-side lock waits and fsyncs find their
+		// trace; the sampling decision happens inside the tracer.
+		if s.db.tracer.Sampled(s.txn) {
+			s.conn.SetSpanCtx(obs.SpanCtx{Trace: s.txn})
+		}
 	}
 }
 
@@ -149,6 +160,19 @@ func (s *Session) Exec(text string, params ...value.Value) (int64, error) {
 		return 0, err
 	}
 	s.begin()
+	sp := s.db.tracer.StartSpanInTrace(s.txn, 0, "host", "stmt").Attr("sql", truncateSQL(text))
+	s.stmtSpan = sp.Ctx()
+	if sp != nil {
+		// Host-engine lock waits during this statement nest under it.
+		s.conn.SetSpanCtx(sp.Ctx())
+	}
+	defer func() {
+		s.stmtSpan = obs.SpanCtx{}
+		if sp != nil {
+			s.conn.SetSpanCtx(obs.SpanCtx{Trace: s.txn})
+		}
+		sp.End()
+	}()
 	switch st := stmt.(type) {
 	case sql.Insert:
 		return s.execInsert(st, params)
@@ -160,6 +184,15 @@ func (s *Session) Exec(text string, params ...value.Value) (int64, error) {
 		n, err := s.conn.Exec(text, params...)
 		return n, s.mapEngineErr(err)
 	}
+}
+
+// truncateSQL bounds the statement text recorded as a span attribute.
+func truncateSQL(text string) string {
+	const max = 80
+	if len(text) > max {
+		return text[:max] + "…"
+	}
+	return text
 }
 
 // mapEngineErr converts host-engine deadlock/timeout (which already rolled
@@ -253,7 +286,9 @@ func (s *Session) linkFile(url string, col dlCol) (int64, stmtOp, error) {
 		return 0, stmtOp{}, err
 	}
 	rec := s.db.NextRecID()
-	resp, err := p.client.Call(rpc.LinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
+	sp := s.db.tracer.StartSpan(s.stmtSpan, "host", "rpc:LinkFile").Attr("server", server)
+	resp, err := p.client.CallCtx(sp.Ctx(), rpc.LinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
+	sp.End()
 	if err != nil || !resp.OK() {
 		return 0, stmtOp{}, s.dlfmFailure(server, resp, err, nil)
 	}
@@ -273,7 +308,9 @@ func (s *Session) unlinkFile(url string, col dlCol) (stmtOp, error) {
 		return stmtOp{}, fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
 	}
 	rec := s.db.NextRecID()
-	resp, err := p.client.Call(rpc.UnlinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
+	sp := s.db.tracer.StartSpan(s.stmtSpan, "host", "rpc:UnlinkFile").Attr("server", server)
+	resp, err := p.client.CallCtx(sp.Ctx(), rpc.UnlinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
+	sp.End()
 	if err != nil || !resp.OK() {
 		return stmtOp{}, s.dlfmFailure(server, resp, err, nil)
 	}
@@ -735,13 +772,39 @@ func (s *Session) Commit() error {
 	// fail at once, keeping errors and accounting deterministic.
 	sort.Slice(enlisted, func(i, j int) bool { return enlisted[i].server < enlisted[j].server })
 	if len(enlisted) == 0 {
+		root := s.db.tracer.StartRoot(s.txn, "host", "commit")
+		if root != nil {
+			s.conn.SetSpanCtx(root.Ctx())
+		}
 		err := s.commitLocal()
+		root.End()
 		s.finishTxn()
 		return err
 	}
 
 	start := time.Now()
-	s.db.tracer.Emitf(s.txn, "host", "2pc_prepare", "%d participants", len(enlisted))
+	txn := s.txn
+	s.db.tracer.Emitf(txn, "host", "2pc_prepare", "%d participants", len(enlisted))
+
+	// The root span covers the whole commit. Phase 1 runs from the first
+	// prepare through the durable decision write — Gray & Lamport's cost
+	// model ends phase 1 at the coordinator's stable write, so the local
+	// outcome insert and engine commit (with its fsync) belong to it.
+	// End is idempotent, so the deferred pair only matters on the error
+	// paths; attribution is exported once the root duration is final.
+	root := s.db.tracer.StartRoot(txn, "host", "commit")
+	p1 := s.db.tracer.StartSpan(root.Ctx(), "host", "phase1")
+	committed := false
+	defer func() {
+		p1.End()
+		root.End()
+		if committed {
+			s.db.observeAttribution(txn)
+		}
+	}()
+	if p1 != nil {
+		s.conn.SetSpanCtx(p1.Ctx())
+	}
 
 	// Phase 1: prepare every DLFM concurrently (bounded by CommitFanout).
 	// One "no" vote or transport error aborts everyone — including
@@ -750,7 +813,10 @@ func (s *Session) Commit() error {
 	// ordered outcome slice, so it is exactly as precise as the sequential
 	// loop was.
 	outs := s.db.fanoutParts(enlisted, true, true, func(p *participant) (rpc.Response, error) {
-		return p.client.Call(rpc.PrepareReq{Txn: s.txn})
+		sp := s.db.tracer.StartSpan(p1.Ctx(), "host", "rpc:Prepare").Attr("server", p.server)
+		resp, err := p.client.CallCtx(sp.Ctx(), rpc.PrepareReq{Txn: txn})
+		sp.End()
+		return resp, err
 	})
 	var prepErr error
 	for i := range outs {
@@ -797,10 +863,10 @@ func (s *Session) Commit() error {
 		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
 	}
 	s.db.tracer.Emit(s.txn, "host", "2pc_decision_commit", "")
+	p1.End()
 	if err := fpBetweenPhases.Fire(); err != nil {
 		// The decision is already durable; the transaction IS committed even
 		// though no participant has heard. Deliberately not ErrTxnRolledBack.
-		txn := s.txn
 		s.finishTxn()
 		return fmt.Errorf("hostdb: commit of txn %d interrupted before phase 2 (outcome recorded): %v", txn, err)
 	}
@@ -813,9 +879,14 @@ func (s *Session) Commit() error {
 		// give-ups ("severe" after the DLFM exhausts its retries) count
 		// toward standby failover. The fan-out never stops early: the
 		// decision is durable and every participant must hear it.
+		p2span := s.db.tracer.StartSpan(root.Ctx(), "host", "phase2")
 		p2 := s.db.fanoutParts(enlisted, false, false, func(p *participant) (rpc.Response, error) {
-			return p.client.Call(rpc.CommitReq{Txn: s.txn})
+			sp := s.db.tracer.StartSpan(p2span.Ctx(), "host", "rpc:Commit").Attr("server", p.server)
+			resp, err := p.client.CallCtx(sp.Ctx(), rpc.CommitReq{Txn: txn})
+			sp.End()
+			return resp, err
 		})
+		p2span.End()
 		for i := range p2 {
 			o := &p2[i]
 			switch {
@@ -836,10 +907,13 @@ func (s *Session) Commit() error {
 		// give-ups still feed failover accounting; the session itself is
 		// gone by then, so no dropPart (Session state is not
 		// goroutine-safe) — the next dial replaces the participant anyway.
+		p2span := s.db.tracer.StartSpan(root.Ctx(), "host", "phase2")
 		for _, p := range enlisted {
-			res := p.client.Go(rpc.CommitReq{Txn: s.txn})
-			go func(server string, res <-chan rpc.CallResult) {
+			sp := s.db.tracer.StartSpan(p2span.Ctx(), "host", "rpc:Commit").Attr("server", p.server)
+			res := p.client.GoCtx(sp.Ctx(), rpc.CommitReq{Txn: txn})
+			go func(server string, sp *obs.SpanHandle, res <-chan rpc.CallResult) {
 				r := <-res
+				sp.End()
 				switch {
 				case r.Err != nil:
 					s.db.noteDLFMFailure(server, r.Err)
@@ -848,11 +922,15 @@ func (s *Session) Commit() error {
 				default:
 					s.db.noteDLFMSuccess(server)
 				}
-			}(p.server, res)
+			}(p.server, sp, res)
 		}
+		// In async mode the span covers only the send window; the per-call
+		// spans end when each DLFM answers.
+		p2span.End()
 	}
+	committed = true
 	s.db.stats.Commits.Add(1)
-	s.db.commitHist.Observe(time.Since(start))
+	s.db.commitHist.ObserveEx(time.Since(start), txn)
 	s.db.tracer.Emit(s.txn, "host", "2pc_done", "")
 	s.finishTxn()
 	return nil
@@ -922,6 +1000,8 @@ func (s *Session) finishTxn() {
 	s.txn = 0
 	s.dead = false
 	s.preparedGlobal = false
+	s.stmtSpan = obs.SpanCtx{}
+	s.conn.SetSpanCtx(obs.SpanCtx{})
 	for _, p := range s.parts {
 		p.begun = false
 	}

@@ -114,6 +114,11 @@ type Config struct {
 	// Tracer, when set, receives wait/grant/deadlock/timeout/escalation
 	// events keyed by the local transaction id.
 	Tracer *obs.Tracer
+	// Flight, when set, records every deadlock/timeout victim with the
+	// wait-for graph at that instant and the victim's span tree — the
+	// post-mortem for the paper's next-key-deadlock and 60 s-timeout
+	// incidents.
+	Flight *obs.FlightRecorder
 }
 
 // defaultShards is the shard count when Config.Shards is zero.
@@ -194,6 +199,9 @@ type Manager struct {
 	// measurement behind the paper's 60 s timeout tuning (experiment E7).
 	waitHist *obs.Histogram
 	tracer   *obs.Tracer
+	flight   *obs.FlightRecorder
+	// start anchors flight-entry timestamps.
+	start time.Time
 }
 
 // NewManager returns a lock manager with the given configuration.
@@ -207,6 +215,8 @@ func NewManager(cfg Config) *Manager {
 		cfg:      cfg,
 		waitHist: obs.NewHistogram(),
 		tracer:   cfg.Tracer,
+		flight:   cfg.Flight,
+		start:    time.Now(),
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{
@@ -390,16 +400,27 @@ func (m *Manager) acquireLocked(sh *shard, txn int64, ts *txnState, tg Target, w
 	m.tracer.Emitf(txn, "lock", "lock_wait", "%s on %s", want, tg)
 	sh.mu.Unlock()
 
+	// The wait span attributes blocked time to the transaction's trace
+	// (lock_wait bucket). CtxOf resolves the engine-local txn id to the
+	// trace the host bound at begin; unbound/unsampled txns get a nil
+	// handle and record nothing.
+	span := m.tracer.StartSpan(m.tracer.CtxOf(txn), "lock", "lock_wait").
+		Attr("target", tg.String()).Attr("mode", want.String())
+
 	// The cycle may span shards (txn A waits in shard 1 for B, B waits in
 	// shard 2 for A), so detection needs a consistent global snapshot:
 	// every shard mutex, taken in index order. If a grant raced the window
 	// between enqueue and snapshot, the waiter is out of its queue and
 	// contributes no edges, so the DFS finds nothing and we fall through
 	// to the (already signalled) wait.
-	if m.cfg.DetectDeadlocks && m.detectDeadlock(sh, ls, w) {
-		m.deadlocks.Add(1)
-		m.tracer.Emitf(txn, "lock", "lock_deadlock", "%s on %s", want, tg)
-		return fmt.Errorf("%w (txn %d requesting %s on %s)", ErrDeadlock, txn, want, tg)
+	if m.cfg.DetectDeadlocks {
+		if cycle, edges, found := m.detectDeadlock(sh, ls, w); found {
+			m.deadlocks.Add(1)
+			m.tracer.Emitf(txn, "lock", "lock_deadlock", "%s on %s", want, tg)
+			span.Attr("outcome", "deadlock").End()
+			m.recordVictim("deadlock", txn, tg, cycle, edges)
+			return fmt.Errorf("%w (txn %d requesting %s on %s)", ErrDeadlock, txn, want, tg)
+		}
 	}
 
 	timeout := time.Duration(m.timeout.Load())
@@ -417,6 +438,7 @@ func (m *Manager) acquireLocked(sh *shard, txn int64, ts *txnState, tg Target, w
 	case <-w.granted:
 		m.waitHist.Observe(time.Since(waitStart))
 		m.tracer.Emitf(txn, "lock", "lock_grant", "%s on %s after %v", want, tg, time.Since(waitStart).Round(time.Microsecond))
+		span.Attr("outcome", "grant").End()
 		return nil
 	case <-timeoutC:
 		m.lockShard(sh)
@@ -425,33 +447,92 @@ func (m *Manager) acquireLocked(sh *shard, txn int64, ts *txnState, tg Target, w
 		case <-w.granted:
 			sh.mu.Unlock()
 			m.waitHist.Observe(time.Since(waitStart))
+			span.Attr("outcome", "grant").End()
 			return nil
 		default:
+		}
+		// Record who starved the victim before removing it from the queue
+		// — afterwards it contributes no edges to the global graph. Holding
+		// only this shard's mutex is enough: the victim's direct blockers
+		// all sit on this lock.
+		var blockers []int64
+		if m.flight != nil {
+			for h, hm := range ls.holders {
+				if h != txn && !Compatible(hm, w.mode) {
+					blockers = append(blockers, h)
+				}
+			}
+			for _, ahead := range ls.queue {
+				if ahead == w {
+					break
+				}
+				if !ahead.removed && ahead.txn != txn && !Compatible(ahead.mode, w.mode) {
+					blockers = append(blockers, ahead.txn)
+				}
+			}
 		}
 		m.removeWaiterLocked(sh, ls, w)
 		m.timeouts.Add(1)
 		sh.mu.Unlock()
 		m.waitHist.Observe(time.Since(waitStart))
 		m.tracer.Emitf(txn, "lock", "lock_timeout", "%s on %s after %v", want, tg, timeout)
+		span.Attr("outcome", "timeout").End()
+		if m.flight != nil {
+			// Best-effort capture of the rest of the graph; the victim's own
+			// edge is re-added from the pre-removal snapshot above.
+			m.lockAll()
+			cycle, edges := m.cyclePathLocked(txn)
+			m.unlockAll()
+			if len(blockers) > 0 {
+				if edges == nil {
+					edges = make(map[int64][]int64, 1)
+				}
+				edges[txn] = append(edges[txn], blockers...)
+			}
+			m.recordVictim("timeout", txn, tg, cycle, edges)
+		}
 		return fmt.Errorf("%w (txn %d requesting %s on %s after %v)", ErrTimeout, txn, want, tg, timeout)
 	}
 }
 
+// recordVictim files a flight-recorder entry for a deadlock or timeout
+// victim, attaching the victim's span tree when its trace is sampled.
+func (m *Manager) recordVictim(kind string, txn int64, tg Target, cycle []int64, edges map[int64][]int64) {
+	if m.flight == nil {
+		return
+	}
+	e := obs.FlightEntry{
+		Kind:     kind,
+		Victim:   txn,
+		Target:   tg.String(),
+		Cycle:    cycle,
+		WaitsFor: edges,
+		AtNS:     int64(time.Since(m.start)),
+	}
+	if ctx := m.tracer.CtxOf(txn); ctx.Valid() {
+		e.Trace = ctx.Trace
+		e.Spans = m.tracer.SpansByTrace(ctx.Trace)
+	}
+	m.flight.Record(e)
+}
+
 // detectDeadlock takes the global snapshot and, if w's request closed a
-// waits-for cycle, removes w as the victim. Called with no shard mutex
-// held; the all-shard lock serializes concurrent detectors, so the first
-// one breaks the cycle and the second finds it already broken.
-func (m *Manager) detectDeadlock(sh *shard, ls *lockState, w *waiter) bool {
+// waits-for cycle, removes w as the victim, returning the cycle and the
+// whole waits-for graph for the flight recorder. Called with no shard
+// mutex held; the all-shard lock serializes concurrent detectors, so the
+// first one breaks the cycle and the second finds it already broken.
+func (m *Manager) detectDeadlock(sh *shard, ls *lockState, w *waiter) (cycle []int64, edges map[int64][]int64, found bool) {
 	m.lockAll()
 	defer m.unlockAll()
 	if w.removed {
-		return false
+		return nil, nil, false
 	}
-	if !m.cycleLocked(w.txn) {
-		return false
+	cycle, edges = m.cyclePathLocked(w.txn)
+	if cycle == nil {
+		return nil, nil, false
 	}
 	m.removeWaiterLocked(sh, ls, w)
-	return true
+	return cycle, edges, true
 }
 
 // grantableLocked reports whether txn may hold mode on ls right now.
@@ -748,13 +829,16 @@ func (m *Manager) edgesLocked() map[int64][]int64 {
 	return edges
 }
 
-// cycleLocked reports whether txn participates in a waits-for cycle.
-// Caller holds all shard mutexes (the snapshot must be globally
+// cyclePathLocked looks for a waits-for cycle through start, returning
+// the cycle as the transaction path [start, …, last] (where last waits
+// for start again) plus the whole waits-for graph; cycle is nil when none
+// exists. Caller holds all shard mutexes (the snapshot must be globally
 // consistent — cycles routinely span shards).
-func (m *Manager) cycleLocked(start int64) bool {
+func (m *Manager) cyclePathLocked(start int64) ([]int64, map[int64][]int64) {
 	edges := m.edgesLocked()
-	// DFS from start looking for a cycle back to start.
+	// DFS from start looking for a cycle back to start, tracking the path.
 	seen := make(map[int64]bool)
+	path := []int64{start}
 	var dfs func(n int64) bool
 	dfs = func(n int64) bool {
 		for _, next := range edges[n] {
@@ -763,12 +847,17 @@ func (m *Manager) cycleLocked(start int64) bool {
 			}
 			if !seen[next] {
 				seen[next] = true
+				path = append(path, next)
 				if dfs(next) {
 					return true
 				}
+				path = path[:len(path)-1]
 			}
 		}
 		return false
 	}
-	return dfs(start)
+	if !dfs(start) {
+		return nil, edges
+	}
+	return path, edges
 }

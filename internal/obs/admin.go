@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // Admin assembles the HTTP admin surface:
@@ -14,16 +15,26 @@ import (
 //	/metrics            Prometheus text exposition of every registry
 //	/debug/traces       JSON trace events; ?txn=<id> filters to one chain
 //	/debug/locks        live lock-table and waits-for dump
+//	/debug/txn/<id>     one transaction: span tree, timeline, attribution
+//	/debug/slow         slow-transaction log (N slowest span trees)
+//	/debug/waitgraph    live wait-for graph + flight-recorder history
 //
 // The zero value serves empty responses; populate the fields before Start.
 type Admin struct {
 	// Registries are scraped in order by /metrics.
 	Registries []*Registry
-	// Tracer backs /debug/traces.
+	// Tracer backs /debug/traces, /debug/txn, and /debug/slow.
 	Tracer *Tracer
 	// LockDump, when set, supplies the /debug/locks payload (the lock
 	// manager's Dump result); it is JSON-encoded as-is.
 	LockDump func() any
+	// WaitGraph, when set, supplies the live wait-for graph for
+	// /debug/waitgraph (typically the lock managers' waits-for edges,
+	// merged across processes by the caller).
+	WaitGraph func() any
+	// Flight supplies the deadlock/timeout victim history for
+	// /debug/waitgraph.
+	Flight *FlightRecorder
 }
 
 // Handler returns the admin mux.
@@ -70,7 +81,56 @@ func (a *Admin) Handler() http.Handler {
 		enc.SetIndent("", " ")
 		enc.Encode(dump) //nolint:errcheck
 	})
+	mux.HandleFunc("/debug/txn/", func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/debug/txn/")
+		txn, err := strconv.ParseInt(id, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad txn %q: %v", id, err), http.StatusBadRequest)
+			return
+		}
+		spans := a.Tracer.SpansByTrace(txn)
+		if spans == nil {
+			spans = []Span{}
+		}
+		events := a.Tracer.ByTxn(txn)
+		if events == nil {
+			events = []Event{}
+		}
+		payload := map[string]any{
+			"txn":         txn,
+			"spans":       spans,
+			"timeline":    RenderTree(spans),
+			"attribution": a.Tracer.Attribution(txn),
+			"events":      events,
+		}
+		writeJSON(w, payload)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		entries := a.Tracer.SlowEntries()
+		if entries == nil {
+			entries = []SlowEntry{}
+		}
+		writeJSON(w, entries)
+	})
+	mux.HandleFunc("/debug/waitgraph", func(w http.ResponseWriter, _ *http.Request) {
+		var live any
+		if a.WaitGraph != nil {
+			live = a.WaitGraph()
+		}
+		history := a.Flight.Entries()
+		if history == nil {
+			history = []FlightEntry{}
+		}
+		writeJSON(w, map[string]any{"live": live, "history": history})
+	})
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck
 }
 
 // AdminServer is a running admin endpoint.

@@ -1,0 +1,94 @@
+package obs
+
+import "sync"
+
+// The lock flight recorder is the post-mortem the paper's team needed for
+// their next-key deadlocks and 60 s distributed timeouts: when the lock
+// manager victimizes a transaction (deadlock cycle or timeout), it files
+// an entry here with the wait-for graph at that instant, the cycle if one
+// was found, and the victim's span tree so far. /debug/waitgraph serves
+// the history; the live graph comes from the lock manager directly.
+
+// FlightEntry is one recorded victimization.
+type FlightEntry struct {
+	// Kind is "deadlock" or "timeout".
+	Kind string `json:"kind"`
+	// Victim is the engine-local transaction id that lost.
+	Victim int64 `json:"victim"`
+	// Trace is the victim's trace (host txn) id, 0 if unsampled.
+	Trace int64 `json:"trace,omitempty"`
+	// Target is the lock the victim was waiting for.
+	Target string `json:"target"`
+	// Cycle is the wait-for cycle starting at the victim (deadlocks; a
+	// timeout victim may have none).
+	Cycle []int64 `json:"cycle,omitempty"`
+	// WaitsFor is the whole wait-for graph at capture time.
+	WaitsFor map[int64][]int64 `json:"waits_for,omitempty"`
+	// Spans is the victim's span tree at capture time (open spans
+	// included), empty if the trace was unsampled.
+	Spans []Span `json:"spans,omitempty"`
+	// AtNS is the capture time on the recorder's monotonic clock.
+	AtNS int64 `json:"at_ns"`
+	Seq  int64 `json:"seq"`
+}
+
+// FlightRecorder is a bounded ring of FlightEntry. All methods are
+// nil-safe so the lock manager records unconditionally.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	seq  int64
+	buf  []FlightEntry
+	next int
+	full bool
+}
+
+// DefaultFlightCapacity holds plenty of victims for a soak while keeping
+// the admin dump small.
+const DefaultFlightCapacity = 256
+
+// NewFlightRecorder returns a recorder retaining the last capacity
+// entries (<= 0 uses DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]FlightEntry, capacity)}
+}
+
+// Record files an entry. Nil-safe.
+func (f *FlightRecorder) Record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	if len(e.Spans) > maxSpansPerEntry {
+		e.Spans = e.Spans[:maxSpansPerEntry]
+	}
+	f.mu.Lock()
+	f.seq++
+	e.Seq = f.seq
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// Entries returns the recorded history, oldest first. Nil-safe.
+func (f *FlightRecorder) Entries() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []FlightEntry
+	if f.full {
+		out = make([]FlightEntry, 0, len(f.buf))
+		out = append(out, f.buf[f.next:]...)
+		out = append(out, f.buf[:f.next]...)
+	} else {
+		out = append(out, f.buf[:f.next]...)
+	}
+	return out
+}

@@ -42,6 +42,11 @@ type Histogram struct {
 	count  atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 	max    atomic.Int64 // nanoseconds, exact
+
+	// Exemplar: the trace id of the largest observation recorded via
+	// ObserveEx, linking a /metrics outlier back to its span tree.
+	exNS    atomic.Int64
+	exTrace atomic.Int64
 }
 
 // NewHistogram returns a histogram with the default latency buckets
@@ -82,6 +87,34 @@ func (h *Histogram) Observe(d time.Duration) {
 			return
 		}
 	}
+}
+
+// ObserveEx records one duration and, when trace is non-zero, offers it
+// as the exemplar: the largest traced observation wins, so the exemplar
+// on /metrics points at the worst outlier with a recorded span tree.
+func (h *Histogram) ObserveEx(d time.Duration, trace int64) {
+	h.Observe(d)
+	if trace == 0 {
+		return
+	}
+	ns := int64(d)
+	for {
+		old := h.exNS.Load()
+		if ns < old {
+			return
+		}
+		if h.exNS.CompareAndSwap(old, ns) {
+			// The trace store can race another ObserveEx; either exemplar
+			// is a genuine observation, which is all an exemplar promises.
+			h.exTrace.Store(trace)
+			return
+		}
+	}
+}
+
+// Exemplar returns the exemplar observation and its trace id (0 if none).
+func (h *Histogram) Exemplar() (time.Duration, int64) {
+	return time.Duration(h.exNS.Load()), h.exTrace.Load()
 }
 
 // Count returns the number of observations.
@@ -174,4 +207,6 @@ func (h *Histogram) reset() {
 	h.count.Store(0)
 	h.sum.Store(0)
 	h.max.Store(0)
+	h.exNS.Store(0)
+	h.exTrace.Store(0)
 }

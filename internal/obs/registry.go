@@ -206,7 +206,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", render(n+"_bucket", `le="+Inf"`), cum[len(cum)-1]); err != nil {
+		// OpenMetrics-style exemplar on the +Inf bucket line, linking the
+		// outlier to its trace (/debug/txn/<id>).
+		exSuffix := ""
+		if exD, exTrace := h.Exemplar(); exTrace != 0 {
+			exSuffix = fmt.Sprintf(" # {trace_id=\"%d\"} %g", exTrace, exD.Seconds())
+		}
+		if _, err := fmt.Fprintf(w, "%s %d%s\n", render(n+"_bucket", `le="+Inf"`), cum[len(cum)-1], exSuffix); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %g\n", render(n+"_sum"), h.Sum().Seconds()); err != nil {

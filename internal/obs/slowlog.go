@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// The slow-transaction log retains full span trees for the N slowest
+// commits seen so far, captured at root-span End. It answers the question
+// the metrics histograms cannot: not "how slow is p99" but "what exactly
+// did the slowest transactions spend their time on".
+
+// SlowEntry is one captured slow commit.
+type SlowEntry struct {
+	Trace int64  `json:"trace"`
+	DurNS int64  `json:"dur_ns"`
+	AtNS  int64  `json:"at_ns"`
+	Spans []Span `json:"spans"`
+}
+
+// slowLog keeps the `keep` slowest entries, sorted slowest first. Memory
+// is bounded: keep entries x maxSpansPerEntry spans.
+type slowLog struct {
+	threshold int64 // ns; <= 0 disables
+	keep      int
+
+	mu      sync.Mutex
+	slowest []SlowEntry
+}
+
+// wants reports whether a root span of the given duration qualifies:
+// above threshold and either the log has room or it beats the fastest
+// retained entry.
+func (l *slowLog) wants(durNS int64) bool {
+	if l == nil || l.threshold <= 0 || durNS < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.slowest) < l.keep || durNS > l.slowest[len(l.slowest)-1].DurNS
+}
+
+func (l *slowLog) add(e SlowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.slowest = append(l.slowest, e)
+	sort.Slice(l.slowest, func(i, j int) bool { return l.slowest[i].DurNS > l.slowest[j].DurNS })
+	if len(l.slowest) > l.keep {
+		l.slowest = l.slowest[:l.keep]
+	}
+}
+
+// entries returns a copy, slowest first.
+func (l *slowLog) entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, len(l.slowest))
+	copy(out, l.slowest)
+	return out
+}

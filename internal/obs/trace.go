@@ -49,12 +49,20 @@ type ring struct {
 // transaction's events interleave in a single chronological chain).
 type Tracer struct {
 	r      *ring
+	s      *spanStore // span tree store; nil on span-less tracers
+	binds  *txnBinds  // per-engine txn-id bindings; see BindTxn
 	prefix string
 }
 
 // NewTracer returns a tracer with the given ring capacity (<= 0 uses
-// DefaultTraceCapacity).
+// DefaultTraceCapacity) and default span/sampling/slow-log settings;
+// NewTracerCfg takes full control.
 func NewTracer(capacity int) *Tracer {
+	return NewTracerCfg(TracerConfig{Capacity: capacity})
+}
+
+// newEventRing builds the bare tracer around an event ring.
+func newEventRing(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
@@ -62,12 +70,18 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Named returns a tracer sharing this ring that prefixes every component
-// name with name + "/".
+// name with name + "/". The span store (ring, slow log, sampling) is
+// shared; the txn-bind table is fresh, because a named tracer belongs to a
+// different engine whose local txn ids collide with everyone else's.
 func (t *Tracer) Named(name string) *Tracer {
 	if t == nil {
 		return nil
 	}
-	return &Tracer{r: t.r, prefix: t.prefix + name + "/"}
+	nt := &Tracer{r: t.r, s: t.s, prefix: t.prefix + name + "/"}
+	if t.s != nil {
+		nt.binds = &txnBinds{m: make(map[int64]SpanCtx)}
+	}
+	return nt
 }
 
 // Emit records one event. Nil-safe.

@@ -16,6 +16,7 @@ package repl
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -231,9 +232,16 @@ func (s *Standby) applyRecord(db *engine.DB, r wal.Record) error {
 		s.txns.Add(1)
 		return nil
 	case wal.RecCommit:
+		// Redo-apply joins the originating transaction's trace (the WAL
+		// record carries the primary engine's txn id), so standby apply
+		// work shows up in the same span tree as the commit that shipped
+		// it.
+		sp := s.srv.Tracer().StartSpanInTrace(r.Txn, 0, "repl", "apply")
 		if s.indoubt[r.Txn] {
 			delete(s.indoubt, r.Txn)
-			return db.ResolveIndoubt(r.Txn, true)
+			err := db.ResolveIndoubt(r.Txn, true)
+			sp.Attr("kind", "indoubt_commit").End()
+			return err
 		}
 		n := len(s.pending[r.Txn])
 		err := db.ApplyCommitted(r.Txn, s.pending[r.Txn])
@@ -242,6 +250,7 @@ func (s *Standby) applyRecord(db *engine.DB, r wal.Record) error {
 			s.txns.Add(1)
 			s.srv.Tracer().Emitf(r.Txn, "repl", "apply", "commit, %d records", n)
 		}
+		sp.Attr("records", strconv.Itoa(n)).End()
 		return err
 	case wal.RecAbort:
 		delete(s.pending, r.Txn)

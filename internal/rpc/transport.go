@@ -20,9 +20,12 @@ import (
 // the request they answer. The server still handles requests serially and
 // in arrival order, so replies also arrive in order — the id is what lets
 // the client pipeline sends without convoying every caller on one mutex.
+// Trace carries the caller's span context so the server-side span tree
+// attaches under the host's RPC span (zero when the txn is unsampled).
 type envelope struct {
-	Seq uint64
-	Req any
+	Seq   uint64
+	Trace obs.SpanCtx
+	Req   any
 }
 
 // reply pairs a Response with the sequence id of the request it answers.
@@ -97,6 +100,13 @@ type Agent interface {
 	// Close releases the agent's resources (its local database connection)
 	// when the peer disconnects.
 	Close()
+}
+
+// TracedAgent is the optional extension an Agent implements to receive the
+// caller's span context from the envelope. ServeConn prefers HandleCtx
+// when available; plain Agents keep working unchanged.
+type TracedAgent interface {
+	HandleCtx(ctx obs.SpanCtx, req any) Response
 }
 
 // AgentFactory creates a child agent per accepted connection, exactly as
@@ -217,11 +227,18 @@ func Dial(addr string) (*Client, error) {
 // always retried against a fresh connection; failures after are retried
 // only for idempotent requests.
 func (c *Client) Call(req any) (Response, error) {
+	return c.CallCtx(obs.SpanCtx{}, req)
+}
+
+// CallCtx is Call with a span context carried to the server in the
+// envelope, so the agent's handling spans attach under the caller's RPC
+// span. The zero context is valid (unsampled).
+func (c *Client) CallCtx(ctx obs.SpanCtx, req any) (Response, error) {
 	bo := fault.Backoff{Base: 2 * time.Millisecond, Cap: 100 * time.Millisecond}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		sent := false
-		resp, err := c.call1(req, &sent)
+		resp, err := c.call1(ctx, req, &sent)
 		if err == nil {
 			return resp, nil
 		}
@@ -242,8 +259,8 @@ func (c *Client) Call(req any) (Response, error) {
 // call1 performs one send and waits for the demuxed reply, applying the
 // per-call deadline. sent is set once the request may have reached the
 // server.
-func (c *Client) call1(req any, sent *bool) (Response, error) {
-	pc, gen, err := c.send(req, sent)
+func (c *Client) call1(ctx obs.SpanCtx, req any, sent *bool) (Response, error) {
+	pc, gen, err := c.send(ctx, req, sent)
 	if err != nil {
 		return Response{}, err
 	}
@@ -295,7 +312,7 @@ func (c *Client) finish(pc *pendingCall, res CallResult) (Response, error) {
 // pending map first so the reader can match the reply no matter how quickly
 // it arrives. Returns the pending call and the connection generation it was
 // sent on.
-func (c *Client) send(req any, sent *bool) (*pendingCall, int, error) {
+func (c *Client) send(ctx obs.SpanCtx, req any, sent *bool) (*pendingCall, int, error) {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	c.mu.Lock()
@@ -329,7 +346,7 @@ func (c *Client) send(req any, sent *bool) (*pendingCall, int, error) {
 	// sendMu is still held, so no other sender or redial can interleave.
 	*sent = true
 	setWriteDeadline(conn, timeout)
-	err := enc.Encode(envelope{Seq: seq, Req: req})
+	err := enc.Encode(envelope{Seq: seq, Trace: ctx, Req: req})
 	clearWriteDeadline(conn)
 	if err != nil {
 		c.mu.Lock()
@@ -498,9 +515,14 @@ type CallResult struct {
 // same per-call deadline, so a hung DLFM fails the call with ErrCallTimeout
 // and severs the connection instead of wedging the client forever.
 func (c *Client) Go(req any) <-chan CallResult {
+	return c.GoCtx(obs.SpanCtx{}, req)
+}
+
+// GoCtx is Go with a span context carried in the envelope (see CallCtx).
+func (c *Client) GoCtx(ctx obs.SpanCtx, req any) <-chan CallResult {
 	out := make(chan CallResult, 1)
 	var sent bool
-	pc, gen, err := c.send(req, &sent)
+	pc, gen, err := c.send(ctx, req, &sent)
 	if err != nil {
 		out <- CallResult{Err: err}
 		return out
@@ -632,7 +654,7 @@ func ServeConn(conn io.ReadWriteCloser, agent Agent) {
 		// Handler loop: owns enc; serial dispatch in arrival order.
 		defer close(done)
 		for env := range queue {
-			resp, severed := safeHandle(agent, env.Req)
+			resp, severed := safeHandle(agent, env.Trace, env.Req)
 			if severed {
 				conn.Close()
 				return
@@ -660,8 +682,9 @@ func ServeConn(conn io.ReadWriteCloser, agent Agent) {
 }
 
 // safeHandle dispatches one request through the server-side fault point and
-// the agent, converting injected crashes into a severed connection.
-func safeHandle(agent Agent, req any) (resp Response, severed bool) {
+// the agent, converting injected crashes into a severed connection. Agents
+// implementing TracedAgent receive the envelope's span context.
+func safeHandle(agent Agent, ctx obs.SpanCtx, req any) (resp Response, severed bool) {
 	defer func() {
 		if v := recover(); v != nil {
 			if _, ok := fault.AsCrash(v); ok {
@@ -676,6 +699,9 @@ func safeHandle(agent Agent, req any) (resp Response, severed bool) {
 			return Response{}, true
 		}
 		return Response{Code: "severe", Msg: err.Error()}, false
+	}
+	if ta, ok := agent.(TracedAgent); ok {
+		return ta.HandleCtx(ctx, req), false
 	}
 	return agent.Handle(req), false
 }

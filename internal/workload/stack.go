@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fsim"
 	"repro/internal/hostdb"
+	"repro/internal/lock"
 	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/rpc"
@@ -39,6 +40,10 @@ type Stack struct {
 	// Tracer is the shared trace ring: the host and every DLFM emit into
 	// it, so one chronological chain covers a transaction end to end.
 	Tracer *obs.Tracer
+	// Flight is the shared deadlock/timeout flight recorder: every lock
+	// manager in the deployment records its victims here, so one
+	// /debug/waitgraph covers the whole stack.
+	Flight *obs.FlightRecorder
 
 	eps   map[string]*chaosEndpoint
 	sbEps map[string]*chaosEndpoint
@@ -144,6 +149,31 @@ func (st *Stack) Registries() []*obs.Registry {
 	return regs
 }
 
+// WaitGraph snapshots every lock manager's live lock table and waits-for
+// edges, keyed by server ("host" plus each DLFM). Feed it to
+// obs.Admin.WaitGraph for /debug/waitgraph.
+func (st *Stack) WaitGraph() map[string]lock.Dump {
+	g := make(map[string]lock.Dump, len(st.DLFMs)+1)
+	g["host"] = st.Host.Engine().LockManager().Dump()
+	for _, name := range sortedNames(st.DLFMs) {
+		g[name] = st.DLFMs[name].DB().LockManager().Dump()
+	}
+	return g
+}
+
+// Admin builds a fully wired admin surface for the deployment: every
+// registry, the shared tracer (spans, slow log, attribution), the merged
+// wait-for graph, and the flight recorder.
+func (st *Stack) Admin() *obs.Admin {
+	return &obs.Admin{
+		Registries: st.Registries(),
+		Tracer:     st.Tracer,
+		LockDump:   func() any { return st.WaitGraph() },
+		WaitGraph:  func() any { return st.WaitGraph() },
+		Flight:     st.Flight,
+	}
+}
+
 func sortedNames(m map[string]*core.Server) []string {
 	names := make([]string, 0, len(m))
 	for n := range m {
@@ -177,10 +207,15 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		cfg.Servers = []string{"fs1"}
 	}
 	// One shared trace ring: host and DLFM events interleave in emission
-	// order, so a transaction's full 2PC chain reads top to bottom.
-	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
+	// order, so a transaction's full 2PC chain reads top to bottom. The
+	// span store, slow log, and sampling rate come from the process-wide
+	// tracer configuration (dlfmbench flags set it).
+	tracer := obs.NewTracerDefault()
+	obs.SetProcessTracer(tracer)
+	flight := obs.NewFlightRecorder(0)
 	hostCfg := hostdb.DefaultConfig("host")
 	hostCfg.Tracer = tracer
+	hostCfg.DB.Flight = flight
 	if cfg.MutateHost != nil {
 		cfg.MutateHost(&hostCfg)
 	}
@@ -195,6 +230,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		Arch:     make(map[string]*archive.Server, len(cfg.Servers)),
 		Standbys: make(map[string]*repl.Standby),
 		Tracer:   tracer,
+		Flight:   flight,
 		eps:      make(map[string]*chaosEndpoint, len(cfg.Servers)),
 		sbEps:    make(map[string]*chaosEndpoint),
 	}
@@ -205,6 +241,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		// Each DLFM emits into the shared ring under its server-name
 		// prefix (component reads "fs1/agent" and so on).
 		dlfmCfg.Tracer = tracer.Named(name)
+		dlfmCfg.Flight = flight
 		if cfg.MutateDLFM != nil {
 			cfg.MutateDLFM(name, &dlfmCfg)
 		}
@@ -240,6 +277,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 func (st *Stack) addStandby(cfg StackConfig, name string, primary *core.Server) error {
 	sbCfg := core.DefaultConfig(name)
 	sbCfg.Tracer = st.Tracer.Named(name + "-sb")
+	sbCfg.Flight = st.Flight
 	if cfg.MutateDLFM != nil {
 		cfg.MutateDLFM(name, &sbCfg)
 	}
