@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchgate chaos-smoke failover-smoke ci
+.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke ci
 
 all: ci
 
@@ -28,11 +28,18 @@ bench:
 	$(GO) run ./cmd/dlfmbench fanout -ops 20
 	$(GO) run ./cmd/dlfmbench traceoverhead -ops 20
 
-# Compare the current bench.jsonl against the committed baseline: gated
-# counts (counters + histogram counts) may drift at most ±10%. Regenerate
-# the baseline with `go run ./cmd/benchgate -current bench.jsonl -update`.
+# Compare the current bench.jsonl against the committed baseline AND the
+# newest entry of the per-PR trajectory: gated counts (counters + histogram
+# counts) may drift at most ±10%. Regenerate the baseline with
+# `go run ./cmd/benchgate -current bench.jsonl -update`; record this PR's
+# run in the trajectory with `make bench-record LABEL=pr7`.
 benchgate:
-	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current bench.jsonl
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current bench.jsonl -trajectory BENCH_trajectory.json
+
+# Append the current bench.jsonl to the trajectory under LABEL (one entry
+# per PR; re-running replaces the newest entry, older ones are history).
+bench-record:
+	$(GO) run ./cmd/benchgate -current bench.jsonl -trajectory BENCH_trajectory.json -append -label $(LABEL)
 
 # Short fault-injection soak: seeded kill/drop schedule, indoubt drain,
 # cross-system invariant check. Exits non-zero on any violation. The slow
@@ -47,4 +54,13 @@ chaos-smoke:
 failover-smoke:
 	$(GO) run -race ./cmd/dlfmbench failover -seed 1 -dur 5s -clients 20
 
-ci: build vet race chaos-smoke failover-smoke
+# Scale-out smoke under the race detector: the E12 sweep at 1 -> 4 members
+# (fixed load, per-member log device) plus one online drain of a member
+# from a 4-member cluster while the chaos soak runs. Exits non-zero on any
+# consistency violation or incomplete drain; the BENCH line lands in
+# scaleout.jsonl for CI to archive.
+scaleout-smoke:
+	$(GO) run -race ./cmd/dlfmbench scaleout -seed 1 -dur 2s -clients 40 -members 1,2,4 | tee scaleout-output.txt
+	grep '^BENCH ' scaleout-output.txt > scaleout.jsonl
+
+ci: build vet race chaos-smoke failover-smoke scaleout-smoke

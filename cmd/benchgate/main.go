@@ -7,6 +7,13 @@
 //
 //	benchgate -baseline BENCH_baseline.json -current bench.jsonl
 //	benchgate -current bench.jsonl -update          # regenerate baseline
+//	benchgate -current bench.jsonl -trajectory BENCH_trajectory.json
+//	benchgate -current bench.jsonl -trajectory BENCH_trajectory.json -append -label pr7
+//
+// With -trajectory the gate also compares against the newest entry of the
+// append-only trajectory file (one entry per PR), so drift is judged
+// PR-over-PR rather than against an aging baseline; -append records the
+// current run as a new entry under -label.
 //
 // Only deterministic counts are gated (counters and histogram "count"
 // fields); latencies and wall-clock times are machine-dependent and
@@ -15,9 +22,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"time"
 
 	"repro/internal/benchgate"
 )
@@ -28,6 +38,9 @@ func main() {
 	tol := flag.Float64("tol", 0.10, "allowed relative drift per value")
 	floor := flag.Float64("floor", 50, "values below this on both sides are not gated")
 	update := flag.Bool("update", false, "rewrite the baseline from the current run instead of gating")
+	trajPath := flag.String("trajectory", "", "append-only per-PR trajectory file; gate against its newest entry")
+	doAppend := flag.Bool("append", false, "record the current run as a new trajectory entry instead of gating")
+	label := flag.String("label", "", "entry label for -append (e.g. pr7)")
 	flag.Parse()
 
 	cf, err := os.Open(*currentPath)
@@ -44,6 +57,37 @@ func main() {
 	if len(current) == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: no BENCH lines in %s\n", *currentPath)
 		os.Exit(2)
+	}
+
+	if *doAppend {
+		if *trajPath == "" || *label == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -append needs -trajectory and -label")
+			os.Exit(2)
+		}
+		entries, err := loadTrajectory(*trajPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		entries, err = benchgate.Append(entries, benchgate.Entry{
+			Label: *label,
+			Date:  time.Now().Format("2006-01-02"),
+			Lines: current,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		b, err := benchgate.MarshalTrajectory(entries)
+		if err == nil {
+			err = os.WriteFile(*trajPath, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: recorded %q in %s (%d entries)\n", *label, *trajPath, len(entries))
+		return
 	}
 
 	if *update {
@@ -73,7 +117,36 @@ func main() {
 
 	res := benchgate.Compare(baseline, current, *tol, *floor)
 	fmt.Println(res)
-	if !res.OK() {
+	failed := !res.OK()
+
+	if *trajPath != "" {
+		entries, err := loadTrajectory(*trajPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		tres, last, err := benchgate.GateTrajectory(entries, current, *tol, *floor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v (record an entry with -append)\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("trajectory (vs %q): %s\n", last, tres)
+		failed = failed || !tres.OK()
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// loadTrajectory reads and decodes the trajectory file; a missing file is
+// an empty trajectory, so the first -append creates it.
+func loadTrajectory(path string) ([]benchgate.Entry, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return benchgate.ParseTrajectory(b)
 }

@@ -7,6 +7,7 @@
 //	dlfmbench soak -clients 100 -dur 30s
 //	dlfmbench chaos -seed 1 -dur 10s   # fault-injection soak + invariant check
 //	dlfmbench failover -seed 1 -dur 5s # kill a primary, promote its standby
+//	dlfmbench scaleout -members 1,2,4,8,16
 //	dlfmbench throughput | nextkey | escalation | optimizer |
 //	          synccommit | timeout | batchcommit | twophase |
 //	          commitlocks | processmodel
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -50,6 +53,7 @@ var all = []runner{
 	{"twophase", "E9: 2PC / delayed update / indoubt", wrap(experiments.RunE9TwoPhase)},
 	{"fanout", "E10: commit latency vs participant count, sequential vs parallel 2PC", wrap(experiments.RunE10Fanout)},
 	{"traceoverhead", "E11: span tracing overhead, sampling 0% vs 100%", wrap(experiments.RunE11TraceOverhead)},
+	{"scaleout", "E12: aggregate link throughput vs cluster size + online drain under chaos", wrap(experiments.RunE12Scaleout)},
 	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
 	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
 }
@@ -60,6 +64,7 @@ func main() {
 	ops := fs.Int("ops", 30, "operations per client for fixed-size experiments")
 	dur := fs.Duration("dur", 5*time.Second, "duration of the E1 and chaos soaks")
 	seed := fs.Int64("seed", 1, "seed for the chaos soak's fault schedule")
+	members := fs.String("members", "", "comma-separated cluster sizes for the scaleout sweep (default 1,2,4,8)")
 	traceRing := fs.Int("trace-ring", obs.DefaultSpanCapacity, "completed-span ring capacity per stack")
 	traceSample := fs.Float64("trace-sample", 1.0, "fraction of transactions traced with spans (0 disables, 1 traces all)")
 	slowThreshold := fs.Duration("slow-txn-threshold", obs.DefaultSlowThreshold, "commits slower than this keep their full span tree (<0 disables)")
@@ -103,6 +108,16 @@ func main() {
 	})
 
 	opt := experiments.Options{Clients: *clients, Ops: *ops, SoakDuration: *dur, Seed: *seed}
+	if *members != "" {
+		for _, part := range strings.Split(*members, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "dlfmbench: bad -members entry %q\n", part)
+				os.Exit(2)
+			}
+			opt.Members = append(opt.Members, n)
+		}
+	}
 
 	run := func(r runner) {
 		fmt.Printf("=== %s (%s)\n", r.name, r.desc)

@@ -91,6 +91,70 @@ func (r Result) String() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+// Entry is one recorded run in the append-only trajectory file: the BENCH
+// lines of a PR's bench run under a human-chosen label. Where the baseline
+// is a single snapshot that ages until someone regenerates it, the
+// trajectory keeps the whole history — one entry per PR — and the gate
+// compares against the newest entry, so drift is judged PR-over-PR and the
+// history shows when a count moved and under which change.
+type Entry struct {
+	Label string `json:"label"`
+	Date  string `json:"date"`
+	Lines []Line `json:"lines"`
+}
+
+// ParseTrajectory decodes a trajectory file.
+func ParseTrajectory(b []byte) ([]Entry, error) {
+	var out []Entry
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, err
+	}
+	for i, e := range out {
+		if e.Label == "" {
+			return nil, fmt.Errorf("benchgate: trajectory entry %d has no label", i)
+		}
+	}
+	return out, nil
+}
+
+// MarshalTrajectory renders entries for writing back to the file.
+func MarshalTrajectory(entries []Entry) ([]byte, error) {
+	b, err := json.MarshalIndent(entries, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Append adds an entry at the end of the trajectory. Re-appending under the
+// newest entry's label replaces that entry (the same PR re-recording its
+// run); any older label is rejected — the history is append-only.
+func Append(entries []Entry, e Entry) ([]Entry, error) {
+	if e.Label == "" {
+		return nil, fmt.Errorf("benchgate: trajectory entry needs a label")
+	}
+	if n := len(entries); n > 0 && entries[n-1].Label == e.Label {
+		entries[n-1] = e
+		return entries, nil
+	}
+	for _, old := range entries {
+		if old.Label == e.Label {
+			return nil, fmt.Errorf("benchgate: label %q already recorded earlier in the trajectory; only the newest entry may be replaced", e.Label)
+		}
+	}
+	return append(entries, e), nil
+}
+
+// GateTrajectory compares current against the newest trajectory entry and
+// reports which label it gated against.
+func GateTrajectory(entries []Entry, current []Line, tol, floor float64) (Result, string, error) {
+	if len(entries) == 0 {
+		return Result{}, "", fmt.Errorf("benchgate: trajectory holds no entries")
+	}
+	last := entries[len(entries)-1]
+	return Compare(last.Lines, current, tol, floor), last.Label, nil
+}
+
 // Compare gates current against baseline. tol is the allowed relative
 // drift (0.10 = ±10%); floor exempts values where both sides are below it
 // (small-count noise). An experiment present in the baseline but absent

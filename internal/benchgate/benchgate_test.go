@@ -111,3 +111,74 @@ func TestCompareMissingExperimentAndMetric(t *testing.T) {
 		t.Fatalf("new experiment should be skipped, not gated: %v", res.Skipped)
 	}
 }
+
+func TestTrajectoryAppendAndGate(t *testing.T) {
+	var entries []Entry
+	entries, err := Append(entries, Entry{Label: "seed", Lines: []Line{
+		mkLine("throughput", map[string]interface{}{"host_commits_total": 200.0}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err = Append(entries, Entry{Label: "pr6", Lines: []Line{
+		mkLine("throughput", map[string]interface{}{"host_commits_total": 210.0}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate judges against the newest entry, not the oldest.
+	cur := []Line{mkLine("throughput", map[string]interface{}{"host_commits_total": 205.0})}
+	res, last, err := GateTrajectory(entries, cur, 0.10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != "pr6" || !res.OK() {
+		t.Fatalf("gate vs %q: %s", last, res)
+	}
+	cur[0].Metrics["host_commits_total"] = 120.0
+	if res, _, _ := GateTrajectory(entries, cur, 0.10, 50); res.OK() {
+		t.Fatal("43% drop vs newest entry passed")
+	}
+
+	// Round-trip through the file encoding.
+	b, err := MarshalTrajectory(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrajectory(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Label != "pr6" {
+		t.Fatalf("round-trip lost entries: %+v", back)
+	}
+}
+
+func TestTrajectoryAppendOnly(t *testing.T) {
+	entries := []Entry{
+		{Label: "seed"},
+		{Label: "pr6", Lines: []Line{mkLine("throughput", map[string]interface{}{"host_commits_total": 1.0})}},
+	}
+	// Re-recording the newest label replaces it in place.
+	entries, err := Append(entries, Entry{Label: "pr6", Lines: []Line{
+		mkLine("throughput", map[string]interface{}{"host_commits_total": 2.0}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || counts(entries[1].Lines[0].Metrics)["host_commits_total"] != 2 {
+		t.Fatalf("newest entry not replaced: %+v", entries)
+	}
+	// Older labels are history and cannot be rewritten.
+	if _, err := Append(entries, Entry{Label: "seed"}); err == nil {
+		t.Fatal("rewriting an older entry succeeded")
+	}
+	// Unlabelled entries are rejected.
+	if _, err := Append(entries, Entry{}); err == nil {
+		t.Fatal("unlabelled entry accepted")
+	}
+	if _, err := ParseTrajectory([]byte(`[{"date":"2026-01-01"}]`)); err == nil {
+		t.Fatal("unlabelled trajectory file parsed")
+	}
+}

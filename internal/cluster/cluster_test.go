@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+type memStore struct {
+	tables map[string]Table
+	fail   bool
+}
+
+func newMemStore() *memStore { return &memStore{tables: make(map[string]Table)} }
+
+func (s *memStore) SaveTable(name string, t Table) error {
+	if s.fail {
+		return fmt.Errorf("store down")
+	}
+	s.tables[name] = t.clone()
+	return nil
+}
+
+func (s *memStore) LoadTable(name string) (Table, bool, error) {
+	t, ok := s.tables[name]
+	return t.clone(), ok, nil
+}
+
+func newTestMap(t *testing.T, store Store) *Map {
+	t.Helper()
+	m, err := New("dlfs", Config{Slots: 32, FenceTimeout: 500 * time.Millisecond, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// applyMoves flips ownership without a mover (no data to migrate).
+func applyMoves(t *testing.T, m *Map, moves []Move) {
+	t.Helper()
+	for _, mv := range moves {
+		ms, err := m.beginMove(mv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.fence(ms); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.commitMove(ms, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRendezvousDeterministicAndComplete(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	got := assign(members, DefaultSlots)
+	again := assign([]string{"d", "c", "b", "a"}, DefaultSlots)
+	counts := map[string]int{}
+	for slot, owner := range got {
+		if owner == "" {
+			t.Fatalf("slot %d unassigned", slot)
+		}
+		if again[slot] != owner {
+			t.Fatalf("slot %d: assignment depends on member order (%s vs %s)", slot, owner, again[slot])
+		}
+		counts[owner]++
+	}
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns no slots: %v", m, counts)
+		}
+	}
+}
+
+// Rendezvous hashing's point: adding a member only moves slots TO it, and
+// removing one only moves its own slots.
+func TestMinimalMovement(t *testing.T) {
+	three := assign([]string{"a", "b", "c"}, DefaultSlots)
+	four := assign([]string{"a", "b", "c", "d"}, DefaultSlots)
+	moves := movesTo(three, four)
+	if len(moves) == 0 {
+		t.Fatal("expected some slots to move to d")
+	}
+	for _, mv := range moves {
+		if mv.To != "d" {
+			t.Fatalf("move %+v: a join must only move slots to the joiner", mv)
+		}
+	}
+	back := movesTo(four, three)
+	for _, mv := range back {
+		if mv.From != "d" {
+			t.Fatalf("move %+v: a removal must only move the removed member's slots", mv)
+		}
+	}
+}
+
+func TestJoinDrainLifecycle(t *testing.T) {
+	store := newMemStore()
+	m := newTestMap(t, store)
+
+	// First member bootstraps the full table, no moves.
+	moves, err := m.Join("a")
+	if err != nil || len(moves) != 0 {
+		t.Fatalf("bootstrap join: moves=%v err=%v", moves, err)
+	}
+	if got := m.Owner("/x/1"); got != "a" {
+		t.Fatalf("owner = %q, want a", got)
+	}
+
+	moves, err = m.Join("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyMoves(t, m, moves)
+	if err := func() error { _, err := m.Join("b"); return err }(); err == nil {
+		t.Fatal("double join must fail")
+	}
+
+	// Every path routes to a member; b owns its share.
+	owned := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		owned[m.Owner(fmt.Sprintf("/f/%d", i))] = true
+	}
+	if !owned["a"] || !owned["b"] {
+		t.Fatalf("paths landed on %v, want both members", owned)
+	}
+
+	// Drain a: all its slots move to b, then it can be removed.
+	if err := m.RemoveMember("a"); err == nil {
+		t.Fatal("RemoveMember must refuse while a owns slots")
+	}
+	plan, err := m.DrainPlan("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range plan {
+		if mv.From != "a" || mv.To != "b" {
+			t.Fatalf("drain move %+v", mv)
+		}
+	}
+	applyMoves(t, m, plan)
+	if err := m.RemoveMember("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DrainPlan("b"); err == nil {
+		t.Fatal("draining the last member must fail")
+	}
+
+	// Placement survived: a fresh map over the same store sees b everywhere.
+	m2 := newTestMap(t, store)
+	if got := m2.Owner("/x/1"); got != "b" {
+		t.Fatalf("recovered owner = %q, want b", got)
+	}
+	if m2.Version() != m.Version() {
+		t.Fatalf("recovered version %d != %d", m2.Version(), m.Version())
+	}
+}
+
+func TestWriteOwnerFenceAndCutover(t *testing.T) {
+	m := newTestMap(t, nil)
+	if _, err := m.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := m.Join("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := moves[0]
+	path := pathInSlot(t, m, mv.Slot)
+
+	// An in-flight writer blocks the fence until it releases.
+	owner, release, err := m.WriteOwner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != mv.From {
+		t.Fatalf("pre-move owner = %q, want %q", owner, mv.From)
+	}
+	ms, err := m.beginMove(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenced := make(chan error, 1)
+	go func() { fenced <- m.fence(ms) }()
+	select {
+	case err := <-fenced:
+		t.Fatalf("fence returned %v with a writer in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	if err := <-fenced; err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer arriving during the fence blocks, then routes to the new
+	// owner once the move commits.
+	routed := make(chan string, 1)
+	go func() {
+		o, rel, err := m.WriteOwner(path)
+		if err != nil {
+			routed <- "error: " + err.Error()
+			return
+		}
+		rel()
+		routed <- o
+	}()
+	select {
+	case o := <-routed:
+		t.Fatalf("fenced writer routed to %q before cutover", o)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := m.commitMove(ms, 3); err != nil {
+		t.Fatal(err)
+	}
+	if o := <-routed; o != mv.To {
+		t.Fatalf("post-cutover route = %q, want %q", o, mv.To)
+	}
+
+	// Dual read covered the move window; now reads see only the new owner.
+	owners := m.ReadOwners(path)
+	if len(owners) != 1 || owners[0] != mv.To {
+		t.Fatalf("ReadOwners = %v, want [%s]", owners, mv.To)
+	}
+}
+
+func TestFenceTimeoutFailsWriter(t *testing.T) {
+	m := newTestMap(t, nil)
+	if _, err := m.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := m.Join("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := moves[0]
+	ms, err := m.beginMove(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.fence(ms); err != nil {
+		t.Fatal(err)
+	}
+	// The fence is never lifted (mover wedged): the writer errors out at
+	// FenceTimeout instead of hanging.
+	if _, _, err := m.WriteOwner(pathInSlot(t, m, mv.Slot)); err == nil {
+		t.Fatal("WriteOwner under a stuck fence must time out")
+	}
+	m.abortMove(ms)
+	if _, _, err := m.WriteOwner(pathInSlot(t, m, mv.Slot)); err != nil {
+		t.Fatalf("after abort: %v", err)
+	}
+}
+
+func TestCommitMovePersistFailureReverts(t *testing.T) {
+	store := newMemStore()
+	m := newTestMap(t, store)
+	if _, err := m.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := m.Join("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := moves[0]
+	ms, err := m.beginMove(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := m.Version()
+	store.fail = true
+	if err := m.commitMove(ms, 0); err == nil {
+		t.Fatal("commitMove must surface the persist failure")
+	}
+	if got := m.Snapshot().Owners[mv.Slot]; got != mv.From {
+		t.Fatalf("owner after failed persist = %q, want %q", got, mv.From)
+	}
+	if m.Version() != ver {
+		t.Fatalf("version bumped to %d despite failed persist", m.Version())
+	}
+	m.abortMove(ms)
+}
+
+func TestPlanMoveAndRebalance(t *testing.T) {
+	m := newTestMap(t, nil)
+	if _, err := m.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := m.Join("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyMoves(t, m, moves)
+
+	// Pin a slot b does not own onto b, then let rebalance undo the pin.
+	pin := -1
+	for slot, o := range m.Snapshot().Owners {
+		if o == "a" {
+			pin = slot
+			break
+		}
+	}
+	mv, err := m.PlanMove(pin, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyMoves(t, m, []Move{mv})
+	if got := m.Snapshot().Owners[pin]; got != "b" {
+		t.Fatalf("pinned slot owned by %q", got)
+	}
+	re := m.PlanRebalance()
+	found := false
+	for _, r := range re {
+		if r.Slot == pin && r.To == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rebalance plan %v does not return pinned slot %d to a", re, pin)
+	}
+}
+
+// pathInSlot finds a path hashing into the given slot.
+func pathInSlot(t *testing.T, m *Map, slot int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		p := fmt.Sprintf("/probe/%d", i)
+		if SlotOf(p, m.Slots()) == slot {
+			return p
+		}
+	}
+	t.Fatalf("no path found for slot %d", slot)
+	return ""
+}

@@ -1,0 +1,127 @@
+// Package cluster is the host-side placement layer that fronts N DLFMs as
+// one logical namespace. A DATALINK URL names a *cluster* instead of a
+// physical file server; the placement table — a consistent-hash ring over a
+// fixed number of path slots, versioned and persisted in the host database
+// alongside the dl_cols registry — decides which member actually owns each
+// path. The paper's DLFM is a single file-server resource manager; this
+// layer is what lets the reproduction grow past one file server per column
+// (ROADMAP open item 1) while keeping every per-member invariant the
+// single-server system already enforces: links are still 2PC participants,
+// indoubt resolution still runs per physical server, and the consistency
+// check still compares each member's dlfm_file state against the host
+// registry.
+//
+// Placement is rendezvous (highest-random-weight) hashing of member names
+// per slot: adding a member steals only the slots it now wins, removing a
+// member reassigns only the slots it owned — the "minimal movement"
+// property that keeps AddDLFM/DrainDLFM migrations proportional to the
+// data actually changing owners.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultSlots is the default ring size. It bounds migration granularity
+// (a slot is the unit of fencing and cutover), not cluster size; 32 slots
+// keep per-slot move overhead low while still spreading 16 members.
+const DefaultSlots = 32
+
+// SlotOf maps a file path to its placement slot. The hash must be stable
+// across processes and releases — it is persisted indirectly through the
+// placement table, and the consistency checker recomputes it.
+func SlotOf(path string, slots int) int {
+	h := fnv.New32a()
+	h.Write([]byte(path)) //nolint:errcheck
+	return int(h.Sum32() % uint32(slots))
+}
+
+// weight is the rendezvous score of member m for slot s. FNV alone
+// avalanches poorly on short keys — the member prefix dominates the high
+// bits and one member would win nearly every slot — so the sum is finished
+// with a splitmix64-style mix. Must stay stable across releases: the
+// persisted table pins owners, but Join/Drain plans recompute weights.
+func weight(member string, slot int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", member, slot)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// bestOwner returns the rendezvous winner for slot among members.
+func bestOwner(members []string, slot int) string {
+	var best string
+	var bw uint64
+	for _, m := range members {
+		if w := weight(m, slot); best == "" || w > bw || (w == bw && m < best) {
+			best, bw = m, w
+		}
+	}
+	return best
+}
+
+// Table is one version of the placement map: every slot's owning member.
+// Owners is authoritative (Rebalance may pin a slot away from its
+// rendezvous winner); the hash only proposes targets on membership change.
+type Table struct {
+	Version int64
+	Slots   int
+	Owners  []string // len == Slots
+}
+
+// clone returns a deep copy.
+func (t Table) clone() Table {
+	out := t
+	out.Owners = append([]string(nil), t.Owners...)
+	return out
+}
+
+// Members returns the sorted distinct owner set.
+func (t Table) Members() []string {
+	seen := map[string]bool{}
+	for _, o := range t.Owners {
+		if o != "" {
+			seen[o] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// assign computes the full rendezvous assignment for a member set.
+func assign(members []string, slots int) []string {
+	owners := make([]string, slots)
+	for s := range owners {
+		owners[s] = bestOwner(members, s)
+	}
+	return owners
+}
+
+// Move is one pending slot transfer.
+type Move struct {
+	Slot int
+	From string
+	To   string
+}
+
+// movesTo diffs the current owners against a target assignment.
+func movesTo(cur, target []string) []Move {
+	var out []Move
+	for s := range cur {
+		if cur[s] != target[s] {
+			out = append(out, Move{Slot: s, From: cur[s], To: target[s]})
+		}
+	}
+	return out
+}

@@ -146,6 +146,14 @@ func (a *ChildAgent) Handle(req any) rpc.Response {
 		return a.srv.reconcile(a.conn, r)
 	case rpc.ReplFetchReq:
 		return a.srv.replFetch(r)
+	case rpc.MigrateManifestReq:
+		return a.migrateManifest()
+	case rpc.FetchFileReq:
+		return a.fetchFile(r)
+	case rpc.MigratePutReq:
+		return a.migratePut(r)
+	case rpc.MigrateDelReq:
+		return a.migrateDel(r)
 	case rpc.PingReq:
 		return rpc.Response{Msg: "dlfm:" + a.srv.cfg.ServerName}
 	case rpc.StatsReq:

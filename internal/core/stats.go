@@ -30,6 +30,8 @@ type Stats struct {
 	DaemonLogFulls obs.Counter // log-full errors hit by daemons (E8)
 	ReplFetches    obs.Counter // replication fetches served to a standby
 	Promotes       obs.Counter // standby-to-primary promotions
+	MigratedIn     obs.Counter // linked entries installed by slot migration
+	MigratedOut    obs.Counter // linked entries removed by slot migration
 }
 
 // register exposes every counter on reg under its dlfm_* metric name.
@@ -60,6 +62,8 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.RegisterCounter("dlfm_daemon_log_fulls_total", &st.DaemonLogFulls)
 	reg.RegisterCounter("dlfm_repl_fetches_total", &st.ReplFetches)
 	reg.RegisterCounter("dlfm_promotes_total", &st.Promotes)
+	reg.RegisterCounter("dlfm_migrated_in_total", &st.MigratedIn)
+	reg.RegisterCounter("dlfm_migrated_out_total", &st.MigratedOut)
 }
 
 // Snapshot is a point-in-time copy of Stats for reporting.
@@ -75,6 +79,7 @@ type Snapshot struct {
 	StatsRepairs, IndoubtReports            int64
 	DaemonLogFulls                          int64
 	ReplFetches, Promotes                   int64
+	MigratedIn, MigratedOut                 int64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -103,5 +108,7 @@ func (s *Server) Stats() Snapshot {
 		DaemonLogFulls: s.stats.DaemonLogFulls.Load(),
 		ReplFetches:    s.stats.ReplFetches.Load(),
 		Promotes:       s.stats.Promotes.Load(),
+		MigratedIn:     s.stats.MigratedIn.Load(),
+		MigratedOut:    s.stats.MigratedOut.Load(),
 	}
 }

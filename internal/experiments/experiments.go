@@ -30,6 +30,9 @@ type Options struct {
 	// Seed drives every pseudo-random decision of seeded experiments (the
 	// chaos soak's kill/drop schedule); equal seeds replay equal runs.
 	Seed int64
+	// Members are the cluster sizes the scale-out sweep (E12) measures;
+	// empty means 1, 2, 4, 8.
+	Members []int
 	// Verbose enables progress lines on stdout.
 	Verbose bool
 }

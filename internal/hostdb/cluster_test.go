@@ -1,0 +1,282 @@
+package hostdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fsim"
+	"repro/internal/rpc"
+	"repro/internal/value"
+)
+
+// linkedOn counts linked, commit-visible entries for a member's DLFM.
+func (st *stack) linkedOn(server string) map[string]bool {
+	st.t.Helper()
+	rows, err := st.dlfm[server].DB().DumpTable("dlfm_file")
+	if err != nil {
+		st.t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, r := range rows {
+		if r[6].Text() == "L" && r[7].Int64() == 0 {
+			out[r[0].Text()] = true
+		}
+	}
+	return out
+}
+
+// clusterStack builds a stack whose members all join logical cluster "dlfs".
+func clusterStack(t *testing.T, members ...string) *stack {
+	t.Helper()
+	st := newStack(t, members)
+	for _, m := range members {
+		if _, err := st.db.AddDLFM("dlfs", m, st.db.dialers[m]); err != nil {
+			t.Fatalf("AddDLFM(%s): %v", m, err)
+		}
+	}
+	return st
+}
+
+// seedClusterFiles creates n files on whichever member currently owns each
+// path and links them through the logical name. Returns the paths.
+func (st *stack) seedClusterFiles(n int) []string {
+	st.t.Helper()
+	m := st.db.Cluster("dlfs")
+	s := st.db.Session()
+	defer s.Close()
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("/clips/c%03d.mpg", i)
+		st.createFile(m.Owner(path), path, "alice", "clip")
+		st.mustExec(s, `INSERT INTO media (id, title, clip) VALUES (?, ?, ?)`,
+			value.Int(int64(i)), value.Str("t"), value.Str(URL("dlfs", path)))
+		paths = append(paths, path)
+	}
+	if err := s.Commit(); err != nil {
+		st.t.Fatal(err)
+	}
+	return paths
+}
+
+// checkPlacement asserts every path's entry lives exactly on its owner.
+func (st *stack) checkPlacement(paths []string) {
+	st.t.Helper()
+	m := st.db.Cluster("dlfs")
+	byServer := map[string]map[string]bool{}
+	for name := range st.dlfm {
+		byServer[name] = st.linkedOn(name)
+	}
+	for _, p := range paths {
+		owner := m.Owner(p)
+		if !byServer[owner][p] {
+			st.t.Errorf("path %s: no linked entry on owner %s", p, owner)
+		}
+		for name, linked := range byServer {
+			if name != owner && linked[p] {
+				st.t.Errorf("path %s: stray linked entry on %s (owner %s)", p, name, owner)
+			}
+		}
+	}
+}
+
+func TestClusterLinkSpreadsAndMigrates(t *testing.T) {
+	st := clusterStack(t, "m1")
+	st.mediaTable(false, false)
+	paths := st.seedClusterFiles(24)
+	st.checkPlacement(paths)
+
+	// Join a second member online: its rendezvous share migrates over.
+	if _, err := st.addMember("m2"); err != nil {
+		t.Fatal(err)
+	}
+	m := st.db.Cluster("dlfs")
+	if got := len(m.Members()); got != 2 {
+		t.Fatalf("members = %d, want 2", got)
+	}
+	st.checkPlacement(paths)
+	moved := 0
+	for _, p := range paths {
+		if m.Owner(p) == "m2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no paths moved to m2 — migration did nothing")
+	}
+
+	// The file bytes moved too: the new owner's file server can stat them.
+	for _, p := range paths {
+		if _, err := st.fs[m.Owner(p)].Stat(p); err != nil {
+			t.Errorf("bytes for %s missing on owner %s: %v", p, m.Owner(p), err)
+		}
+	}
+
+	// Writes after the move route to the new owners: unlink half the rows.
+	s := st.db.Session()
+	defer s.Close()
+	for i := 0; i < 12; i++ {
+		st.mustExec(s, `DELETE FROM media WHERE id = ?`, value.Int(int64(i)))
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st.checkPlacement(paths[12:])
+	for name := range st.dlfm {
+		for _, p := range paths[:12] {
+			if st.linkedOn(name)[p] {
+				t.Errorf("unlinked path %s still linked on %s", p, name)
+			}
+		}
+	}
+
+	// Drain m2: everything returns to m1 and m2 empties out.
+	if _, err := st.db.DrainDLFM("dlfs", "m2"); err != nil {
+		t.Fatal(err)
+	}
+	if m.HasMember("m2") {
+		t.Fatal("m2 still a member after drain")
+	}
+	if left := st.linkedOn("m2"); len(left) != 0 {
+		t.Fatalf("m2 still holds %d linked entries after drain", len(left))
+	}
+	st.checkPlacement(paths[12:])
+
+	// And the namespace still works end to end after the drain.
+	s2 := st.db.Session()
+	defer s2.Close()
+	path := "/clips/post-drain.mpg"
+	st.createFile(m.Owner(path), path, "alice", "clip")
+	st.mustExec(s2, `INSERT INTO media (id, title, clip) VALUES (?, ?, ?)`,
+		value.Int(1000), value.Str("t"), value.Str(URL("dlfs", path)))
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// addMember builds a fresh DLFM (file server, archive, core) under name and
+// joins it to the cluster online, the way an operator scales out.
+func (st *stack) addMember(name string) (int, error) {
+	st.t.Helper()
+	fs := fsim.NewServer(name)
+	ar := archive.NewServer()
+	cfg := core.DefaultConfig(name)
+	cfg.DB.LockTimeout = 2 * time.Second
+	dlfm, err := core.New(cfg, fs, ar)
+	if err != nil {
+		st.t.Fatal(err)
+	}
+	st.t.Cleanup(func() { dlfm.Close() })
+	st.fs[name] = fs
+	st.arch[name] = ar
+	st.dlfm[name] = dlfm
+	return st.db.AddDLFM("dlfs", name, func() (*rpc.Client, error) {
+		return rpc.LocalPair(dlfm), nil
+	})
+}
+
+func TestClusterGroupAttributesSurviveMove(t *testing.T) {
+	st := clusterStack(t, "m1")
+	st.mediaTable(true, true) // recovery + full control
+	paths := st.seedClusterFiles(12)
+	if _, err := st.addMember("m2"); err != nil {
+		t.Fatal(err)
+	}
+	m := st.db.Cluster("dlfs")
+	movedTo := ""
+	for _, p := range paths {
+		if m.Owner(p) == "m2" {
+			movedTo = p
+			break
+		}
+	}
+	if movedTo == "" {
+		t.Skip("no seeded path moved to m2")
+	}
+	rows, err := st.dlfm["m2"].DB().DumpTable("dlfm_group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, g := range rows {
+		if g[3].Text() != "A" {
+			continue
+		}
+		found = true
+		if g[1].Int64() != 1 || g[2].Int64() != 1 {
+			t.Fatalf("migrated group lost attributes: recovery=%d fullctl=%d", g[1].Int64(), g[2].Int64())
+		}
+	}
+	if !found {
+		t.Fatal("no active group on m2 after migration")
+	}
+
+	// DROP TABLE must fan out to the migrated member too (dl_grpsrv row
+	// written by the mover's NoteGroup hook).
+	if err := st.db.DropTable("media"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterPlacementPersistsAcrossCrash(t *testing.T) {
+	st := clusterStack(t, "m1", "m2", "m3")
+	st.mediaTable(false, false)
+	st.seedClusterFiles(16)
+	want := st.db.Cluster("dlfs").Snapshot()
+
+	if err := st.db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := placementStore{db: st.db}.LoadTable("dlfs")
+	if err != nil || !ok {
+		t.Fatalf("placement load after crash: ok=%v err=%v", ok, err)
+	}
+	if got.Version != want.Version || got.Slots != want.Slots {
+		t.Fatalf("recovered table v%d/%d slots, want v%d/%d", got.Version, got.Slots, want.Version, want.Slots)
+	}
+	for s := range got.Owners {
+		if got.Owners[s] != want.Owners[s] {
+			t.Fatalf("slot %d recovered owner %q, want %q", s, got.Owners[s], want.Owners[s])
+		}
+	}
+
+	// A fresh map under a new host over the same engine would see the same
+	// table; here just confirm cluster.New-level recovery derives members.
+	if m := got.Members(); len(m) != 3 {
+		t.Fatalf("recovered members = %v", m)
+	}
+}
+
+func TestRebalancePinsSlot(t *testing.T) {
+	st := clusterStack(t, "m1", "m2")
+	st.mediaTable(false, false)
+	paths := st.seedClusterFiles(16)
+	m := st.db.Cluster("dlfs")
+
+	// Pin some m1-owned slot holding a seeded path onto m2.
+	slot := -1
+	var pinned string
+	for _, p := range paths {
+		if m.Owner(p) == "m1" {
+			slot = cluster.SlotOf(p, m.Slots())
+			pinned = p
+			break
+		}
+	}
+	if slot < 0 {
+		t.Skip("no m1-owned seeded path")
+	}
+	if _, err := st.db.Rebalance("dlfs", slot, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Owner(pinned); got != "m2" {
+		t.Fatalf("pinned path owned by %q, want m2", got)
+	}
+	if !st.linkedOn("m2")[pinned] {
+		t.Fatal("pinned path's entry did not migrate to m2")
+	}
+	st.checkPlacement(paths)
+}

@@ -13,21 +13,56 @@ import (
 // Datalink URLs name a file on a managed server: dlfs://<server>/<path>.
 const urlScheme = "dlfs://"
 
-// ParseURL splits a DATALINK value into server and absolute path.
+// ParseURL splits a DATALINK value into server and absolute path. The
+// server component may carry a port (host:port). Duplicate slashes in the
+// path collapse to one, so the same file compares equal however the URL
+// was spelled; URLs with an empty server ("dlfs:///a") or an empty path
+// ("dlfs://srv", "dlfs://srv/") are rejected.
 func ParseURL(url string) (server, path string, err error) {
 	if !strings.HasPrefix(url, urlScheme) {
 		return "", "", fmt.Errorf("hostdb: datalink value %q is not a %s URL", url, urlScheme)
 	}
 	rest := url[len(urlScheme):]
 	slash := strings.IndexByte(rest, '/')
-	if slash <= 0 || slash == len(rest)-1 {
-		return "", "", fmt.Errorf("hostdb: datalink value %q lacks a server or path", url)
+	if slash < 0 {
+		return "", "", fmt.Errorf("hostdb: datalink value %q lacks a path", url)
 	}
-	return rest[:slash], rest[slash:], nil
+	server, path = rest[:slash], canonPath(rest[slash:])
+	if server == "" {
+		return "", "", fmt.Errorf("hostdb: datalink value %q lacks a server", url)
+	}
+	if path == "/" {
+		return "", "", fmt.Errorf("hostdb: datalink value %q lacks a path", url)
+	}
+	return server, path, nil
 }
 
-// URL composes a DATALINK value.
-func URL(server, path string) string { return urlScheme + server + path }
+// canonPath collapses runs of slashes; the no-op case stays allocation-free.
+func canonPath(p string) string {
+	if !strings.Contains(p, "//") {
+		return p
+	}
+	var b strings.Builder
+	b.Grow(len(p))
+	var prev byte
+	for i := 0; i < len(p); i++ {
+		if p[i] == '/' && prev == '/' {
+			continue
+		}
+		b.WriteByte(p[i])
+		prev = p[i]
+	}
+	return b.String()
+}
+
+// URL composes a DATALINK value; a path missing its leading slash gets one,
+// so URL(ParseURL(u)) round-trips and URL(srv, "a/b") is still well formed.
+func URL(server, path string) string {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return urlScheme + server + path
+}
 
 // recidCol names the hidden column that stores the link recovery id next
 // to each DATALINK column (the paper's host keeps the recovery id with the

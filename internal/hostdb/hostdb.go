@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/rpc"
@@ -130,6 +131,9 @@ type DB struct {
 	dialers   map[string]Dialer
 	standbys  map[string]*standbyEntry
 	failCount map[string]int
+	// clusters maps a logical server name to its placement map; URLs
+	// naming a cluster route through it instead of the dialer registry.
+	clusters map[string]*cluster.Map
 	// activeTxns holds every transaction id a live session currently owns.
 	// Indoubt resolution must not presume abort for these: a prepared DLFM
 	// sub-transaction whose coordinator is alive is not in doubt — the
@@ -180,6 +184,7 @@ func Open(cfg Config) (*DB, error) {
 		commitHist: obs.NewHistogram(),
 		dialers:    make(map[string]Dialer),
 		standbys:   make(map[string]*standbyEntry),
+		clusters:   make(map[string]*cluster.Map),
 		failCount:  make(map[string]int),
 		activeTxns: make(map[int64]struct{}),
 		backups:    make(map[int64]*backupImage),
@@ -323,7 +328,12 @@ func (db *DB) Crash() error {
 // transaction-outcome table that implements presumed abort.
 func (db *DB) bootstrapSchema() error {
 	if _, err := db.eng.Catalog().Table("dl_cols"); err == nil {
-		return nil // recovered from the log
+		// Recovered from the log. The placement table postdates the base
+		// schema, so a database recovered from an older log may lack it.
+		if _, err := db.eng.Catalog().Table("dl_placement"); err != nil {
+			return db.createPlacementSchema()
+		}
+		return nil
 	}
 	c := db.eng.Connect()
 	ddl := []string{
@@ -352,6 +362,25 @@ func (db *DB) bootstrapSchema() error {
 	db.eng.SetStats("dl_outcome", big, map[string]int64{"txnid": big})
 	db.eng.SetStats("dl_xa", big, map[string]int64{"host_txn": big})
 	db.eng.SetStats("dl_backups", big, map[string]int64{"backupid": big})
+	return db.createPlacementSchema()
+}
+
+// createPlacementSchema creates the cluster placement table: one row per
+// (cluster, slot) with the table version and ring size denormalized onto
+// each row, replaced wholesale on every version bump (rings are small).
+func (db *DB) createPlacementSchema() error {
+	c := db.eng.Connect()
+	ddl := []string{
+		`CREATE TABLE dl_placement (cluster VARCHAR NOT NULL, version BIGINT NOT NULL, slots BIGINT NOT NULL, slot BIGINT NOT NULL, owner VARCHAR NOT NULL)`,
+		`CREATE UNIQUE INDEX dl_placement_cs ON dl_placement (cluster, slot)`,
+	}
+	for _, stmt := range ddl {
+		if _, err := c.Exec(stmt); err != nil {
+			return fmt.Errorf("hostdb: bootstrap: %w", err)
+		}
+	}
+	const big = 10_000_000
+	db.eng.SetStats("dl_placement", big, map[string]int64{"cluster": 100, "slot": 10_000})
 	return nil
 }
 

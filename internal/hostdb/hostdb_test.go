@@ -549,21 +549,6 @@ func TestIndoubtDaemonResolves(t *testing.T) {
 	t.Fatal("indoubt daemon never resolved the transaction")
 }
 
-func TestParseURL(t *testing.T) {
-	server, path, err := ParseURL("dlfs://fs1/data/x.bin")
-	if err != nil || server != "fs1" || path != "/data/x.bin" {
-		t.Fatalf("%q %q %v", server, path, err)
-	}
-	for _, bad := range []string{"", "http://x/y", "dlfs://", "dlfs://onlyserver", "dlfs://server/"} {
-		if _, _, err := ParseURL(bad); err == nil {
-			t.Errorf("ParseURL(%q) succeeded", bad)
-		}
-	}
-	if URL("fs1", "/a") != "dlfs://fs1/a" {
-		t.Error("URL composition wrong")
-	}
-}
-
 func TestNoDLFMRegistered(t *testing.T) {
 	st := newStack(t, []string{"fs1"})
 	st.mediaTable(false, false)

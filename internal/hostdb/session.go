@@ -271,13 +271,24 @@ func (s *Session) backoutStatement(done []stmtOp) {
 }
 
 // linkFile drives one LinkFile at the right DLFM, creating the file group
-// there first if this is the group's first file on that server.
+// there first if this is the group's first file on that server. The URL's
+// server name routes through the placement map when it names a cluster, so
+// the whole statement (and the later 2PC fan-out, keyed by the physical
+// member recorded in the stmtOp) is placement-aware; the route is held
+// until the RPC returns, so a slot fence cannot cut over mid-call.
 func (s *Session) linkFile(url string, col dlCol) (int64, stmtOp, error) {
 	server, path, err := ParseURL(url)
 	if err != nil {
 		return 0, stmtOp{}, fmt.Errorf("%w: %v", ErrStatement, err)
 	}
-	p, err := s.part(server)
+	phys, release, err := s.db.route(server, path)
+	if err != nil {
+		// A fence timeout fails the statement, not the transaction: the
+		// application retries and routes against the post-move table.
+		return 0, stmtOp{}, fmt.Errorf("%w: %v", ErrStatement, err)
+	}
+	defer release()
+	p, err := s.part(phys)
 	if err != nil {
 		s.rollbackInternal()
 		return 0, stmtOp{}, fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
@@ -286,36 +297,41 @@ func (s *Session) linkFile(url string, col dlCol) (int64, stmtOp, error) {
 		return 0, stmtOp{}, err
 	}
 	rec := s.db.NextRecID()
-	sp := s.db.tracer.StartSpan(s.stmtSpan, "host", "rpc:LinkFile").Attr("server", server)
+	sp := s.db.tracer.StartSpan(s.stmtSpan, "host", "rpc:LinkFile").Attr("server", phys)
 	resp, err := p.client.CallCtx(sp.Ctx(), rpc.LinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
 	sp.End()
 	if err != nil || !resp.OK() {
-		return 0, stmtOp{}, s.dlfmFailure(server, resp, err, nil)
+		return 0, stmtOp{}, s.dlfmFailure(phys, resp, err, nil)
 	}
 	s.db.stats.Links.Add(1)
-	return rec, stmtOp{server: server, name: path, isLink: true, recID: rec}, nil
+	return rec, stmtOp{server: phys, name: path, isLink: true, recID: rec}, nil
 }
 
-// unlinkFile drives one UnlinkFile.
+// unlinkFile drives one UnlinkFile, routing clustered names like linkFile.
 func (s *Session) unlinkFile(url string, col dlCol) (stmtOp, error) {
 	server, path, err := ParseURL(url)
 	if err != nil {
 		return stmtOp{}, fmt.Errorf("%w: %v", ErrStatement, err)
 	}
-	p, err := s.part(server)
+	phys, release, err := s.db.route(server, path)
+	if err != nil {
+		return stmtOp{}, fmt.Errorf("%w: %v", ErrStatement, err)
+	}
+	defer release()
+	p, err := s.part(phys)
 	if err != nil {
 		s.rollbackInternal()
 		return stmtOp{}, fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
 	}
 	rec := s.db.NextRecID()
-	sp := s.db.tracer.StartSpan(s.stmtSpan, "host", "rpc:UnlinkFile").Attr("server", server)
+	sp := s.db.tracer.StartSpan(s.stmtSpan, "host", "rpc:UnlinkFile").Attr("server", phys)
 	resp, err := p.client.CallCtx(sp.Ctx(), rpc.UnlinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
 	sp.End()
 	if err != nil || !resp.OK() {
-		return stmtOp{}, s.dlfmFailure(server, resp, err, nil)
+		return stmtOp{}, s.dlfmFailure(phys, resp, err, nil)
 	}
 	s.db.stats.Unlinks.Add(1)
-	return stmtOp{server: server, name: path, isLink: false, recID: rec}, nil
+	return stmtOp{server: phys, name: path, isLink: false, recID: rec}, nil
 }
 
 // ensureGroup creates the column's file group at the participant's server
@@ -332,11 +348,20 @@ func (s *Session) ensureGroup(p *participant, col dlCol) error {
 	resp, err := p.client.Call(rpc.CreateGroupReq{
 		Txn: s.txn, Grp: col.grp, Recovery: col.recovery, FullControl: col.fullctl,
 	})
-	if err != nil || !resp.OK() {
+	// "duplicate" means the group already exists at this member — slot
+	// migration installs groups ahead of the dl_grpsrv note, so treat
+	// creation as idempotent and just record the placement.
+	if err != nil || (!resp.OK() && resp.Code != "duplicate") {
 		return s.dlfmFailure(p.server, resp, err, nil)
 	}
 	if _, err := s.conn.Exec(`INSERT INTO dl_grpsrv (grp, server) VALUES (?, ?)`,
 		value.Int(col.grp), value.Str(p.server)); err != nil {
+		// A concurrent session (or a move's noteGroup) may have recorded the
+		// placement between our COUNT and the INSERT; the note is all we
+		// needed, so the race loser carries on.
+		if errors.Is(err, engine.ErrDuplicate) {
+			return nil
+		}
 		return s.mapEngineErr(err)
 	}
 	return nil

@@ -1,0 +1,58 @@
+package hostdb
+
+import "testing"
+
+func TestParseURL(t *testing.T) {
+	cases := []struct {
+		url    string
+		server string
+		path   string
+		ok     bool
+	}{
+		{"dlfs://fs1/v/clip1.mpg", "fs1", "/v/clip1.mpg", true},
+		{"dlfs://fs1/a", "fs1", "/a", true},
+		// Server with a port.
+		{"dlfs://fs1:9000/v/clip.mpg", "fs1:9000", "/v/clip.mpg", true},
+		// Duplicate slashes collapse, wherever they appear.
+		{"dlfs://fs1//v/clip.mpg", "fs1", "/v/clip.mpg", true},
+		{"dlfs://fs1/v//a///b.mpg", "fs1", "/v/a/b.mpg", true},
+		// Trailing slash is part of the path, not an error.
+		{"dlfs://fs1/v/", "fs1", "/v/", true},
+		// Rejected shapes.
+		{"dlfs://fs1", "", "", false},   // no path at all
+		{"dlfs://fs1/", "", "", false},  // empty path
+		{"dlfs://fs1//", "", "", false}, // empty path after collapsing
+		{"dlfs:///a", "", "", false},    // empty server
+		{"dlfs://", "", "", false},      // nothing
+		{"http://fs1/a", "", "", false}, // wrong scheme
+		{"fs1/a", "", "", false},        // no scheme
+		{"", "", "", false},
+	}
+	for _, tc := range cases {
+		server, path, err := ParseURL(tc.url)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseURL(%q): err = %v, want ok=%v", tc.url, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if server != tc.server || path != tc.path {
+			t.Errorf("ParseURL(%q) = (%q, %q), want (%q, %q)", tc.url, server, path, tc.server, tc.path)
+		}
+		// Round trip: composing the parsed parts parses back identically.
+		s2, p2, err := ParseURL(URL(server, path))
+		if err != nil || s2 != server || p2 != path {
+			t.Errorf("round trip %q: ParseURL(URL(...)) = (%q, %q, %v)", tc.url, s2, p2, err)
+		}
+	}
+}
+
+func TestURLAddsLeadingSlash(t *testing.T) {
+	if got := URL("fs1", "a/b"); got != "dlfs://fs1/a/b" {
+		t.Fatalf("URL = %q", got)
+	}
+	if got := URL("fs1:9000", "/a"); got != "dlfs://fs1:9000/a" {
+		t.Fatalf("URL = %q", got)
+	}
+}

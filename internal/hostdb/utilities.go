@@ -257,7 +257,14 @@ func (db *DB) Reconcile() (int, error) {
 			if !r[1].IsNull() {
 				rec = r[1].Int64()
 			}
-			byServer[server] = append(byServer[server], entry{table: table, col: col, url: URL(server, path), recID: rec})
+			// A clustered name resolves to the member owning the path now
+			// (Reconcile runs quiesced, so no fence interaction); the stored
+			// URL keeps the logical name for the NULL-out match.
+			phys := server
+			if m := db.Cluster(server); m != nil {
+				phys = m.Owner(path)
+			}
+			byServer[phys] = append(byServer[phys], entry{table: table, col: col, url: URL(server, path), recID: rec})
 		}
 	}
 
@@ -451,17 +458,27 @@ func (db *DB) Load(table string, cols []string, rows []value.Row) (int64, error)
 				s.Rollback()
 				return loaded, err
 			}
-			p, err := ensureBatched(server)
+			// Route clustered names per path; the release is held across
+			// the link call so a cutover cannot fence this row mid-RPC.
+			phys, release, err := db.route(server, path)
 			if err != nil {
 				s.Rollback()
 				return loaded, err
 			}
+			p, err := ensureBatched(phys)
+			if err != nil {
+				release()
+				s.Rollback()
+				return loaded, err
+			}
 			if err := s.ensureGroup(p, col); err != nil {
+				release()
 				s.Rollback()
 				return loaded, err
 			}
 			rec := db.NextRecID()
 			resp, callErr := p.client.Call(rpc.LinkFileReq{Txn: s.txn, Name: path, RecID: rec, Grp: col.grp})
+			release()
 			if callErr != nil || !resp.OK() {
 				s.Rollback()
 				if callErr != nil {

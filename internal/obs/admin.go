@@ -18,6 +18,7 @@ import (
 //	/debug/txn/<id>     one transaction: span tree, timeline, attribution
 //	/debug/slow         slow-transaction log (N slowest span trees)
 //	/debug/waitgraph    live wait-for graph + flight-recorder history
+//	/debug/cluster      placement maps: membership, slot owners, moves
 //
 // The zero value serves empty responses; populate the fields before Start.
 type Admin struct {
@@ -35,6 +36,9 @@ type Admin struct {
 	// Flight supplies the deadlock/timeout victim history for
 	// /debug/waitgraph.
 	Flight *FlightRecorder
+	// Cluster, when set, supplies the /debug/cluster payload (the host's
+	// placement maps — membership, per-slot owners, moves in flight).
+	Cluster func() any
 }
 
 // Handler returns the admin mux.
@@ -111,6 +115,13 @@ func (a *Admin) Handler() http.Handler {
 			entries = []SlowEntry{}
 		}
 		writeJSON(w, entries)
+	})
+	mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		var desc any
+		if a.Cluster != nil {
+			desc = a.Cluster()
+		}
+		writeJSON(w, desc)
 	})
 	mux.HandleFunc("/debug/waitgraph", func(w http.ResponseWriter, _ *http.Request) {
 		var live any

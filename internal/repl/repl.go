@@ -16,13 +16,11 @@ package repl
 import (
 	"fmt"
 	"io"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rpc"
@@ -64,10 +62,11 @@ type Standby struct {
 	txns     obs.Counter
 	promoted atomic.Bool
 
-	mu      sync.Mutex // serializes apply and promote
-	client  *rpc.Client
-	pending map[int64][]wal.Record // data records buffered per transaction
-	indoubt map[int64]bool         // transactions applied via ApplyPrepared
+	mu     sync.Mutex // serializes apply and promote
+	client *rpc.Client
+	// ap holds the transaction-reassembly state (range.go), shared with
+	// the bounded-range apply path the cluster mover uses.
+	ap *applier
 
 	quit chan struct{}
 	done chan struct{}
@@ -85,14 +84,14 @@ func New(srv *core.Server, dial func() (io.ReadWriteCloser, error), cfg Config) 
 		cfg.DrainAttempts = 10
 	}
 	s := &Standby{
-		srv:     srv,
-		dial:    dial,
-		cfg:     cfg,
-		pending: make(map[int64][]wal.Record),
-		indoubt: make(map[int64]bool),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
+		srv:  srv,
+		dial: dial,
+		cfg:  cfg,
+		ap:   newApplier(srv.Tracer()),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
 	}
+	s.ap.txns = &s.txns
 	reg := srv.Obs()
 	reg.RegisterCounter("repl_batches_total", &s.batches)
 	reg.RegisterCounter("repl_records_total", &s.records)
@@ -192,7 +191,7 @@ func (s *Standby) fetchLocked() (int, error) {
 	return len(recs), nil
 }
 
-// applyLocked feeds a batch through the transaction reassembly rules: data
+// applyLocked feeds a batch through the shared applier (range.go): data
 // records buffer per transaction; commit/abort/prepare apply the buffered
 // transaction through the engine's recovery-path primitives; DDL applies
 // immediately (it is autocommitted on the primary).
@@ -205,63 +204,13 @@ func (s *Standby) applyLocked(recs []wal.Record) error {
 		if err := fpApply.FireDetail(r.Type.String()); err != nil {
 			return err
 		}
-		if err := s.applyRecord(db, r); err != nil {
+		if err := s.ap.apply(db, r); err != nil {
 			return fmt.Errorf("repl: apply LSN %d (%s txn %d): %w", r.LSN, r.Type, r.Txn, err)
 		}
 		s.applyLSN.Store(r.LSN)
 		s.records.Add(1)
 	}
 	return nil
-}
-
-func (s *Standby) applyRecord(db *engine.DB, r wal.Record) error {
-	switch r.Type {
-	case wal.RecBegin, wal.RecCheckpoint:
-		return nil
-	case wal.RecCreateTable, wal.RecCreateIndex, wal.RecDropTable:
-		return db.ApplyDDL(r)
-	case wal.RecInsert, wal.RecDelete, wal.RecUpdate:
-		s.pending[r.Txn] = append(s.pending[r.Txn], r)
-		return nil
-	case wal.RecPrepare:
-		if err := db.ApplyPrepared(r.Txn, s.pending[r.Txn]); err != nil {
-			return err
-		}
-		delete(s.pending, r.Txn)
-		s.indoubt[r.Txn] = true
-		s.txns.Add(1)
-		return nil
-	case wal.RecCommit:
-		// Redo-apply joins the originating transaction's trace (the WAL
-		// record carries the primary engine's txn id), so standby apply
-		// work shows up in the same span tree as the commit that shipped
-		// it.
-		sp := s.srv.Tracer().StartSpanInTrace(r.Txn, 0, "repl", "apply")
-		if s.indoubt[r.Txn] {
-			delete(s.indoubt, r.Txn)
-			err := db.ResolveIndoubt(r.Txn, true)
-			sp.Attr("kind", "indoubt_commit").End()
-			return err
-		}
-		n := len(s.pending[r.Txn])
-		err := db.ApplyCommitted(r.Txn, s.pending[r.Txn])
-		if err == nil {
-			delete(s.pending, r.Txn)
-			s.txns.Add(1)
-			s.srv.Tracer().Emitf(r.Txn, "repl", "apply", "commit, %d records", n)
-		}
-		sp.Attr("records", strconv.Itoa(n)).End()
-		return err
-	case wal.RecAbort:
-		delete(s.pending, r.Txn)
-		if s.indoubt[r.Txn] {
-			delete(s.indoubt, r.Txn)
-			return db.ResolveIndoubt(r.Txn, false)
-		}
-		return nil
-	default:
-		return fmt.Errorf("repl: unknown record type %v", r.Type)
-	}
 }
 
 // Promote turns the standby into a primary: the fetch loop stops, the

@@ -112,6 +112,41 @@ type ReconcileReq struct {
 	RecIDs []int64
 }
 
+// MigrateManifestReq asks a DLFM for its current linked-file inventory
+// (name, recovery id, group, file owner) — the cluster mover's unit of
+// comparison when copying a placement slot to a new owner. The reply puts
+// the parallel arrays in Names/RecIDs/Grps/Owners.
+type MigrateManifestReq struct{}
+
+// FetchFileReq reads one file's bytes (and owner, in Msg) off the DLFM's
+// file server, for the migration bulk copy.
+type FetchFileReq struct{ Name string }
+
+// MigratePutReq installs one migrated file at the new owner inside the
+// migration transaction: the bytes land on the file server, the linked
+// dlfm_file entry is inserted with its original recovery id, and the file
+// group is created on first contact (Recovery/FullControl carry its
+// attributes). An existing linked entry for Name is replaced, so re-running
+// a slot's delta sync converges.
+type MigratePutReq struct {
+	Txn         int64
+	Name        string
+	RecID       int64
+	Grp         int64
+	Owner       string
+	Data        []byte
+	Recovery    bool
+	FullControl bool
+}
+
+// MigrateDelReq removes linked entries from the migration source (or an
+// aborted move's target) inside the given transaction, after — or instead
+// of — their cutover to the new owner. N reports entries removed.
+type MigrateDelReq struct {
+	Txn   int64
+	Names []string
+}
+
 // PingReq checks liveness.
 type PingReq struct{}
 
@@ -147,8 +182,17 @@ type Response struct {
 	// entries repaired; Stats: encoded counters).
 	N int64
 
-	// Reconcile answer: names unresolvable on the DLFM side.
+	// Reconcile answer: names unresolvable on the DLFM side. Also the
+	// MigrateManifest answer's name column.
 	Names []string
+
+	// MigrateManifest answer, parallel to Names. Flags carries each
+	// file's group attributes (bit 0 recovery, bit 1 full control) so the
+	// move target can recreate the group faithfully.
+	RecIDs []int64
+	Grps   []int64
+	Owners []string
+	Flags  []int64
 
 	// ReplFetch answer: wal.EncodeRecords-packed records, and the
 	// primary's next LSN (end of log) at the time of the fetch.
@@ -254,6 +298,12 @@ func init() {
 	register(RegisterBackupReq{}, msgInfo{name: "RegisterBackup"})
 	register(RestoreToReq{}, msgInfo{name: "RestoreTo"})
 	register(ReconcileReq{}, msgInfo{name: "Reconcile"})
+	register(MigrateManifestReq{}, msgInfo{name: "MigrateManifest", readOnly: true, idempotent: true})
+	register(FetchFileReq{}, msgInfo{name: "FetchFile", readOnly: true, idempotent: true})
+	register(MigratePutReq{}, msgInfo{name: "MigratePut",
+		txnOf: func(r any) int64 { return r.(MigratePutReq).Txn }})
+	register(MigrateDelReq{}, msgInfo{name: "MigrateDel",
+		txnOf: func(r any) int64 { return r.(MigrateDelReq).Txn }})
 	register(PingReq{}, msgInfo{name: "Ping", readOnly: true, idempotent: true})
 	register(StatsReq{}, msgInfo{name: "Stats", readOnly: true, idempotent: true})
 	register(ReplFetchReq{}, msgInfo{name: "ReplFetch", readOnly: true, idempotent: true})

@@ -21,6 +21,7 @@ func TestRegistryCoversEveryRequestType(t *testing.T) {
 		CommitReq{}, AbortReq{}, CreateGroupReq{}, DeleteGroupReq{},
 		IsLinkedReq{}, ListIndoubtReq{}, WaitArchiveReq{}, RegisterBackupReq{},
 		RestoreToReq{}, ReconcileReq{}, PingReq{}, StatsReq{}, ReplFetchReq{},
+		MigrateManifestReq{}, FetchFileReq{}, MigratePutReq{}, MigrateDelReq{},
 	}
 	for _, req := range known {
 		name := reflect.TypeOf(req).Name()

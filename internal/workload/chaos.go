@@ -39,6 +39,15 @@ type ChaosConfig struct {
 	KillInterval time.Duration
 	DownTime     time.Duration
 	DropInterval time.Duration
+
+	// KillExclude names members the injector must not kill — the source of
+	// an online drain has to stay reachable for its slots to move off it.
+	KillExclude []string
+	// During, when set, runs in its own goroutine alongside the workload —
+	// the slot for online membership operations under chaos. RunChaos waits
+	// for it to return before draining indoubts and checking consistency,
+	// and reports its error as a harness failure.
+	During func(st *Stack) error
 }
 
 // ChaosResult reports what the soak did and what the invariant check found.
@@ -95,20 +104,30 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 	firedBefore := fault.Default().Injected()
 
 	names := sortedNames(st.DLFMs)
-	per := cfg.Clients / len(names)
+	// In a clustered stack every runner addresses the logical namespace and
+	// the placement map spreads the load; otherwise one runner per server.
+	targets := names
+	if st.ClusterName != "" {
+		targets = make([]string, len(names))
+		for i := range targets {
+			targets[i] = st.ClusterName
+		}
+	}
+	per := cfg.Clients / len(targets)
 	if per <= 0 {
 		per = 1
 	}
-	runners := make([]*Runner, 0, len(names))
-	tables := make([]string, 0, len(names))
-	for i, name := range names {
-		table := fmt.Sprintf("%s_%s", cfg.TablePrefix, name)
+	runners := make([]*Runner, 0, len(targets))
+	tables := make([]string, 0, len(targets))
+	for i, target := range targets {
+		table := fmt.Sprintf("%s_%d", cfg.TablePrefix, i)
 		r, err := NewRunner(st, Config{
 			Clients:     per,
 			Duration:    cfg.Duration,
 			Mix:         cfg.Mix,
-			Server:      name,
+			Server:      target,
 			Table:       table,
+			PathPrefix:  "/" + table,
 			PreloadRows: cfg.PreloadRows,
 			Seed:        cfg.Seed + int64(i)*1001,
 		})
@@ -124,6 +143,19 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 
 	// The injector: one goroutine, all decisions from one seeded PRNG, so a
 	// given seed replays the same kill/drop schedule.
+	killable := make([]string, 0, len(names))
+	excluded := make(map[string]bool, len(cfg.KillExclude))
+	for _, n := range cfg.KillExclude {
+		excluded[n] = true
+	}
+	for _, n := range names {
+		if !excluded[n] {
+			killable = append(killable, n)
+		}
+	}
+	if len(killable) == 0 {
+		killable = names
+	}
 	quit := make(chan struct{})
 	injDone := make(chan struct{})
 	go func() {
@@ -138,7 +170,7 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 			case <-quit:
 				return
 			case <-nextKill.C:
-				name := names[rng.Intn(len(names))]
+				name := killable[rng.Intn(len(killable))]
 				st.Kill(name)
 				kills.Add(1)
 				select {
@@ -157,6 +189,17 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 		}
 	}()
 
+	var duringErr error
+	duringDone := make(chan struct{})
+	if cfg.During != nil {
+		go func() {
+			defer close(duringDone)
+			duringErr = cfg.During(st)
+		}()
+	} else {
+		close(duringDone)
+	}
+
 	results := make([]Result, len(runners))
 	errs := make([]error, len(runners))
 	var wg sync.WaitGroup
@@ -174,6 +217,9 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 	for _, name := range names {
 		st.Restart(name)
 	}
+	// A membership operation may outlast the workload; the consistency check
+	// below needs a quiesced stack, so wait it out first.
+	<-duringDone
 
 	res := ChaosResult{
 		Workload:       mergeResults(results, cfg.Duration),
@@ -186,6 +232,9 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("workload: chaos soak: %w", err)
 		}
+	}
+	if duringErr != nil {
+		return res, fmt.Errorf("workload: chaos membership op: %w", duringErr)
 	}
 
 	// Drain: re-drive indoubt resolution until no DLFM holds a prepared
@@ -264,12 +313,17 @@ func countPrepared(st *Stack) int {
 
 // CheckConsistency asserts the cross-system invariant over the given host
 // tables, the DLFM metadata, and the file servers: every linked DATALINK
-// value has exactly one linked dlfm_file entry and an existing file, and
-// every linked dlfm_file entry is referenced by some host row. Call it only
-// on a quiesced stack (after drain); DumpTable bypasses locking.
+// value has exactly one linked dlfm_file entry — on the member its URL
+// names, or, for a clustered URL, on exactly one member its placement
+// resolves to — plus an existing file, and every linked dlfm_file entry on
+// any member is referenced by some host row (a drained member must be
+// empty). Call it only on a quiesced stack (after drain); DumpTable
+// bypasses locking.
 func CheckConsistency(st *Stack, tables ...string) ([]string, error) {
 	var violations []string
-	hostLinked := make(map[string]map[string]bool, len(st.DLFMs)) // server -> path set
+	type ref struct{ server, path string } // server as spelled in the URL
+	var refs []ref
+	seen := make(map[ref]bool)
 	// The DATALINK column registry names every linked column per table (a
 	// fan-out table has one per DLFM).
 	reg, err := st.Host.Engine().DumpTable("dl_cols")
@@ -311,50 +365,78 @@ func CheckConsistency(st *Stack, tables ...string) ([]string, error) {
 					violations = append(violations, fmt.Sprintf("host row has malformed DATALINK %q", v.Text()))
 					continue
 				}
-				if hostLinked[server] == nil {
-					hostLinked[server] = make(map[string]bool)
-				}
-				if hostLinked[server][path] {
+				rf := ref{server, path}
+				if seen[rf] {
 					violations = append(violations, fmt.Sprintf("path %s on %s linked by more than one host row", path, server))
+					continue
 				}
-				hostLinked[server][path] = true
+				seen[rf] = true
+				refs = append(refs, rf)
 			}
 		}
 	}
 
+	// Every member's linked entries, plus local per-member invariants
+	// (unique entry per path, file bytes present).
+	linked := make(map[string]map[string]int, len(st.DLFMs))
 	for _, server := range sortedNames(st.DLFMs) {
 		dlfmRows, err := st.DLFMs[server].DB().DumpTable("dlfm_file")
 		if err != nil {
 			return nil, err
 		}
-		linked := make(map[string]int)
+		linked[server] = make(map[string]int)
 		for _, r := range dlfmRows {
 			// dlfm_file: name, grpid, recid, lnk_txn, unlnk_txn, unlnk_time,
 			// state, chkflag, del_txn, owner
 			if r[6].Text() == "L" && r[7].Int64() == 0 {
-				linked[r[0].Text()]++
+				linked[server][r[0].Text()]++
 			}
 		}
-		for path, n := range linked {
+		for path, n := range linked[server] {
 			if n > 1 {
 				violations = append(violations, fmt.Sprintf("%s: %d linked entries for %s", server, n, path))
-			}
-			if !hostLinked[server][path] {
-				violations = append(violations, fmt.Sprintf("%s: orphan linked entry %s (no host row)", server, path))
 			}
 			if _, err := st.FS[server].Stat(path); err != nil {
 				violations = append(violations, fmt.Sprintf("%s: linked file %s missing from file server", server, path))
 			}
 		}
-		for path := range hostLinked[server] {
-			if linked[path] == 0 {
-				violations = append(violations, fmt.Sprintf("%s: host links %s but DLFM has no linked entry", server, path))
+	}
+
+	// Resolve each host reference through placement: a physical URL names
+	// its member directly; a clustered URL may legitimately live on any
+	// member the map currently reads from (one, in a quiesced stack).
+	referenced := make(map[string]map[string]bool, len(st.DLFMs))
+	for _, rf := range refs {
+		owners := st.Host.ReadOwners(rf.server, rf.path)
+		var holders []string
+		for _, o := range owners {
+			if _, exists := st.DLFMs[o]; !exists {
+				violations = append(violations, fmt.Sprintf("host links %s on unknown server %s", rf.path, o))
+				continue
+			}
+			if linked[o][rf.path] > 0 {
+				holders = append(holders, o)
 			}
 		}
+		switch {
+		case len(holders) == 0:
+			violations = append(violations, fmt.Sprintf(
+				"host links %s on %s but no owner %v has a linked entry", rf.path, rf.server, owners))
+		case len(holders) > 1:
+			violations = append(violations, fmt.Sprintf(
+				"path %s on %s linked on multiple members %v", rf.path, rf.server, holders))
+		default:
+			if referenced[holders[0]] == nil {
+				referenced[holders[0]] = make(map[string]bool)
+			}
+			referenced[holders[0]][rf.path] = true
+		}
 	}
-	for server := range hostLinked {
-		if _, exists := st.DLFMs[server]; !exists {
-			violations = append(violations, fmt.Sprintf("host links files on unknown server %s", server))
+	for _, server := range sortedNames(st.DLFMs) {
+		for path := range linked[server] {
+			if !referenced[server][path] {
+				violations = append(violations, fmt.Sprintf("%s: orphan linked entry %s (no host row)", server, path))
+			}
 		}
 	}
 	sort.Strings(violations)

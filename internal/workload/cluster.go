@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cluster soak: the chaos workload runs against the logical namespace while
+// one member is drained out of the cluster online — the migration-under-fire
+// scenario. Kills land on every member except the drain victim (its slots
+// cannot move off a dead source), so the mover's bulk copies and cutover
+// transactions keep colliding with crashing targets and dropped connections;
+// a failed round settles its indoubt migration transactions and retries the
+// remaining slots. Afterwards the standard chaos invariants must hold plus
+// the drain postcondition: the member is out of the map and holds no linked
+// entries.
+
+// ClusterSoakConfig controls one migration soak.
+type ClusterSoakConfig struct {
+	Chaos ChaosConfig
+
+	// DrainMember is drained mid-soak (default: the last server, sorted).
+	DrainMember string
+	// DrainAfter delays the drain start so the victim accumulates files
+	// first (default a quarter of the chaos duration).
+	DrainAfter time.Duration
+	// DrainRounds bounds drain retries (default 50).
+	DrainRounds int
+}
+
+// ClusterSoakResult is the chaos result plus what the drain did.
+type ClusterSoakResult struct {
+	Chaos ChaosResult
+
+	DrainMember  string
+	DrainedFiles int
+	DrainRounds  int
+}
+
+// RunClusterSoak drains a member out of a clustered stack while the chaos
+// soak runs, then checks both the chaos invariants and the drain
+// postconditions. Violations land in the result; the error covers harness
+// failures, including a drain that never completed.
+func RunClusterSoak(st *Stack, cfg ClusterSoakConfig) (ClusterSoakResult, error) {
+	if st.ClusterName == "" {
+		return ClusterSoakResult{}, fmt.Errorf("workload: cluster soak needs a clustered stack")
+	}
+	names := sortedNames(st.DLFMs)
+	if len(names) < 2 {
+		return ClusterSoakResult{}, fmt.Errorf("workload: cluster soak needs at least 2 members, have %d", len(names))
+	}
+	if cfg.DrainMember == "" {
+		cfg.DrainMember = names[len(names)-1]
+	}
+	if cfg.Chaos.Duration <= 0 {
+		cfg.Chaos.Duration = 5 * time.Second
+	}
+	if cfg.DrainAfter <= 0 {
+		cfg.DrainAfter = cfg.Chaos.Duration / 4
+	}
+	if cfg.DrainRounds <= 0 {
+		cfg.DrainRounds = 50
+	}
+
+	res := ClusterSoakResult{DrainMember: cfg.DrainMember}
+	cfg.Chaos.KillExclude = append(cfg.Chaos.KillExclude, cfg.DrainMember)
+	cfg.Chaos.During = func(st *Stack) error {
+		time.Sleep(cfg.DrainAfter)
+		var lastErr error
+		for round := 1; round <= cfg.DrainRounds; round++ {
+			res.DrainRounds = round
+			n, err := st.Host.DrainDLFM(st.ClusterName, cfg.DrainMember)
+			res.DrainedFiles += n
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			// A kill mid-move can leave the migration transaction prepared
+			// on one side; settle it (presumed abort), then retry the
+			// member's remaining slots.
+			st.Host.ResolveIndoubts() //nolint:errcheck
+			time.Sleep(50 * time.Millisecond)
+		}
+		return fmt.Errorf("drain of %s incomplete after %d rounds: %w", cfg.DrainMember, cfg.DrainRounds, lastErr)
+	}
+
+	chaosRes, err := RunChaos(st, cfg.Chaos)
+	res.Chaos = chaosRes
+	if err != nil {
+		return res, err
+	}
+
+	// Drain postconditions, on top of the chaos invariants.
+	if m := st.Host.Cluster(st.ClusterName); m != nil && m.HasMember(cfg.DrainMember) {
+		res.Chaos.Violations = append(res.Chaos.Violations,
+			fmt.Sprintf("drained member %s still owns slots", cfg.DrainMember))
+	}
+	rows, err := st.DLFMs[cfg.DrainMember].DB().DumpTable("dlfm_file")
+	if err != nil {
+		return res, err
+	}
+	left := 0
+	for _, r := range rows {
+		if r[6].Text() == "L" && r[7].Int64() == 0 {
+			left++
+		}
+	}
+	if left > 0 {
+		res.Chaos.Violations = append(res.Chaos.Violations,
+			fmt.Sprintf("drained member %s still holds %d linked entries", cfg.DrainMember, left))
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hostdb"
+)
+
+// TestClusterWorkloadSpreads drives the standard runner against a clustered
+// stack's logical namespace and checks the placement map actually spread
+// the links over the members, with the cross-system invariant holding.
+func TestClusterWorkloadSpreads(t *testing.T) {
+	st, err := NewStack(StackConfig{
+		Servers: []string{"fs1", "fs2", "fs3"},
+		Cluster: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.ClusterName != "dlfs" {
+		t.Fatalf("ClusterName = %q", st.ClusterName)
+	}
+
+	r, err := NewRunner(st, Config{
+		Clients:      6,
+		OpsPerClient: 25,
+		Mix:          DefaultMix(),
+		Table:        "clw",
+		PreloadRows:  30,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.Server != "dlfs" {
+		t.Fatalf("runner defaulted to %q, want the cluster", r.cfg.Server)
+	}
+	if err := r.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+
+	spread := 0
+	for name, d := range st.DLFMs {
+		rows, err := d.DB().DumpTable("dlfm_file")
+		if err != nil {
+			t.Fatal(err)
+		}
+		linked := 0
+		for _, row := range rows {
+			if row[6].Text() == "L" && row[7].Int64() == 0 {
+				linked++
+			}
+		}
+		t.Logf("%s: %d linked entries", name, linked)
+		if linked > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("links landed on %d members; placement did not spread", spread)
+	}
+
+	vs, err := CheckConsistency(st, "clw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("invariant violation: %s", v)
+	}
+}
+
+// TestClusterSoakDrain is the migration-under-fire smoke: chaos kills and
+// connection drops on a clustered stack while one member drains out online.
+// Shares the process-wide fault registry — not parallel with fault tests.
+func TestClusterSoakDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak needs wall-clock time")
+	}
+	fault.Default().Reset()
+	t.Cleanup(func() { fault.Default().Reset() })
+
+	st, err := NewStack(StackConfig{
+		Servers: []string{"fs1", "fs2", "fs3"},
+		Cluster: true,
+		MutateHost: func(h *hostdb.Config) {
+			h.DB.LockTimeout = 2 * time.Second
+		},
+		MutateDLFM: func(_ string, c *core.Config) {
+			c.DB.LockTimeout = 2 * time.Second
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	res, err := RunClusterSoak(st, ClusterSoakConfig{
+		Chaos: ChaosConfig{
+			Clients:      9,
+			Duration:     2 * time.Second,
+			Seed:         7,
+			PreloadRows:  25,
+			KillInterval: 400 * time.Millisecond,
+			DownTime:     80 * time.Millisecond,
+			DropInterval: 200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cluster soak: ops=%d kills=%d drained=%d files in %d rounds, giveups=%d",
+		res.Chaos.Workload.Ops, res.Chaos.Kills, res.DrainedFiles, res.DrainRounds,
+		res.Chaos.Phase2Giveups)
+	if res.Chaos.Workload.Ops == 0 {
+		t.Error("soak performed no operations")
+	}
+	if res.DrainRounds == 0 {
+		t.Error("drain never ran")
+	}
+	if m := st.Host.Cluster(st.ClusterName); m.HasMember(res.DrainMember) {
+		t.Errorf("member %s still in the cluster", res.DrainMember)
+	}
+	if res.Chaos.Phase2Giveups != 0 {
+		t.Errorf("Phase2Giveups = %d, want 0", res.Chaos.Phase2Giveups)
+	}
+	if res.Chaos.LeftoverIndoubts != 0 {
+		t.Errorf("LeftoverIndoubts = %d, want 0 after drain", res.Chaos.LeftoverIndoubts)
+	}
+	for _, v := range res.Chaos.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+}

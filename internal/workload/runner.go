@@ -37,10 +37,15 @@ type Config struct {
 	OpsPerClient int
 	// Mix is the operation mix.
 	Mix Mix
-	// Server is the target file server (must exist in the stack).
+	// Server is the target file server — a physical DLFM name or a logical
+	// cluster name (must exist in the stack).
 	Server string
 	// Table is the host table (created by Prepare).
 	Table string
+	// PathPrefix namespaces this runner's file paths (default "/data").
+	// Runners sharing one cluster namespace need distinct prefixes, or they
+	// would race to link the same paths.
+	PathPrefix string
 	// PreloadRows seeds the table before measurement so updates, deletes,
 	// and reads have material to work on.
 	PreloadRows int
@@ -100,12 +105,16 @@ func NewRunner(st *Stack, cfg Config) (*Runner, error) {
 		cfg.Clients = 1
 	}
 	if cfg.Server == "" {
-		for name := range st.DLFMs {
-			cfg.Server = name
-			break
+		if st.ClusterName != "" {
+			cfg.Server = st.ClusterName
+		} else {
+			for name := range st.DLFMs {
+				cfg.Server = name
+				break
+			}
 		}
 	}
-	if _, exists := st.DLFMs[cfg.Server]; !exists {
+	if _, exists := st.DLFMs[cfg.Server]; !exists && st.Host.Cluster(cfg.Server) == nil {
 		return nil, fmt.Errorf("workload: unknown server %q", cfg.Server)
 	}
 	if cfg.Table == "" {
@@ -116,6 +125,9 @@ func NewRunner(st *Stack, cfg Config) (*Runner, error) {
 	}
 	if cfg.TxnOps <= 0 {
 		cfg.TxnOps = 1
+	}
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/data"
 	}
 	return &Runner{st: st, cfg: cfg}, nil
 }
@@ -170,12 +182,15 @@ func (r *Runner) Prepare() error {
 
 func (r *Runner) nextFileID() int64 { return r.fileSeq.Add(1) }
 
-// newFile creates a fresh file on the target server and returns its path.
+// newFile creates a fresh file on the member(s) the path may link to and
+// returns its path.
 func (r *Runner) newFile(id int64) string {
-	path := fmt.Sprintf("/data/f%08d", id)
+	path := fmt.Sprintf("%s/f%08d", r.cfg.PathPrefix, id)
 	// Creation failures only happen on path collisions, which the sequence
 	// prevents.
-	r.st.FS[r.cfg.Server].Create(path, "app", []byte(fmt.Sprintf("content-%d", id))) //nolint:errcheck
+	for _, fs := range r.st.CreateTargets(r.cfg.Server, path) {
+		fs.Create(path, "app", []byte(fmt.Sprintf("content-%d", id))) //nolint:errcheck
+	}
 	return path
 }
 

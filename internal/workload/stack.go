@@ -44,6 +44,10 @@ type Stack struct {
 	// manager in the deployment records its victims here, so one
 	// /debug/waitgraph covers the whole stack.
 	Flight *obs.FlightRecorder
+	// ClusterName is the logical namespace when StackConfig.Cluster is set:
+	// every DLFM joined one placement map and DATALINK URLs name the
+	// cluster instead of a physical server. Empty otherwise.
+	ClusterName string
 
 	eps   map[string]*chaosEndpoint
 	sbEps map[string]*chaosEndpoint
@@ -171,6 +175,7 @@ func (st *Stack) Admin() *obs.Admin {
 		LockDump:   func() any { return st.WaitGraph() },
 		WaitGraph:  func() any { return st.WaitGraph() },
 		Flight:     st.Flight,
+		Cluster:    func() any { return st.Host.DescribeClusters() },
 	}
 }
 
@@ -199,6 +204,14 @@ type StackConfig struct {
 	Standbys bool
 	// MutateRepl adjusts each standby's replication configuration.
 	MutateRepl func(name string, cfg *repl.Config)
+	// Cluster joins every server into one logical cluster behind a
+	// placement map; workloads then address ClusterName and the host routes
+	// each path to its owning member.
+	Cluster bool
+	// ClusterName names the logical namespace (default "dlfs").
+	ClusterName string
+	// ClusterSlots sizes the placement ring (default cluster.DefaultSlots).
+	ClusterSlots int
 }
 
 // NewStack builds and starts a deployment.
@@ -267,7 +280,42 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			}
 		}
 	}
+	if cfg.Cluster {
+		name := cfg.ClusterName
+		if name == "" {
+			name = "dlfs"
+		}
+		if _, err := host.NewCluster(name, cfg.ClusterSlots); err != nil {
+			st.Close()
+			return nil, err
+		}
+		for _, sn := range cfg.Servers {
+			ep := st.eps[sn]
+			if _, err := host.AddDLFM(name, sn, func() (*rpc.Client, error) {
+				return rpc.NewClientDialer(ep.dial)
+			}); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("workload: join %s to cluster %s: %w", sn, name, err)
+			}
+		}
+		st.ClusterName = name
+	}
 	return st, nil
+}
+
+// CreateTargets lists the file servers a fresh file must be created on
+// before linking path under server (a physical name or a cluster): the
+// current owner, plus the move target while the path's slot is migrating —
+// the link may route to either side of the cutover. The extra copy on the
+// losing side is an orphan file without a linked entry, which is harmless.
+func (st *Stack) CreateTargets(server, path string) []*fsim.Server {
+	var out []*fsim.Server
+	for _, owner := range st.Host.ReadOwners(server, path) {
+		if fs := st.FS[owner]; fs != nil {
+			out = append(out, fs)
+		}
+	}
+	return out
 }
 
 // addStandby builds the hot standby for one DLFM: a fenced core server

@@ -304,6 +304,9 @@ func TestMetricsGoldenList(t *testing.T) {
 	st := testStack(t, func(c *StackConfig) {
 		c.Servers = []string{"fs1"}
 		c.Standbys = true
+		// Cluster metrics only register when the host owns a placement map,
+		// so the audit runs against a (1-member) clustered stack.
+		c.Cluster = true
 	})
 	r, err := NewRunner(st, Config{
 		Clients: 4, OpsPerClient: 10, Mix: DefaultMix(), PreloadRows: 10, Seed: 2,
@@ -351,6 +354,19 @@ func TestMetricsGoldenList(t *testing.T) {
 		"host_attrib_phase1_seconds",
 		"host_attrib_phase2_seconds",
 		"host_attrib_daemon_seconds",
+		// This PR's cluster placement/migration names (DESIGN.md §9).
+		"cluster_members",
+		"cluster_table_version",
+		"cluster_moves_inflight",
+		"cluster_routes_total",
+		"cluster_fence_waits_total",
+		"cluster_fence_timeouts_total",
+		"cluster_moves_total",
+		"cluster_move_failures_total",
+		"cluster_migrated_files_total",
+		"cluster_move_seconds",
+		"dlfm_migrated_in_total",
+		"dlfm_migrated_out_total",
 	}
 	var missing []string
 	for _, name := range golden {
