@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke ci
+.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke paxos-smoke ci
 
 all: ci
 
@@ -63,4 +63,14 @@ scaleout-smoke:
 	$(GO) run -race ./cmd/dlfmbench scaleout -seed 1 -dur 2s -clients 40 -members 1,2,4 | tee scaleout-output.txt
 	grep '^BENCH ' scaleout-output.txt > scaleout.jsonl
 
-ci: build vet race chaos-smoke failover-smoke scaleout-smoke
+# Commit-protocol smoke under the race detector: the E13 sweep — 2PC vs
+# Paxos Commit with coordinator crashes injected at two rates, plus the
+# fast-path latency legs (read-only vote, presumed commit, 1PC). Exits
+# non-zero on any consistency violation, any wedged transaction under
+# Paxos, or if 2PC fails to wedge (the crash schedule never fired); the
+# BENCH line lands in commitproto.jsonl for CI to archive.
+paxos-smoke:
+	$(GO) run -race ./cmd/dlfmbench commitproto -seed 1 -dur 2s -clients 16 | tee commitproto-output.txt
+	grep '^BENCH ' commitproto-output.txt > commitproto.jsonl
+
+ci: build vet race chaos-smoke failover-smoke scaleout-smoke paxos-smoke

@@ -54,6 +54,7 @@ var all = []runner{
 	{"fanout", "E10: commit latency vs participant count, sequential vs parallel 2PC", wrap(experiments.RunE10Fanout)},
 	{"traceoverhead", "E11: span tracing overhead, sampling 0% vs 100%", wrap(experiments.RunE11TraceOverhead)},
 	{"scaleout", "E12: aggregate link throughput vs cluster size + online drain under chaos", wrap(experiments.RunE12Scaleout)},
+	{"commitproto", "E13: 2PC vs Paxos Commit under coordinator crashes + fast paths", wrap(experiments.RunE13CommitProto)},
 	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
 	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
 }

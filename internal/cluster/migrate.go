@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/rpc"
@@ -382,7 +383,8 @@ func (mv *Mover) inTxn(c *rpc.Client, fn func(txn int64) error) error {
 // and must not survive a cutover it could later abort out of.
 func (mv *Mover) drain(src *rpc.Client, slot int) error {
 	deadline := time.Now().Add(mv.DrainTimeout)
-	for {
+	bo := fault.Backoff{Base: 10 * time.Millisecond, Cap: 150 * time.Millisecond}
+	for attempt := 0; ; attempt++ {
 		recs, _, err := repl.FetchRange(src, 0, math.MaxInt64, mv.BatchMax)
 		if err != nil {
 			return fmt.Errorf("drain fetch: %w", err)
@@ -396,7 +398,10 @@ func (mv *Mover) drain(src *rpc.Client, slot int) error {
 		if mv.h.ResolveIndoubts != nil {
 			mv.h.ResolveIndoubts()
 		}
-		time.Sleep(10 * time.Millisecond)
+		// Capped backoff with jitter: an undecided transaction usually
+		// settles within a round trip, but a crashed coordinator takes a
+		// resolution pass — polling flat-out just contends with it.
+		time.Sleep(bo.Delay(attempt))
 	}
 }
 

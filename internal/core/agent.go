@@ -36,6 +36,7 @@ type ChildAgent struct {
 	batchN  int
 	ops     int  // operations since the last intermediate commit
 	txnRow  bool // an 'F' row for cur exists in dlfm_txn
+	wrote   bool // cur performed a write on this DLFM (read-only vote)
 }
 
 // NewAgent implements rpc.AgentFactory: one child agent per connection.
@@ -123,6 +124,10 @@ func (a *ChildAgent) Handle(req any) rpc.Response {
 		return a.commit(r)
 	case rpc.AbortReq:
 		return a.abort(r)
+	case rpc.OnePhaseCommitReq:
+		return a.onePhaseCommit(r)
+	case rpc.QueryOutcomeReq:
+		return a.queryOutcome(r)
 	case rpc.IsLinkedReq:
 		if a.srv.IsStandby() {
 			// No Upcall daemon runs on a standby; answer from the
@@ -176,6 +181,7 @@ func (a *ChildAgent) requireTxn(txn int64) error {
 		a.txnRow = false
 		a.batched = false
 		a.ops = 0
+		a.wrote = false
 		return nil
 	}
 	if a.cur != txn {
@@ -199,6 +205,7 @@ func (a *ChildAgent) beginTxn(r rpc.BeginTxnReq) rpc.Response {
 	}
 	a.ops = 0
 	a.txnRow = false
+	a.wrote = false
 	a.srv.tracer.Emit(r.Txn, "agent", "txn_begin", "")
 	return ok
 }
@@ -210,6 +217,7 @@ func (a *ChildAgent) resetTxn() {
 	a.batchN = 0
 	a.ops = 0
 	a.txnRow = false
+	a.wrote = false
 }
 
 // maybeBatchCommit implements the Section 4 lesson for long-running
@@ -246,6 +254,7 @@ func (a *ChildAgent) linkFile(r rpc.LinkFileReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	a.wrote = true
 	start := time.Now()
 	if r.InBackout {
 		// Undo a link performed earlier in this transaction: delete the
@@ -304,6 +313,7 @@ func (a *ChildAgent) unlinkFile(r rpc.UnlinkFileReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	a.wrote = true
 	if r.InBackout {
 		n, err := a.srv.stmts.get(sqlBackoutUnlink).Exec(a.conn,
 			value.Str(r.Name), value.Int(r.Txn), value.Int(r.RecID))
@@ -357,6 +367,7 @@ func (a *ChildAgent) createGroup(r rpc.CreateGroupReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	a.wrote = true
 	rec, full := int64(0), int64(0)
 	if r.Recovery {
 		rec = 1
@@ -378,6 +389,7 @@ func (a *ChildAgent) deleteGroup(r rpc.DeleteGroupReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	a.wrote = true
 	n, err := a.srv.stmts.get(sqlMarkGroupDeleted).Exec(a.conn, value.Int(r.Txn), value.Int(r.Grp))
 	if err != nil {
 		return fail(err)
@@ -395,6 +407,19 @@ func (a *ChildAgent) deleteGroup(r rpc.DeleteGroupReq) rpc.Response {
 func (a *ChildAgent) prepare(r rpc.PrepareReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
+	}
+	if a.srv.cfg.ReadOnlyVote && !a.wrote && !a.txnRow {
+		// Read-only vote fast path: this participant made no changes, so it
+		// has nothing to harden and no stake in the outcome. Release
+		// everything now and tell the coordinator to leave us out of phase 2
+		// — no 'P' entry, no second fsync, no second RPC.
+		if a.conn.InTxn() {
+			a.conn.Rollback()
+		}
+		a.srv.stats.ReadOnlyVotes.Add(1)
+		a.srv.tracer.Emit(r.Txn, "agent", "prepare_vote_readonly", "")
+		a.resetTxn()
+		return rpc.Response{ReadOnly: true}
 	}
 	start := time.Now()
 	ngroups, _, err := a.srv.stmts.get(sqlCountGroupsDel).QueryInt(a.conn, value.Int(r.Txn))
@@ -464,6 +489,104 @@ func (a *ChildAgent) abort(r rpc.AbortReq) rpc.Response {
 	}
 	a.resetTxn()
 	return resp
+}
+
+// onePhaseCommit is the single-participant fast path: this DLFM is the
+// only resource manager with a stake in the transaction, so the host makes
+// it the commit decider. The transaction entry is hardened directly in
+// committed ('C') state and the phase-2 work runs in the same local
+// transaction — one fsync and one RPC where classic 2PC needs two of each.
+// Any local failure before the commit aborts the transaction (the decider
+// votes no by dying); a lost acknowledgement is resolved by the host with
+// QueryOutcome against the durable entry.
+func (a *ChildAgent) onePhaseCommit(r rpc.OnePhaseCommitReq) rpc.Response {
+	if err := a.requireTxn(r.Txn); err != nil {
+		return failCode("severe", "%v", err)
+	}
+	if !a.conn.InTxn() && !a.txnRow {
+		// Nothing was ever done here: an empty transaction commits
+		// trivially and leaves no durable trace — committed and aborted are
+		// the same outcome. (A lost reply is never re-sent; the host
+		// resolves it with QueryOutcome.)
+		a.resetTxn()
+		return ok
+	}
+
+	fatal := func(err error) rpc.Response {
+		// The decider votes no: roll everything back and report the abort.
+		if a.conn.InTxn() {
+			a.conn.Rollback()
+		}
+		a.srv.stats.PrepareFails.Add(1)
+		a.srv.tracer.Emit(r.Txn, "agent", "one_phase_abort", "")
+		a.resetTxn()
+		return fail(err)
+	}
+	ngroups, _, err := a.srv.stmts.get(sqlCountGroupsDel).QueryInt(a.conn, value.Int(r.Txn))
+	if err != nil {
+		return fatal(err)
+	}
+	// The 'C' entry is the commit record the host may later query; the
+	// Delete Group daemon garbage-collects it once its groups (if any) are
+	// processed.
+	if a.txnRow {
+		if _, err = a.srv.stmts.get(sqlPromoteTxn).Exec(a.conn, value.Int(ngroups), value.Int(r.Txn)); err == nil {
+			_, err = a.srv.stmts.get(sqlMarkTxnCmt).Exec(a.conn, value.Int(r.Txn))
+		}
+	} else {
+		_, err = a.srv.stmts.get(sqlInsertTxn).Exec(a.conn,
+			value.Int(r.Txn), value.Str("C"), value.Int(ngroups), value.Int(a.srv.now()))
+	}
+	if err != nil {
+		return fatal(err)
+	}
+	work, err := a.srv.gatherCommitWork(a.conn, r.Txn)
+	if err != nil {
+		return fatal(err)
+	}
+	if err := a.conn.Commit(); err != nil { // the single fsync
+		return fatal(err)
+	}
+	a.srv.applyChownWork(a.conn, work)
+	if ngroups > 0 {
+		a.srv.delGroup.notify(r.Txn)
+	}
+	a.srv.copyd.kick()
+	a.srv.stats.Commits.Add(1)
+	a.srv.stats.OnePhaseCommits.Add(1)
+	a.srv.tracer.Emit(r.Txn, "agent", "one_phase_commit", "")
+	a.resetTxn()
+	if err := fpPhase2BeforeAck.FireDetail("onephase"); err != nil {
+		// The commit is durable but the acknowledgement is lost; the host
+		// re-queries the outcome.
+		return failCode("severe", "one-phase commit ack of transaction %d: %v", r.Txn, err)
+	}
+	return ok
+}
+
+// queryOutcome reports the durable fate of a transaction from the local
+// transaction table: "committed", "prepared", or "none" (aborted, never
+// hardened, or already garbage-collected).
+func (a *ChildAgent) queryOutcome(r rpc.QueryOutcomeReq) rpc.Response {
+	rows, err := a.srv.stmts.get(sqlTxnState).Query(a.conn, value.Int(r.Txn))
+	if err != nil {
+		return fail(err)
+	}
+	if err := a.conn.Commit(); err != nil {
+		return fail(err)
+	}
+	msg := "none"
+	if len(rows) > 0 {
+		switch rows[0][0].Text() {
+		case "C":
+			msg = "committed"
+		case "P":
+			msg = "prepared"
+		default:
+			msg = "inflight"
+		}
+	}
+	return rpc.Response{Msg: msg}
 }
 
 func (a *ChildAgent) listIndoubt() rpc.Response {

@@ -84,6 +84,26 @@ type Config struct {
 	// processing; work is driven through RunDeleteGroup instead. Tests and
 	// the E8 benchmark use it to control the batch size deterministically.
 	ManualDeleteGroup bool
+	// ReadOnlyVote enables the prepare fast path: a participant that made
+	// no changes in the transaction answers phase 1 with a read-only vote —
+	// it releases everything immediately, writes no 'P' entry (no fsync),
+	// and is excluded from phase 2 by the coordinator.
+	ReadOnlyVote bool
+	// OutcomeLearner, when set, lets this DLFM learn a prepared
+	// transaction's outcome without its coordinator — the non-blocking
+	// property of Paxos Commit. The learner daemon calls it for prepared
+	// entries older than LearnGrace and applies the returned
+	// paxoscommit.OutcomeCommit/OutcomeAbort through the normal phase-2
+	// paths. It must only be wired when the host commits through Paxos:
+	// under plain 2PC there are no acceptors and a learner would abort
+	// transactions whose coordinator is alive and about to commit.
+	OutcomeLearner func(txn int64) (string, error)
+	// LearnInterval is the learner daemon's polling period (default 25 ms);
+	// LearnGrace is how old a prepared entry must be before the learner
+	// consults the acceptors (default 200 ms), so a live coordinator's own
+	// phase 2 wins the race in the common case.
+	LearnInterval time.Duration
+	LearnGrace    time.Duration
 	// Obs receives every counter and histogram of this DLFM and its local
 	// database. Nil means a fresh registry labeled server=<ServerName> is
 	// created; retrieve it with Server.Obs.
@@ -145,6 +165,7 @@ type Server struct {
 	retrieve *retrieveDaemon
 	gc       *gcDaemon
 	delGroup *deleteGroupDaemon
+	learner  *learnerDaemon
 
 	stats  Stats
 	obs    *obs.Registry

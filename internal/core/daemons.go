@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/fsim"
+	"repro/internal/rpc"
 	"repro/internal/value"
 )
 
@@ -21,6 +22,7 @@ var (
 	fpRetrieveWork = fault.P("daemon.retrieve.work")
 	fpGCWork       = fault.P("daemon.gc.work")
 	fpDelGroupWork = fault.P("daemon.delgroup.work")
+	fpLearnerWork  = fault.P("daemon.learner.work")
 )
 
 // fireGuarded fires p, demoting an injected crash to an ordinary error.
@@ -51,16 +53,24 @@ func (s *Server) startDaemons() {
 	s.retrieve = newRetrieveDaemon(s)
 	s.gc = newGCDaemon(s)
 	s.delGroup = newDeleteGroupDaemon(s)
+	if s.cfg.OutcomeLearner != nil {
+		s.learner = newLearnerDaemon(s)
+	}
 }
 
 func (s *Server) stopDaemons() {
-	// All six daemons are created together; on a standby that never
+	// The six core daemons are created together; on a standby that never
 	// promoted, none were (the typed-nil pointers below would defeat the
 	// interface nil check).
 	if s.delGroup == nil {
 		return
 	}
-	for _, stop := range []interface{ stop() }{s.delGroup, s.gc, s.retrieve, s.copyd, s.upcall, s.chown} {
+	daemons := []interface{ stop() }{s.delGroup, s.gc, s.retrieve, s.copyd, s.upcall, s.chown}
+	if s.learner != nil {
+		daemons = append([]interface{ stop() }{s.learner}, daemons...)
+		s.learner = nil
+	}
+	for _, stop := range daemons {
 		if stop != nil {
 			stop.stop()
 		}
@@ -768,4 +778,110 @@ func (s *Server) runDeleteGroup(conn *engine.Conn, txn int64, batchN int) error 
 		return abort(err)
 	}
 	return conn.Commit()
+}
+
+// --- Outcome-learner daemon ----------------------------------------------------
+
+// The outcome learner is the participant side of non-blocking commit: when
+// the commit decision is replicated across Paxos acceptors, a prepared
+// transaction whose coordinator went quiet does not have to wait for host
+// failover — this daemon asks the acceptors for the outcome and applies it
+// through the normal phase-2 paths, releasing the locks the paper's 2PC
+// would hold until resolution. Prepared entries younger than LearnGrace are
+// left alone so a live coordinator's own phase 2 wins the race.
+type learnerDaemon struct {
+	srv  *Server
+	quit chan struct{}
+	done chan struct{}
+}
+
+func newLearnerDaemon(s *Server) *learnerDaemon {
+	d := &learnerDaemon{srv: s, quit: make(chan struct{}), done: make(chan struct{})}
+	go d.run()
+	return d
+}
+
+func (d *learnerDaemon) run() {
+	defer close(d.done)
+	conn := d.srv.db.Connect()
+	interval := d.srv.cfg.LearnInterval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-ticker.C:
+			d.srv.learnOnce(conn) //nolint:errcheck
+		}
+	}
+}
+
+func (d *learnerDaemon) stop() {
+	close(d.quit)
+	<-d.done
+}
+
+// LearnOutcomesOnce runs one synchronous learner cycle with no grace
+// period (tests use it instead of waiting for the daemon's tick).
+func (s *Server) LearnOutcomesOnce() error {
+	if s.cfg.OutcomeLearner == nil {
+		return errors.New("core: no outcome learner configured")
+	}
+	conn := s.db.Connect()
+	return s.learnWithGrace(conn, 0)
+}
+
+func (s *Server) learnOnce(conn *engine.Conn) error {
+	grace := s.cfg.LearnGrace
+	if grace <= 0 {
+		grace = 200 * time.Millisecond
+	}
+	return s.learnWithGrace(conn, grace)
+}
+
+func (s *Server) learnWithGrace(conn *engine.Conn, grace time.Duration) error {
+	if err := fireGuarded(fpLearnerWork, ""); err != nil {
+		return err
+	}
+	rows, err := s.stmts.get(sqlIndoubtTxnsTs).Query(conn)
+	if err != nil {
+		if conn.InTxn() {
+			conn.Rollback()
+		}
+		return err
+	}
+	if err := conn.Commit(); err != nil {
+		return err
+	}
+	cutoff := s.now() - grace.Nanoseconds()
+	for _, r := range rows {
+		txn, ts := r[0].Int64(), r[1].Int64()
+		if ts > cutoff {
+			continue
+		}
+		// Outcomes are paxoscommit.OutcomeCommit/OutcomeAbort; the strings
+		// are matched here to keep core free of a paxoscommit dependency.
+		out, err := s.cfg.OutcomeLearner(txn)
+		if err != nil {
+			continue // acceptors unreachable; retry next tick
+		}
+		var resp rpc.Response
+		switch out {
+		case "commit":
+			resp = s.phase2Commit(conn, txn)
+		case "abort":
+			resp = s.phase2Abort(conn, txn)
+		default:
+			continue
+		}
+		if resp.OK() {
+			s.stats.SelfResolved.Add(1)
+			s.tracer.Emit(txn, "2pc", "self_resolved", out)
+		}
+	}
+	return nil
 }

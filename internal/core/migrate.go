@@ -79,6 +79,7 @@ func (a *ChildAgent) migratePut(r rpc.MigratePutReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	a.wrote = true
 	grp, err := a.srv.groupInfo(a.conn, r.Grp)
 	if err != nil {
 		return fail(err)
@@ -134,6 +135,7 @@ func (a *ChildAgent) migrateDel(r rpc.MigrateDelReq) rpc.Response {
 	if err := a.requireTxn(r.Txn); err != nil {
 		return failCode("severe", "%v", err)
 	}
+	a.wrote = true
 	var n int64
 	for _, name := range r.Names {
 		nn, err := a.srv.stmts.get(sqlDropFileByNameChk).Exec(a.conn,

@@ -50,6 +50,10 @@ const (
 	sqlDeleteTxn    = `DELETE FROM dlfm_txn WHERE txnid = ?`
 	sqlIndoubtTxns  = `SELECT txnid FROM dlfm_txn WHERE state = 'P'`
 	sqlCommittedTxn = `SELECT txnid FROM dlfm_txn WHERE state = 'C'`
+	// The outcome-learner daemon also needs each prepared entry's age, so
+	// it only consults the Paxos acceptors for transactions whose
+	// coordinator has had a fair chance to finish phase 2 itself.
+	sqlIndoubtTxnsTs = `SELECT txnid, ts FROM dlfm_txn WHERE state = 'P'`
 
 	// Phase-2 commit (Figure 4) and abort compensation (Section 4).
 	sqlFilesLinkedBy   = `SELECT name, grpid, owner FROM dlfm_file WHERE lnk_txn = ? AND state = 'L'`
@@ -95,7 +99,7 @@ var allSQL = []string{
 	sqlGroupsOfTxn, sqlRestoreGroups, sqlAbortGroups, sqlGroupTombstone, sqlExpiredGroups,
 	sqlDeleteGroupRow, sqlLinkedFilesOfGrp, sqlUnlinkedOfGroup,
 	sqlDropFileByNameChk, sqlInsertTxn, sqlTxnState, sqlPromoteTxn,
-	sqlMarkTxnCmt, sqlDeleteTxn, sqlIndoubtTxns, sqlCommittedTxn,
+	sqlMarkTxnCmt, sqlDeleteTxn, sqlIndoubtTxns, sqlCommittedTxn, sqlIndoubtTxnsTs,
 	sqlFilesLinkedBy, sqlFilesUnlinkedBy, sqlPurgeMarkedDel,
 	sqlReadyArchives, sqlAbortLinks, sqlAbortUnlinks, sqlAbortArchives,
 	sqlPendingCopies, sqlDeleteArchive, sqlBoostPriority, sqlCountPending,

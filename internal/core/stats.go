@@ -32,6 +32,9 @@ type Stats struct {
 	Promotes       obs.Counter // standby-to-primary promotions
 	MigratedIn     obs.Counter // linked entries installed by slot migration
 	MigratedOut    obs.Counter // linked entries removed by slot migration
+	ReadOnlyVotes  obs.Counter // prepare fast path: read-only votes cast
+	OnePhaseCommits obs.Counter // fused single-participant commits served
+	SelfResolved   obs.Counter // prepared txns resolved by the outcome learner
 }
 
 // register exposes every counter on reg under its dlfm_* metric name.
@@ -64,6 +67,9 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.RegisterCounter("dlfm_promotes_total", &st.Promotes)
 	reg.RegisterCounter("dlfm_migrated_in_total", &st.MigratedIn)
 	reg.RegisterCounter("dlfm_migrated_out_total", &st.MigratedOut)
+	reg.RegisterCounter("dlfm_readonly_votes_total", &st.ReadOnlyVotes)
+	reg.RegisterCounter("dlfm_one_phase_commits_total", &st.OnePhaseCommits)
+	reg.RegisterCounter("dlfm_self_resolved_total", &st.SelfResolved)
 }
 
 // Snapshot is a point-in-time copy of Stats for reporting.
@@ -80,6 +86,8 @@ type Snapshot struct {
 	DaemonLogFulls                          int64
 	ReplFetches, Promotes                   int64
 	MigratedIn, MigratedOut                 int64
+	ReadOnlyVotes, OnePhaseCommits          int64
+	SelfResolved                            int64
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -108,7 +116,10 @@ func (s *Server) Stats() Snapshot {
 		DaemonLogFulls: s.stats.DaemonLogFulls.Load(),
 		ReplFetches:    s.stats.ReplFetches.Load(),
 		Promotes:       s.stats.Promotes.Load(),
-		MigratedIn:     s.stats.MigratedIn.Load(),
-		MigratedOut:    s.stats.MigratedOut.Load(),
+		MigratedIn:      s.stats.MigratedIn.Load(),
+		MigratedOut:     s.stats.MigratedOut.Load(),
+		ReadOnlyVotes:   s.stats.ReadOnlyVotes.Load(),
+		OnePhaseCommits: s.stats.OnePhaseCommits.Load(),
+		SelfResolved:    s.stats.SelfResolved.Load(),
 	}
 }

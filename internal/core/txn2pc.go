@@ -106,32 +106,8 @@ func (s *Server) tryCommit(conn *engine.Conn, txn int64) (rpc.Response, bool) {
 	}
 	ngroups := rows[0][1].Int64()
 
-	// Gather the chown work before purging: the delayed-delete entries
-	// being purged are exactly the no-recovery unlinked files that still
-	// need their release.
-	var work []chownWork
-	linked, err := s.stmts.get(sqlFilesLinkedBy).Query(conn, value.Int(txn))
+	work, err := s.gatherCommitWork(conn, txn)
 	if err != nil {
-		return fatal(err)
-	}
-	for _, r := range linked {
-		work = append(work, chownWork{name: r[0].Text(), grpID: r[1].Int64(), owner: r[2].Text(), takeover: true})
-	}
-	unlinked, err := s.stmts.get(sqlFilesUnlinkedBy).Query(conn, value.Int(txn))
-	if err != nil {
-		return fatal(err)
-	}
-	for _, r := range unlinked {
-		work = append(work, chownWork{name: r[0].Text(), grpID: r[1].Int64(), owner: r[2].Text()})
-	}
-
-	// Make queued archive copies visible to the Copy daemon.
-	if _, err := s.stmts.get(sqlReadyArchives).Exec(conn, value.Int(txn)); err != nil {
-		return fatal(err)
-	}
-	// Physically delete entries the transaction marked deleted — only now,
-	// in phase 2, is that safe (Section 3.2).
-	if _, err := s.stmts.get(sqlPurgeMarkedDel).Exec(conn, value.Int(txn)); err != nil {
 		return fatal(err)
 	}
 	if ngroups > 0 {
@@ -161,6 +137,39 @@ func (s *Server) tryCommit(conn *engine.Conn, txn int64) (rpc.Response, bool) {
 	s.copyd.kick()
 	s.stats.Commits.Add(1)
 	return ok, false
+}
+
+// gatherCommitWork performs the per-file commit work inside the caller's
+// open transaction — collect the chown takeovers/releases before purging
+// (the delayed-delete entries being purged are exactly the no-recovery
+// unlinked files that still need their release), make queued archive
+// copies visible to the Copy daemon, and physically delete entries the
+// transaction marked deleted, which is only safe now that the outcome is
+// decided (Section 3.2). Shared by phase-2 commit and the fused
+// one-phase-commit handler.
+func (s *Server) gatherCommitWork(conn *engine.Conn, txn int64) ([]chownWork, error) {
+	var work []chownWork
+	linked, err := s.stmts.get(sqlFilesLinkedBy).Query(conn, value.Int(txn))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range linked {
+		work = append(work, chownWork{name: r[0].Text(), grpID: r[1].Int64(), owner: r[2].Text(), takeover: true})
+	}
+	unlinked, err := s.stmts.get(sqlFilesUnlinkedBy).Query(conn, value.Int(txn))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range unlinked {
+		work = append(work, chownWork{name: r[0].Text(), grpID: r[1].Int64(), owner: r[2].Text()})
+	}
+	if _, err := s.stmts.get(sqlReadyArchives).Exec(conn, value.Int(txn)); err != nil {
+		return nil, err
+	}
+	if _, err := s.stmts.get(sqlPurgeMarkedDel).Exec(conn, value.Int(txn)); err != nil {
+		return nil, err
+	}
+	return work, nil
 }
 
 // applyChownWork resolves group attributes and drives the Chown daemon.

@@ -43,6 +43,31 @@ type Config struct {
 	// concurrently. Zero defaults to 8; 1 restores the fully sequential
 	// pipeline.
 	CommitFanout int
+	// CommitProtocol selects how the commit decision is made durable:
+	// "2pc" (default) records it in the host's dl_outcome table, so a
+	// coordinator crash between phases leaves participants blocked until
+	// the host resolves them; "paxos" replicates the decision across the
+	// registered acceptors (Gray & Lamport's Paxos Commit), so any
+	// participant can learn the outcome without the coordinator.
+	CommitProtocol string
+	// OnePhase enables the single-participant fast path: a transaction
+	// that touched exactly one DLFM skips prepare entirely and delegates
+	// the commit decision to that participant (one network round trip and
+	// one forced log write instead of two of each).
+	OnePhase bool
+	// PresumedCommit switches the outcome table to the presumed-commit
+	// convention: a durable "collecting" row is forced before the
+	// prepares, the commit record is garbage-collected once every
+	// participant acknowledged, and an *absent* row means commit.
+	// The knob must be constant for the lifetime of the database —
+	// mixing conventions makes old absent rows unreadable.
+	PresumedCommit bool
+	// IndoubtCap bounds the in-memory list of transactions parked for
+	// later resolution (phase-2 transport failures, fast-path ambiguity).
+	// Beyond the cap the oldest entry is dropped — it is still covered by
+	// the durable outcome table, only the cheap retry hint is lost.
+	// Zero defaults to 1024.
+	IndoubtCap int
 	// TokenSecret signs access tokens for full-access-control files; it is
 	// shared with the DLFF on each file server. Empty disables tokens.
 	TokenSecret []byte
@@ -99,6 +124,12 @@ type Stats struct {
 	IndoubtsResolved obs.Counter
 	TokensMinted     obs.Counter
 	Failovers        obs.Counter
+	ReadOnlyVotes    obs.Counter // participants excluded from phase 2 by a read-only vote
+	OnePhaseCommits  obs.Counter // commits delegated to a single participant
+	PaxosCommits     obs.Counter // commits decided through the acceptor quorum
+	PaxosRecoveries  obs.Counter // outcomes the session had to learn back from acceptors
+	OutcomeGCs       obs.Counter // presumed-commit outcome rows garbage-collected
+	IndoubtDropped   obs.Counter // parked indoubt hints dropped at the cap
 }
 
 func (st *Stats) register(reg *obs.Registry) {
@@ -113,6 +144,12 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.RegisterCounter("host_indoubts_resolved_total", &st.IndoubtsResolved)
 	reg.RegisterCounter("host_tokens_minted_total", &st.TokensMinted)
 	reg.RegisterCounter("host_failovers_total", &st.Failovers)
+	reg.RegisterCounter("host_readonly_votes_total", &st.ReadOnlyVotes)
+	reg.RegisterCounter("host_one_phase_commits_total", &st.OnePhaseCommits)
+	reg.RegisterCounter("host_paxos_commits_total", &st.PaxosCommits)
+	reg.RegisterCounter("host_paxos_recoveries_total", &st.PaxosRecoveries)
+	reg.RegisterCounter("host_outcome_gc_total", &st.OutcomeGCs)
+	reg.RegisterCounter("host_indoubt_dropped_total", &st.IndoubtDropped)
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -120,6 +157,9 @@ type Snapshot struct {
 	Links, Unlinks, Commits, Aborts int64
 	StmtBackouts, IndoubtsResolved  int64
 	TokensMinted, Failovers         int64
+	ReadOnlyVotes, OnePhaseCommits  int64
+	PaxosCommits, PaxosRecoveries   int64
+	OutcomeGCs, IndoubtDropped      int64
 }
 
 // DB is one host database instance.
@@ -131,6 +171,13 @@ type DB struct {
 	dialers   map[string]Dialer
 	standbys  map[string]*standbyEntry
 	failCount map[string]int
+	// acceptors holds the Paxos Commit acceptor endpoints, dialed lazily
+	// and shared by every session; order is fixed at registration so
+	// learner ballots hit the same quorum shape everywhere.
+	acceptors []*acceptorEntry
+	// parked holds resolution hints for transactions whose phase 2 (or
+	// fast-path ambiguity) could not complete; bounded by Config.IndoubtCap.
+	parked []parkedTxn
 	// clusters maps a logical server name to its placement map; URLs
 	// naming a cluster route through it instead of the dialer registry.
 	clusters map[string]*cluster.Map
@@ -249,8 +296,18 @@ func (db *DB) Stats() Snapshot {
 		IndoubtsResolved: db.stats.IndoubtsResolved.Load(),
 		TokensMinted:     db.stats.TokensMinted.Load(),
 		Failovers:        db.stats.Failovers.Load(),
+		ReadOnlyVotes:    db.stats.ReadOnlyVotes.Load(),
+		OnePhaseCommits:  db.stats.OnePhaseCommits.Load(),
+		PaxosCommits:     db.stats.PaxosCommits.Load(),
+		PaxosRecoveries:  db.stats.PaxosRecoveries.Load(),
+		OutcomeGCs:       db.stats.OutcomeGCs.Load(),
+		IndoubtDropped:   db.stats.IndoubtDropped.Load(),
 	}
 }
+
+// CommitP99 reports the 99th-percentile Session.Commit latency observed so
+// far (the host_commit_seconds histogram), for experiment reporting.
+func (db *DB) CommitP99() time.Duration { return db.commitHist.Quantile(0.99) }
 
 // Close releases the host engine.
 func (db *DB) Close() error { return db.eng.Close() }

@@ -1,0 +1,170 @@
+package hostdb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/rpc"
+)
+
+// The parked-indoubt list: cheap in-memory hints for transactions whose
+// resolution could not complete inline — a phase-2 ack that never came, a
+// one-phase commit whose reply was lost, a paxos commit with no reachable
+// acceptor quorum. ResolveIndoubts drains it before the per-server sweep,
+// retrying each hint directly instead of paying a full ListIndoubt poll.
+// The list is bounded (Config.IndoubtCap): losing a hint loses nothing
+// durable — the outcome table, XA mapping, and acceptor state still settle
+// the transaction through the sweep — so overflow drops the oldest entry
+// and counts it on host_indoubt_dropped_total.
+
+// parkedTxn is one resolution hint.
+type parkedTxn struct {
+	txn    int64
+	server string // "" when no directed participant retry is needed
+	// decision: "commit"/"abort" (re-send the known outcome), "learn"
+	// (ask the paxos acceptors first), or "query" (ask the participant's
+	// own durable state — the one-phase ambiguity).
+	decision string
+}
+
+func (db *DB) indoubtCap() int {
+	if db.cfg.IndoubtCap > 0 {
+		return db.cfg.IndoubtCap
+	}
+	return 1024
+}
+
+// parkIndoubt appends a hint, dropping the oldest beyond the cap.
+func (db *DB) parkIndoubt(txn int64, server, decision string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n := len(db.parked); n >= db.indoubtCap() {
+		drop := n - db.indoubtCap() + 1
+		db.parked = append(db.parked[:0], db.parked[drop:]...)
+		db.stats.IndoubtDropped.Add(int64(drop))
+	}
+	db.parked = append(db.parked, parkedTxn{txn: txn, server: server, decision: decision})
+}
+
+// takeParked removes and returns every parked hint.
+func (db *DB) takeParked() []parkedTxn {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := db.parked
+	db.parked = nil
+	return out
+}
+
+// ParkedIndoubts reports how many hints are currently parked.
+func (db *DB) ParkedIndoubts() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.parked)
+}
+
+// resolveParked retries every parked hint once, re-parking the ones that
+// still cannot complete. Returns how many it settled.
+func (db *DB) resolveParked() int {
+	entries := db.takeParked()
+	resolved := 0
+	for _, e := range entries {
+		dec := e.decision
+		switch dec {
+		case "learn":
+			out, err := db.LearnOutcome(e.txn)
+			if err != nil {
+				db.parkIndoubt(e.txn, e.server, "learn")
+				continue
+			}
+			dec = out
+		case "query":
+			out, err := db.queryOutcome1PC(e.server, e.txn)
+			if err != nil {
+				db.parkIndoubt(e.txn, e.server, "query")
+				continue
+			}
+			// The participant already decided and applied; learning which
+			// way settles the hint — there is nothing to send back.
+			_ = out
+			resolved++
+			db.stats.IndoubtsResolved.Add(1)
+			continue
+		}
+		if e.server == "" {
+			// Outcome learnable again; the per-server sweep (or the DLFMs'
+			// own learner daemons) applies it to any prepared participant.
+			resolved++
+			continue
+		}
+		dial, err := db.dialer(e.server)
+		if err != nil {
+			resolved++ // server unregistered; nothing left to drive
+			continue
+		}
+		client, err := dial()
+		if err != nil {
+			db.parkIndoubt(e.txn, e.server, dec)
+			continue
+		}
+		var r rpc.Response
+		var callErr error
+		if dec == "commit" {
+			r, callErr = client.Call(rpc.CommitReq{Txn: e.txn})
+		} else {
+			r, callErr = client.Call(rpc.AbortReq{Txn: e.txn})
+		}
+		client.Close()
+		if callErr != nil || !r.OK() {
+			db.parkIndoubt(e.txn, e.server, dec)
+			continue
+		}
+		resolved++
+		db.stats.IndoubtsResolved.Add(1)
+	}
+	return resolved
+}
+
+// queryOutcome1PC resolves a one-phase commit whose reply was lost by
+// asking the participant's durable transaction state, with capped backoff
+// between attempts. "committed" maps to commit; "none" means the
+// participant's transaction died with the connection before deciding, so
+// it can never commit — abort. "prepared"/"inflight" mean the original
+// request may still be executing: wait and ask again.
+func (db *DB) queryOutcome1PC(server string, txn int64) (string, error) {
+	bo := fault.Backoff{Base: 5 * time.Millisecond, Cap: 100 * time.Millisecond}
+	var lastErr error
+	for attempt := 0; attempt < 6; attempt++ {
+		if attempt > 0 {
+			time.Sleep(bo.Delay(attempt - 1))
+		}
+		dial, err := db.dialer(server)
+		if err != nil {
+			return "", err
+		}
+		client, err := dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, callErr := client.Call(rpc.QueryOutcomeReq{Txn: txn})
+		client.Close()
+		if callErr != nil {
+			lastErr = callErr
+			continue
+		}
+		if !resp.OK() {
+			lastErr = fmt.Errorf("hostdb: query outcome at %s: %s: %s", server, resp.Code, resp.Msg)
+			continue
+		}
+		switch resp.Msg {
+		case "committed":
+			return "commit", nil
+		case "none":
+			return "abort", nil
+		default: // "prepared"/"inflight": still in motion
+			lastErr = fmt.Errorf("hostdb: txn %d still %s at %s", txn, resp.Msg, server)
+		}
+	}
+	return "", lastErr
+}

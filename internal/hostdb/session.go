@@ -31,6 +31,12 @@ var (
 	// ErrStatement: the statement failed and was backed out; the
 	// transaction continues.
 	ErrStatement = errors.New("hostdb: statement failed")
+	// ErrCommitUnacked: the transaction IS committed — the decision is
+	// durable (outcome record or acceptor quorum) — but the coordinator was
+	// interrupted before every participant heard phase 2. Participants
+	// settle through indoubt resolution (2PC) or their own outcome
+	// learners (Paxos); callers must treat the transaction as committed.
+	ErrCommitUnacked = errors.New("hostdb: committed but not acknowledged")
 )
 
 // participant is one DLFM enlisted in the current transaction.
@@ -144,6 +150,18 @@ func (s *Session) dropPart(server string) {
 	if p := s.parts[server]; p != nil {
 		p.client.Close()
 		delete(s.parts, server)
+	}
+}
+
+// abandonParts closes every participant connection. After a commit is
+// interrupted before phase 2, the agent on the other end of each
+// connection is pinned to the prepared transaction until its outcome
+// arrives from resolution or a learner — reusing the connection would only
+// collect "transaction still active" errors. Fresh dials replace them on
+// the session's next transaction.
+func (s *Session) abandonParts() {
+	for server := range s.parts {
+		s.dropPart(server)
 	}
 }
 
@@ -807,6 +825,12 @@ func (s *Session) Commit() error {
 		return err
 	}
 
+	// Fast path: exactly one participant — delegate the decision to it and
+	// skip the prepare round entirely.
+	if len(enlisted) == 1 && s.db.cfg.OnePhase {
+		return s.commitOnePhase(enlisted[0])
+	}
+
 	start := time.Now()
 	txn := s.txn
 	s.db.tracer.Emitf(txn, "host", "2pc_prepare", "%d participants", len(enlisted))
@@ -829,6 +853,17 @@ func (s *Session) Commit() error {
 	}()
 	if p1 != nil {
 		s.conn.SetSpanCtx(p1.Ctx())
+	}
+
+	// Presumed commit: force the "collecting" record (outcome 'I') in its
+	// own small transaction before any participant prepares. From here on
+	// an absent row can only mean the commit record was garbage-collected
+	// after every phase-2 ack — i.e. commit — while a surviving 'I' row
+	// means the transaction never committed.
+	if s.db.cfg.PresumedCommit {
+		if err := s.db.writeOutcome(txn, "I"); err != nil {
+			return s.abortCommit(txn, fmt.Errorf("%w: %v", ErrTxnRolledBack, err))
+		}
 	}
 
 	// Phase 1: prepare every DLFM concurrently (bounded by CommitFanout).
@@ -860,98 +895,73 @@ func (s *Session) Commit() error {
 		}
 	}
 	if prepErr != nil {
-		s.abortParts()
-		if s.conn.InTxn() {
-			s.conn.Rollback()
+		return s.abortCommit(txn, prepErr)
+	}
+
+	// Read-only voters have already released everything; they are excluded
+	// from phase 2 (and from the paxos instance list below).
+	writers := make([]*participant, 0, len(enlisted))
+	for i := range outs {
+		if outs[i].resp.ReadOnly {
+			s.db.stats.ReadOnlyVotes.Add(1)
+			continue
 		}
+		writers = append(writers, outs[i].p)
+	}
+	if len(writers) == 0 {
+		// Every participant voted read-only: no decision record, no
+		// phase 2 — the commit degenerates to a local commit.
+		if err := s.commitLocal(); err != nil {
+			return s.abortCommit(txn, fmt.Errorf("%w: %v", ErrTxnRolledBack, err))
+		}
+		if s.db.cfg.PresumedCommit {
+			s.db.gcOutcome(txn)
+		}
+		p1.End()
+		committed = true
+		s.db.stats.Commits.Add(1)
+		s.db.commitHist.ObserveEx(time.Since(start), txn)
+		s.db.tracer.Emit(s.txn, "host", "2pc_done", "readonly")
 		s.finishTxn()
-		s.db.stats.Aborts.Add(1)
-		return prepErr
+		return nil
+	}
+
+	if s.db.protocol() == "paxos" {
+		return s.commitPaxos(root, p1, writers, txn, start, &committed)
 	}
 
 	// Decision: record the outcome inside the host transaction and commit
-	// it. Presumed abort: only committed transactions leave a row.
-	if _, err := s.conn.Exec(`INSERT INTO dl_outcome (txnid, outcome) VALUES (?, 'C')`,
-		value.Int(s.txn)); err != nil {
-		s.abortParts()
-		if s.conn.InTxn() {
-			s.conn.Rollback()
-		}
-		s.finishTxn()
-		s.db.stats.Aborts.Add(1)
-		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
+	// it. Presumed abort: only committed transactions leave a row. Under
+	// presumed commit the pre-written 'I' row is promoted instead.
+	var decErr error
+	if s.db.cfg.PresumedCommit {
+		_, decErr = s.conn.Exec(`UPDATE dl_outcome SET outcome = 'C' WHERE txnid = ?`, value.Int(s.txn))
+	} else {
+		_, decErr = s.conn.Exec(`INSERT INTO dl_outcome (txnid, outcome) VALUES (?, 'C')`, value.Int(s.txn))
+	}
+	if decErr != nil {
+		return s.abortCommit(txn, fmt.Errorf("%w: %v", ErrTxnRolledBack, decErr))
 	}
 	if err := s.commitLocal(); err != nil {
-		s.abortParts()
-		s.finishTxn()
-		s.db.stats.Aborts.Add(1)
-		return fmt.Errorf("%w: %v", ErrTxnRolledBack, err)
+		return s.abortCommit(txn, fmt.Errorf("%w: %v", ErrTxnRolledBack, err))
 	}
 	s.db.tracer.Emit(s.txn, "host", "2pc_decision_commit", "")
 	p1.End()
 	if err := fpBetweenPhases.Fire(); err != nil {
 		// The decision is already durable; the transaction IS committed even
 		// though no participant has heard. Deliberately not ErrTxnRolledBack.
+		s.abandonParts()
 		s.finishTxn()
-		return fmt.Errorf("hostdb: commit of txn %d interrupted before phase 2 (outcome recorded): %v", txn, err)
+		return fmt.Errorf("%w: commit of txn %d interrupted before phase 2 (outcome recorded): %v", ErrCommitUnacked, txn, err)
 	}
 
 	// Phase 2. The paper's hard-won rule: this must be synchronous, or the
 	// T1/T11/T2 distributed deadlock of Section 4 appears (experiment E6).
-	if s.db.cfg.SyncCommit {
-		// Transport errors leave the transaction indoubt; the resolution
-		// daemon settles it later. Both transport errors and phase-2
-		// give-ups ("severe" after the DLFM exhausts its retries) count
-		// toward standby failover. The fan-out never stops early: the
-		// decision is durable and every participant must hear it.
-		p2span := s.db.tracer.StartSpan(root.Ctx(), "host", "phase2")
-		p2 := s.db.fanoutParts(enlisted, false, false, func(p *participant) (rpc.Response, error) {
-			sp := s.db.tracer.StartSpan(p2span.Ctx(), "host", "rpc:Commit").Attr("server", p.server)
-			resp, err := p.client.CallCtx(sp.Ctx(), rpc.CommitReq{Txn: txn})
-			sp.End()
-			return resp, err
-		})
-		p2span.End()
-		for i := range p2 {
-			o := &p2[i]
-			switch {
-			case o.err != nil:
-				s.db.noteDLFMFailure(o.p.server, o.err)
-				s.dropPart(o.p.server)
-			case o.resp.Code == "severe":
-				s.db.noteDLFMFailure(o.p.server, fmt.Errorf("phase-2 give-up: %s", o.resp.Msg))
-			default:
-				s.db.noteDLFMSuccess(o.p.server)
-			}
-		}
-	} else {
-		// Asynchronous variant: the commit request is on the wire before
-		// Commit returns, and the child agent stays busy until it answers
-		// — so the agent's next caller "blocks on message send". The
-		// result is drained off-session so transport errors and severe
-		// give-ups still feed failover accounting; the session itself is
-		// gone by then, so no dropPart (Session state is not
-		// goroutine-safe) — the next dial replaces the participant anyway.
-		p2span := s.db.tracer.StartSpan(root.Ctx(), "host", "phase2")
-		for _, p := range enlisted {
-			sp := s.db.tracer.StartSpan(p2span.Ctx(), "host", "rpc:Commit").Attr("server", p.server)
-			res := p.client.GoCtx(sp.Ctx(), rpc.CommitReq{Txn: txn})
-			go func(server string, sp *obs.SpanHandle, res <-chan rpc.CallResult) {
-				r := <-res
-				sp.End()
-				switch {
-				case r.Err != nil:
-					s.db.noteDLFMFailure(server, r.Err)
-				case r.Resp.Code == "severe":
-					s.db.noteDLFMFailure(server, fmt.Errorf("phase-2 give-up: %s", r.Resp.Msg))
-				default:
-					s.db.noteDLFMSuccess(server)
-				}
-			}(p.server, sp, res)
-		}
-		// In async mode the span covers only the send window; the per-call
-		// spans end when each DLFM answers.
-		p2span.End()
+	allAcked := s.phase2Fanout(root, writers, txn, true)
+	if s.db.cfg.PresumedCommit && allAcked {
+		// Every participant acknowledged: the commit record has served its
+		// purpose, and from now on its absence means commit — forget it.
+		s.db.gcOutcome(txn)
 	}
 	committed = true
 	s.db.stats.Commits.Add(1)
@@ -959,6 +969,121 @@ func (s *Session) Commit() error {
 	s.db.tracer.Emit(s.txn, "host", "2pc_done", "")
 	s.finishTxn()
 	return nil
+}
+
+// abortCommit is the shared abort tail of the commit paths: abort every
+// begun participant, roll the local transaction back, and — under presumed
+// commit, once every participant acknowledged the abort — drop the
+// collecting row.
+func (s *Session) abortCommit(txn int64, err error) error {
+	allAcked := s.abortParts()
+	if s.conn.InTxn() {
+		s.conn.Rollback()
+	}
+	if s.db.cfg.PresumedCommit && allAcked {
+		s.db.gcOutcome(txn)
+	}
+	s.finishTxn()
+	s.db.stats.Aborts.Add(1)
+	return err
+}
+
+// phase2Fanout drives the durable decision to every participant and
+// reports whether all of them acknowledged synchronously (always false in
+// the asynchronous variant, whose acks land off-session). Failed or
+// severe participants are parked for directed retry by the resolution
+// daemon.
+func (s *Session) phase2Fanout(root *obs.SpanHandle, parts []*participant, txn int64, commit bool) bool {
+	decision, rpcName := "abort", "rpc:Abort"
+	if commit {
+		decision, rpcName = "commit", "rpc:Commit"
+	}
+	call := func(ctx obs.SpanCtx, p *participant) (rpc.Response, error) {
+		if commit {
+			return p.client.CallCtx(ctx, rpc.CommitReq{Txn: txn})
+		}
+		return p.client.CallCtx(ctx, rpc.AbortReq{Txn: txn})
+	}
+	if s.db.cfg.SyncCommit {
+		// Transport errors leave the transaction indoubt; the resolution
+		// daemon settles it later. Both transport errors and phase-2
+		// give-ups ("severe" after the DLFM exhausts its retries) count
+		// toward standby failover. The fan-out never stops early: the
+		// decision is durable and every participant must hear it.
+		p2span := s.db.tracer.StartSpan(root.Ctx(), "host", "phase2")
+		p2 := s.db.fanoutParts(parts, false, false, func(p *participant) (rpc.Response, error) {
+			sp := s.db.tracer.StartSpan(p2span.Ctx(), "host", rpcName).Attr("server", p.server)
+			resp, err := call(sp.Ctx(), p)
+			sp.End()
+			return resp, err
+		})
+		p2span.End()
+		allAcked := true
+		for i := range p2 {
+			o := &p2[i]
+			switch {
+			case o.err != nil:
+				s.db.noteDLFMFailure(o.p.server, o.err)
+				s.dropPart(o.p.server)
+				s.db.parkIndoubt(txn, o.p.server, decision)
+				allAcked = false
+			case o.resp.Code == "severe":
+				s.db.noteDLFMFailure(o.p.server, fmt.Errorf("phase-2 give-up: %s", o.resp.Msg))
+				s.db.parkIndoubt(txn, o.p.server, decision)
+				allAcked = false
+			default:
+				s.db.noteDLFMSuccess(o.p.server)
+			}
+		}
+		return allAcked
+	}
+	// Asynchronous variant: the commit request is on the wire before
+	// Commit returns, and the child agent stays busy until it answers
+	// — so the agent's next caller "blocks on message send". The
+	// result is drained off-session so transport errors and severe
+	// give-ups still feed failover accounting; the session itself is
+	// gone by then, so no dropPart (Session state is not
+	// goroutine-safe) — the next dial replaces the participant anyway.
+	p2span := s.db.tracer.StartSpan(root.Ctx(), "host", "phase2")
+	for _, p := range parts {
+		sp := s.db.tracer.StartSpan(p2span.Ctx(), "host", rpcName).Attr("server", p.server)
+		var res <-chan rpc.CallResult
+		if commit {
+			res = p.client.GoCtx(sp.Ctx(), rpc.CommitReq{Txn: txn})
+		} else {
+			res = p.client.GoCtx(sp.Ctx(), rpc.AbortReq{Txn: txn})
+		}
+		go func(server string, sp *obs.SpanHandle, res <-chan rpc.CallResult) {
+			r := <-res
+			sp.End()
+			switch {
+			case r.Err != nil:
+				s.db.noteDLFMFailure(server, r.Err)
+			case r.Resp.Code == "severe":
+				s.db.noteDLFMFailure(server, fmt.Errorf("phase-2 give-up: %s", r.Resp.Msg))
+			default:
+				s.db.noteDLFMSuccess(server)
+			}
+		}(p.server, sp, res)
+	}
+	// In async mode the span covers only the send window; the per-call
+	// spans end when each DLFM answers.
+	p2span.End()
+	return false
+}
+
+// Enlist joins server to the current transaction without performing any
+// file operation there. The participant will cast a read-only vote at
+// prepare (if the DLFM has the fast path enabled) unless later statements
+// write through it; benchmarks and tests use Enlist to shape
+// multi-participant transactions.
+func (s *Session) Enlist(server string) error {
+	if s.dead {
+		return fmt.Errorf("%w: acknowledge with Rollback", ErrTxnRolledBack)
+	}
+	s.begin()
+	_, err := s.part(server)
+	return err
 }
 
 // commitLocal commits the host engine transaction (a session that only
@@ -996,7 +1121,10 @@ func (s *Session) rollbackInternal() {
 	s.markDead()
 }
 
-func (s *Session) abortParts() {
+// abortParts aborts every begun participant and reports whether all of
+// them acknowledged (the presumed-commit abort path may only drop its
+// collecting row once they have).
+func (s *Session) abortParts() bool {
 	var begun []*participant
 	for _, p := range s.parts {
 		if p.begun {
@@ -1007,14 +1135,19 @@ func (s *Session) abortParts() {
 	outs := s.db.fanoutParts(begun, false, false, func(p *participant) (rpc.Response, error) {
 		return p.client.Call(rpc.AbortReq{Txn: s.txn})
 	})
+	allAcked := true
 	for i := range outs {
 		if outs[i].err != nil {
 			// The abort is lost with the server; presumed abort covers
 			// it at resolution time.
 			s.db.noteDLFMFailure(outs[i].p.server, outs[i].err)
 			s.dropPart(outs[i].p.server)
+			allAcked = false
+		} else if !outs[i].resp.OK() {
+			allAcked = false
 		}
 	}
+	return allAcked
 }
 
 // finishTxn resets per-transaction state.

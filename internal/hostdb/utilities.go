@@ -501,12 +501,46 @@ func (db *DB) Load(table string, cols []string, rows []value.Row) (int64, error)
 	return loaded, nil
 }
 
+// writeOutcome durably records an outcome row in its own small
+// transaction (the presumed-commit collecting record).
+func (db *DB) writeOutcome(txn int64, outcome string) error {
+	c := db.eng.Connect()
+	if _, err := c.Exec(`INSERT INTO dl_outcome (txnid, outcome) VALUES (?, ?)`,
+		value.Int(txn), value.Str(outcome)); err != nil {
+		if c.InTxn() {
+			c.Rollback()
+		}
+		return err
+	}
+	return c.Commit()
+}
+
+// gcOutcome forgets a transaction's outcome row once every participant
+// acknowledged the decision; best-effort (a survivor is re-read by the
+// resolution sweep, never misread).
+func (db *DB) gcOutcome(txn int64) {
+	c := db.eng.Connect()
+	if _, err := c.Exec(`DELETE FROM dl_outcome WHERE txnid = ?`, value.Int(txn)); err != nil {
+		if c.InTxn() {
+			c.Rollback()
+		}
+		return
+	}
+	if c.Commit() == nil {
+		db.stats.OutcomeGCs.Add(1)
+	}
+}
+
 // ResolveIndoubts polls every registered DLFM for prepared-but-unresolved
-// transactions and settles them from the host's outcome table: an outcome
-// row means commit, none means abort (presumed abort). It returns how many
-// transactions it resolved. The paper's host runs this at restart and from
-// a polling daemon while a DLFM is unreachable (Section 3.3).
+// transactions and settles them from the host's knowledge: the paxos
+// acceptors when that protocol is active, otherwise the outcome table
+// (presumed abort by default; under Config.PresumedCommit an absent row
+// means commit and a surviving collecting row means abort). Parked
+// resolution hints are drained first. It returns how many transactions it
+// resolved. The paper's host runs this at restart and from a polling
+// daemon while a DLFM is unreachable (Section 3.3).
 func (db *DB) ResolveIndoubts() (int, error) {
+	parked := db.resolveParked()
 	servers := db.Servers()
 	sort.Strings(servers)
 	// One goroutine per DLFM, bounded by the commit fan-out limit: a
@@ -531,7 +565,7 @@ func (db *DB) ResolveIndoubts() (int, error) {
 		}(i, server)
 	}
 	wg.Wait()
-	resolved := int(total.Load())
+	resolved := parked + int(total.Load())
 	for _, err := range errs {
 		if err != nil {
 			return resolved, err
@@ -571,29 +605,56 @@ func (db *DB) resolveServerIndoubts(server string) (int, error) {
 		if db.txnActive(txn) {
 			continue
 		}
-		n, _, err := c.QueryInt(`SELECT COUNT(*) FROM dl_outcome WHERE txnid = ?`, value.Int(txn))
-		if err != nil {
-			return resolved, err
+		decision := ""
+		if db.protocol() == "paxos" {
+			// The acceptors are the decision's authority: a coordinator may
+			// have reached its quorum without ever hardening dl_outcome, so
+			// the local table alone could presume the wrong way. An
+			// unreachable quorum leaves the transaction for a later pass.
+			if out, err := db.LearnOutcome(txn); err == nil {
+				decision = out
+			} else {
+				continue
+			}
 		}
-		if err := c.Commit(); err != nil {
-			return resolved, err
-		}
-		decision := "abort" // presumed abort
-		if n > 0 {
-			decision = "commit"
-		} else {
-			// An XA branch's outcome lives in the engine log, reached
-			// through the dl_xa mapping; "wait" means the global
-			// coordinator has not decided yet.
-			xa, err := db.xaOutcome(txn)
+		if decision == "" {
+			rows, err := c.Query(`SELECT outcome FROM dl_outcome WHERE txnid = ?`, value.Int(txn))
 			if err != nil {
 				return resolved, err
 			}
-			switch xa {
-			case "commit":
+			if err := c.Commit(); err != nil {
+				return resolved, err
+			}
+			switch {
+			case len(rows) > 0 && rows[0][0].Text() == "C":
 				decision = "commit"
-			case "wait":
-				continue
+			case len(rows) > 0:
+				// The presumed-commit collecting row 'I': the transaction
+				// was initiated but never committed.
+				decision = "abort"
+			default:
+				// An XA branch's outcome lives in the engine log, reached
+				// through the dl_xa mapping; "wait" means the global
+				// coordinator has not decided yet. With no record anywhere,
+				// the convention decides.
+				xa, err := db.xaOutcome(txn)
+				if err != nil {
+					return resolved, err
+				}
+				switch xa {
+				case "commit":
+					decision = "commit"
+				case "abort":
+					decision = "abort"
+				case "wait":
+					continue
+				default:
+					if db.cfg.PresumedCommit {
+						decision = "commit"
+					} else {
+						decision = "abort" // presumed abort
+					}
+				}
 			}
 		}
 		var r rpc.Response

@@ -1,0 +1,195 @@
+package paxoscommit
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// directCaller drives an acceptor in-process, no transport.
+type directCaller struct{ ag rpc.Agent }
+
+func (d directCaller) Call(req any) (rpc.Response, error) { return d.ag.Handle(req), nil }
+
+// downCaller models an unreachable acceptor.
+type downCaller struct{}
+
+func (downCaller) Call(req any) (rpc.Response, error) {
+	return rpc.Response{}, errors.New("acceptor down")
+}
+
+func newSet(t *testing.T, n int) ([]*Acceptor, []Caller) {
+	t.Helper()
+	accs := make([]*Acceptor, n)
+	callers := make([]Caller, n)
+	for i := range accs {
+		a, err := NewAcceptor(fmt.Sprintf("acc%d", i), "")
+		if err != nil {
+			t.Fatalf("NewAcceptor: %v", err)
+		}
+		t.Cleanup(func() { a.Close() })
+		accs[i] = a
+		callers[i] = directCaller{a.NewAgent()}
+	}
+	return accs, callers
+}
+
+func learner(c []Caller, id int64) *Learner {
+	return &Learner{Acceptors: c, ID: id, Stride: 16}
+}
+
+func TestLeaderCommitThenLearnerSeesCommit(t *testing.T) {
+	_, callers := newSet(t, 3)
+	if err := Commit(callers, 7, []string{"fs1", "fs2"}); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	out, err := learner(callers, 1).Outcome(7)
+	if err != nil || out != OutcomeCommit {
+		t.Fatalf("Outcome = %q, %v; want commit", out, err)
+	}
+	// A second learner (different ballot space) agrees.
+	out, err = learner(callers, 2).Outcome(7)
+	if err != nil || out != OutcomeCommit {
+		t.Fatalf("second Outcome = %q, %v; want commit", out, err)
+	}
+}
+
+func TestLearnerAbortsUndecidedAndBlocksLateLeader(t *testing.T) {
+	_, callers := newSet(t, 3)
+	out, err := learner(callers, 1).Outcome(42)
+	if err != nil || out != OutcomeAbort {
+		t.Fatalf("Outcome = %q, %v; want abort", out, err)
+	}
+	// The learner's higher ballots now bind the acceptors: a leader that
+	// wakes up late and tries its ballot-0 round must be preempted, never
+	// silently committing a transaction already learned as aborted.
+	if err := Commit(callers, 42, []string{"fs1"}); !errors.Is(err, ErrPreempted) {
+		t.Fatalf("late Commit = %v; want ErrPreempted", err)
+	}
+	out, err = learner(callers, 2).Outcome(42)
+	if err != nil || out != OutcomeAbort {
+		t.Fatalf("relearned Outcome = %q, %v; want abort", out, err)
+	}
+}
+
+func TestLearnerCompletesChosenRound(t *testing.T) {
+	// The leader died after its accepts reached a majority (acceptors 0 and
+	// 1) — the transaction IS committed, and a learner promising through
+	// acceptors that saw the values must say so.
+	_, callers := newSet(t, 3)
+	txn := int64(9)
+	for _, c := range callers[:2] {
+		for _, in := range []struct{ part, val string }{
+			{RegistrarPart, EncodeParts([]string{"fs1"})},
+			{"fs1", ValPrepared},
+		} {
+			resp, err := c.Call(rpc.PaxosAcceptReq{Txn: txn, Part: in.part, Bal: 0, Val: in.val})
+			if err != nil || !resp.OK() {
+				t.Fatalf("seed accept: %v %+v", err, resp)
+			}
+		}
+	}
+	out, err := learner(callers, 1).Outcome(txn)
+	if err != nil || out != OutcomeCommit {
+		t.Fatalf("Outcome = %q, %v; want commit", out, err)
+	}
+}
+
+func TestConcurrentLearnersConverge(t *testing.T) {
+	// A leader round that reached only one acceptor: not chosen, so either
+	// outcome is legal — but every learner must land on the same one.
+	_, callers := newSet(t, 3)
+	txn := int64(11)
+	for _, in := range []struct{ part, val string }{
+		{RegistrarPart, EncodeParts([]string{"fs1"})},
+		{"fs1", ValPrepared},
+	} {
+		if resp, err := callers[0].Call(rpc.PaxosAcceptReq{Txn: txn, Part: in.part, Bal: 0, Val: in.val}); err != nil || !resp.OK() {
+			t.Fatalf("seed accept: %v %+v", err, resp)
+		}
+	}
+	const n = 4
+	outs := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := learner(callers, int64(i+1)).Outcome(txn)
+			if err != nil {
+				t.Errorf("learner %d: %v", i, err)
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("learners disagree: %v", outs)
+		}
+	}
+}
+
+func TestAcceptorStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 3)
+	callers := make([]Caller, 3)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("acc%d.wal", i))
+		a, err := NewAcceptor(fmt.Sprintf("acc%d", i), paths[i])
+		if err != nil {
+			t.Fatalf("NewAcceptor: %v", err)
+		}
+		callers[i] = directCaller{a.NewAgent()}
+		defer a.Close()
+	}
+	if err := Commit(callers, 5, []string{"fs1", "fs2"}); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Restart every acceptor from its log; the decision must still be
+	// learnable.
+	reborn := make([]Caller, 3)
+	for i, p := range paths {
+		a, err := NewAcceptor(fmt.Sprintf("acc%d", i), p)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer a.Close()
+		reborn[i] = directCaller{a.NewAgent()}
+	}
+	out, err := learner(reborn, 1).Outcome(5)
+	if err != nil || out != OutcomeCommit {
+		t.Fatalf("Outcome after restart = %q, %v; want commit", out, err)
+	}
+}
+
+func TestNoQuorum(t *testing.T) {
+	_, callers := newSet(t, 3)
+	callers[1], callers[2] = downCaller{}, downCaller{}
+	if err := Commit(callers, 3, []string{"fs1"}); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("Commit = %v; want ErrNoQuorum", err)
+	}
+	l := learner(callers, 1)
+	l.MaxAttempts = 2
+	if _, err := l.Outcome(3); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("Outcome = %v; want ErrNoQuorum", err)
+	}
+}
+
+func TestForgetDropsInstances(t *testing.T) {
+	accs, callers := newSet(t, 3)
+	if err := Commit(callers, 8, []string{"fs1"}); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	Forget(callers, 8)
+	for i, a := range accs {
+		if n := a.Instances(); n != 0 {
+			t.Fatalf("acceptor %d still holds %d instances", i, n)
+		}
+	}
+}

@@ -147,6 +147,54 @@ type MigrateDelReq struct {
 	Names []string
 }
 
+// OnePhaseCommitReq is the single-participant one-phase-commit fast path:
+// the sole enlisted DLFM is made the commit decider. It hardens its
+// transaction entry directly in committed ('C') state and performs the
+// phase-2 work in the same local transaction — one fsync and one RPC where
+// classic 2PC needs two of each. Deliberately NOT idempotent: a re-issue
+// on a fresh connection cannot be told apart from a no-op transaction
+// (the original agent's uncommitted work died with it), so the host
+// resolves a lost reply with QueryOutcomeReq instead of re-sending.
+type OnePhaseCommitReq struct{ Txn int64 }
+
+// QueryOutcomeReq asks a DLFM for the durable outcome of a transaction it
+// decided (one-phase commit) or participated in. The reply's Msg is
+// "committed", "prepared", or "none" (no trace — the transaction aborted or
+// its committed tombstone was already garbage-collected).
+type QueryOutcomeReq struct{ Txn int64 }
+
+// PaxosPromiseReq is phase 1a of one Paxos Commit instance (Gray &
+// Lamport): the leader or a recovering learner asks the acceptor to promise
+// ballot Bal for instance (Txn, Part) and report any value it has already
+// accepted. Part names the voting participant; the registrar instance
+// (paxoscommit.RegistrarPart) holds the participant list.
+type PaxosPromiseReq struct {
+	Txn  int64
+	Part string
+	Bal  int64
+}
+
+// PaxosAcceptReq is phase 2a of one Paxos Commit instance: accept Val at
+// ballot Bal. The leader's fast path sends ballot 0 accepts directly,
+// skipping phase 1 (the Gray & Lamport optimisation); recovery learners use
+// higher ballots after a promise round.
+type PaxosAcceptReq struct {
+	Txn  int64
+	Part string
+	Bal  int64
+	Val  string
+}
+
+// PaxosReadReq reads an acceptor's accepted state for every instance of
+// Txn (diagnostics and the learner's fast outcome check). The reply packs
+// parallel arrays: Names = instance parts, Owners = accepted values,
+// RecIDs = accepted ballots.
+type PaxosReadReq struct{ Txn int64 }
+
+// PaxosForgetReq discards an acceptor's state for a decided transaction
+// once the outcome has been applied everywhere, bounding acceptor memory.
+type PaxosForgetReq struct{ Txn int64 }
+
 // PingReq checks liveness.
 type PingReq struct{}
 
@@ -174,6 +222,11 @@ type Response struct {
 	// IsLinked answer.
 	Linked      bool
 	FullControl bool
+
+	// Prepare answer: the participant made no changes in this transaction
+	// and has already released everything — the read-only vote of presumed
+	// commit/abort. The coordinator must exclude it from phase 2.
+	ReadOnly bool
 
 	// ListIndoubt answer.
 	Txns []int64
@@ -304,6 +357,18 @@ func init() {
 		txnOf: func(r any) int64 { return r.(MigratePutReq).Txn }})
 	register(MigrateDelReq{}, msgInfo{name: "MigrateDel",
 		txnOf: func(r any) int64 { return r.(MigrateDelReq).Txn }})
+	register(OnePhaseCommitReq{}, msgInfo{name: "OnePhaseCommit",
+		txnOf: func(r any) int64 { return r.(OnePhaseCommitReq).Txn }})
+	register(QueryOutcomeReq{}, msgInfo{name: "QueryOutcome", readOnly: true, idempotent: true,
+		txnOf: func(r any) int64 { return r.(QueryOutcomeReq).Txn }})
+	register(PaxosPromiseReq{}, msgInfo{name: "PaxosPromise", idempotent: true,
+		txnOf: func(r any) int64 { return r.(PaxosPromiseReq).Txn }})
+	register(PaxosAcceptReq{}, msgInfo{name: "PaxosAccept", idempotent: true,
+		txnOf: func(r any) int64 { return r.(PaxosAcceptReq).Txn }})
+	register(PaxosReadReq{}, msgInfo{name: "PaxosRead", readOnly: true, idempotent: true,
+		txnOf: func(r any) int64 { return r.(PaxosReadReq).Txn }})
+	register(PaxosForgetReq{}, msgInfo{name: "PaxosForget", idempotent: true,
+		txnOf: func(r any) int64 { return r.(PaxosForgetReq).Txn }})
 	register(PingReq{}, msgInfo{name: "Ping", readOnly: true, idempotent: true})
 	register(StatsReq{}, msgInfo{name: "Stats", readOnly: true, idempotent: true})
 	register(ReplFetchReq{}, msgInfo{name: "ReplFetch", readOnly: true, idempotent: true})

@@ -22,6 +22,8 @@ func TestRegistryCoversEveryRequestType(t *testing.T) {
 		IsLinkedReq{}, ListIndoubtReq{}, WaitArchiveReq{}, RegisterBackupReq{},
 		RestoreToReq{}, ReconcileReq{}, PingReq{}, StatsReq{}, ReplFetchReq{},
 		MigrateManifestReq{}, FetchFileReq{}, MigratePutReq{}, MigrateDelReq{},
+		OnePhaseCommitReq{}, QueryOutcomeReq{}, PaxosPromiseReq{},
+		PaxosAcceptReq{}, PaxosReadReq{}, PaxosForgetReq{},
 	}
 	for _, req := range known {
 		name := reflect.TypeOf(req).Name()

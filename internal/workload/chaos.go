@@ -48,6 +48,13 @@ type ChaosConfig struct {
 	// for it to return before draining indoubts and checking consistency,
 	// and reports its error as a harness failure.
 	During func(st *Stack) error
+
+	// SkipDrain leaves prepared transactions exactly as the workload left
+	// them: no ResolveIndoubts rounds, no leftover-indoubt violation, and
+	// no consistency check (meaningless mid-resolution). LeftoverIndoubts
+	// still reports the count — the commit-protocol experiment reads it as
+	// the wedged-transaction measurement before draining by hand.
+	SkipDrain bool
 }
 
 // ChaosResult reports what the soak did and what the invariant check found.
@@ -237,9 +244,18 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 		return res, fmt.Errorf("workload: chaos membership op: %w", duringErr)
 	}
 
+	if cfg.SkipDrain {
+		res.LeftoverIndoubts = countPrepared(st)
+		res.Phase2Giveups = st.DLFMStats().Phase2Giveups
+		return res, nil
+	}
+
 	// Drain: re-drive indoubt resolution until no DLFM holds a prepared
 	// transaction (presumed abort settles the ones with no recorded
-	// outcome; recorded commits are re-driven to completion).
+	// outcome; recorded commits are re-driven to completion). Later rounds
+	// back off with jitter — a just-restarted DLFM needs recovery time, and
+	// hammering it every 20ms only serializes behind its log replay.
+	bo := fault.Backoff{Base: 20 * time.Millisecond, Cap: 250 * time.Millisecond}
 	for round := 0; round < 100; round++ {
 		n, err := st.Host.ResolveIndoubts()
 		if err != nil {
@@ -249,7 +265,7 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 		if res.LeftoverIndoubts = countPrepared(st); res.LeftoverIndoubts == 0 {
 			break
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(bo.Delay(round))
 	}
 	resolved.Add(int64(res.IndoubtsResolved))
 	res.Phase2Giveups = st.DLFMStats().Phase2Giveups
@@ -293,6 +309,11 @@ func mergeResults(rs []Result, dur time.Duration) Result {
 	}
 	return m
 }
+
+// PreparedTxns totals prepared ('P') transaction entries across all DLFMs —
+// the wedged-transaction gauge the commit-protocol experiment polls while
+// deciding whether participants can settle without the coordinator.
+func (st *Stack) PreparedTxns() int { return countPrepared(st) }
 
 // countPrepared totals prepared ('P') transaction entries across all DLFMs.
 func countPrepared(st *Stack) int {

@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Cluster soak: the chaos workload runs against the logical namespace while
@@ -67,6 +69,7 @@ func RunClusterSoak(st *Stack, cfg ClusterSoakConfig) (ClusterSoakResult, error)
 	cfg.Chaos.During = func(st *Stack) error {
 		time.Sleep(cfg.DrainAfter)
 		var lastErr error
+		bo := fault.Backoff{Base: 50 * time.Millisecond, Cap: 500 * time.Millisecond}
 		for round := 1; round <= cfg.DrainRounds; round++ {
 			res.DrainRounds = round
 			n, err := st.Host.DrainDLFM(st.ClusterName, cfg.DrainMember)
@@ -77,9 +80,10 @@ func RunClusterSoak(st *Stack, cfg ClusterSoakConfig) (ClusterSoakResult, error)
 			lastErr = err
 			// A kill mid-move can leave the migration transaction prepared
 			// on one side; settle it (presumed abort), then retry the
-			// member's remaining slots.
+			// member's remaining slots — backing off so a killed member has
+			// time to come back before the next attempt burns a round.
 			st.Host.ResolveIndoubts() //nolint:errcheck
-			time.Sleep(50 * time.Millisecond)
+			time.Sleep(bo.Delay(round - 1))
 		}
 		return fmt.Errorf("drain of %s incomplete after %d rounds: %w", cfg.DrainMember, cfg.DrainRounds, lastErr)
 	}

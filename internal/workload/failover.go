@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -163,6 +164,7 @@ func RunFailover(st *Stack, cfg FailoverConfig) (FailoverResult, error) {
 	res.Promotes = sb.Server().Stats().Promotes
 	res.ApplyLSN = sb.ApplyLSN()
 
+	bo := fault.Backoff{Base: 20 * time.Millisecond, Cap: 250 * time.Millisecond}
 	for round := 0; round < 100; round++ {
 		n, err := st.Host.ResolveIndoubts()
 		if err != nil {
@@ -172,7 +174,7 @@ func RunFailover(st *Stack, cfg FailoverConfig) (FailoverResult, error) {
 		if res.LeftoverIndoubts = countPrepared(st); res.LeftoverIndoubts == 0 {
 			break
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(bo.Delay(round))
 	}
 	resolved.Add(int64(res.IndoubtsResolved))
 

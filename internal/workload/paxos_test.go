@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hostdb"
+	"repro/internal/value"
+)
+
+// Paxos Commit non-blocking tests (run with -race): the coordinator is
+// killed at the worst possible moments and the participants must learn the
+// outcome from the acceptors on their own — no ResolveIndoubts, no
+// coordinator recovery — and release their locks.
+
+// paxosStack builds a two-DLFM stack committing through three acceptors,
+// with a fast learner cadence so the tests don't wait on the default
+// grace, and a table with one DATALINK column per server.
+func paxosStack(t *testing.T) *Stack {
+	t.Helper()
+	st, err := NewStack(StackConfig{
+		Servers:        []string{"fs1", "fs2"},
+		PaxosAcceptors: 3,
+		MutateHost: func(h *hostdb.Config) {
+			h.DB.LockTimeout = 2 * time.Second
+			h.CommitProtocol = "paxos"
+		},
+		MutateDLFM: func(_ string, c *core.Config) {
+			c.DB.LockTimeout = 2 * time.Second
+			c.LearnInterval = 10 * time.Millisecond
+			c.LearnGrace = 50 * time.Millisecond
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	ddl := "CREATE TABLE px (id BIGINT, c1 VARCHAR, c2 VARCHAR)"
+	if err := st.Host.CreateTable(ddl, hostdb.DatalinkCol{Name: "c1"}, hostdb.DatalinkCol{Name: "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func paxosInsert(t *testing.T, st *Stack, s *hostdb.Session, id int) {
+	t.Helper()
+	for _, name := range []string{"fs1", "fs2"} {
+		if err := st.FS[name].Create(fmt.Sprintf("/px/f%d_%s", id, name), "app", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Exec(`INSERT INTO px (id, c1, c2) VALUES (?, ?, ?)`,
+		value.Int(int64(id)),
+		value.Str(hostdb.URL("fs1", fmt.Sprintf("/px/f%d_fs1", id))),
+		value.Str(hostdb.URL("fs2", fmt.Sprintf("/px/f%d_fs2", id)))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitSelfResolved polls until no DLFM holds a prepared transaction,
+// failing the test if the learners never settle. The host never runs
+// ResolveIndoubts here — that is the point.
+func waitSelfResolved(t *testing.T, st *Stack) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.PreparedTxns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d transactions still prepared: participants did not learn the outcome from the acceptors", st.PreparedTxns())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPaxosCoordinatorCrashAfterPrepare kills the coordinator after the
+// acceptor quorum chose commit but before any phase-2 message: the wedging
+// window that blocks classic 2PC. The participants must commit on their
+// own and release their locks.
+func TestPaxosCoordinatorCrashAfterPrepare(t *testing.T) {
+	fault.Default().Reset()
+	t.Cleanup(func() { fault.Default().Reset() })
+	st := paxosStack(t)
+
+	s := st.Host.Session()
+	defer s.Close()
+	paxosInsert(t, st, s, 1)
+	fault.Default().Arm("hostdb.paxos.leader_crash", fault.Action{}, fault.Match("post"), fault.Times(1))
+	err := s.Commit()
+	fault.Default().Disarm("hostdb.paxos.leader_crash")
+	if !errors.Is(err, hostdb.ErrCommitUnacked) {
+		t.Fatalf("Commit = %v, want ErrCommitUnacked", err)
+	}
+	if n := st.PreparedTxns(); n == 0 {
+		t.Fatal("no participant left prepared; the crash window never opened")
+	}
+
+	waitSelfResolved(t, st)
+
+	// The transaction committed: the host row and both links must exist.
+	if vs, err := CheckConsistency(st, "px"); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, v := range vs {
+			t.Errorf("invariant violation: %s", v)
+		}
+	}
+	stats := st.DLFMStats()
+	if stats.SelfResolved < 2 {
+		t.Errorf("SelfResolved = %d, want >= 2 (one per participant)", stats.SelfResolved)
+	}
+
+	// Locks released: a second transaction can update the same row —
+	// unlinking both files the wedged transaction linked — well inside the
+	// 2s lock timeout.
+	s2 := st.Host.Session()
+	defer s2.Close()
+	start := time.Now()
+	if _, err := s2.Exec(`UPDATE px SET c1 = NULL, c2 = NULL WHERE id = ?`, value.Int(1)); err != nil {
+		t.Fatalf("update after self-resolution: %v", err)
+	}
+	if err := s2.Commit(); err != nil {
+		t.Fatalf("commit after self-resolution: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("follow-up transaction took %v; locks were not released promptly", d)
+	}
+}
+
+// TestPaxosCoordinatorCrashBeforeAccept kills the coordinator after the
+// participants prepared but before the accept round: nothing was chosen,
+// so recovery (any learner) decides abort, and the participants must back
+// out on their own.
+func TestPaxosCoordinatorCrashBeforeAccept(t *testing.T) {
+	fault.Default().Reset()
+	t.Cleanup(func() { fault.Default().Reset() })
+	st := paxosStack(t)
+
+	s := st.Host.Session()
+	defer s.Close()
+	paxosInsert(t, st, s, 2)
+	fault.Default().Arm("hostdb.paxos.leader_crash", fault.Action{}, fault.Match("pre"), fault.Times(1))
+	err := s.Commit()
+	fault.Default().Disarm("hostdb.paxos.leader_crash")
+	if !errors.Is(err, hostdb.ErrTxnRolledBack) {
+		t.Fatalf("Commit = %v, want ErrTxnRolledBack (recovery aborts an unchosen commit)", err)
+	}
+
+	waitSelfResolved(t, st)
+
+	// The transaction aborted everywhere: no host row, no links.
+	if vs, err := CheckConsistency(st, "px"); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, v := range vs {
+			t.Errorf("invariant violation: %s", v)
+		}
+	}
+	s2 := st.Host.Session()
+	defer s2.Close()
+	rows, err := s2.Query(`SELECT id FROM px WHERE id = ?`, value.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("aborted row survived at the host: %v", rows)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/hostdb"
 	"repro/internal/lock"
 	"repro/internal/obs"
+	"repro/internal/paxoscommit"
 	"repro/internal/repl"
 	"repro/internal/rpc"
 )
@@ -48,25 +49,38 @@ type Stack struct {
 	// every DLFM joined one placement map and DATALINK URLs name the
 	// cluster instead of a physical server. Empty otherwise.
 	ClusterName string
+	// Acceptors holds the Paxos Commit acceptor set when
+	// StackConfig.PaxosAcceptors is set, keyed "acc1".."accN". Each serves
+	// its own endpoint; the host and every DLFM learner reach them through
+	// the same chaos-endpoint dials as the DLFMs.
+	Acceptors map[string]*paxoscommit.Acceptor
 
-	eps   map[string]*chaosEndpoint
-	sbEps map[string]*chaosEndpoint
+	eps    map[string]*chaosEndpoint
+	sbEps  map[string]*chaosEndpoint
+	accEps map[string]*chaosEndpoint
 }
 
 // ErrServerDown is the dial error while a DLFM is killed; host sessions see
 // it as a transport failure and roll the transaction back.
 var ErrServerDown = errors.New("workload: DLFM is down")
 
-// chaosEndpoint stands in for a DLFM's network listener: it accepts dials
-// while up, tracks the server side of every live connection, and can sever
-// them all at once when the chaos injector kills the server.
+// chaosEndpoint stands in for a server's network listener: it accepts
+// dials while up, tracks the server side of every live connection, and can
+// sever them all at once when the chaos injector kills the server. srv is
+// the DLFM behind DLFM endpoints (Kill/Restart need it); acceptor
+// endpoints leave it nil and serve through newAgent alone.
 type chaosEndpoint struct {
-	srv *core.Server
+	srv      *core.Server
+	newAgent func() rpc.Agent
 
 	mu    sync.Mutex
 	down  bool
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
+}
+
+func newChaosEndpoint(srv *core.Server, newAgent func() rpc.Agent) *chaosEndpoint {
+	return &chaosEndpoint{srv: srv, newAgent: newAgent, conns: make(map[net.Conn]struct{})}
 }
 
 func (e *chaosEndpoint) dial() (io.ReadWriteCloser, error) {
@@ -79,7 +93,7 @@ func (e *chaosEndpoint) dial() (io.ReadWriteCloser, error) {
 	e.conns[dlfmSide] = struct{}{}
 	e.wg.Add(1)
 	e.mu.Unlock()
-	agent := e.srv.NewAgent()
+	agent := e.newAgent()
 	go func() {
 		defer e.wg.Done()
 		rpc.ServeConn(dlfmSide, agent)
@@ -204,6 +218,12 @@ type StackConfig struct {
 	Standbys bool
 	// MutateRepl adjusts each standby's replication configuration.
 	MutateRepl func(name string, cfg *repl.Config)
+	// PaxosAcceptors adds a Paxos Commit acceptor set of that size (use an
+	// odd 2F+1; 3 tolerates one acceptor failure), registered with the
+	// host. When the host's CommitProtocol is "paxos", every DLFM also
+	// gets an outcome-learner daemon over the same set, so prepared
+	// participants resolve themselves when the coordinator goes quiet.
+	PaxosAcceptors int
 	// Cluster joins every server into one logical cluster behind a
 	// placement map; workloads then address ClusterName and the host routes
 	// each path to its owning member.
@@ -237,17 +257,42 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		return nil, err
 	}
 	st := &Stack{
-		Host:     host,
-		DLFMs:    make(map[string]*core.Server, len(cfg.Servers)),
-		FS:       make(map[string]*fsim.Server, len(cfg.Servers)),
-		Arch:     make(map[string]*archive.Server, len(cfg.Servers)),
-		Standbys: make(map[string]*repl.Standby),
-		Tracer:   tracer,
-		Flight:   flight,
-		eps:      make(map[string]*chaosEndpoint, len(cfg.Servers)),
-		sbEps:    make(map[string]*chaosEndpoint),
+		Host:      host,
+		DLFMs:     make(map[string]*core.Server, len(cfg.Servers)),
+		FS:        make(map[string]*fsim.Server, len(cfg.Servers)),
+		Arch:      make(map[string]*archive.Server, len(cfg.Servers)),
+		Standbys:  make(map[string]*repl.Standby),
+		Acceptors: make(map[string]*paxoscommit.Acceptor),
+		Tracer:    tracer,
+		Flight:    flight,
+		eps:       make(map[string]*chaosEndpoint, len(cfg.Servers)),
+		sbEps:     make(map[string]*chaosEndpoint),
+		accEps:    make(map[string]*chaosEndpoint),
 	}
-	for _, name := range cfg.Servers {
+	// The acceptor set comes up before the DLFMs so their learner closures
+	// can capture it. Acceptor state is durable-simulated (in-memory WAL
+	// with the same fsync accounting as a file).
+	var accCallers []paxoscommit.Caller
+	for i := 0; i < cfg.PaxosAcceptors; i++ {
+		accName := fmt.Sprintf("acc%d", i+1)
+		acc, err := paxoscommit.NewAcceptor(accName, "")
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("workload: start acceptor %s: %w", accName, err)
+		}
+		st.Acceptors[accName] = acc
+		ep := newChaosEndpoint(nil, acc.NewAgent)
+		st.accEps[accName] = ep
+		host.RegisterAcceptor(accName, func() (*rpc.Client, error) {
+			return rpc.NewClientDialer(ep.dial)
+		})
+		accCallers = append(accCallers, &lazyAcceptorCaller{ep: ep})
+	}
+	// DLFM learner daemons are only wired when paxos is actually the
+	// commit protocol: under 2PC a learner would presume abort for
+	// transactions whose live coordinator simply has not decided yet.
+	wireLearners := cfg.PaxosAcceptors > 0 && hostCfg.CommitProtocol == "paxos"
+	for i, name := range cfg.Servers {
 		fs := fsim.NewServer(name)
 		ar := archive.NewServer()
 		dlfmCfg := core.DefaultConfig(name)
@@ -258,6 +303,16 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		if cfg.MutateDLFM != nil {
 			cfg.MutateDLFM(name, &dlfmCfg)
 		}
+		if wireLearners {
+			// Learner IDs: host=1, DLFM i = i+2; all share the default
+			// ballot stride so no two learners ever collide.
+			learner := &paxoscommit.Learner{
+				Acceptors: accCallers,
+				ID:        int64(i + 2),
+				Stride:    paxoscommit.DefaultStride,
+			}
+			dlfmCfg.OutcomeLearner = learner.Outcome
+		}
 		dlfm, err := core.New(dlfmCfg, fs, ar)
 		if err != nil {
 			st.Close()
@@ -266,7 +321,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		st.DLFMs[name] = dlfm
 		st.FS[name] = fs
 		st.Arch[name] = ar
-		ep := &chaosEndpoint{srv: dlfm, conns: make(map[net.Conn]struct{})}
+		ep := newChaosEndpoint(dlfm, dlfm.NewAgent)
 		st.eps[name] = ep
 		host.RegisterDLFM(name, func() (*rpc.Client, error) {
 			// The client redials through the endpoint, so a session's
@@ -301,6 +356,34 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		st.ClusterName = name
 	}
 	return st, nil
+}
+
+// lazyAcceptorCaller implements paxoscommit.Caller over a chaos endpoint,
+// dialing on first use and re-dialing after a transport error — the DLFM
+// learner daemons' connection to the acceptor set.
+type lazyAcceptorCaller struct {
+	ep *chaosEndpoint
+
+	mu     sync.Mutex
+	client *rpc.Client
+}
+
+func (c *lazyAcceptorCaller) Call(req any) (rpc.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.client == nil {
+		cl, err := rpc.NewClientDialer(c.ep.dial)
+		if err != nil {
+			return rpc.Response{}, err
+		}
+		c.client = cl
+	}
+	resp, err := c.client.Call(req)
+	if err != nil {
+		c.client.Close()
+		c.client = nil
+	}
+	return resp, err
 }
 
 // CreateTargets lists the file servers a fresh file must be created on
@@ -352,7 +435,7 @@ func (st *Stack) addStandby(cfg StackConfig, name string, primary *core.Server) 
 	sb.Start()
 	st.Standbys[name] = sb
 
-	sbEp := &chaosEndpoint{srv: sbSrv, conns: make(map[net.Conn]struct{})}
+	sbEp := newChaosEndpoint(sbSrv, sbSrv.NewAgent)
 	st.sbEps[name] = sbEp
 	st.Host.RegisterStandby(name, func() (*rpc.Client, error) {
 		return rpc.NewClientDialer(sbEp.dial)
@@ -380,6 +463,12 @@ func (st *Stack) Close() {
 	}
 	for _, e := range st.sbEps {
 		e.halt()
+	}
+	for _, e := range st.accEps {
+		e.halt()
+	}
+	for _, a := range st.Acceptors {
+		a.Close()
 	}
 	for _, sb := range st.Standbys {
 		sb.Stop()
@@ -440,6 +529,9 @@ func (st *Stack) DLFMStats() core.Snapshot {
 		agg.ArchiveCopies += s.ArchiveCopies
 		agg.ChownOps += s.ChownOps
 		agg.Upcalls += s.Upcalls
+		agg.ReadOnlyVotes += s.ReadOnlyVotes
+		agg.OnePhaseCommits += s.OnePhaseCommits
+		agg.SelfResolved += s.SelfResolved
 	}
 	return agg
 }
