@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke paxos-smoke ci
+.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke ci
 
 all: ci
 
@@ -27,6 +27,7 @@ bench:
 	$(GO) run ./cmd/dlfmbench throughput -clients 20 -ops 10
 	$(GO) run ./cmd/dlfmbench fanout -ops 20
 	$(GO) run ./cmd/dlfmbench traceoverhead -ops 20
+	$(GO) run ./cmd/dlfmbench storage -ops 20
 
 # Compare the current bench.jsonl against the committed baseline AND the
 # newest entry of the per-PR trajectory: gated counts (counters + histogram
@@ -73,4 +74,14 @@ paxos-smoke:
 	$(GO) run -race ./cmd/dlfmbench commitproto -seed 1 -dur 2s -clients 16 | tee commitproto-output.txt
 	grep '^BENCH ' commitproto-output.txt > commitproto.jsonl
 
-ci: build vet race chaos-smoke failover-smoke scaleout-smoke paxos-smoke
+# Storage smoke under the race detector: the storage-layer unit tests (pool
+# eviction, crash windows, tail replay) plus a short E14 run — group commit
+# on/off at 1/8/32 committers with a modeled fsync, a bigger-than-RAM scan
+# through a 16-frame pool, and restart with vs without a checkpoint. The
+# BENCH line lands in storage.jsonl for CI to archive.
+storage-smoke:
+	$(GO) test -race ./internal/storage/ ./internal/wal/
+	$(GO) run -race ./cmd/dlfmbench storage -ops 10 | tee storage-output.txt
+	grep '^BENCH ' storage-output.txt > storage.jsonl
+
+ci: build vet race chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke

@@ -55,6 +55,7 @@ var all = []runner{
 	{"traceoverhead", "E11: span tracing overhead, sampling 0% vs 100%", wrap(experiments.RunE11TraceOverhead)},
 	{"scaleout", "E12: aggregate link throughput vs cluster size + online drain under chaos", wrap(experiments.RunE12Scaleout)},
 	{"commitproto", "E13: 2PC vs Paxos Commit under coordinator crashes + fast paths", wrap(experiments.RunE13CommitProto)},
+	{"storage", "E14: page store — WAL group commit, buffer pool, tail-only restart", wrap(experiments.RunE14Storage)},
 	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
 	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
 }

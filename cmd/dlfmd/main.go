@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"repro/internal/archive"
@@ -41,6 +42,10 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7117", "TCP address to serve the DLFM protocol on")
 	name := flag.String("name", "fs1", "file server name this DLFM manages")
 	walPath := flag.String("wal", "", "write-ahead log path for the local database (empty = in-memory)")
+	dataDir := flag.String("data-dir", "", "page-backed storage directory for the local database (empty = all in memory)")
+	poolPages := flag.Int("pool-pages", 0, "buffer pool size in 4 KB pages (0 = default 1024; min 16)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "fuzzy checkpoint period with -data-dir (0 = only explicit checkpoints)")
+	groupCommit := flag.Bool("group-commit", true, "batch concurrent commit fsyncs into one shared log write")
 	timeout := flag.Duration("lock-timeout", 60*time.Second, "local database lock timeout (the paper's 60 s)")
 	nextKey := flag.Bool("next-key-locking", false, "enable next-key locking in the local database (the paper disables it)")
 	seed := flag.Int("seed-files", 0, "pre-create this many files under /data for experiments")
@@ -60,6 +65,13 @@ func main() {
 
 	cfg := core.DefaultConfig(*name)
 	cfg.DB.LogPath = *walPath
+	cfg.DB.DataDir = *dataDir
+	cfg.DB.PoolPages = *poolPages
+	cfg.DB.CheckpointEvery = *ckptEvery
+	cfg.DB.GroupCommit = *groupCommit
+	if *dataDir != "" && *walPath == "" {
+		cfg.DB.LogPath = filepath.Join(*dataDir, "db.wal")
+	}
 	cfg.DB.LockTimeout = *timeout
 	cfg.DB.NextKeyLocking = *nextKey
 	cfg.Tracer = obs.NewTracerDefault()

@@ -38,6 +38,38 @@ func mkLine(exp string, metrics map[string]interface{}) Line {
 	return Line{Experiment: exp, Metrics: metrics}
 }
 
+func TestUngatedFamiliesAreNotCompared(t *testing.T) {
+	base := []Line{mkLine("storage", map[string]interface{}{
+		"wal_syncs_total":                480.0,
+		"wal_group_commit_batches_total": 75.0,
+		"storage_pool_evictions_total":   111.0,
+		"e14_group_speedup_c32_pct":      580.0,
+		"wal_sync_seconds":               map[string]interface{}{"count": 480.0},
+		"engine_commits_total":           640.0,
+	})}
+	cur := []Line{mkLine("storage", map[string]interface{}{
+		// Every ungated family drifts wildly; the one gated counter holds.
+		"wal_syncs_total":                60.0,
+		"wal_group_commit_batches_total": 20.0,
+		"storage_pool_evictions_total":   300.0,
+		"e14_group_speedup_c32_pct":      210.0,
+		"wal_sync_seconds":               map[string]interface{}{"count": 61.0},
+		"engine_commits_total":           640.0,
+	})}
+	res := Compare(base, cur, 0.10, 5)
+	if !res.OK() {
+		t.Fatalf("ungated drift flagged: %s", res)
+	}
+	if res.Checked != 1 {
+		t.Fatalf("checked %d values, want 1 (only engine_commits_total)", res.Checked)
+	}
+	// And a genuinely gated counter still fails.
+	cur[0].Metrics["engine_commits_total"] = 100.0
+	if res := Compare(base, cur, 0.10, 5); res.OK() {
+		t.Fatal("gated counter regression not flagged")
+	}
+}
+
 func TestCompareWithinTolerance(t *testing.T) {
 	base := []Line{mkLine("throughput", map[string]interface{}{
 		"workload_op_seconds": map[string]interface{}{"count": 200.0, "p50_ms": 0.1},

@@ -130,6 +130,9 @@ func DefaultConfig(name string) Config {
 	// the coordinator: the prepare handler hardens it with a local commit,
 	// so that commit has to force the log.
 	db.SyncCommit = true
+	// Concurrent agents share one fsync per log write burst (WAL group
+	// commit); a lone committer still pays exactly one.
+	db.GroupCommit = true
 	return Config{
 		ServerName:     name,
 		DB:             db,

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"repro/internal/sql"
 	"repro/internal/value"
@@ -21,10 +20,15 @@ import (
 // snapMagic guards against loading foreign files as snapshots.
 const snapMagic = uint32(0xD1F0_51AF)
 
-// Checkpoint writes a snapshot of the full database state and truncates
-// the write-ahead log. It fails unless the database is file-backed and
-// quiesced (no transaction holds log space).
+// Checkpoint bounds restart replay. Storage-backed databases (DataDir set)
+// take a *fuzzy* checkpoint — concurrent with transactions, flushing dirty
+// pages and recording the replay-start LSN (see checkpointStorage). The
+// in-memory engine keeps the historical sharp snapshot below, which
+// requires a quiesced database and truncates the log.
 func (db *DB) Checkpoint() error {
+	if db.store != nil {
+		return db.checkpointStorage()
+	}
 	if db.cfg.LogPath == "" {
 		return fmt.Errorf("engine: checkpoint requires a file-backed log")
 	}
@@ -88,34 +92,18 @@ func (db *DB) encodeSnapshotLocked() []byte {
 	putU32(uint32(len(db.tables)))
 	for name, tbl := range db.tables {
 		// Schema as canonical DDL, the same form the log uses.
-		ddl := "CREATE TABLE " + name + " ("
-		for i, col := range tbl.schema.Cols {
-			if i > 0 {
-				ddl += ", "
-			}
-			ddl += col.Name + " " + typeName(col.Type)
-			if col.NotNull {
-				ddl += " NOT NULL"
-			}
-		}
-		ddl += ")"
-		putStr(ddl)
+		putStr(tableDDL(name, tbl))
 		putU32(uint32(len(tbl.indexes)))
 		for _, ix := range tbl.indexes {
-			stmt := "CREATE "
-			if ix.schema.Unique {
-				stmt += "UNIQUE "
-			}
-			stmt += "INDEX " + ix.schema.Name + " ON " + name +
-				" (" + strings.Join(ix.schema.Cols, ", ") + ")"
-			putStr(stmt)
+			putStr(indexDDL(name, ix))
 		}
 		putU64(uint64(tbl.nextRID))
-		putU32(uint32(len(tbl.heap)))
-		for rid, row := range tbl.heap {
+		putU32(uint32(tbl.heap.Len()))
+		tbl.heap.Scan(func(rid int64, row value.Row) bool {
 			putU64(uint64(rid))
 			buf = value.AppendRow(buf, row)
-		}
+			return true
+		})
 	}
 	return buf
 }
@@ -236,7 +224,7 @@ func (db *DB) loadSnapshotLocked() (bool, error) {
 				return fail(err)
 			}
 			off += n
-			tbl.heap[int64(rid)] = row
+			tbl.heap.Put(int64(rid), row)
 			for _, ix := range tbl.indexes {
 				ix.tree.Insert(ix.keyOf(row), int64(rid))
 			}

@@ -2,14 +2,15 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/lock"
 	"repro/internal/obs"
+	"repro/internal/storage"
 	"repro/internal/value"
 	"repro/internal/wal"
 )
@@ -47,6 +48,24 @@ type Config struct {
 	LockShards int
 	// SyncCommit fsyncs the log on every commit.
 	SyncCommit bool
+	// GroupCommit batches concurrent commit fsyncs into one shared log
+	// write (WAL group commit). Only meaningful with SyncCommit; commits
+	// then ride SyncBatched and the wal_group_commit_* metrics light up.
+	GroupCommit bool
+	// DataDir, when non-empty, backs table heaps and indexes with the
+	// page-based storage engine (internal/storage): 4 KB slotted pages
+	// behind a buffer pool, shadow-paged checkpoints, and restart that
+	// replays only the log tail past the last checkpoint. Empty keeps
+	// everything in memory (tests, crash simulation, standbys).
+	DataDir string
+	// PoolPages caps the buffer pool at that many 4 KB frames (minimum
+	// 16; 0 picks the 1024-frame default). Tables larger than the pool
+	// spill to disk page by page.
+	PoolPages int
+	// CheckpointEvery, with DataDir set, runs a fuzzy checkpoint at that
+	// period so restart replay stays bounded; 0 disables the daemon
+	// (checkpoints then happen only via explicit Checkpoint calls).
+	CheckpointEvery time.Duration
 	// Obs, when non-nil, receives the engine's counters and histograms
 	// (engine_*, lock_*, wal_* metric names) for /metrics exposition.
 	Obs *obs.Registry
@@ -88,7 +107,7 @@ type Stats struct {
 // index is the runtime state of one index.
 type index struct {
 	schema *catalog.IndexSchema
-	tree   *btree.Tree
+	tree   indexStore
 }
 
 func (ix *index) keyOf(row value.Row) value.Key {
@@ -102,7 +121,7 @@ func (ix *index) keyOf(row value.Row) value.Key {
 // table is the runtime state of one table: the heap and its indexes.
 type table struct {
 	schema  *catalog.TableSchema
-	heap    map[int64]value.Row
+	heap    rowStore
 	indexes []*index
 	nextRID int64
 }
@@ -121,6 +140,17 @@ type DB struct {
 	// indoubt holds transactions restored in the prepared state by crash
 	// recovery, awaiting their coordinator's decision.
 	indoubt map[int64]*txn
+
+	// store is the page-based backing when cfg.DataDir is set; nil keeps
+	// heaps and indexes purely in memory.
+	store *storage.Store
+	// ckptMu serializes fuzzy checkpoints against Crash: a checkpoint
+	// caught mid-flight by a crash would otherwise publish anchors for a
+	// page set the crash is reverting.
+	ckptMu   sync.Mutex
+	ckptStop chan struct{}
+	// lastRecovery describes what the most recent recover pass did.
+	lastRecovery RecoveryStats
 
 	nextTxn atomic.Int64
 
@@ -141,6 +171,13 @@ type DB struct {
 // Open creates or reopens the database described by cfg, replaying the
 // write-ahead log if it holds records.
 func Open(cfg Config) (*DB, error) {
+	if cfg.DataDir != "" {
+		// The log commonly lives inside the data directory; make sure it
+		// exists before the log opens.
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: data dir: %w", err)
+		}
+	}
 	log, err := wal.Open(cfg.LogPath, cfg.LogCapacity)
 	if err != nil {
 		return nil, err
@@ -156,11 +193,44 @@ func Open(cfg Config) (*DB, error) {
 	db.lm = lock.NewManager(db.lockConfig())
 	db.log.Instrument(cfg.Obs, cfg.Tracer)
 	db.registerMetrics(cfg.Obs)
-	if err := db.recover(); err != nil {
-		log.Close()
+	if cfg.DataDir != "" {
+		st, err := storage.Open(cfg.DataDir, cfg.PoolPages, db.log.SyncIfDirty)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		if cfg.Obs != nil {
+			st.Instrument(cfg.Obs)
+		}
+		db.store = st
+	}
+	if cfg.GroupCommit {
+		db.log.SetGroupCommit(true)
+	}
+	if err := db.recoverDispatch(); err != nil {
+		db.closeStores()
 		return nil, err
 	}
+	if db.store != nil && cfg.CheckpointEvery > 0 {
+		db.ckptStop = make(chan struct{})
+		go db.checkpointDaemon(cfg.CheckpointEvery, db.ckptStop)
+	}
 	return db, nil
+}
+
+// recoverDispatch runs the recovery pass matching the backing store.
+func (db *DB) recoverDispatch() error {
+	if db.store != nil {
+		return db.recoverStorage()
+	}
+	return db.recover()
+}
+
+func (db *DB) closeStores() {
+	if db.store != nil {
+		db.store.Close()
+	}
+	db.log.Close()
 }
 
 func (db *DB) lockConfig() lock.Config {
@@ -194,24 +264,48 @@ func (db *DB) registerMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("engine_rebinds_total", &db.rebinds)
 }
 
-// Close releases the log file. Outstanding transactions are abandoned (as
-// in a crash); recovery discards them on the next Open.
-func (db *DB) Close() error { return db.log.Close() }
+// Close releases the log file and, when storage-backed, the page file.
+// Outstanding transactions are abandoned (as in a crash); recovery discards
+// them on the next Open. No implicit checkpoint: restart replays the tail.
+func (db *DB) Close() error {
+	if db.ckptStop != nil {
+		close(db.ckptStop)
+		db.ckptStop = nil
+	}
+	db.log.SetGroupCommit(false)
+	var err error
+	if db.store != nil {
+		err = db.store.Close()
+	}
+	if e := db.log.Close(); err == nil {
+		err = e
+	}
+	return err
+}
 
 // Crash simulates a failure and restart: all in-memory state (heaps,
 // indexes, catalog, locks, live transactions) is discarded and rebuilt from
 // the write-ahead log, exactly as a restart after a power loss would.
 func (db *DB) Crash() error {
+	// Holding ckptMu makes a concurrent fuzzy checkpoint either complete
+	// before the crash (its anchors survive) or start after recovery.
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	db.latch.Lock()
 	db.tables = make(map[string]*table)
 	db.cat = catalog.New()
 	db.indoubt = make(map[int64]*txn)
 	db.latch.Unlock()
+	if db.store != nil {
+		// Drop pool frames and the working page mapping; the page file
+		// reverts to the last durable checkpoint, the WAL survives.
+		db.store.Crash()
+	}
 	// NewManager re-registers the lock_* metrics; the registry's replace
 	// semantics make the fresh manager's counters the live ones.
 	db.lm = lock.NewManager(db.lockConfig())
 	db.tracer.Emit(0, "engine", "crash", db.cfg.Name)
-	return db.recover()
+	return db.recoverDispatch()
 }
 
 // Stats returns a snapshot of cumulative engine statistics.
@@ -263,7 +357,7 @@ func (db *DB) createTableLocked(name string, cols []catalog.Column) error {
 	}
 	db.tables[name] = &table{
 		schema:  schema,
-		heap:    make(map[int64]value.Row),
+		heap:    db.newHeapLocked(),
 		nextRID: 1,
 	}
 	return nil
@@ -280,18 +374,24 @@ func (db *DB) createIndexLocked(name, tableName string, cols []string, unique bo
 	if err != nil {
 		return err
 	}
-	ix := &index{schema: ixSchema, tree: btree.New()}
-	for rid, row := range t.heap {
+	ix := &index{schema: ixSchema, tree: db.newIndexLocked()}
+	var dupKey value.Key
+	t.heap.Scan(func(rid int64, row value.Row) bool {
 		k := ix.keyOf(row)
 		if unique {
 			if dup := ix.lookupUniqueLocked(k); dup != 0 {
-				// Roll the catalog entry back.
-				t2, _ := db.cat.Table(tableName)
-				t2.Indexes = t2.Indexes[:len(t2.Indexes)-1]
-				return fmt.Errorf("%w (index %s, key %s)", ErrDuplicate, name, k)
+				dupKey = k
+				return false
 			}
 		}
 		ix.tree.Insert(k, rid)
+		return true
+	})
+	if dupKey != nil {
+		// Roll the catalog entry back.
+		t2, _ := db.cat.Table(tableName)
+		t2.Indexes = t2.Indexes[:len(t2.Indexes)-1]
+		return fmt.Errorf("%w (index %s, key %s)", ErrDuplicate, name, dupKey)
 	}
 	t.indexes = append(t.indexes, ix)
 	return nil

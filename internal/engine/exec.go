@@ -226,10 +226,11 @@ func (c *Conn) collectCandidates(pl *plan, params []value.Value) ([]int64, error
 	}
 	if pl.index == nil {
 		db.tableScans.Add(1)
-		rids := make([]int64, 0, len(tbl.heap))
-		for rid := range tbl.heap {
+		rids := make([]int64, 0, tbl.heap.Len())
+		tbl.heap.Scan(func(rid int64, _ value.Row) bool {
 			rids = append(rids, rid)
-		}
+			return true
+		})
 		sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
 		db.rowsRead.Add(int64(len(rids)))
 		return rids, nil
@@ -333,7 +334,7 @@ func (c *Conn) execSelectPlanned(s sql.Select, pl *plan, params []value.Value) (
 		tbl := db.tables[s.Table]
 		var row value.Row
 		if tbl != nil {
-			row = tbl.heap[rid]
+			row, _ = tbl.heap.Get(rid)
 		}
 		ok := false
 		if row != nil {
@@ -561,7 +562,7 @@ func (c *Conn) execInsert(s sql.Insert, params []value.Value) (int64, error) {
 				return 0, err
 			}
 			db.latch.Lock()
-			_, stillThere := tbl.heap[dupRID]
+			_, stillThere := tbl.heap.Get(dupRID)
 			db.latch.Unlock()
 			if prior == lock.None {
 				db.lm.Release(t.id, tgt)
@@ -619,7 +620,7 @@ func (c *Conn) applyInsertLocked(tbl *table, tableName string, rid int64, row va
 	}); err != nil {
 		return err
 	}
-	tbl.heap[rid] = row
+	tbl.heap.Put(rid, row)
 	for _, ix := range tbl.indexes {
 		ix.tree.Insert(ix.keyOf(row), rid)
 	}
@@ -638,7 +639,7 @@ func (c *Conn) execDelete(s sql.Delete, pl *plan, params []value.Value) (int64, 
 		}); err != nil {
 			return err
 		}
-		delete(tbl.heap, rid)
+		tbl.heap.Delete(rid)
 		for _, ix := range tbl.indexes {
 			ix.tree.Delete(ix.keyOf(row), rid)
 		}
@@ -703,7 +704,7 @@ func (c *Conn) execUpdate(s sql.Update, pl *plan, params []value.Value) (int64, 
 		}); err != nil {
 			return err
 		}
-		tbl.heap[rid] = newRow
+		tbl.heap.Put(rid, newRow)
 		for _, ix := range tbl.indexes {
 			oldK, newK := ix.keyOf(row), ix.keyOf(newRow)
 			if value.CompareKeys(oldK, newK) != 0 {
@@ -797,7 +798,7 @@ func (c *Conn) writeScan(tableName string, where []sql.Pred, pl *plan, params []
 		tbl := db.tables[tableName]
 		var row value.Row
 		if tbl != nil {
-			row = tbl.heap[rid]
+			row, _ = tbl.heap.Get(rid)
 		}
 		ok := false
 		if row != nil {
@@ -860,7 +861,7 @@ func (c *Conn) writeScan(tableName string, where []sql.Pred, pl *plan, params []
 			}
 			// Re-verify the row after the unlatched window.
 			db.latch.Lock()
-			cur := tbl.heap[rid]
+			cur, _ := tbl.heap.Get(rid)
 			if cur == nil {
 				db.latch.Unlock()
 				continue

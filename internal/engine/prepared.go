@@ -36,7 +36,7 @@ func (c *Conn) PrepareTxn() error {
 		return err
 	}
 	fsync := c.db.tracer.StartSpan(c.span, "engine", "wal_fsync")
-	err := c.db.log.Sync()
+	err := c.db.log.SyncBatched()
 	fsync.End()
 	if err != nil {
 		return err
@@ -149,6 +149,9 @@ func (db *DB) restoreIndoubtLocked(txnID int64, recs []wal.Record) {
 	for _, r := range recs {
 		if r.Txn != txnID {
 			continue
+		}
+		if t.firstLSN == 0 || r.LSN < t.firstLSN {
+			t.firstLSN = r.LSN
 		}
 		switch r.Type {
 		case wal.RecInsert:

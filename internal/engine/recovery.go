@@ -74,6 +74,7 @@ func (db *DB) recover() error {
 	if maxTxn >= db.nextTxn.Load() {
 		db.nextTxn.Store(maxTxn)
 	}
+	db.lastRecovery = RecoveryStats{Records: len(recs), Replayed: len(recs), Indoubt: len(prepared)}
 	db.tracer.Emitf(0, "engine", "recovery_done", "%s: %d records, %d committed, %d indoubt",
 		db.cfg.Name, len(recs), len(committed), len(prepared))
 	return nil
@@ -92,7 +93,7 @@ func (db *DB) applyRedoLocked(r wal.Record) error {
 		if tbl == nil {
 			return fmt.Errorf("engine: redo: insert into unknown table %q (LSN %d)", r.Table, r.LSN)
 		}
-		tbl.heap[r.RID] = r.After
+		tbl.heap.Put(r.RID, r.After)
 		for _, ix := range tbl.indexes {
 			ix.tree.Insert(ix.keyOf(r.After), r.RID)
 		}
@@ -104,7 +105,7 @@ func (db *DB) applyRedoLocked(r wal.Record) error {
 		if tbl == nil {
 			return nil // table later dropped
 		}
-		delete(tbl.heap, r.RID)
+		tbl.heap.Delete(r.RID)
 		for _, ix := range tbl.indexes {
 			ix.tree.Delete(ix.keyOf(r.Before), r.RID)
 		}
@@ -113,7 +114,7 @@ func (db *DB) applyRedoLocked(r wal.Record) error {
 		if tbl == nil {
 			return nil
 		}
-		tbl.heap[r.RID] = r.After
+		tbl.heap.Put(r.RID, r.After)
 		for _, ix := range tbl.indexes {
 			ix.tree.Delete(ix.keyOf(r.Before), r.RID)
 			ix.tree.Insert(ix.keyOf(r.After), r.RID)

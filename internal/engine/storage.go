@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// The engine's tables and indexes are accessed through the rowStore and
+// indexStore interfaces so the same execution, recovery, and replication
+// code runs over two backings: the all-in-memory map/btree pair (tests,
+// crash simulation, standbys) and the page-based storage engine under
+// internal/storage when Config.DataDir is set (durable pages behind a
+// buffer pool, fuzzy checkpoints, log-tail-only restart).
+//
+// The storage adapters panic on I/O errors: a failed page read or write
+// with the latch held means the media under the database is gone, the
+// condition the paper treats as fatal (restore from backup + log), and no
+// caller on the statement path can meaningfully continue.
+
+// rowStore is a table heap: rid → row.
+type rowStore interface {
+	Get(rid int64) (value.Row, bool)
+	Put(rid int64, row value.Row)
+	Delete(rid int64)
+	// Scan visits rows until fn returns false. Iteration order is
+	// backend-defined; callers needing an order must collect and sort.
+	Scan(fn func(rid int64, row value.Row) bool)
+	Len() int
+}
+
+// indexStore is a secondary index over (key, rid) entries. *btree.Tree
+// satisfies it natively.
+type indexStore interface {
+	Insert(k value.Key, rid int64) bool
+	Delete(k value.Key, rid int64) bool
+	AscendGreaterOrEqual(pivot value.Key, fn func(k value.Key, rid int64) bool)
+	NextKey(k value.Key) (value.Key, bool)
+}
+
+// mapHeap is the in-memory backing: a bare map with the historical
+// engine semantics (rows held by reference, arbitrary scan order).
+type mapHeap map[int64]value.Row
+
+func (m mapHeap) Get(rid int64) (value.Row, bool) { r, ok := m[rid]; return r, ok }
+func (m mapHeap) Put(rid int64, row value.Row)    { m[rid] = row }
+func (m mapHeap) Delete(rid int64)                { delete(m, rid) }
+func (m mapHeap) Len() int                        { return len(m) }
+func (m mapHeap) Scan(fn func(rid int64, row value.Row) bool) {
+	for rid, row := range m {
+		if !fn(rid, row) {
+			return
+		}
+	}
+}
+
+// storeHeap adapts storage.HeapFile to rowStore.
+type storeHeap struct {
+	h   *storage.HeapFile
+	lsn func() int64
+}
+
+func (s *storeHeap) Get(rid int64) (value.Row, bool) {
+	row, ok, err := s.h.Get(rid)
+	if err != nil {
+		panic(fmt.Sprintf("engine: storage heap read failed (media): %v", err))
+	}
+	return row, ok
+}
+
+func (s *storeHeap) Put(rid int64, row value.Row) {
+	if err := s.h.Put(rid, row, s.lsn()); err != nil {
+		panic(fmt.Sprintf("engine: storage heap write failed (media): %v", err))
+	}
+}
+
+func (s *storeHeap) Delete(rid int64) {
+	if err := s.h.Delete(rid, s.lsn()); err != nil {
+		panic(fmt.Sprintf("engine: storage heap delete failed (media): %v", err))
+	}
+}
+
+func (s *storeHeap) Len() int { return s.h.Len() }
+
+func (s *storeHeap) Scan(fn func(rid int64, row value.Row) bool) {
+	if err := s.h.Scan(fn); err != nil {
+		panic(fmt.Sprintf("engine: storage heap scan failed (media): %v", err))
+	}
+}
+
+// storeIndex adapts storage.BTree to indexStore.
+type storeIndex struct {
+	t   *storage.BTree
+	lsn func() int64
+}
+
+func (s *storeIndex) Insert(k value.Key, rid int64) bool {
+	ok, err := s.t.Insert(k, rid, s.lsn())
+	if err != nil {
+		panic(fmt.Sprintf("engine: storage index insert failed (media): %v", err))
+	}
+	return ok
+}
+
+func (s *storeIndex) Delete(k value.Key, rid int64) bool {
+	ok, err := s.t.Delete(k, rid, s.lsn())
+	if err != nil {
+		panic(fmt.Sprintf("engine: storage index delete failed (media): %v", err))
+	}
+	return ok
+}
+
+func (s *storeIndex) AscendGreaterOrEqual(pivot value.Key, fn func(k value.Key, rid int64) bool) {
+	if err := s.t.AscendGreaterOrEqual(pivot, fn); err != nil {
+		panic(fmt.Sprintf("engine: storage index scan failed (media): %v", err))
+	}
+}
+
+func (s *storeIndex) NextKey(k value.Key) (value.Key, bool) {
+	nk, ok, err := s.t.NextKey(k)
+	if err != nil {
+		panic(fmt.Sprintf("engine: storage index scan failed (media): %v", err))
+	}
+	return nk, ok
+}
+
+// lastLSN reports the most recently assigned log LSN, used to stamp pages
+// dirtied by the mutation that just logged it.
+func (db *DB) lastLSN() int64 { return db.log.NextLSN() - 1 }
+
+// PoolStats returns the buffer-pool counters when the database is
+// page-backed (DataDir set); the zero value otherwise.
+func (db *DB) PoolStats() storage.PoolStats {
+	if db.store == nil {
+		return storage.PoolStats{}
+	}
+	return db.store.Pool().Stats()
+}
+
+// newHeapLocked builds a heap on the configured backing.
+func (db *DB) newHeapLocked() rowStore {
+	if db.store == nil {
+		return make(mapHeap)
+	}
+	return &storeHeap{h: db.store.NewHeap(), lsn: db.lastLSN}
+}
+
+// newIndexLocked builds an index on the configured backing.
+func (db *DB) newIndexLocked() indexStore {
+	if db.store == nil {
+		return btree.New()
+	}
+	t, err := db.store.NewTree()
+	if err != nil {
+		panic(fmt.Sprintf("engine: storage index create failed (media): %v", err))
+	}
+	return &storeIndex{t: t, lsn: db.lastLSN}
+}

@@ -34,6 +34,10 @@ type txn struct {
 	aborted  bool
 	prepared bool
 	wrote    bool
+	// firstLSN is set for indoubt transactions restored by recovery: the
+	// reopened log no longer tracks them, so the fuzzy checkpoint must
+	// floor its StartLSN here itself.
+	firstLSN int64
 }
 
 // Conn is a database connection (the paper's "child agent" holds one). A
@@ -111,8 +115,10 @@ func (c *Conn) Commit() error {
 			return err
 		}
 		if c.db.cfg.SyncCommit {
+			// SyncBatched shares one fsync among concurrent committers when
+			// group commit is on, and is a plain Sync otherwise.
 			fsync := c.db.tracer.StartSpan(c.span, "engine", "wal_fsync")
-			err := c.db.log.Sync()
+			err := c.db.log.SyncBatched()
 			fsync.End()
 			if err != nil {
 				return err
@@ -157,17 +163,17 @@ func (db *DB) rollbackTxn(t *txn) {
 		}
 		switch op.typ {
 		case wal.RecInsert:
-			delete(tbl.heap, op.rid)
+			tbl.heap.Delete(op.rid)
 			for _, ix := range tbl.indexes {
 				ix.tree.Delete(ix.keyOf(op.after), op.rid)
 			}
 		case wal.RecDelete:
-			tbl.heap[op.rid] = op.before
+			tbl.heap.Put(op.rid, op.before)
 			for _, ix := range tbl.indexes {
 				ix.tree.Insert(ix.keyOf(op.before), op.rid)
 			}
 		case wal.RecUpdate:
-			tbl.heap[op.rid] = op.before
+			tbl.heap.Put(op.rid, op.before)
 			for _, ix := range tbl.indexes {
 				oldK, newK := ix.keyOf(op.before), ix.keyOf(op.after)
 				if value.CompareKeys(oldK, newK) != 0 {

@@ -16,16 +16,17 @@ func (db *DB) Runstats(table string) error {
 		db.latch.Unlock()
 		return err
 	}
-	card := int64(len(tbl.heap))
+	card := int64(tbl.heap.Len())
 	distinct := make(map[string]map[string]struct{}, len(tbl.schema.Cols))
 	for _, cd := range tbl.schema.Cols {
 		distinct[cd.Name] = make(map[string]struct{})
 	}
-	for _, row := range tbl.heap {
+	tbl.heap.Scan(func(_ int64, row value.Row) bool {
 		for i, cd := range tbl.schema.Cols {
 			distinct[cd.Name][row[i].String()] = struct{}{}
 		}
-	}
+		return true
+	})
 	db.latch.Unlock()
 
 	colCard := make(map[string]int64, len(distinct))
@@ -52,7 +53,7 @@ func (db *DB) TableCard(table string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return int64(len(tbl.heap)), nil
+	return int64(tbl.heap.Len()), nil
 }
 
 // DumpTable returns a copy of every row of a table, bypassing locking; it
@@ -64,9 +65,10 @@ func (db *DB) DumpTable(table string) ([]value.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]value.Row, 0, len(tbl.heap))
-	for _, row := range tbl.heap {
+	out := make([]value.Row, 0, tbl.heap.Len())
+	tbl.heap.Scan(func(_ int64, row value.Row) bool {
 		out = append(out, row.Clone())
-	}
+		return true
+	})
 	return out, nil
 }

@@ -102,6 +102,8 @@ func DefaultConfig(name string) Config {
 	// commit in phase 1; presumed abort only works if that commit is
 	// forced before phase 2 starts.
 	db.SyncCommit = true
+	// Concurrent coordinators share commit fsyncs (WAL group commit).
+	db.GroupCommit = true
 	return Config{
 		Name:        name,
 		DBID:        1,

@@ -1,0 +1,501 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// BTree is a page-backed B+tree over (key, rid) entries, mirroring the
+// in-memory internal/btree API surface the engine uses. Entries live only
+// in leaves; branches hold separator entries whose child pointer leads to
+// entries >= the separator. Leaves are chained left-to-right through the
+// page header's next pointer, so range scans walk sibling links without
+// re-descending.
+//
+// Entry encoding: value.AppendRow of the key's values, then the rid as 8
+// big-endian bytes. Branch cells append a further 8 bytes naming the child
+// page. Ordering is by decoded key (value.CompareKeys) with the rid as a
+// tiebreaker — byte order of the encoding is NOT ordering, so every
+// comparison decodes; pages hold few dozen entries so the log-factor decode
+// cost stays small.
+//
+// Deletes are lazy: entries leave their leaf but pages never merge. The
+// engine's delete traffic is dwarfed by inserts (files link far more often
+// than tables drop), and vacuuming under-full leaves is a checkpoint-time
+// job the format already permits.
+type BTree struct {
+	pool *Pool
+	root int64
+	size int
+}
+
+// NewBTree creates an empty tree with a fresh leaf root.
+func NewBTree(pool *Pool) (*BTree, error) {
+	p, err := pool.NewPage(PageLeaf)
+	if err != nil {
+		return nil, err
+	}
+	pool.Unpin(p.ID, true)
+	return &BTree{pool: pool, root: p.ID}, nil
+}
+
+// AttachBTree reopens a tree at root, counting entries with one leaf walk.
+func AttachBTree(pool *Pool, root int64) (*BTree, error) {
+	t := &BTree{pool: pool, root: root}
+	id, err := t.leftmostLeaf()
+	if err != nil {
+		return nil, err
+	}
+	for id != 0 {
+		p, err := pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		t.size += p.NSlots()
+		next := p.Next()
+		pool.Unpin(id, false)
+		id = next
+	}
+	return t, nil
+}
+
+// Root returns the current root page ID (persisted in the checkpoint meta).
+func (t *BTree) Root() int64 { return t.root }
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// entry encoding ----------------------------------------------------------
+
+func encodeEntry(k value.Key, rid int64) []byte {
+	buf := value.AppendRow(nil, value.Row(k))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(rid))
+	return append(buf, tmp[:]...)
+}
+
+func decodeEntry(cell []byte) (value.Key, int64, error) {
+	row, n, err := value.DecodeRow(cell)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(cell) < n+8 {
+		return nil, 0, fmt.Errorf("storage: btree entry truncated")
+	}
+	rid := int64(binary.BigEndian.Uint64(cell[n : n+8]))
+	return value.Key(row), rid, nil
+}
+
+// branch cells carry the entry plus a trailing child page ID.
+func encodeBranch(entry []byte, child int64) []byte {
+	out := make([]byte, 0, len(entry)+8)
+	out = append(out, entry...)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(child))
+	return append(out, tmp[:]...)
+}
+
+func branchChild(cell []byte) int64 {
+	return int64(binary.BigEndian.Uint64(cell[len(cell)-8:]))
+}
+
+func branchEntry(cell []byte) []byte { return cell[:len(cell)-8] }
+
+// compareEntry orders cell against (k, rid): key first, rid tiebreak.
+func compareEntry(cell []byte, k value.Key, rid int64) (int, error) {
+	ek, erid, err := decodeEntry(cell)
+	if err != nil {
+		return 0, err
+	}
+	if c := value.CompareKeys(ek, k); c != 0 {
+		return c, nil
+	}
+	switch {
+	case erid < rid:
+		return -1, nil
+	case erid > rid:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// search finds the first slot in p whose entry is >= (k, rid); found
+// reports an exact match. Branch cells compare by their embedded entry.
+func (t *BTree) search(p *Page, k value.Key, rid int64, branch bool) (int, bool, error) {
+	lo, hi := 0, p.NSlots()
+	found := false
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cell := p.Cell(mid)
+		if branch {
+			cell = branchEntry(cell)
+		}
+		c, err := compareEntry(cell, k, rid)
+		if err != nil {
+			return 0, false, err
+		}
+		switch {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return mid, true, nil
+		}
+	}
+	return lo, found, nil
+}
+
+// childFor picks the branch child to descend for (k, rid): the child of
+// the last separator <= the target, or the leftmost child (header next)
+// when the target precedes every separator.
+func (t *BTree) childFor(p *Page, k value.Key, rid int64) (int64, int, error) {
+	i, found, err := t.search(p, k, rid, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	if found {
+		return branchChild(p.Cell(i)), i, nil
+	}
+	if i == 0 {
+		return p.Next(), -1, nil
+	}
+	return branchChild(p.Cell(i - 1)), i - 1, nil
+}
+
+// Insert adds (k, rid); inserting an existing entry is a no-op returning
+// false. The lsn stamps every page the insert dirties.
+func (t *BTree) Insert(k value.Key, rid int64, lsn int64) (bool, error) {
+	split, added, err := t.insertAt(t.root, k, rid, lsn)
+	if err != nil {
+		return false, err
+	}
+	if split != nil {
+		// Root split: new branch root with old root as leftmost child.
+		nr, err := t.pool.NewPage(PageBranch)
+		if err != nil {
+			return false, err
+		}
+		nr.SetNext(t.root)
+		if !nr.InsertCell(0, encodeBranch(split.sep, split.right)) {
+			t.pool.Unpin(nr.ID, true)
+			return false, fmt.Errorf("storage: separator too large for fresh root")
+		}
+		nr.SetLSN(lsn)
+		t.root = nr.ID
+		t.pool.Unpin(nr.ID, true)
+	}
+	if added {
+		t.size++
+	}
+	return added, nil
+}
+
+// splitResult reports a child split to its parent: sep is the separator
+// entry (first entry of the right page), right the new page's ID.
+type splitResult struct {
+	sep   []byte
+	right int64
+}
+
+func (t *BTree) insertAt(id int64, k value.Key, rid int64, lsn int64) (*splitResult, bool, error) {
+	p, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() { t.pool.Unpin(id, true) }()
+
+	if p.Type() == PageLeaf {
+		i, found, err := t.search(p, k, rid, false)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return nil, false, nil
+		}
+		cell := encodeEntry(k, rid)
+		if len(cell) > MaxCell/4 {
+			// A page must fit several entries or splits stop converging.
+			return nil, false, fmt.Errorf("storage: index entry of %d bytes exceeds max %d", len(cell), MaxCell/4)
+		}
+		if p.InsertCell(i, cell) {
+			p.SetLSN(lsn)
+			return nil, true, nil
+		}
+		split, err := t.splitLeaf(p, lsn)
+		if err != nil {
+			return nil, false, err
+		}
+		// Re-aim at the proper half and retry (guaranteed to fit now).
+		target := p
+		if c, cerr := compareEntry(split.sep, k, rid); cerr != nil {
+			return nil, false, cerr
+		} else if c <= 0 {
+			rp, err := t.pool.Fetch(split.right)
+			if err != nil {
+				return nil, false, err
+			}
+			defer t.pool.Unpin(split.right, true)
+			target = rp
+		}
+		j, _, err := t.search(target, k, rid, false)
+		if err != nil {
+			return nil, false, err
+		}
+		if !target.InsertCell(j, cell) {
+			return nil, false, fmt.Errorf("storage: insert does not fit after leaf split")
+		}
+		target.SetLSN(lsn)
+		return split, true, nil
+	}
+
+	child, sepIdx, err := t.childFor(p, k, rid)
+	if err != nil {
+		return nil, false, err
+	}
+	if child == 0 {
+		return nil, false, fmt.Errorf("storage: branch %d has no child for key", id)
+	}
+	childSplit, added, err := t.insertAt(child, k, rid, lsn)
+	if err != nil || childSplit == nil {
+		return nil, added, err
+	}
+	// Install the child's separator right after the slot we descended.
+	bc := encodeBranch(childSplit.sep, childSplit.right)
+	at := sepIdx + 1
+	if p.InsertCell(at, bc) {
+		p.SetLSN(lsn)
+		return nil, added, nil
+	}
+	split, err := t.splitBranch(p, lsn)
+	if err != nil {
+		return nil, false, err
+	}
+	// Decide the half by comparing the promoted separator with the new one.
+	target := p
+	if c, cerr := compareEntry(split.sep, decodeKeyOf(childSplit.sep), ridOf(childSplit.sep)); cerr != nil {
+		return nil, false, cerr
+	} else if c <= 0 {
+		rp, err := t.pool.Fetch(split.right)
+		if err != nil {
+			return nil, false, err
+		}
+		defer t.pool.Unpin(split.right, true)
+		target = rp
+	}
+	kk, krid, err := decodeEntry(childSplit.sep)
+	if err != nil {
+		return nil, false, err
+	}
+	j, _, err := t.search(target, kk, krid, true)
+	if err != nil {
+		return nil, false, err
+	}
+	if !target.InsertCell(j, bc) {
+		return nil, false, fmt.Errorf("storage: separator does not fit after branch split")
+	}
+	target.SetLSN(lsn)
+	return split, added, nil
+}
+
+func decodeKeyOf(entry []byte) value.Key {
+	k, _, err := decodeEntry(entry)
+	if err != nil {
+		panic(fmt.Sprintf("storage: corrupt separator: %v", err))
+	}
+	return k
+}
+
+func ridOf(entry []byte) int64 {
+	_, rid, err := decodeEntry(entry)
+	if err != nil {
+		panic(fmt.Sprintf("storage: corrupt separator: %v", err))
+	}
+	return rid
+}
+
+// splitLeaf moves the upper half of p to a new right sibling, fixes the
+// chain, and returns the separator (copy of the right page's first entry).
+func (t *BTree) splitLeaf(p *Page, lsn int64) (*splitResult, error) {
+	r, err := t.pool.NewPage(PageLeaf)
+	if err != nil {
+		return nil, err
+	}
+	defer t.pool.Unpin(r.ID, true)
+	mid := p.NSlots() / 2
+	for i := mid; i < p.NSlots(); {
+		if !r.InsertCell(r.NSlots(), p.Cell(i)) {
+			return nil, fmt.Errorf("storage: leaf split overflow")
+		}
+		p.DeleteCell(i)
+	}
+	r.SetNext(p.Next())
+	p.SetNext(r.ID)
+	p.SetLSN(lsn)
+	r.SetLSN(lsn)
+	sep := append([]byte(nil), r.Cell(0)...)
+	return &splitResult{sep: sep, right: r.ID}, nil
+}
+
+// splitBranch promotes p's middle separator: entries above it move to a
+// new right branch whose leftmost child is the promoted cell's child.
+func (t *BTree) splitBranch(p *Page, lsn int64) (*splitResult, error) {
+	r, err := t.pool.NewPage(PageBranch)
+	if err != nil {
+		return nil, err
+	}
+	defer t.pool.Unpin(r.ID, true)
+	mid := p.NSlots() / 2
+	midCell := append([]byte(nil), p.Cell(mid)...)
+	r.SetNext(branchChild(midCell))
+	for i := mid + 1; i < p.NSlots(); {
+		if !r.InsertCell(r.NSlots(), p.Cell(i)) {
+			return nil, fmt.Errorf("storage: branch split overflow")
+		}
+		p.DeleteCell(i)
+	}
+	p.DeleteCell(mid)
+	p.SetLSN(lsn)
+	r.SetLSN(lsn)
+	return &splitResult{sep: branchEntry(midCell), right: r.ID}, nil
+}
+
+// leafFor descends to the leaf that would hold (k, rid).
+func (t *BTree) leafFor(k value.Key, rid int64) (int64, error) {
+	id := t.root
+	for {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return 0, err
+		}
+		if p.Type() == PageLeaf {
+			t.pool.Unpin(id, false)
+			return id, nil
+		}
+		child, _, err := t.childFor(p, k, rid)
+		t.pool.Unpin(id, false)
+		if err != nil {
+			return 0, err
+		}
+		if child == 0 {
+			return 0, fmt.Errorf("storage: branch %d has no child", id)
+		}
+		id = child
+	}
+}
+
+func (t *BTree) leftmostLeaf() (int64, error) {
+	id := t.root
+	for {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return 0, err
+		}
+		if p.Type() == PageLeaf {
+			t.pool.Unpin(id, false)
+			return id, nil
+		}
+		next := p.Next()
+		t.pool.Unpin(id, false)
+		if next == 0 {
+			return 0, fmt.Errorf("storage: branch %d has no leftmost child", id)
+		}
+		id = next
+	}
+}
+
+// Delete removes (k, rid), reporting whether it existed. Pages never
+// merge (lazy deletion).
+func (t *BTree) Delete(k value.Key, rid int64, lsn int64) (bool, error) {
+	id, err := t.leafFor(k, rid)
+	if err != nil {
+		return false, err
+	}
+	p, err := t.pool.Fetch(id)
+	if err != nil {
+		return false, err
+	}
+	i, found, err := t.search(p, k, rid, false)
+	if err != nil || !found {
+		t.pool.Unpin(id, false)
+		return false, err
+	}
+	p.DeleteCell(i)
+	p.SetLSN(lsn)
+	t.pool.Unpin(id, true)
+	t.size--
+	return true, nil
+}
+
+// Contains reports whether (k, rid) is present.
+func (t *BTree) Contains(k value.Key, rid int64) (bool, error) {
+	id, err := t.leafFor(k, rid)
+	if err != nil {
+		return false, err
+	}
+	p, err := t.pool.Fetch(id)
+	if err != nil {
+		return false, err
+	}
+	defer t.pool.Unpin(id, false)
+	_, found, err := t.search(p, k, rid, false)
+	return found, err
+}
+
+// AscendGreaterOrEqual visits, in order, every entry with key >= pivot
+// (regardless of rid) until fn returns false.
+func (t *BTree) AscendGreaterOrEqual(pivot value.Key, fn func(k value.Key, rid int64) bool) error {
+	// rid -1<<63 sorts the pivot before every real entry sharing its key.
+	id, err := t.leafFor(pivot, -1<<63)
+	if err != nil {
+		return err
+	}
+	first := true
+	for id != 0 {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		start := 0
+		if first {
+			start, _, err = t.search(p, pivot, -1<<63, false)
+			if err != nil {
+				t.pool.Unpin(id, false)
+				return err
+			}
+			first = false
+		}
+		for i := start; i < p.NSlots(); i++ {
+			k, rid, err := decodeEntry(p.Cell(i))
+			if err != nil {
+				t.pool.Unpin(id, false)
+				return err
+			}
+			if !fn(k, rid) {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+		}
+		next := p.Next()
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// NextKey returns the smallest key strictly greater than k.
+func (t *BTree) NextKey(k value.Key) (value.Key, bool, error) {
+	var out value.Key
+	found := false
+	err := t.AscendGreaterOrEqual(k, func(ek value.Key, _ int64) bool {
+		if value.CompareKeys(ek, k) > 0 {
+			out = ek.Clone()
+			found = true
+			return false
+		}
+		return true
+	})
+	return out, found, err
+}

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// PageFile is a shadow-paged page store: `pages.dat` holds fixed-size
+// physical slots, `storage.meta` maps logical page IDs to slots. A dirty
+// page is written to its current slot only if that slot is NOT part of the
+// last durable checkpoint's mapping; otherwise it goes to a fresh slot and
+// the in-memory mapping is redirected. The meta file is replaced atomically
+// (tmp + rename + dir fsync) at checkpoint, after the data file is synced —
+// so a crash at any instant reverts to the last checkpoint's consistent
+// page set, and WAL replay from the checkpoint's StartLSN rebuilds the
+// tail. No page in the durable set is ever overwritten in place.
+type PageFile struct {
+	dir string
+	f   *os.File
+
+	meta Meta // last durable checkpoint image (as loaded/written)
+
+	// Working state, diverging from meta between checkpoints.
+	mapping map[int64]int64 // logical -> physical slot
+	durable map[int64]bool  // physical slots referenced by meta (write-protected)
+	free    []int64         // physical slots safe to reuse
+	nslots  int64           // physical slots allocated in pages.dat
+	nextID  int64           // next logical page ID
+}
+
+// Meta is the checkpoint anchor persisted in storage.meta. Everything the
+// engine needs to re-attach without replaying history lives here; the WAL
+// tail from StartLSN supplies the rest.
+type Meta struct {
+	// StartLSN is where recovery starts replaying the WAL. Records below
+	// it are fully reflected in the checkpointed pages.
+	StartLSN int64
+	// NextTxn floors the engine's transaction-ID allocator after restart.
+	NextTxn int64
+	// NextPage floors logical page allocation.
+	NextPage int64
+	// Mapping is the logical->physical table for the checkpointed set.
+	Mapping map[int64]int64
+	// Tables carries the engine catalog anchors (DDL + storage roots).
+	Tables []TableMeta
+}
+
+// TableMeta anchors one table: its DDL (replayed to rebuild schema), heap
+// chain head, rid allocator floor, and index roots in catalog order.
+type TableMeta struct {
+	DDL      string
+	HeapHead int64
+	NextRID  int64
+	Indexes  []IndexMeta
+}
+
+// IndexMeta anchors one index: its DDL and B+tree root page.
+type IndexMeta struct {
+	DDL  string
+	Root int64
+}
+
+const (
+	pagesName = "pages.dat"
+	metaName  = "storage.meta"
+)
+
+// OpenPageFile opens (or creates) the page store in dir and loads the last
+// durable checkpoint's mapping.
+func OpenPageFile(dir string) (*PageFile, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, pagesName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	pf := &PageFile{dir: dir, f: f}
+	if err := pf.loadMeta(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fileSlots := st.Size() / PageSize
+	pf.resetWorking(fileSlots)
+	return pf, nil
+}
+
+func (pf *PageFile) loadMeta() error {
+	pf.meta = Meta{Mapping: map[int64]int64{}, NextPage: 1}
+	raw, err := os.ReadFile(filepath.Join(pf.dir, metaName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &pf.meta); err != nil {
+		return fmt.Errorf("storage: corrupt meta: %w", err)
+	}
+	if pf.meta.Mapping == nil {
+		pf.meta.Mapping = map[int64]int64{}
+	}
+	if pf.meta.NextPage < 1 {
+		pf.meta.NextPage = 1
+	}
+	return nil
+}
+
+// resetWorking rebuilds the working state from the durable meta: mapping is
+// a copy, every mapped slot is protected, and every other allocated slot is
+// free for reuse. fileSlots < 0 keeps the current allocation count.
+func (pf *PageFile) resetWorking(fileSlots int64) {
+	if fileSlots >= 0 {
+		pf.nslots = fileSlots
+	}
+	pf.mapping = make(map[int64]int64, len(pf.meta.Mapping))
+	pf.durable = make(map[int64]bool, len(pf.meta.Mapping))
+	for l, p := range pf.meta.Mapping {
+		pf.mapping[l] = p
+		pf.durable[p] = true
+		if p >= pf.nslots {
+			pf.nslots = p + 1
+		}
+	}
+	pf.free = pf.free[:0]
+	for s := int64(0); s < pf.nslots; s++ {
+		if !pf.durable[s] {
+			pf.free = append(pf.free, s)
+		}
+	}
+	pf.nextID = pf.meta.NextPage
+}
+
+// Meta returns the last durable checkpoint anchor.
+func (pf *PageFile) Meta() Meta { return pf.meta }
+
+// Allocate mints a fresh logical page ID.
+func (pf *PageFile) Allocate() int64 {
+	id := pf.nextID
+	pf.nextID++
+	return id
+}
+
+// NextPageID returns the allocator's current floor.
+func (pf *PageFile) NextPageID() int64 { return pf.nextID }
+
+// Read fetches a logical page's image from disk.
+func (pf *PageFile) Read(id int64) (*Page, error) {
+	slot, ok := pf.mapping[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: read of unmapped page %d", id)
+	}
+	buf := make([]byte, PageSize)
+	if _, err := pf.f.ReadAt(buf, slot*PageSize); err != nil {
+		return nil, fmt.Errorf("storage: read page %d (slot %d): %w", id, slot, err)
+	}
+	return FromBytes(id, buf)
+}
+
+// Write persists a logical page. Slots referenced by the durable mapping
+// are never overwritten: the page is redirected to a free (or fresh)
+// physical slot instead, so a crash before the next checkpoint leaves the
+// durable page set intact.
+func (pf *PageFile) Write(p *Page) error {
+	slot, mapped := pf.mapping[p.ID]
+	if !mapped || pf.durable[slot] {
+		slot = pf.allocSlot()
+		pf.mapping[p.ID] = slot
+	}
+	if _, err := pf.f.WriteAt(p.Bytes(), slot*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d (slot %d): %w", p.ID, slot, err)
+	}
+	return nil
+}
+
+func (pf *PageFile) allocSlot() int64 {
+	if n := len(pf.free); n > 0 {
+		s := pf.free[n-1]
+		pf.free = pf.free[:n-1]
+		return s
+	}
+	s := pf.nslots
+	pf.nslots++
+	return s
+}
+
+// Checkpoint publishes the current mapping as the new durable set: data
+// file synced first, then the meta replaced atomically. After it returns,
+// recovery starts from meta.StartLSN; slots released by the old mapping
+// become reusable. The fault point fires between the data sync and the
+// meta publish — the crash window the recovery tests kill in.
+func (pf *PageFile) Checkpoint(meta Meta) error {
+	if err := pf.f.Sync(); err != nil {
+		return err
+	}
+	if err := fault.P("storage.checkpoint.meta").Fire(); err != nil {
+		return err
+	}
+	meta.Mapping = make(map[int64]int64, len(pf.mapping))
+	for l, p := range pf.mapping {
+		meta.Mapping[l] = p
+	}
+	meta.NextPage = pf.nextID
+	raw, err := json.Marshal(&meta)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(pf.dir, metaName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	tf, err := os.Open(tmp)
+	if err != nil {
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	tf.Close()
+	if err := os.Rename(tmp, filepath.Join(pf.dir, metaName)); err != nil {
+		return err
+	}
+	if d, err := os.Open(pf.dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+	pf.meta = meta
+	pf.resetWorking(-1)
+	return nil
+}
+
+// Crash simulates losing all volatile state: the working mapping reverts
+// to the last durable checkpoint, exactly as a reopen would see it.
+func (pf *PageFile) Crash() {
+	pf.resetWorking(-1)
+}
+
+// Close releases the data file handle.
+func (pf *PageFile) Close() error { return pf.f.Close() }

@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// HeapFile stores one table's rows in a chain of slotted heap pages. Each
+// cell is an 8-byte big-endian rid followed by the encoded row. The rid→
+// page directory and per-page free-space map live in memory, rebuilt at
+// attach by one chain scan that reads only cell headers; the pages are the
+// durable truth.
+type HeapFile struct {
+	pool *Pool
+	head int64 // first page of the chain (0 = empty, lazily created)
+	dir  map[int64]int64
+	// freeish tracks pages with enough slack for a typical row; it is a
+	// hint, never a correctness input (Add falls back to a fresh page).
+	lastInsert int64
+	count      int
+}
+
+const ridBytes = 8
+
+// NewHeapFile creates an empty heap (no pages until the first insert).
+func NewHeapFile(pool *Pool) *HeapFile {
+	return &HeapFile{pool: pool, dir: make(map[int64]int64)}
+}
+
+// AttachHeapFile reopens a heap from its chain head, rebuilding the rid
+// directory by scanning the chain. Rows are not decoded — only cell rids.
+func AttachHeapFile(pool *Pool, head int64) (*HeapFile, error) {
+	h := &HeapFile{pool: pool, head: head, dir: make(map[int64]int64)}
+	for id := head; id != 0; {
+		p, err := pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < p.NSlots(); i++ {
+			h.dir[cellRID(p.Cell(i))] = id
+			h.count++
+		}
+		next := p.Next()
+		pool.Unpin(id, false)
+		id = next
+	}
+	return h, nil
+}
+
+// Head returns the chain head page ID (0 if the heap never grew a page).
+func (h *HeapFile) Head() int64 { return h.head }
+
+// Len returns the number of rows.
+func (h *HeapFile) Len() int { return h.count }
+
+func cellRID(cell []byte) int64 {
+	return int64(binary.BigEndian.Uint64(cell[:ridBytes]))
+}
+
+func heapCell(rid int64, row value.Row) []byte {
+	cell := make([]byte, ridBytes, ridBytes+64)
+	binary.BigEndian.PutUint64(cell, uint64(rid))
+	return value.AppendRow(cell, row)
+}
+
+// findCell locates rid's slot in page p; -1 if absent.
+func findCell(p *Page, rid int64) int {
+	for i := 0; i < p.NSlots(); i++ {
+		if cellRID(p.Cell(i)) == rid {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get fetches a row copy by rid.
+func (h *HeapFile) Get(rid int64) (value.Row, bool, error) {
+	pid, ok := h.dir[rid]
+	if !ok {
+		return nil, false, nil
+	}
+	p, err := h.pool.Fetch(pid)
+	if err != nil {
+		return nil, false, err
+	}
+	defer h.pool.Unpin(pid, false)
+	i := findCell(p, rid)
+	if i < 0 {
+		return nil, false, fmt.Errorf("storage: heap directory points rid %d at page %d but the cell is gone", rid, pid)
+	}
+	row, _, err := value.DecodeRow(p.Cell(i)[ridBytes:])
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// Put inserts or replaces the row at rid, stamping lsn on every page it
+// touches.
+func (h *HeapFile) Put(rid int64, row value.Row, lsn int64) error {
+	cell := heapCell(rid, row)
+	if len(cell) > MaxCell {
+		return fmt.Errorf("storage: row for rid %d is %d bytes, page max %d", rid, len(cell), MaxCell)
+	}
+	if pid, ok := h.dir[rid]; ok {
+		p, err := h.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		i := findCell(p, rid)
+		if i < 0 {
+			h.pool.Unpin(pid, false)
+			return fmt.Errorf("storage: heap directory points rid %d at page %d but the cell is gone", rid, pid)
+		}
+		if p.ReplaceCell(i, cell) {
+			p.SetLSN(lsn)
+			h.pool.Unpin(pid, true)
+			return nil
+		}
+		// Grown row no longer fits here: delete and relocate.
+		p.DeleteCell(i)
+		p.SetLSN(lsn)
+		h.pool.Unpin(pid, true)
+		delete(h.dir, rid)
+		h.count--
+	}
+	return h.insert(rid, cell, lsn)
+}
+
+func (h *HeapFile) insert(rid int64, cell []byte, lsn int64) error {
+	// Try the last insert page first — the common append workload touches
+	// one warm page — then fall back to walking the chain for space, then
+	// to growing a new page at the chain head.
+	if h.lastInsert != 0 {
+		ok, err := h.tryInsert(h.lastInsert, rid, cell, lsn)
+		if err != nil || ok {
+			return err
+		}
+	}
+	for id := h.head; id != 0; {
+		if id != h.lastInsert {
+			ok, err := h.tryInsert(id, rid, cell, lsn)
+			if err != nil {
+				return err
+			}
+			if ok {
+				h.lastInsert = id
+				return nil
+			}
+		}
+		p, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		next := p.Next()
+		h.pool.Unpin(id, false)
+		id = next
+	}
+	p, err := h.pool.NewPage(PageHeap)
+	if err != nil {
+		return err
+	}
+	p.SetNext(h.head)
+	if !p.InsertCell(0, cell) {
+		h.pool.Unpin(p.ID, true)
+		return fmt.Errorf("storage: fresh heap page rejected %d-byte cell", len(cell))
+	}
+	p.SetLSN(lsn)
+	h.head = p.ID
+	h.lastInsert = p.ID
+	h.dir[rid] = p.ID
+	h.count++
+	h.pool.Unpin(p.ID, true)
+	return nil
+}
+
+func (h *HeapFile) tryInsert(pid, rid int64, cell []byte, lsn int64) (bool, error) {
+	p, err := h.pool.Fetch(pid)
+	if err != nil {
+		return false, err
+	}
+	if !p.InsertCell(p.NSlots(), cell) {
+		h.pool.Unpin(pid, false)
+		return false, nil
+	}
+	p.SetLSN(lsn)
+	h.pool.Unpin(pid, true)
+	h.dir[rid] = pid
+	h.count++
+	return true, nil
+}
+
+// Delete removes the row at rid; missing rids are a no-op (idempotent
+// redo).
+func (h *HeapFile) Delete(rid int64, lsn int64) error {
+	pid, ok := h.dir[rid]
+	if !ok {
+		return nil
+	}
+	p, err := h.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	i := findCell(p, rid)
+	if i < 0 {
+		h.pool.Unpin(pid, false)
+		return fmt.Errorf("storage: heap directory points rid %d at page %d but the cell is gone", rid, pid)
+	}
+	p.DeleteCell(i)
+	p.SetLSN(lsn)
+	h.pool.Unpin(pid, true)
+	delete(h.dir, rid)
+	h.count--
+	return nil
+}
+
+// Scan visits every row in ascending rid order (matching the map-heap
+// iteration contract the engine's planner sorts into); fn returning false
+// stops the scan.
+func (h *HeapFile) Scan(fn func(rid int64, row value.Row) bool) error {
+	rids := make([]int64, 0, len(h.dir))
+	for rid := range h.dir {
+		rids = append(rids, rid)
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	for _, rid := range rids {
+		row, ok, err := h.Get(rid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(rid, row) {
+			return nil
+		}
+	}
+	return nil
+}

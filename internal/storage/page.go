@@ -1,0 +1,243 @@
+// Package storage is the page-based durable storage engine under
+// internal/engine: slotted heap pages and a page-backed B+tree, fronted by
+// a buffer pool with pin/unpin and LRU eviction, over a shadow-paged page
+// file. Durability follows the WAL rule — the log is flushed before any
+// dirty page reaches disk — and periodic checkpoints publish a consistent
+// page set plus a start-LSN so recovery replays only the log tail.
+//
+// Concurrency contract: the storage layer is serialized by the engine's
+// latch (every heap/tree call happens with it held); the buffer pool keeps
+// its own mutex only so the checkpoint path and diagnostics can run from
+// other goroutines without assuming that discipline.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed on-disk page size. Every heap row and index entry
+// must fit in one page (no overflow chains); the engine's rows are file
+// metadata and stay far below this.
+const PageSize = 4096
+
+// Page types stored in the header.
+const (
+	PageFree   byte = 0
+	PageHeap   byte = 1
+	PageLeaf   byte = 2
+	PageBranch byte = 3
+)
+
+// Page header layout (21 bytes):
+//
+//	[0:8]   pageLSN — LSN of the log record that last dirtied the page
+//	[8]     type
+//	[9:17]  next — heap chain / leaf right-sibling / branch leftmost child
+//	[17:19] nslots
+//	[19:21] cellTop — lowest byte offset occupied by a cell
+//
+// The slot directory (4 bytes per slot: offset, length) grows down-file
+// from the header; cells grow up-file from the page end. Deleting a cell
+// removes its slot and leaves a hole; holes are reclaimed by compaction
+// when an insert needs the space.
+const (
+	hdrSize  = 21
+	slotSize = 4
+)
+
+// MaxCell is the largest cell a page can hold.
+const MaxCell = PageSize - hdrSize - slotSize
+
+// Page is one in-memory page image. The ID is the *logical* page number;
+// the page file maps it to a physical slot (shadow paging).
+type Page struct {
+	ID  int64
+	buf []byte
+}
+
+// NewPage returns a zeroed page of the given type.
+func NewPage(id int64, ptype byte) *Page {
+	p := &Page{ID: id, buf: make([]byte, PageSize)}
+	p.buf[8] = ptype
+	p.setCellTop(PageSize)
+	return p
+}
+
+// FromBytes wraps a page image read from disk.
+func FromBytes(id int64, buf []byte) (*Page, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("storage: page %d image is %d bytes, want %d", id, len(buf), PageSize)
+	}
+	return &Page{ID: id, buf: buf}, nil
+}
+
+// Bytes exposes the raw image for writing to disk.
+func (p *Page) Bytes() []byte { return p.buf }
+
+// LSN returns the page LSN (the WAL position that last dirtied it).
+func (p *Page) LSN() int64 { return int64(binary.BigEndian.Uint64(p.buf[0:8])) }
+
+// SetLSN stamps the page LSN.
+func (p *Page) SetLSN(lsn int64) {
+	if lsn > p.LSN() {
+		binary.BigEndian.PutUint64(p.buf[0:8], uint64(lsn))
+	}
+}
+
+// Type returns the page type byte.
+func (p *Page) Type() byte { return p.buf[8] }
+
+// Next returns the chain pointer: next heap page, leaf right sibling, or
+// branch leftmost child. Zero means none (logical page 0 is the meta
+// anchor and never a data page).
+func (p *Page) Next() int64 { return int64(binary.BigEndian.Uint64(p.buf[9:17])) }
+
+// SetNext updates the chain pointer.
+func (p *Page) SetNext(id int64) { binary.BigEndian.PutUint64(p.buf[9:17], uint64(id)) }
+
+// NSlots returns the number of live cells.
+func (p *Page) NSlots() int { return int(binary.BigEndian.Uint16(p.buf[17:19])) }
+
+func (p *Page) setNSlots(n int)   { binary.BigEndian.PutUint16(p.buf[17:19], uint16(n)) }
+func (p *Page) cellTop() int      { return int(binary.BigEndian.Uint16(p.buf[19:21])) }
+func (p *Page) setCellTop(v int)  { binary.BigEndian.PutUint16(p.buf[19:21], uint16(v%65536)) }
+func (p *Page) slotOff(i int) int { return hdrSize + i*slotSize }
+
+// cellTopVal returns the real cell top (65536 is stored as 0).
+func (p *Page) cellTopVal() int {
+	v := p.cellTop()
+	if v == 0 {
+		return PageSize
+	}
+	return v
+}
+
+func (p *Page) slot(i int) (off, ln int) {
+	s := p.slotOff(i)
+	return int(binary.BigEndian.Uint16(p.buf[s : s+2])), int(binary.BigEndian.Uint16(p.buf[s+2 : s+4]))
+}
+
+func (p *Page) setSlot(i, off, ln int) {
+	s := p.slotOff(i)
+	binary.BigEndian.PutUint16(p.buf[s:s+2], uint16(off))
+	binary.BigEndian.PutUint16(p.buf[s+2:s+4], uint16(ln))
+}
+
+// Cell returns the i-th cell's bytes (aliasing the page buffer; callers
+// must copy before the page can be modified or evicted).
+func (p *Page) Cell(i int) []byte {
+	off, ln := p.slot(i)
+	return p.buf[off : off+ln]
+}
+
+// liveBytes sums the live cell lengths.
+func (p *Page) liveBytes() int {
+	total := 0
+	for i := 0; i < p.NSlots(); i++ {
+		_, ln := p.slot(i)
+		total += ln
+	}
+	return total
+}
+
+// FreeSpace returns the bytes available for one more cell + slot after
+// compaction (the insert budget).
+func (p *Page) FreeSpace() int {
+	slotEnd := hdrSize + p.NSlots()*slotSize
+	free := PageSize - slotEnd - p.liveBytes() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// compact repacks live cells against the page end, squeezing out holes
+// left by deleted cells.
+func (p *Page) compact() {
+	n := p.NSlots()
+	tmp := make([]byte, 0, PageSize)
+	lens := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := p.Cell(i)
+		lens[i] = len(c)
+		tmp = append(tmp, c...)
+	}
+	// Re-place cells from the end of the page, preserving slot order.
+	top := PageSize
+	off := 0
+	offs := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		top -= lens[i]
+		offs[i] = top
+	}
+	for i := 0; i < n; i++ {
+		copy(p.buf[offs[i]:offs[i]+lens[i]], tmp[off:off+lens[i]])
+		off += lens[i]
+		p.setSlot(i, offs[i], lens[i])
+	}
+	p.setCellTop(top)
+}
+
+// InsertCell inserts cell at slot index i (shifting later slots up) and
+// reports whether it fit.
+func (p *Page) InsertCell(i int, cell []byte) bool {
+	if len(cell) > MaxCell {
+		return false
+	}
+	n := p.NSlots()
+	slotEnd := hdrSize + n*slotSize
+	contig := p.cellTopVal() - slotEnd
+	need := len(cell) + slotSize
+	if contig < need {
+		if p.FreeSpace() < len(cell) {
+			return false
+		}
+		p.compact()
+		contig = p.cellTopVal() - slotEnd
+		if contig < need {
+			return false
+		}
+	}
+	top := p.cellTopVal() - len(cell)
+	copy(p.buf[top:], cell)
+	// Shift slots [i, n) one entry right.
+	copy(p.buf[p.slotOff(i+1):p.slotOff(n+1)], p.buf[p.slotOff(i):p.slotOff(n)])
+	p.setSlot(i, top, len(cell))
+	p.setNSlots(n + 1)
+	p.setCellTop(top)
+	return true
+}
+
+// DeleteCell removes slot i; the cell bytes become a hole reclaimed by the
+// next compaction.
+func (p *Page) DeleteCell(i int) {
+	n := p.NSlots()
+	copy(p.buf[p.slotOff(i):p.slotOff(n-1)], p.buf[p.slotOff(i+1):p.slotOff(n)])
+	p.setNSlots(n - 1)
+	if n-1 == 0 {
+		p.setCellTop(PageSize)
+	}
+}
+
+// ReplaceCell swaps the cell at slot i for a new one, reporting whether it
+// fit (the slot is removed and re-inserted, so size may change).
+func (p *Page) ReplaceCell(i int, cell []byte) bool {
+	off, ln := p.slot(i)
+	if len(cell) <= ln {
+		// Shrinking or same-size replace runs in place.
+		copy(p.buf[off:], cell)
+		p.setSlot(i, off, len(cell))
+		return true
+	}
+	old := append([]byte(nil), p.Cell(i)...)
+	p.DeleteCell(i)
+	if p.InsertCell(i, cell) {
+		return true
+	}
+	// Roll back so the caller can relocate the record elsewhere.
+	if !p.InsertCell(i, old) {
+		panic("storage: ReplaceCell rollback lost a cell")
+	}
+	return false
+}

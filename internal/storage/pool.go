@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool is the buffer pool: a bounded cache of page frames over a PageFile
+// with pin/unpin, dirty tracking, and LRU eviction. Write-back honors the
+// WAL rule — flushLog (wired to the engine's log sync) runs before any
+// dirty page reaches the PageFile, on eviction and on FlushAll.
+//
+// The pool has its own mutex so checkpoints and stats can run from other
+// goroutines, but pages themselves are unsynchronized: callers mutate a
+// pinned page only under the engine latch.
+type Pool struct {
+	mu       sync.Mutex
+	pf       *PageFile
+	cap      int
+	flushLog func() error
+
+	frames map[int64]*frame
+	tick   uint64 // LRU clock
+
+	hits, misses, evictions, reads, writes *obs.Counter
+}
+
+type frame struct {
+	page  *Page
+	pins  int
+	dirty bool
+	used  uint64 // last-touch tick
+}
+
+// MinPoolPages is the smallest usable pool: a B+tree descent pins a root,
+// a branch path, a leaf, and a split may hold a sibling and new root too.
+const MinPoolPages = 16
+
+// DefaultPoolPages is the pool size when the caller passes 0 (4 MB).
+const DefaultPoolPages = 1024
+
+// NewPool builds a pool of at most capPages frames (0 = DefaultPoolPages,
+// minimum MinPoolPages). flushLog is invoked before any dirty page is
+// written back; nil means no log coupling (tests).
+func NewPool(pf *PageFile, capPages int, flushLog func() error) *Pool {
+	if capPages == 0 {
+		capPages = DefaultPoolPages
+	}
+	if capPages < MinPoolPages {
+		capPages = MinPoolPages
+	}
+	if flushLog == nil {
+		flushLog = func() error { return nil }
+	}
+	return &Pool{
+		pf: pf, cap: capPages, flushLog: flushLog,
+		frames: make(map[int64]*frame),
+		hits:   new(obs.Counter), misses: new(obs.Counter), evictions: new(obs.Counter),
+		reads: new(obs.Counter), writes: new(obs.Counter),
+	}
+}
+
+// Instrument registers the pool's counters on reg.
+func (bp *Pool) Instrument(reg *obs.Registry) {
+	bp.hits = reg.Counter("storage_pool_hits_total")
+	bp.misses = reg.Counter("storage_pool_misses_total")
+	bp.evictions = reg.Counter("storage_pool_evictions_total")
+	bp.reads = reg.Counter("storage_page_reads_total")
+	bp.writes = reg.Counter("storage_page_writes_total")
+	reg.GaugeFunc("storage_pool_pages", func() float64 {
+		bp.mu.Lock()
+		defer bp.mu.Unlock()
+		return float64(len(bp.frames))
+	})
+}
+
+// NewPage allocates a fresh logical page, pinned and dirty.
+func (bp *Pool) NewPage(ptype byte) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	id := bp.pf.Allocate()
+	if err := bp.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	p := NewPage(id, ptype)
+	bp.tick++
+	bp.frames[id] = &frame{page: p, pins: 1, dirty: true, used: bp.tick}
+	return p, nil
+}
+
+// Fetch pins a page, reading it from the PageFile on a miss.
+func (bp *Pool) Fetch(id int64) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.tick++
+	if fr, ok := bp.frames[id]; ok {
+		bp.hits.Inc()
+		fr.pins++
+		fr.used = bp.tick
+		return fr.page, nil
+	}
+	bp.misses.Inc()
+	if err := bp.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	p, err := bp.pf.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	bp.reads.Inc()
+	bp.frames[id] = &frame{page: p, pins: 1, used: bp.tick}
+	return p, nil
+}
+
+// Unpin releases one pin; dirty marks the page as modified since its last
+// write-back (the caller must have stamped the page LSN already).
+func (bp *Pool) Unpin(id int64, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// makeRoomLocked evicts the least-recently-used unpinned frame until the
+// pool is under capacity. All-pinned pools grow past cap rather than
+// deadlock — capacity is a target, correctness bound is pin discipline.
+func (bp *Pool) makeRoomLocked() error {
+	for len(bp.frames) >= bp.cap {
+		var victim *frame
+		var victimID int64
+		for id, fr := range bp.frames {
+			if fr.pins > 0 {
+				continue
+			}
+			if victim == nil || fr.used < victim.used {
+				victim, victimID = fr, id
+			}
+		}
+		if victim == nil {
+			return nil
+		}
+		if victim.dirty {
+			if err := bp.flushLog(); err != nil {
+				return err
+			}
+			if err := bp.pf.Write(victim.page); err != nil {
+				return err
+			}
+			bp.writes.Inc()
+		}
+		delete(bp.frames, victimID)
+		bp.evictions.Inc()
+	}
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the PageFile (log first),
+// keeping the frames cached and clean. This is the checkpoint's page
+// phase; the caller serializes it against page mutation (engine latch).
+func (bp *Pool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	flushed := false
+	for _, fr := range bp.frames {
+		if !fr.dirty {
+			continue
+		}
+		if !flushed {
+			if err := bp.flushLog(); err != nil {
+				return err
+			}
+			flushed = true
+		}
+		if err := bp.pf.Write(fr.page); err != nil {
+			return err
+		}
+		bp.writes.Inc()
+		fr.dirty = false
+	}
+	return nil
+}
+
+// Reset drops every frame — the crash simulation. Pins are assumed gone
+// (the engine only crashes between transactions in tests).
+func (bp *Pool) Reset() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.frames = make(map[int64]*frame)
+}
+
+// PoolStats is a snapshot of the pool's cumulative counters.
+type PoolStats struct {
+	Hits, Misses, Evictions int64
+	Reads, Writes           int64
+	Pages                   int
+}
+
+// Stats snapshots the pool counters (same atomics /metrics reads).
+func (bp *Pool) Stats() PoolStats {
+	bp.mu.Lock()
+	pages := len(bp.frames)
+	bp.mu.Unlock()
+	return PoolStats{
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+		Reads:     bp.reads.Load(),
+		Writes:    bp.writes.Load(),
+		Pages:     pages,
+	}
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"repro/internal/obs"
+)
+
+// Store ties the page file and buffer pool together as the engine-facing
+// facade: heaps and trees are created or re-attached through it, the
+// checkpoint publishes a new durable page set, and Crash reverts to the
+// last one (the in-process crash simulation used throughout the repo).
+type Store struct {
+	pf   *PageFile
+	pool *Pool
+
+	checkpoints *obs.Counter
+}
+
+// Open opens the page store in dir with a pool of poolPages frames.
+// flushLog is called before any dirty page is written back (the WAL rule);
+// pass the engine's log-sync closure.
+func Open(dir string, poolPages int, flushLog func() error) (*Store, error) {
+	pf, err := OpenPageFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		pf:          pf,
+		pool:        NewPool(pf, poolPages, flushLog),
+		checkpoints: new(obs.Counter),
+	}, nil
+}
+
+// Instrument registers the store's metrics on reg.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.pool.Instrument(reg)
+	s.checkpoints = reg.Counter("storage_checkpoints_total")
+}
+
+// Meta returns the last durable checkpoint anchor (zero value on a fresh
+// directory: StartLSN 0, no tables).
+func (s *Store) Meta() Meta { return s.pf.Meta() }
+
+// Pool exposes the buffer pool (tests and stats).
+func (s *Store) Pool() *Pool { return s.pool }
+
+// NewHeap creates an empty heap file.
+func (s *Store) NewHeap() *HeapFile { return NewHeapFile(s.pool) }
+
+// AttachHeap reopens a heap at its chain head.
+func (s *Store) AttachHeap(head int64) (*HeapFile, error) {
+	if head == 0 {
+		return NewHeapFile(s.pool), nil
+	}
+	return AttachHeapFile(s.pool, head)
+}
+
+// NewTree creates an empty B+tree.
+func (s *Store) NewTree() (*BTree, error) { return NewBTree(s.pool) }
+
+// AttachTree reopens a tree at its root page.
+func (s *Store) AttachTree(root int64) (*BTree, error) {
+	if root == 0 {
+		return NewBTree(s.pool)
+	}
+	return AttachBTree(s.pool, root)
+}
+
+// Checkpoint publishes the current state as the new durable set: every
+// dirty page is written back (log flushed first), then meta — carrying
+// the caller's StartLSN, txn floor, and table anchors — replaces the old
+// mapping atomically. The caller must serialize against page mutation.
+func (s *Store) Checkpoint(meta Meta) error {
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := s.pf.Checkpoint(meta); err != nil {
+		return err
+	}
+	s.checkpoints.Inc()
+	return nil
+}
+
+// Crash drops all volatile state (pool frames, working mapping), reverting
+// to the last durable checkpoint exactly as a process restart would.
+func (s *Store) Crash() {
+	s.pool.Reset()
+	s.pf.Crash()
+}
+
+// Close releases the underlying file handle without checkpointing.
+func (s *Store) Close() error { return s.pf.Close() }

@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestGroupCommitBatchesConcurrentSyncs(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "wal.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetGroupCommit(true)
+	defer l.SetGroupCommit(false)
+
+	// A slow modeled fsync gives concurrent committers time to pile onto
+	// one batch; without batching this run would take clients*delay.
+	fault.Default().Reset()
+	t.Cleanup(func() { fault.Default().Reset() })
+	fault.Default().Arm("wal.append.fsync", fault.Action{Delay: 5 * time.Millisecond})
+
+	const clients = 16
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			txn := int64(c + 1)
+			if _, err := l.Append(rec(txn, RecInsert, "t", txn)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := l.Append(Record{Txn: txn, Type: RecCommit}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := l.SyncBatched(); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := l.Stats()
+	batches := l.gcBatches.Load()
+	commits := l.gcCommits.Load()
+	if commits != clients {
+		t.Fatalf("batched commits = %d, want %d", commits, clients)
+	}
+	if batches == 0 || batches >= clients {
+		t.Fatalf("batches = %d for %d commits; batching never amortized a sync", batches, clients)
+	}
+	if st.Syncs >= clients {
+		t.Fatalf("syncs = %d for %d commits; group commit did not reduce fsyncs below one per commit", st.Syncs, clients)
+	}
+
+	// Everything must actually be durable: a reopen sees all records.
+	l.Close()
+	l2, err := Open(l.path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != clients*2 {
+		t.Fatalf("reopened log has %d records, want %d", len(recs), clients*2)
+	}
+}
+
+func TestSyncBatchedFallsBackWhenDisabled(t *testing.T) {
+	l, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(rec(1, RecInsert, "t", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncBatched(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 1 {
+		t.Fatalf("Syncs = %d, want 1 (plain sync fallback)", got)
+	}
+}
+
+func TestSetGroupCommitToggleUnderLoad(t *testing.T) {
+	l, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				txn := int64(c*1_000_000 + i + 1)
+				if _, err := l.Append(Record{Txn: txn, Type: RecCommit}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.SyncBatched(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < 20; i++ {
+		l.SetGroupCommit(i%2 == 0)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	l.SetGroupCommit(false)
+}
+
+func TestCheckpointLSNTracksOldestActive(t *testing.T) {
+	l, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.CheckpointLSN(); got != 1 {
+		t.Fatalf("empty log CheckpointLSN = %d, want nextLSN 1", got)
+	}
+	lsn1, _ := l.Append(rec(1, RecInsert, "t", 1))
+	l.Append(rec(2, RecInsert, "t", 2)) //nolint:errcheck
+	l.Append(rec(1, RecInsert, "t", 3)) //nolint:errcheck
+	if got := l.CheckpointLSN(); got != lsn1 {
+		t.Fatalf("CheckpointLSN = %d, want oldest active first LSN %d", got, lsn1)
+	}
+	// Txn 1 commits; txn 2's first record becomes the floor.
+	l.Append(Record{Txn: 1, Type: RecCommit}) //nolint:errcheck
+	if got := l.CheckpointLSN(); got != lsn1+1 {
+		t.Fatalf("CheckpointLSN = %d after txn 1 commit, want %d", got, lsn1+1)
+	}
+	// All decided: the floor is the next LSN.
+	l.Append(Record{Txn: 2, Type: RecAbort}) //nolint:errcheck
+	if got, want := l.CheckpointLSN(), l.NextLSN(); got != want {
+		t.Fatalf("CheckpointLSN = %d with no active txns, want %d", got, want)
+	}
+}
+
+func TestSyncIfDirtySkipsCleanLog(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "wal.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(rec(1, RecInsert, "t", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncIfDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 1 {
+		t.Fatalf("Syncs = %d after dirty SyncIfDirty, want 1", got)
+	}
+	if err := l.SyncIfDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 1 {
+		t.Fatalf("Syncs = %d after clean SyncIfDirty, want still 1", got)
+	}
+}

@@ -1,6 +1,13 @@
 // Package wal implements the engine's write-ahead log: sequenced redo/undo
-// records, durable append with group commit syncing, and circular log-space
-// accounting.
+// records, durable append, optional group-commit syncing, and circular
+// log-space accounting.
+//
+// Group commit amortizes the stable-write delay that dominates commit cost:
+// with SetGroupCommit(true), SyncBatched enqueues the caller on a batcher
+// daemon that drains every waiting committer and covers the whole batch
+// with one fsync — each committer's records are already appended before it
+// enqueues, so the single sync durably covers all of them. With the batcher
+// off, SyncBatched degrades to a plain per-caller Sync.
 //
 // The space accounting models DB2's circular log: space between the first
 // record of the oldest in-flight transaction and the end of the log is
@@ -182,6 +189,22 @@ type Log struct {
 	// firstOffset maps each in-flight transaction to the byte offset of
 	// its first record; the minimum is the tail of the active log.
 	firstOffset map[int64]int64
+	// firstLSN is the LSN-space twin of firstOffset: the checkpoint start
+	// LSN must not advance past the oldest in-flight transaction's first
+	// record, or recovery could not undo it.
+	firstLSN map[int64]int64
+
+	// syncedEnd is the logical end offset covered by the last successful
+	// sync; SyncIfDirty skips the fsync when nothing was appended since.
+	syncedEnd int64
+
+	// Group-commit batcher state (SetGroupCommit / SyncBatched): waiters
+	// register under mu and nudge the daemon through gcNotify; the daemon
+	// swaps the slice out and answers the whole batch with one sync.
+	gcOn      bool
+	gcWaiters []chan error
+	gcNotify  chan struct{}
+	gcStop    chan struct{}
 
 	// Scan-position cache for ReadFrom: every record at a byte offset
 	// below scanOff has LSN < scanLSN, so an incremental read for any
@@ -191,10 +214,12 @@ type Log struct {
 	scanLSN int64
 	scanOff int64
 
-	appends  obs.Counter
-	bytes    obs.Counter
-	syncs    obs.Counter
-	logFulls obs.Counter
+	appends   obs.Counter
+	bytes     obs.Counter
+	syncs     obs.Counter
+	logFulls  obs.Counter
+	gcBatches obs.Counter
+	gcCommits obs.Counter
 	// syncHist measures the stable-write delay that dominates commit cost
 	// in the Gray-Lamport accounting of 2PC.
 	syncHist *obs.Histogram
@@ -213,6 +238,8 @@ func (l *Log) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	reg.RegisterCounter("wal_bytes_total", &l.bytes)
 	reg.RegisterCounter("wal_syncs_total", &l.syncs)
 	reg.RegisterCounter("wal_log_fulls_total", &l.logFulls)
+	reg.RegisterCounter("wal_group_commit_batches_total", &l.gcBatches)
+	reg.RegisterCounter("wal_group_commit_batch_commits_total", &l.gcCommits)
 	reg.RegisterHistogram("wal_sync_seconds", l.syncHist)
 	reg.GaugeFunc("wal_active_bytes", func() float64 {
 		l.mu.Lock()
@@ -235,6 +262,7 @@ func Open(path string, capacity int64) (*Log, error) {
 		capacity:    capacity,
 		nextLSN:     1,
 		firstOffset: make(map[int64]int64),
+		firstLSN:    make(map[int64]int64),
 		syncHist:    obs.NewHistogram(),
 	}
 	if path == "" {
@@ -304,9 +332,11 @@ func (l *Log) Append(r Record) (int64, error) {
 		switch r.Type {
 		case RecCommit, RecAbort:
 			delete(l.firstOffset, r.Txn)
+			delete(l.firstLSN, r.Txn)
 		default:
 			if _, ok := l.firstOffset[r.Txn]; !ok {
 				l.firstOffset[r.Txn] = l.end
+				l.firstLSN[r.Txn] = r.LSN
 			}
 		}
 	}
@@ -342,6 +372,23 @@ func (l *Log) ForgetTxn(txn int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.firstOffset, txn)
+	delete(l.firstLSN, txn)
+}
+
+// CheckpointLSN returns the LSN a checkpoint taken now must record as its
+// replay start: the first LSN of the oldest in-flight transaction, or the
+// next LSN when nothing is in flight. Recovery replaying from it sees
+// every record of every transaction that was undecided at the checkpoint.
+func (l *Log) CheckpointLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	for _, fl := range l.firstLSN {
+		if fl < lsn {
+			lsn = fl
+		}
+	}
+	return lsn
 }
 
 // Sync forces appended records to stable storage.
@@ -353,12 +400,107 @@ func (l *Log) Sync() error {
 		return err
 	}
 	if l.f == nil {
+		l.syncedEnd = l.end
 		return nil
 	}
 	start := time.Now()
 	err := l.f.Sync()
 	l.syncHist.Observe(time.Since(start))
+	if err == nil {
+		l.syncedEnd = l.end
+	}
 	return err
+}
+
+// SyncIfDirty syncs only if records were appended since the last durable
+// sync — the WAL-before-page hook for buffer-pool write-back, where the
+// log is usually already ahead of the pages being flushed.
+func (l *Log) SyncIfDirty() error {
+	l.mu.Lock()
+	dirty := l.end > l.syncedEnd
+	l.mu.Unlock()
+	if !dirty {
+		return nil
+	}
+	return l.Sync()
+}
+
+// SetGroupCommit starts (true) or stops (false) the group-commit batcher
+// daemon. Stopping answers every registered waiter with one final sync
+// before the daemon exits. Toggling is safe at any time.
+func (l *Log) SetGroupCommit(on bool) {
+	l.mu.Lock()
+	if on == l.gcOn {
+		l.mu.Unlock()
+		return
+	}
+	if on {
+		l.gcOn = true
+		l.gcNotify = make(chan struct{}, 1)
+		l.gcStop = make(chan struct{})
+		notify, stop := l.gcNotify, l.gcStop
+		l.mu.Unlock()
+		go l.groupCommitDaemon(notify, stop)
+		return
+	}
+	l.gcOn = false
+	stop := l.gcStop
+	l.gcStop, l.gcNotify = nil, nil
+	l.mu.Unlock()
+	close(stop)
+}
+
+// SyncBatched makes the caller's appended records durable, sharing one
+// fsync with every other committer waiting when the batcher daemon wakes.
+// The caller must have appended its records before calling (they are, by
+// the engine's commit sequence), so the covering sync includes them. With
+// group commit off this is exactly Sync.
+func (l *Log) SyncBatched() error {
+	l.mu.Lock()
+	if !l.gcOn {
+		l.mu.Unlock()
+		return l.Sync()
+	}
+	w := make(chan error, 1)
+	l.gcWaiters = append(l.gcWaiters, w)
+	notify := l.gcNotify
+	l.mu.Unlock()
+	select {
+	case notify <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+	return <-w
+}
+
+// groupCommitDaemon answers each accumulated waiter batch with one sync.
+// On stop it runs a final drain: every waiter registered before the gcOn
+// flip is already in the slice, so nobody is left waiting.
+func (l *Log) groupCommitDaemon(notify, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			l.answerWaiters()
+			return
+		case <-notify:
+			l.answerWaiters()
+		}
+	}
+}
+
+func (l *Log) answerWaiters() {
+	l.mu.Lock()
+	batch := l.gcWaiters
+	l.gcWaiters = nil
+	l.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	err := l.Sync()
+	l.gcBatches.Add(1)
+	l.gcCommits.Add(int64(len(batch)))
+	for _, w := range batch {
+		w <- err
+	}
 }
 
 // Stats returns a snapshot of log statistics.
@@ -397,6 +539,7 @@ func (l *Log) ReadFrom(lsn int64) ([]Record, error) {
 	if err := l.f.Sync(); err != nil {
 		return nil, fmt.Errorf("wal: sync before scan: %w", err)
 	}
+	l.syncedEnd = l.end
 	f, err := os.Open(l.path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: reopen for scan: %w", err)

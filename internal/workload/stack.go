@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -224,6 +225,10 @@ type StackConfig struct {
 	// gets an outcome-learner daemon over the same set, so prepared
 	// participants resolve themselves when the coordinator goes quiet.
 	PaxosAcceptors int
+	// DataDir, when set, gives every database (host and each DLFM) a
+	// page-backed storage directory under it, so heaps and indexes live in
+	// 4 KB pages behind a buffer pool instead of purely in memory.
+	DataDir string
 	// Cluster joins every server into one logical cluster behind a
 	// placement map; workloads then address ClusterName and the host routes
 	// each path to its owning member.
@@ -249,6 +254,12 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	hostCfg := hostdb.DefaultConfig("host")
 	hostCfg.Tracer = tracer
 	hostCfg.DB.Flight = flight
+	if cfg.DataDir != "" {
+		hostCfg.DB.DataDir = filepath.Join(cfg.DataDir, "host")
+		if hostCfg.DB.LogPath == "" {
+			hostCfg.DB.LogPath = filepath.Join(hostCfg.DB.DataDir, "db.wal")
+		}
+	}
 	if cfg.MutateHost != nil {
 		cfg.MutateHost(&hostCfg)
 	}
@@ -300,6 +311,12 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		// prefix (component reads "fs1/agent" and so on).
 		dlfmCfg.Tracer = tracer.Named(name)
 		dlfmCfg.Flight = flight
+		if cfg.DataDir != "" {
+			dlfmCfg.DB.DataDir = filepath.Join(cfg.DataDir, name)
+			if dlfmCfg.DB.LogPath == "" {
+				dlfmCfg.DB.LogPath = filepath.Join(dlfmCfg.DB.DataDir, "db.wal")
+			}
+		}
 		if cfg.MutateDLFM != nil {
 			cfg.MutateDLFM(name, &dlfmCfg)
 		}
@@ -417,6 +434,9 @@ func (st *Stack) addStandby(cfg StackConfig, name string, primary *core.Server) 
 	sbCfg.DB.Name += "-sb"
 	if sbCfg.DB.LogPath != "" {
 		sbCfg.DB.LogPath += "-sb"
+	}
+	if sbCfg.DB.DataDir != "" {
+		sbCfg.DB.DataDir += "-sb"
 	}
 	sbSrv, err := core.NewStandby(sbCfg, st.FS[name], st.Arch[name])
 	if err != nil {

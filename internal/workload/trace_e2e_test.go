@@ -307,6 +307,8 @@ func TestMetricsGoldenList(t *testing.T) {
 		// Cluster metrics only register when the host owns a placement map,
 		// so the audit runs against a (1-member) clustered stack.
 		c.Cluster = true
+		// storage_* metrics only register when databases are page-backed.
+		c.DataDir = t.TempDir()
 	})
 	r, err := NewRunner(st, Config{
 		Clients: 4, OpsPerClient: 10, Mix: DefaultMix(), PreloadRows: 10, Seed: 2,
@@ -367,6 +369,16 @@ func TestMetricsGoldenList(t *testing.T) {
 		"cluster_move_seconds",
 		"dlfm_migrated_in_total",
 		"dlfm_migrated_out_total",
+		// This PR's page-store and group-commit names (DESIGN.md §11).
+		"storage_pool_hits_total",
+		"storage_pool_misses_total",
+		"storage_pool_evictions_total",
+		"storage_page_reads_total",
+		"storage_page_writes_total",
+		"storage_pool_pages",
+		"storage_checkpoints_total",
+		"wal_group_commit_batches_total",
+		"wal_group_commit_batch_commits_total",
 	}
 	var missing []string
 	for _, name := range golden {
