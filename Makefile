@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke ci
+.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke storm-smoke ci
 
 all: ci
 
@@ -28,6 +28,7 @@ bench:
 	$(GO) run ./cmd/dlfmbench fanout -ops 20
 	$(GO) run ./cmd/dlfmbench traceoverhead -ops 20
 	$(GO) run ./cmd/dlfmbench storage -ops 20
+	$(GO) run ./cmd/dlfmbench storm -ops 100
 
 # Compare the current bench.jsonl against the committed baseline AND the
 # newest entry of the per-PR trajectory: gated counts (counters + histogram
@@ -84,4 +85,13 @@ storage-smoke:
 	$(GO) run -race ./cmd/dlfmbench storage -ops 10 | tee storage-output.txt
 	grep '^BENCH ' storage-output.txt > storage.jsonl
 
-ci: build vet race chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke
+# Storm smoke under the race detector: the E15 open-loop storm at a reduced
+# session count — calibrate saturation, then drive ~3x it with connection
+# drops injected, admission shedding off then on. Exits non-zero on any
+# consistency violation; the BENCH line (throughput, shed rate, p99, SLO
+# verdicts) lands in storm.jsonl for CI to archive.
+storm-smoke:
+	$(GO) run -race ./cmd/dlfmbench storm -seed 1 -ops 15 | tee storm-output.txt
+	grep '^BENCH ' storm-output.txt > storm.jsonl
+
+ci: build vet race chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke storm-smoke

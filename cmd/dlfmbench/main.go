@@ -8,6 +8,7 @@
 //	dlfmbench chaos -seed 1 -dur 10s   # fault-injection soak + invariant check
 //	dlfmbench failover -seed 1 -dur 5s # kill a primary, promote its standby
 //	dlfmbench scaleout -members 1,2,4,8,16
+//	dlfmbench storm -ops 100          # open-loop storm, shedding on vs off
 //	dlfmbench throughput | nextkey | escalation | optimizer |
 //	          synccommit | timeout | batchcommit | twophase |
 //	          commitlocks | processmodel
@@ -56,6 +57,7 @@ var all = []runner{
 	{"scaleout", "E12: aggregate link throughput vs cluster size + online drain under chaos", wrap(experiments.RunE12Scaleout)},
 	{"commitproto", "E13: 2PC vs Paxos Commit under coordinator crashes + fast paths", wrap(experiments.RunE13CommitProto)},
 	{"storage", "E14: page store — WAL group commit, buffer pool, tail-only restart", wrap(experiments.RunE14Storage)},
+	{"storm", "E15: open-loop storm past the knee, admission shedding on vs off", wrap(experiments.RunE15Storm)},
 	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
 	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
 }

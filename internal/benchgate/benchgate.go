@@ -65,6 +65,11 @@ var ungatedPrefixes = []string{
 	"wal_group_commit_",
 	"storage_",
 	"e14_",
+	// The open-loop storm's raw counters and latencies scale with the
+	// machine's measured saturation throughput; only the e15_* shape
+	// gauges (consistency held, SLO met, shedding engaged) are gated.
+	"storm_",
+	"e15_raw_",
 }
 
 func ungated(name string) bool {

@@ -18,13 +18,15 @@ import (
 //     and install file bytes + linked entries at the target inside one
 //     host-coordinated 2PC transaction. Writers keep hitting the source.
 //  2. fence: block new writers for the slot and wait out in-flight ones.
-//  3. drain: poll the source's retained WAL (reusing the internal/repl log
+//  3. drain: poll each side's retained WAL (reusing the internal/repl log
 //     shipping protocol) until every transaction that touched the slot has
-//     a commit or abort on record — the moment the source's slot state is
+//     a commit or abort on record — the moment that side's slot state is
 //     final. The scan starts at the log's beginning, not at a move-start
 //     snapshot: a transaction that linked into the slot long before the
 //     move and is still in flight has a dirty row sitting in both
-//     manifests, and only its pre-move data record reveals it.
+//     manifests, and only its pre-move data record reveals it. The target
+//     is drained too: a failed earlier round can leave its own migration
+//     transaction prepared there, equally dirty in the manifest.
 //  4. delta: re-manifest both sides (now quiesced for this slot) and
 //     converge the target — late links copied over, bulk-copied files that
 //     were unlinked removed — then delete the slot's entries at the source,
@@ -175,6 +177,21 @@ func (mv *Mover) runMove(ms *moveState) (int, error) {
 	// ever touched it is still undecided.
 	sp = mv.h.Tracer.StartSpan(root.Ctx(), "cluster", "drain")
 	err = mv.drain(src, slot)
+	sp.End()
+	if err != nil {
+		return 0, err
+	}
+	// The target needs the same treatment before the delta manifests: an
+	// earlier failed round of this move can leave a migration transaction
+	// prepared at the target (its CommitReq lost to a kill or a dropped
+	// connection), and the DumpTable manifest reads its uncommitted writes.
+	// Converging on that dirty state and cutting over would let a later
+	// presumed abort mutate the slot post-cutover — inserts vanish (lost
+	// links) or deltadeletes roll back (orphan linked entries with no host
+	// row). Draining the target settles every such transaction first; the
+	// drain's ResolveIndoubts kicks let presumed abort do its work.
+	sp = mv.h.Tracer.StartSpan(root.Ctx(), "cluster", "drain_target")
+	err = mv.drain(tgt, slot)
 	sp.End()
 	if err != nil {
 		return 0, err
@@ -405,35 +422,79 @@ func (mv *Mover) drain(src *rpc.Client, slot int) error {
 	}
 }
 
-// undecided counts transactions with slot-touching dlfm_file writes but no
-// commit/abort in the record stream.
+// undecided counts transactions with slot-touching dlfm_file writes whose
+// outcome is not final. A local commit/abort record is necessary but not
+// sufficient: under the delayed-update scheme a 2PC participant COMMITS its
+// local transaction at prepare time (hardening a dlfm_txn row in state 'P')
+// and a later global abort compensates in a fresh local transaction. Such a
+// transaction has RecCommit in the stream while its slot writes can still
+// be undone — treating it as decided is how a cutover used to race phase 2
+// and strand orphan or resurrected entries. So a transaction that prepared
+// (dlfm_txn 'P') stays undecided until the global decision reaches this
+// member: a committed 'C' mark or a committed delete of its dlfm_txn row.
 func (mv *Mover) undecided(recs []wal.Record, slot int) int {
-	touched := map[int64]bool{}
-	decided := map[int64]bool{}
+	touched := map[int64]bool{}   // local txns with slot-touching dlfm_file writes
+	committed := map[int64]bool{} // local txns with a commit record
+	decided := map[int64]bool{}   // local txns with a commit or abort record
+	pendingOf := map[int64]int64{}  // prepare local txn -> global txn id
+	resolvers := map[int64][]int64{} // global txn id -> local txns carrying its decision
 	for _, r := range recs {
 		switch r.Type {
 		case wal.RecInsert, wal.RecDelete, wal.RecUpdate:
-			if r.Table != "dlfm_file" {
-				continue
-			}
 			row := r.After
 			if len(row) == 0 {
 				row = r.Before
 			}
-			if len(row) == 0 {
-				continue
+			switch r.Table {
+			case "dlfm_file":
+				if len(row) == 0 {
+					continue
+				}
+				if SlotOf(row[0].Text(), mv.m.Slots()) == slot {
+					touched[r.Txn] = true
+				}
+			case "dlfm_txn":
+				// Columns: txnid (global id), state, ngroups, ts.
+				if len(row) < 2 {
+					continue
+				}
+				gid := row[0].Int64()
+				if st := row[1].Text(); r.Type != wal.RecDelete && (st == "P" || st == "F") {
+					// 'P' = prepared, 'F' = in-flight batched local commit;
+					// both mean local effects without a global decision.
+					pendingOf[r.Txn] = gid
+				} else {
+					// 'C' mark, row delete (abort compensation), or any
+					// other state change: a decision attempt for gid. It
+					// only counts once its own local transaction commits.
+					resolvers[gid] = append(resolvers[gid], r.Txn)
+				}
 			}
-			if SlotOf(row[0].Text(), mv.m.Slots()) == slot {
-				touched[r.Txn] = true
-			}
-		case wal.RecCommit, wal.RecAbort:
+		case wal.RecCommit:
+			committed[r.Txn] = true
+			decided[r.Txn] = true
+		case wal.RecAbort:
 			decided[r.Txn] = true
 		}
+	}
+	resolved := func(gid int64) bool {
+		for _, txn := range resolvers[gid] {
+			if committed[txn] {
+				return true
+			}
+		}
+		return false
 	}
 	n := 0
 	for txn := range touched {
 		if !decided[txn] {
 			n++
+			continue
+		}
+		// Only a COMMITTED prepare pends on the global decision — a local
+		// abort rolled the 'P' row back along with the slot writes.
+		if gid, ok := pendingOf[txn]; ok && committed[txn] && !resolved(gid) {
+			n++ // locally committed at prepare, globally still in doubt
 		}
 	}
 	return n

@@ -295,21 +295,25 @@ func (db *DB) Crash() error {
 	db.tables = make(map[string]*table)
 	db.cat = catalog.New()
 	db.indoubt = make(map[int64]*txn)
+	// NewManager re-registers the lock_* metrics; the registry's replace
+	// semantics make the fresh manager's counters the live ones. The swap
+	// happens under the latch so concurrent diagnostic readers (admin
+	// wait-graph, stats scrapers) see either the old or the new manager,
+	// never a torn pointer.
+	db.lm = lock.NewManager(db.lockConfig())
 	db.latch.Unlock()
 	if db.store != nil {
 		// Drop pool frames and the working page mapping; the page file
 		// reverts to the last durable checkpoint, the WAL survives.
 		db.store.Crash()
 	}
-	// NewManager re-registers the lock_* metrics; the registry's replace
-	// semantics make the fresh manager's counters the live ones.
-	db.lm = lock.NewManager(db.lockConfig())
 	db.tracer.Emit(0, "engine", "crash", db.cfg.Name)
 	return db.recoverDispatch()
 }
 
 // Stats returns a snapshot of cumulative engine statistics.
 func (db *DB) Stats() Stats {
+	lm := db.LockManager()
 	return Stats{
 		Selects:    db.selects.Load(),
 		Inserts:    db.inserts.Load(),
@@ -321,7 +325,7 @@ func (db *DB) Stats() Stats {
 		IndexScans: db.indexScans.Load(),
 		RowsRead:   db.rowsRead.Load(),
 		Rebinds:    db.rebinds.Load(),
-		Lock:       db.lm.Stats(),
+		Lock:       lm.Stats(),
 		Log:        db.log.Stats(),
 	}
 }
@@ -331,12 +335,20 @@ func (db *DB) Stats() Stats {
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // LockManager exposes lock diagnostics to tests and the benchmark harness.
-func (db *DB) LockManager() *lock.Manager { return db.lm }
+// Crash replaces the manager, so the pointer is read under the latch: a
+// caller racing a crash gets either the old or the new manager, both of
+// which are internally synchronized.
+func (db *DB) LockManager() *lock.Manager {
+	db.latch.Lock()
+	lm := db.lm
+	db.latch.Unlock()
+	return lm
+}
 
 // SetLockTimeout adjusts the lock timeout at runtime (experiment E7 sweeps
 // it).
 func (db *DB) SetLockTimeout(d time.Duration) {
-	db.lm.SetTimeout(d)
+	db.LockManager().SetTimeout(d)
 }
 
 // table looks up a runtime table. Caller must hold the latch.

@@ -1,0 +1,75 @@
+package hostdb
+
+import (
+	"errors"
+	"time"
+)
+
+// Admission control: under open-loop load the host cannot rely on clients
+// slowing down when it falls behind — arrivals keep coming at the configured
+// rate no matter how deep the queues get. Left alone, the overload spiral is
+// the one the paper warns about twice: the engine lock list fills until
+// forced escalation serializes the hot tables ("lock escalation in any of
+// the metadata tables usually brings the system to its knees"), and the WAL
+// group-commit queue grows until every commit waits behind an unbounded
+// fsync convoy. Shedding NEW transactions at the door keeps the transactions
+// already admitted inside their latency budget; the shed ones fail fast with
+// ErrOverload and the client retries later. In-flight transactions are never
+// refused — admission is checked only when a session starts a fresh
+// transaction, so a multi-statement transaction cannot be cut off halfway.
+
+// ErrOverload rejects a new transaction at admission: the engine's lock
+// list or the WAL group-commit queue is too close to its limit. The
+// transaction was not started; the caller may retry after backing off.
+var ErrOverload = errors.New("hostdb: overloaded, new transaction not admitted")
+
+// admissionPressure reports the two backpressure signals: the held-lock
+// count as a fraction of the engine's LockListSize cap (0 when uncapped)
+// and the WAL group-commit queue depth.
+func (db *DB) admissionPressure() (lockFrac float64, walQueue int) {
+	lm := db.eng.LockManager()
+	if limit := lm.LockListLimit(); limit > 0 {
+		lockFrac = float64(lm.HeldTotal()) / float64(limit)
+	}
+	return lockFrac, db.eng.WAL().GroupCommitQueueDepth()
+}
+
+// overloaded answers whether a new transaction should be refused right now.
+func (db *DB) overloaded() bool {
+	lockFrac, walQueue := db.admissionPressure()
+	if f := db.cfg.AdmissionLockFrac; f > 0 && lockFrac >= f {
+		return true
+	}
+	if max := db.cfg.AdmissionWALQueueMax; max > 0 && walQueue >= max {
+		return true
+	}
+	return false
+}
+
+// admit gates the start of a new transaction. With both knobs zero it is
+// free. Under pressure it first delays up to AdmissionMaxDelay — a short
+// arrival-side queue that absorbs bursts without refusing them — and sheds
+// with ErrOverload only if the pressure has not cleared by then.
+func (db *DB) admit() error {
+	if db.cfg.AdmissionLockFrac <= 0 && db.cfg.AdmissionWALQueueMax <= 0 {
+		return nil
+	}
+	if !db.overloaded() {
+		return nil
+	}
+	if d := db.cfg.AdmissionMaxDelay; d > 0 {
+		db.stats.AdmissionDelayed.Add(1)
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			time.Sleep(admissionPollInterval)
+			if !db.overloaded() {
+				return nil
+			}
+		}
+	}
+	db.stats.AdmissionShed.Add(1)
+	return ErrOverload
+}
+
+// admissionPollInterval paces the delay loop's pressure re-checks.
+const admissionPollInterval = 500 * time.Microsecond

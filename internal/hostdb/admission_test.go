@@ -1,0 +1,85 @@
+package hostdb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Admission control refuses NEW transactions while the engine's held-lock
+// count sits above the configured fraction of LockListSize, but never cuts
+// off a transaction that is already in flight.
+func TestAdmissionShedsOnLockPressure(t *testing.T) {
+	st := newStack(t, []string{"fs1"}, func(h *Config, _ map[string]*core.Config) {
+		// Shed at 20 held locks (0.5 * 40). Escalation stays out of the
+		// picture: the per-txn threshold is off and the hoarder stops well
+		// under the hard cap, so the held count climbs monotonically.
+		h.DB.LockListSize = 40
+		h.DB.EscalationThreshold = 0
+		h.AdmissionLockFrac = 0.5
+	})
+	s1 := st.db.Session()
+	defer s1.Close()
+	if _, err := s1.Exec(`CREATE TABLE adm (id BIGINT NOT NULL, v VARCHAR NOT NULL)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hoard locks in one open transaction until past the high-water mark.
+	for i := 0; st.db.Engine().LockManager().HeldTotal() < 20; i++ {
+		if i >= 40 {
+			t.Fatalf("held count stuck at %d after %d inserts",
+				st.db.Engine().LockManager().HeldTotal(), i)
+		}
+		if _, err := s1.Exec(fmt.Sprintf(`INSERT INTO adm VALUES (%d, 'x')`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh transaction is refused at the door...
+	s2 := st.db.Session()
+	defer s2.Close()
+	if _, err := s2.Exec(`INSERT INTO adm VALUES (1000, 'y')`); !errors.Is(err, ErrOverload) {
+		t.Fatalf("new txn under pressure: err = %v, want ErrOverload", err)
+	}
+	if got := st.db.Stats().AdmissionShed; got == 0 {
+		t.Error("AdmissionShed = 0 after a refusal")
+	}
+
+	// ...while the in-flight transaction keeps running.
+	if _, err := s1.Exec(`INSERT INTO adm VALUES (2000, 'z')`); err != nil {
+		t.Fatalf("in-flight txn refused: %v", err)
+	}
+	if err := s1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pressure cleared with the commit; the shed client's retry is admitted.
+	if _, err := s2.Exec(`INSERT INTO adm VALUES (1000, 'y')`); err != nil {
+		t.Fatalf("retry after pressure cleared: %v", err)
+	}
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s2.Query(`SELECT id FROM adm WHERE id = 1000`)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("retried insert not visible: rows=%v err=%v", rows, err)
+	}
+}
+
+// With both knobs zero, admission is a no-op — the gauges still report the
+// pressure signals for dashboards.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	st := newStack(t, []string{"fs1"})
+	if st.db.overloaded() {
+		t.Fatal("fresh idle host reports overload")
+	}
+	if err := st.db.admit(); err != nil {
+		t.Fatalf("admit with admission off: %v", err)
+	}
+	lockFrac, walQueue := st.db.admissionPressure()
+	if lockFrac != 0 || walQueue != 0 {
+		t.Fatalf("idle pressure = (%v, %d), want (0, 0)", lockFrac, walQueue)
+	}
+}

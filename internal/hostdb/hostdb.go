@@ -80,6 +80,19 @@ type Config struct {
 	// standby. Zero defaults to 3. Only meaningful once RegisterStandby
 	// has armed a standby for the server.
 	FailoverThreshold int
+	// AdmissionLockFrac sheds new transactions while the host engine's
+	// held-lock count is at or above this fraction of its LockListSize cap
+	// (e.g. 0.8 = shed at 80% full). Zero disables the lock signal; it is
+	// also inert when the engine's lock list is uncapped.
+	AdmissionLockFrac float64
+	// AdmissionWALQueueMax sheds new transactions while the WAL
+	// group-commit queue holds at least this many waiting committers. Zero
+	// disables the WAL signal. Both signals zero = no admission control.
+	AdmissionWALQueueMax int
+	// AdmissionMaxDelay lets a new transaction wait this long for the
+	// pressure to clear before it is shed — a short arrival-side queue that
+	// rides out bursts. Zero sheds immediately.
+	AdmissionMaxDelay time.Duration
 	// Obs receives the host's counters and histograms (host_* names) plus
 	// those of its engine. Nil creates a fresh registry labeled
 	// host=<Name>; retrieve it with DB.Obs.
@@ -132,6 +145,8 @@ type Stats struct {
 	PaxosRecoveries  obs.Counter // outcomes the session had to learn back from acceptors
 	OutcomeGCs       obs.Counter // presumed-commit outcome rows garbage-collected
 	IndoubtDropped   obs.Counter // parked indoubt hints dropped at the cap
+	AdmissionShed    obs.Counter // new transactions refused with ErrOverload
+	AdmissionDelayed obs.Counter // new transactions that waited at admission
 }
 
 func (st *Stats) register(reg *obs.Registry) {
@@ -152,6 +167,8 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.RegisterCounter("host_paxos_recoveries_total", &st.PaxosRecoveries)
 	reg.RegisterCounter("host_outcome_gc_total", &st.OutcomeGCs)
 	reg.RegisterCounter("host_indoubt_dropped_total", &st.IndoubtDropped)
+	reg.RegisterCounter("host_admission_shed_total", &st.AdmissionShed)
+	reg.RegisterCounter("host_admission_delayed_total", &st.AdmissionDelayed)
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -162,6 +179,7 @@ type Snapshot struct {
 	ReadOnlyVotes, OnePhaseCommits  int64
 	PaxosCommits, PaxosRecoveries   int64
 	OutcomeGCs, IndoubtDropped      int64
+	AdmissionShed, AdmissionDelayed int64
 }
 
 // DB is one host database instance.
@@ -246,6 +264,16 @@ func Open(cfg Config) (*DB, error) {
 	db.obs.GaugeFunc("host_prepare_fanout", func() float64 {
 		return float64(db.prepFanout.Load())
 	})
+	// Admission-pressure gauges: the two signals the controller watches,
+	// exported even when admission is off so dashboards can see the margin.
+	db.obs.GaugeFunc("host_admission_lock_pressure", func() float64 {
+		f, _ := db.admissionPressure()
+		return f
+	})
+	db.obs.GaugeFunc("host_admission_wal_queue", func() float64 {
+		_, q := db.admissionPressure()
+		return float64(q)
+	})
 	db.attribHists = make(map[string]*obs.Histogram, len(obs.AttributionBuckets))
 	for _, b := range obs.AttributionBuckets {
 		h := obs.NewHistogram()
@@ -304,6 +332,8 @@ func (db *DB) Stats() Snapshot {
 		PaxosRecoveries:  db.stats.PaxosRecoveries.Load(),
 		OutcomeGCs:       db.stats.OutcomeGCs.Load(),
 		IndoubtDropped:   db.stats.IndoubtDropped.Load(),
+		AdmissionShed:    db.stats.AdmissionShed.Load(),
+		AdmissionDelayed: db.stats.AdmissionDelayed.Load(),
 	}
 }
 

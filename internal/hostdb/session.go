@@ -93,8 +93,15 @@ func (s *Session) Close() {
 	s.parts = nil
 }
 
-func (s *Session) begin() {
+// begin starts a transaction if none is open. Starting a NEW transaction
+// passes through admission control: under overload it fails with
+// ErrOverload and the session stays idle — statements of an already-open
+// transaction are never refused.
+func (s *Session) begin() error {
 	if s.txn == 0 {
+		if err := s.db.admit(); err != nil {
+			return err
+		}
 		s.txn = s.db.NextTxn()
 		s.dead = false
 		s.db.markActive(s.txn)
@@ -107,6 +114,7 @@ func (s *Session) begin() {
 			s.conn.SetSpanCtx(obs.SpanCtx{Trace: s.txn})
 		}
 	}
+	return nil
 }
 
 // part returns (dialing if necessary) the participant for server and
@@ -177,7 +185,9 @@ func (s *Session) Exec(text string, params ...value.Value) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.begin()
+	if err := s.begin(); err != nil {
+		return 0, err
+	}
 	sp := s.db.tracer.StartSpanInTrace(s.txn, 0, "host", "stmt").Attr("sql", truncateSQL(text))
 	s.stmtSpan = sp.Ctx()
 	if sp != nil {
@@ -724,7 +734,9 @@ func (s *Session) Query(text string, params ...value.Value) ([]value.Row, error)
 	if !isSel {
 		return nil, fmt.Errorf("hostdb: Query requires a SELECT")
 	}
-	s.begin()
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
 	rows, err := s.conn.Query(text, params...)
 	if err != nil {
 		return nil, s.mapEngineErr(err)
@@ -1081,7 +1093,9 @@ func (s *Session) Enlist(server string) error {
 	if s.dead {
 		return fmt.Errorf("%w: acknowledge with Rollback", ErrTxnRolledBack)
 	}
-	s.begin()
+	if err := s.begin(); err != nil {
+		return err
+	}
 	_, err := s.part(server)
 	return err
 }

@@ -324,7 +324,9 @@ func (db *DB) Reconcile() (int, error) {
 func (db *DB) DropTable(table string) error {
 	s := db.Session()
 	defer s.Close()
-	s.begin()
+	if err := s.begin(); err != nil {
+		return err
+	}
 
 	cols, err := db.datalinkCols(s.conn, table)
 	if err != nil {
@@ -382,7 +384,9 @@ type LoadRow struct {
 func (db *DB) Load(table string, cols []string, rows []value.Row) (int64, error) {
 	s := db.Session()
 	defer s.Close()
-	s.begin()
+	if err := s.begin(); err != nil {
+		return 0, err
+	}
 
 	dlCols, err := db.datalinkCols(s.conn, table)
 	if err != nil {

@@ -295,6 +295,14 @@ func (m *Manager) txnSetLocked() map[int64]struct{} {
 	return set
 }
 
+// HeldTotal reports the current number of held locks across all
+// transactions — the quantity LockListSize caps. Admission control reads it
+// to shed load before forced escalation kicks in.
+func (m *Manager) HeldTotal() int { return int(m.held.Load()) }
+
+// LockListLimit reports the configured LockListSize cap (0 = unlimited).
+func (m *Manager) LockListLimit() int { return m.cfg.LockListSize }
+
 // SetTimeout changes the lock-wait timeout for subsequent requests.
 func (m *Manager) SetTimeout(d time.Duration) {
 	m.timeout.Store(int64(d))

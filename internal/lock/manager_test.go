@@ -367,6 +367,54 @@ func TestForcedEscalationByLockList(t *testing.T) {
 	}
 }
 
+// TestForcedEscalationConcurrent drives many transactions over a small
+// LockListSize at once — the admission-control scenario where the global
+// held-lock count crosses the cap while acquisitions are in flight on every
+// shard. Each transaction works a private table, so every request is
+// conflict-free and any error is a bug in the escalation path itself. Run
+// with -race: the forced-escalation check reads the global held counter
+// outside the shard mutex, and this is the test that would catch it
+// regressing into a torn or deadlocking read.
+func TestForcedEscalationConcurrent(t *testing.T) {
+	const (
+		txns    = 16
+		rows    = 32
+		lockCap = 24 // under rows: forcing triggers even if txns never overlap
+	)
+	m := mgr(Config{LockListSize: lockCap})
+	if got := m.LockListLimit(); got != lockCap {
+		t.Fatalf("LockListLimit = %d, want %d", got, lockCap)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, txns)
+	for id := int64(1); id <= txns; id++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			table := "t" + string(rune('a'+id%26)) + string(rune('a'+(id/26)%26))
+			for i := int64(0); i < rows; i++ {
+				if err := m.Acquire(id, RowTarget(table, i), X); err != nil {
+					errs <- err
+					return
+				}
+			}
+			m.ReleaseAll(id)
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("conflict-free acquire failed: %v", err)
+	}
+	if got := m.Stats().Escalations; got == 0 {
+		t.Errorf("Escalations = 0, want >0 with %d locks over a cap of %d",
+			txns*rows, lockCap)
+	}
+	if got := m.HeldTotal(); got != 0 {
+		t.Errorf("HeldTotal = %d after all ReleaseAll, want 0", got)
+	}
+}
+
 func TestInstantReleaseOfKeyLock(t *testing.T) {
 	m := mgr(Config{})
 	tgt := KeyTarget("f", "ix1", "[k]")

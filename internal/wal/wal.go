@@ -472,6 +472,16 @@ func (l *Log) SyncBatched() error {
 	return <-w
 }
 
+// GroupCommitQueueDepth reports how many committers are currently queued
+// behind the group-commit batcher waiting for their covering fsync. A
+// persistently deep queue means the disk cannot keep up with the commit
+// arrival rate — the admission controller's backpressure signal.
+func (l *Log) GroupCommitQueueDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.gcWaiters)
+}
+
 // groupCommitDaemon answers each accumulated waiter batch with one sync.
 // On stop it runs a final drain: every waiter registered before the gcOn
 // flip is already in the slice, so nobody is left waiting.

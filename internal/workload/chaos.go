@@ -120,16 +120,16 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 			targets[i] = st.ClusterName
 		}
 	}
-	per := cfg.Clients / len(targets)
-	if per <= 0 {
-		per = 1
-	}
+	shares := splitClients(cfg.Clients, len(targets))
 	runners := make([]*Runner, 0, len(targets))
 	tables := make([]string, 0, len(targets))
 	for i, target := range targets {
+		if shares[i] == 0 {
+			continue
+		}
 		table := fmt.Sprintf("%s_%d", cfg.TablePrefix, i)
 		r, err := NewRunner(st, Config{
-			Clients:     per,
+			Clients:     shares[i],
 			Duration:    cfg.Duration,
 			Mix:         cfg.Mix,
 			Server:      target,
@@ -163,38 +163,13 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 	if len(killable) == 0 {
 		killable = names
 	}
-	quit := make(chan struct{})
-	injDone := make(chan struct{})
-	go func() {
-		defer close(injDone)
-		rng := rand.New(rand.NewSource(cfg.Seed*7919 + 1))
-		nextKill := time.NewTimer(jitterDur(rng, cfg.KillInterval))
-		nextDrop := time.NewTimer(jitterDur(rng, cfg.DropInterval))
-		defer nextKill.Stop()
-		defer nextDrop.Stop()
-		for {
-			select {
-			case <-quit:
-				return
-			case <-nextKill.C:
-				name := killable[rng.Intn(len(killable))]
-				st.Kill(name)
-				kills.Add(1)
-				select {
-				case <-time.After(jitterDur(rng, cfg.DownTime)):
-				case <-quit:
-					st.Restart(name)
-					return
-				}
-				st.Restart(name)
-				nextKill.Reset(jitterDur(rng, cfg.KillInterval))
-			case <-nextDrop.C:
-				fault.Default().Arm("rpc.recv.before", fault.Action{Drop: true}, fault.Times(2))
-				drops.Add(1)
-				nextDrop.Reset(jitterDur(rng, cfg.DropInterval))
-			}
-		}
-	}()
+	stopInjector := startInjector(st, injectorConfig{
+		Seed:         cfg.Seed,
+		KillInterval: cfg.KillInterval,
+		DownTime:     cfg.DownTime,
+		DropInterval: cfg.DropInterval,
+		Killable:     killable,
+	}, &kills, &drops)
 
 	var duringErr error
 	duringDone := make(chan struct{})
@@ -218,9 +193,7 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 		}(i, r)
 	}
 	wg.Wait()
-	close(quit)
-	<-injDone
-	fault.Default().Disarm("rpc.recv.before")
+	stopInjector()
 	for _, name := range names {
 		st.Restart(name)
 	}
@@ -250,22 +223,10 @@ func RunChaos(st *Stack, cfg ChaosConfig) (ChaosResult, error) {
 		return res, nil
 	}
 
-	// Drain: re-drive indoubt resolution until no DLFM holds a prepared
-	// transaction (presumed abort settles the ones with no recorded
-	// outcome; recorded commits are re-driven to completion). Later rounds
-	// back off with jitter — a just-restarted DLFM needs recovery time, and
-	// hammering it every 20ms only serializes behind its log replay.
-	bo := fault.Backoff{Base: 20 * time.Millisecond, Cap: 250 * time.Millisecond}
-	for round := 0; round < 100; round++ {
-		n, err := st.Host.ResolveIndoubts()
-		if err != nil {
-			return res, fmt.Errorf("workload: chaos drain: %w", err)
-		}
-		res.IndoubtsResolved += n
-		if res.LeftoverIndoubts = countPrepared(st); res.LeftoverIndoubts == 0 {
-			break
-		}
-		time.Sleep(bo.Delay(round))
+	var drainErr error
+	res.IndoubtsResolved, res.LeftoverIndoubts, drainErr = drainIndoubts(st)
+	if drainErr != nil {
+		return res, fmt.Errorf("workload: chaos drain: %w", drainErr)
 	}
 	resolved.Add(int64(res.IndoubtsResolved))
 	res.Phase2Giveups = st.DLFMStats().Phase2Giveups
@@ -462,6 +423,91 @@ func CheckConsistency(st *Stack, tables ...string) ([]string, error) {
 	}
 	sort.Strings(violations)
 	return violations, nil
+}
+
+// injectorConfig parameterizes the seeded kill/drop injector shared by the
+// chaos soak and the storm harness. An interval of zero disables that event
+// class.
+type injectorConfig struct {
+	Seed         int64
+	KillInterval time.Duration
+	DownTime     time.Duration
+	DropInterval time.Duration
+	Killable     []string
+}
+
+// startInjector launches the injector: one goroutine, all decisions from one
+// seeded PRNG, so a given seed replays the same kill/drop schedule. The
+// returned stop function halts it, waits for it to exit, and disarms any
+// leftover drop fault; callers restart killed members themselves (the
+// injector restarts its own victim on the way out).
+func startInjector(st *Stack, cfg injectorConfig, kills, drops *obs.Counter) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + 1))
+		var killC, dropC <-chan time.Time
+		var nextKill, nextDrop *time.Timer
+		if cfg.KillInterval > 0 && len(cfg.Killable) > 0 {
+			nextKill = time.NewTimer(jitterDur(rng, cfg.KillInterval))
+			defer nextKill.Stop()
+			killC = nextKill.C
+		}
+		if cfg.DropInterval > 0 {
+			nextDrop = time.NewTimer(jitterDur(rng, cfg.DropInterval))
+			defer nextDrop.Stop()
+			dropC = nextDrop.C
+		}
+		for {
+			select {
+			case <-quit:
+				return
+			case <-killC:
+				name := cfg.Killable[rng.Intn(len(cfg.Killable))]
+				st.Kill(name)
+				kills.Add(1)
+				select {
+				case <-time.After(jitterDur(rng, cfg.DownTime)):
+				case <-quit:
+					st.Restart(name)
+					return
+				}
+				st.Restart(name)
+				nextKill.Reset(jitterDur(rng, cfg.KillInterval))
+			case <-dropC:
+				fault.Default().Arm("rpc.recv.before", fault.Action{Drop: true}, fault.Times(2))
+				drops.Add(1)
+				nextDrop.Reset(jitterDur(rng, cfg.DropInterval))
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+		fault.Default().Disarm("rpc.recv.before")
+	}
+}
+
+// drainIndoubts re-drives indoubt resolution until no DLFM holds a prepared
+// transaction (presumed abort settles the ones with no recorded outcome;
+// recorded commits are re-driven to completion). Later rounds back off with
+// jitter — a just-restarted DLFM needs recovery time, and hammering it every
+// 20ms only serializes behind its log replay.
+func drainIndoubts(st *Stack) (resolved, leftover int, err error) {
+	bo := fault.Backoff{Base: 20 * time.Millisecond, Cap: 250 * time.Millisecond}
+	for round := 0; round < 100; round++ {
+		n, err := st.Host.ResolveIndoubts()
+		if err != nil {
+			return resolved, leftover, err
+		}
+		resolved += n
+		if leftover = countPrepared(st); leftover == 0 {
+			break
+		}
+		time.Sleep(bo.Delay(round))
+	}
+	return resolved, leftover, nil
 }
 
 // jitterDur spreads d over [d/2, 3d/2) so injector events do not beat in

@@ -23,8 +23,10 @@ type ClusterSoakConfig struct {
 
 	// DrainMember is drained mid-soak (default: the last server, sorted).
 	DrainMember string
-	// DrainAfter delays the drain start so the victim accumulates files
-	// first (default a quarter of the chaos duration).
+	// DrainAfter caps how long the soak waits for the victim to accumulate
+	// linked entries before the drain starts (default a quarter of the
+	// chaos duration). The wait itself is event-driven: the drain kicks off
+	// as soon as the member holds a linked entry, not after a fixed sleep.
 	DrainAfter time.Duration
 	// DrainRounds bounds drain retries (default 50).
 	DrainRounds int
@@ -67,7 +69,20 @@ func RunClusterSoak(st *Stack, cfg ClusterSoakConfig) (ClusterSoakResult, error)
 	res := ClusterSoakResult{DrainMember: cfg.DrainMember}
 	cfg.Chaos.KillExclude = append(cfg.Chaos.KillExclude, cfg.DrainMember)
 	cfg.Chaos.During = func(st *Stack) error {
-		time.Sleep(cfg.DrainAfter)
+		// Event-driven ramp-up wait: start draining once the victim holds a
+		// linked entry (the move then exercises real data), rather than
+		// sleeping a fixed fraction of the run and racing the workload's
+		// ramp-up on slow or contended machines. DrainAfter only bounds it.
+		deadline := time.Now().Add(cfg.DrainAfter)
+		for {
+			if n, err := countLinked(st, cfg.DrainMember); err == nil && n > 0 {
+				break
+			}
+			if !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 		var lastErr error
 		bo := fault.Backoff{Base: 50 * time.Millisecond, Cap: 500 * time.Millisecond}
 		for round := 1; round <= cfg.DrainRounds; round++ {
@@ -99,19 +114,29 @@ func RunClusterSoak(st *Stack, cfg ClusterSoakConfig) (ClusterSoakResult, error)
 		res.Chaos.Violations = append(res.Chaos.Violations,
 			fmt.Sprintf("drained member %s still owns slots", cfg.DrainMember))
 	}
-	rows, err := st.DLFMs[cfg.DrainMember].DB().DumpTable("dlfm_file")
+	left, err := countLinked(st, cfg.DrainMember)
 	if err != nil {
 		return res, err
-	}
-	left := 0
-	for _, r := range rows {
-		if r[6].Text() == "L" && r[7].Int64() == 0 {
-			left++
-		}
 	}
 	if left > 0 {
 		res.Chaos.Violations = append(res.Chaos.Violations,
 			fmt.Sprintf("drained member %s still holds %d linked entries", cfg.DrainMember, left))
 	}
 	return res, nil
+}
+
+// countLinked counts the member's live linked entries (dlfm_file rows in
+// state L with a zero transaction mark).
+func countLinked(st *Stack, member string) (int, error) {
+	rows, err := st.DLFMs[member].DB().DumpTable("dlfm_file")
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, r := range rows {
+		if r[6].Text() == "L" && r[7].Int64() == 0 {
+			n++
+		}
+	}
+	return n, nil
 }

@@ -85,16 +85,16 @@ func RunFailover(st *Stack, cfg FailoverConfig) (FailoverResult, error) {
 	reg.RegisterCounter("failover_indoubts_resolved_total", &resolved)
 	reg.RegisterCounter("failover_violations_total", &violated)
 
-	per := cfg.Clients / len(names)
-	if per <= 0 {
-		per = 1
-	}
+	shares := splitClients(cfg.Clients, len(names))
 	runners := make([]*Runner, 0, len(names))
 	tables := make([]string, 0, len(names))
 	for i, name := range names {
+		if shares[i] == 0 {
+			continue
+		}
 		table := fmt.Sprintf("%s_%s", cfg.TablePrefix, name)
 		r, err := NewRunner(st, Config{
-			Clients:     per,
+			Clients:     shares[i],
 			Duration:    cfg.Duration,
 			Mix:         cfg.Mix,
 			Server:      name,

@@ -1,0 +1,25 @@
+package workload
+
+// splitClients divides total clients across n targets without losing any:
+// every target gets total/n, and the remainder lands one extra each on the
+// first total%n targets, so the shares always sum to exactly total. With
+// fewer clients than targets the tail shares are zero — callers skip those
+// targets instead of rounding every share up and over-running the
+// configured load.
+func splitClients(total, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	if total <= 0 {
+		return out
+	}
+	per, rem := total/n, total%n
+	for i := range out {
+		out[i] = per
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package workload
+
+import "testing"
+
+// The chaos and failover soaks used to split cfg.Clients with bare integer
+// division: 100 clients over 3 members ran 99, and Clients < len(targets)
+// ran one per member — more than asked for. splitClients must conserve the
+// total exactly and never hand out negative or wildly uneven shares.
+func TestSplitClientsConservesTotal(t *testing.T) {
+	for total := 0; total <= 50; total++ {
+		for n := 1; n <= 8; n++ {
+			shares := splitClients(total, n)
+			if len(shares) != n {
+				t.Fatalf("splitClients(%d, %d): %d shares", total, n, len(shares))
+			}
+			sum, min, max := 0, shares[0], shares[0]
+			for _, s := range shares {
+				if s < 0 {
+					t.Fatalf("splitClients(%d, %d): negative share %d", total, n, s)
+				}
+				sum += s
+				if s < min {
+					min = s
+				}
+				if s > max {
+					max = s
+				}
+			}
+			if sum != total {
+				t.Fatalf("splitClients(%d, %d) = %v: sum %d, want %d", total, n, shares, sum, total)
+			}
+			if max-min > 1 {
+				t.Fatalf("splitClients(%d, %d) = %v: uneven by %d", total, n, shares, max-min)
+			}
+		}
+	}
+}
+
+func TestSplitClientsCases(t *testing.T) {
+	cases := []struct {
+		total, n int
+		want     []int
+	}{
+		{100, 3, []int{34, 33, 33}},
+		{2, 3, []int{1, 1, 0}},
+		{1, 4, []int{1, 0, 0, 0}},
+		{0, 3, []int{0, 0, 0}},
+		{9, 3, []int{3, 3, 3}},
+	}
+	for _, c := range cases {
+		got := splitClients(c.total, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitClients(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitClients(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+			}
+		}
+	}
+	if got := splitClients(5, 0); got != nil {
+		t.Fatalf("splitClients(5, 0) = %v, want nil", got)
+	}
+}

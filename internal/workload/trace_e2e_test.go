@@ -379,6 +379,11 @@ func TestMetricsGoldenList(t *testing.T) {
 		"storage_checkpoints_total",
 		"wal_group_commit_batches_total",
 		"wal_group_commit_batch_commits_total",
+		// This PR's admission-control names (DESIGN.md §12).
+		"host_admission_shed_total",
+		"host_admission_delayed_total",
+		"host_admission_lock_pressure",
+		"host_admission_wal_queue",
 	}
 	var missing []string
 	for _, name := range golden {
