@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke storm-smoke ci
+.PHONY: all build vet test race bench benchgate bench-record chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke storm-smoke fleet-smoke ci
 
 all: ci
 
@@ -29,6 +29,7 @@ bench:
 	$(GO) run ./cmd/dlfmbench traceoverhead -ops 20
 	$(GO) run ./cmd/dlfmbench storage -ops 20
 	$(GO) run ./cmd/dlfmbench storm -ops 100
+	$(GO) run ./cmd/dlfmbench fleet -ops 25
 
 # Compare the current bench.jsonl against the committed baseline AND the
 # newest entry of the per-PR trajectory: gated counts (counters + histogram
@@ -94,4 +95,15 @@ storm-smoke:
 	$(GO) run -race ./cmd/dlfmbench storm -seed 1 -ops 15 | tee storm-output.txt
 	grep '^BENCH ' storm-output.txt > storm.jsonl
 
-ci: build vet race chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke storm-smoke
+# Fleet observability smoke under the race detector: the E16 localization
+# experiment — three members, one with a 16x fsync latency injected, all
+# scraped over per-member admin HTTP. Exits non-zero unless the health
+# watchdog flags exactly the victim, the host router deprioritizes it, a
+# slow transaction's stitched trace names the victim's WAL fsync as the
+# dominant span, and every federated counter equals the sum of its
+# per-member values. The BENCH line lands in fleet.jsonl for CI to archive.
+fleet-smoke:
+	$(GO) run -race ./cmd/dlfmbench fleet -seed 1 -ops 25 | tee fleet-output.txt
+	grep '^BENCH ' fleet-output.txt > fleet.jsonl
+
+ci: build vet race chaos-smoke failover-smoke scaleout-smoke paxos-smoke storage-smoke storm-smoke fleet-smoke

@@ -9,18 +9,22 @@
 //	dlfmbench failover -seed 1 -dur 5s # kill a primary, promote its standby
 //	dlfmbench scaleout -members 1,2,4,8,16
 //	dlfmbench storm -ops 100          # open-loop storm, shedding on vs off
+//	dlfmbench fleet -ops 30           # fleet plane: localize a degraded member
 //	dlfmbench throughput | nextkey | escalation | optimizer |
 //	          synccommit | timeout | batchcommit | twophase |
 //	          commitlocks | processmodel
 //
 // Flags -clients, -ops, and -dur scale the runs; -seed replays a chaos
-// run's kill/drop schedule.
+// run's kill/drop schedule. -admin serves the live admin surface (including
+// the /cluster/* fleet endpoints) for mid-experiment inspection.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/workload"
 )
 
 type runner struct {
@@ -58,6 +63,7 @@ var all = []runner{
 	{"commitproto", "E13: 2PC vs Paxos Commit under coordinator crashes + fast paths", wrap(experiments.RunE13CommitProto)},
 	{"storage", "E14: page store — WAL group commit, buffer pool, tail-only restart", wrap(experiments.RunE14Storage)},
 	{"storm", "E15: open-loop storm past the knee, admission shedding on vs off", wrap(experiments.RunE15Storm)},
+	{"fleet", "E16: fleet observability — degraded-member localization via federated metrics, stitched traces, health watchdog", wrap(experiments.RunE16Fleet)},
 	{"commitlocks", "F4: lock cost of DLFM commit processing", wrap(experiments.RunF4CommitLocks)},
 	{"processmodel", "F5: all daemons in one run", wrap(experiments.RunF5ProcessModel)},
 }
@@ -74,6 +80,7 @@ func main() {
 	slowThreshold := fs.Duration("slow-txn-threshold", obs.DefaultSlowThreshold, "commits slower than this keep their full span tree (<0 disables)")
 	slowKeep := fs.Int("slow-keep", obs.DefaultSlowKeep, "how many slowest span trees the slow log retains")
 	slowOut := fs.String("slow-out", "", "write the slow-transaction log as JSON to this file after each experiment")
+	admin := fs.String("admin", "", "serve the live admin surface (with /cluster/* fleet endpoints) on this address while experiments run, e.g. 127.0.0.1:7118")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dlfmbench [flags] <experiment>\n\nexperiments:\n  all\n")
 		for _, r := range all {
@@ -110,6 +117,19 @@ func main() {
 		SlowThreshold: *slowThreshold,
 		SlowKeep:      *slowKeep,
 	})
+
+	if *admin != "" {
+		// The live admin endpoint follows stack churn: each experiment's
+		// deployment swaps in as it comes up, so storm/scaleout/storage
+		// runs can be inspected mid-flight (/metrics, /debug/*, /cluster/*).
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlfmbench: -admin %s: %v\n", *admin, err)
+			os.Exit(2)
+		}
+		fmt.Printf("admin: serving on http://%s\n", ln.Addr())
+		go http.Serve(ln, workload.LiveAdminHandler()) //nolint:errcheck
+	}
 
 	opt := experiments.Options{Clients: *clients, Ops: *ops, SoakDuration: *dur, Seed: *seed}
 	if *members != "" {

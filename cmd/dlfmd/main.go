@@ -7,9 +7,15 @@
 // Usage:
 //
 //	dlfmd -listen :7117 -name fs1 -wal /var/dlfm/fs1.wal
+//	dlfmd -listen :7117 -name fs1 -admin :7118 \
+//	      -fleet :7119 -fleet-peers fs2=127.0.0.1:7218,fs3=127.0.0.1:7318
 //
 // The file server and archive server are in-process simulations (see
 // DESIGN.md); -seed-files pre-creates files so a remote host can link them.
+// With -fleet / -fleet-peers the daemon also serves the cluster-wide
+// observability plane (federated /cluster/metrics, stitched /cluster/txn,
+// merged /cluster/waitgraph, /cluster/health), scraping each peer's admin
+// endpoint over HTTP.
 package main
 
 import (
@@ -17,13 +23,16 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/fsim"
 	"repro/internal/obs"
 	"repro/internal/rpc"
@@ -50,6 +59,10 @@ func main() {
 	nextKey := flag.Bool("next-key-locking", false, "enable next-key locking in the local database (the paper disables it)")
 	seed := flag.Int("seed-files", 0, "pre-create this many files under /data for experiments")
 	admin := flag.String("admin", "", "HTTP admin address serving /metrics, /debug/traces, /debug/locks (empty = disabled)")
+	fsyncDelay := flag.Duration("fsync-delay", 0, "modeled log-device fsync latency added to every WAL sync (0 = none)")
+	fleetAddr := flag.String("fleet", "", "HTTP address serving the fleet /cluster/* plane over this member plus -fleet-peers (empty = disabled; also mounted on -admin)")
+	fleetPeers := flag.String("fleet-peers", "", "comma-separated name=host:port admin endpoints of the other fleet members to federate")
+	fleetEvery := flag.Duration("fleet-scrape-every", time.Second, "fleet health watchdog check interval")
 	traceRing := flag.Int("trace-ring", obs.DefaultSpanCapacity, "completed-span ring capacity per process")
 	traceSample := flag.Float64("trace-sample", 1.0, "fraction of transactions traced with spans (0 disables, 1 traces all)")
 	slowThreshold := flag.Duration("slow-txn-threshold", obs.DefaultSlowThreshold, "commits slower than this keep their full span tree in /debug/slow (<0 disables)")
@@ -74,7 +87,11 @@ func main() {
 	}
 	cfg.DB.LockTimeout = *timeout
 	cfg.DB.NextKeyLocking = *nextKey
-	cfg.Tracer = obs.NewTracerDefault()
+	cfg.DB.WALSyncDelay = *fsyncDelay
+	// Spans carry the member name as a component prefix ("fs1/agent"),
+	// matching the in-stack convention — the fleet stitcher attributes
+	// leaf time to members by that prefix.
+	cfg.Tracer = obs.NewTracerDefault().Named(*name)
 	cfg.Flight = obs.NewFlightRecorder(0)
 
 	fs := fsim.NewServer(*name)
@@ -92,20 +109,58 @@ func main() {
 	}
 	defer srv.Close()
 
+	// The fleet plane federates this member with its -fleet-peers: each
+	// peer is another dlfmd's admin endpoint, scraped over HTTP exactly as
+	// a Prometheus server would.
+	var plane *fleet.Plane
+	if *fleetAddr != "" || *fleetPeers != "" {
+		sources := []fleet.Source{
+			fleet.NewLocalSource(*name, srv.Tracer(), srv.WaitEdges, srv.Obs()),
+		}
+		for _, peer := range strings.Split(*fleetPeers, ",") {
+			peer = strings.TrimSpace(peer)
+			if peer == "" {
+				continue
+			}
+			pname, addr, ok := strings.Cut(peer, "=")
+			if !ok {
+				log.Fatalf("dlfmd: -fleet-peers entry %q: want name=host:port", peer)
+			}
+			sources = append(sources, fleet.NewHTTPSource(pname, addr, 0))
+		}
+		plane = fleet.NewPlane(sources, fleet.HealthConfig{Interval: *fleetEvery})
+		if *fleetAddr != "" {
+			fleetSrv, err := plane.Start(*fleetAddr)
+			if err != nil {
+				log.Fatalf("dlfmd: fleet listener: %v", err)
+			}
+			defer fleetSrv.Close()
+			log.Printf("dlfmd: fleet endpoint on http://%s (/cluster/metrics, /cluster/txn/<id>, /cluster/waitgraph, /cluster/health)", fleetSrv.Addr())
+		} else {
+			plane.Watchdog.Start()
+			defer plane.Watchdog.Stop()
+		}
+	}
+
 	if *admin != "" {
 		adm := &obs.Admin{
 			Registries: []*obs.Registry{srv.Obs()},
 			Tracer:     srv.Tracer(),
 			LockDump:   func() any { return srv.DB().LockManager().Dump() },
 			WaitGraph:  func() any { return srv.DB().LockManager().Dump() },
+			WaitEdges:  srv.WaitEdges,
 			Flight:     cfg.Flight,
+		}
+		if plane != nil {
+			// One member's admin port can answer for the whole fleet.
+			adm.Mounts = map[string]http.Handler{"/cluster/": plane.Handler()}
 		}
 		adminSrv, err := adm.Start(*admin)
 		if err != nil {
 			log.Fatalf("dlfmd: admin listener: %v", err)
 		}
 		defer adminSrv.Close()
-		log.Printf("dlfmd: admin endpoint on http://%s (/metrics, /debug/traces, /debug/locks, /debug/txn/<id>, /debug/slow, /debug/waitgraph)", adminSrv.Addr())
+		log.Printf("dlfmd: admin endpoint on http://%s (/metrics, /debug/traces, /debug/locks, /debug/txn/<id>, /debug/slow, /debug/waitgraph, /debug/waitedges)", adminSrv.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -70,6 +70,14 @@ var ungatedPrefixes = []string{
 	// gauges (consistency held, SLO met, shedding engaged) are gated.
 	"storm_",
 	"e15_raw_",
+	// The fleet plane's own series count scrapes and flag transitions,
+	// which depend on watchdog timing; E16's raw detection latencies and
+	// federated totals likewise scale with the machine. Only the e16_*
+	// shape gauges (victim localized, router updated, dominant span named,
+	// federation exact) are gated.
+	"fleet_",
+	"health_",
+	"e16_raw_",
 }
 
 func ungated(name string) bool {

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -322,6 +323,37 @@ func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Tracer returns the trace ring receiving this DLFM's 2PC lifecycle events.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// WaitEdges renders this DLFM's live lock wait-for edges with trace-id
+// annotations. Engine-local txn ids collide across members (every engine
+// numbers from 1), so each edge also carries the global trace id the
+// tracer has bound for the txn — the join key that lets the fleet plane
+// merge wait chains spanning DLFMs into one graph.
+func (s *Server) WaitEdges() []obs.WaitEdge {
+	lm := s.db.LockManager()
+	if lm == nil {
+		return nil
+	}
+	d := lm.Dump()
+	var edges []obs.WaitEdge
+	for waiter, holders := range d.WaitsFor {
+		for _, holder := range holders {
+			edges = append(edges, obs.WaitEdge{
+				WaiterTxn:   waiter,
+				HolderTxn:   holder,
+				WaiterTrace: s.tracer.CtxOf(waiter).Trace,
+				HolderTrace: s.tracer.CtxOf(holder).Trace,
+			})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].WaiterTxn != edges[j].WaiterTxn {
+			return edges[i].WaiterTxn < edges[j].WaiterTxn
+		}
+		return edges[i].HolderTxn < edges[j].HolderTxn
+	})
+	return edges
+}
 
 // Close stops the daemons and the local database.
 func (s *Server) Close() error {

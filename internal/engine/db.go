@@ -66,6 +66,11 @@ type Config struct {
 	// period so restart replay stays bounded; 0 disables the daemon
 	// (checkpoints then happen only via explicit Checkpoint calls).
 	CheckpointEvery time.Duration
+	// WALSyncDelay adds an artificial latency to every log sync of THIS
+	// database, modeling a degraded log device on one member of a fleet
+	// (fleet experiments inject it into a single DLFM; the process-global
+	// wal.append.fsync fault point cannot be scoped that way). Zero is off.
+	WALSyncDelay time.Duration
 	// Obs, when non-nil, receives the engine's counters and histograms
 	// (engine_*, lock_*, wal_* metric names) for /metrics exposition.
 	Obs *obs.Registry
@@ -191,6 +196,9 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.tracer = cfg.Tracer
 	db.lm = lock.NewManager(db.lockConfig())
+	if cfg.WALSyncDelay > 0 {
+		db.log.SetSyncDelay(cfg.WALSyncDelay)
+	}
 	db.log.Instrument(cfg.Obs, cfg.Tracer)
 	db.registerMetrics(cfg.Obs)
 	if cfg.DataDir != "" {
@@ -262,6 +270,17 @@ func (db *DB) registerMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("engine_index_scans_total", &db.indexScans)
 	reg.RegisterCounter("engine_rows_read_total", &db.rowsRead)
 	reg.RegisterCounter("engine_rebinds_total", &db.rebinds)
+	// Lock pressure: held locks as a fraction of the lock-list cap (0 when
+	// uncapped) — the same signal host admission control sheds on, exposed
+	// per member so the fleet health monitor can compare members.
+	reg.GaugeFunc("engine_lock_pressure", func() float64 {
+		lm := db.LockManager()
+		limit := lm.LockListLimit()
+		if limit <= 0 {
+			return 0
+		}
+		return float64(lm.HeldTotal()) / float64(limit)
+	})
 }
 
 // Close releases the log file and, when storage-backed, the page file.

@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/hostdb"
+	"repro/internal/obs"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// E16 — fleet observability: can the cluster plane localize a degraded
+// member? Three DLFMs serve one cluster; every member's log device is
+// modeled with a small fsync latency and exactly one member (the victim)
+// gets a pathological one. Each member is scraped over its own admin HTTP
+// endpoint — the multi-process path, Prometheus text parse included — and
+// the experiment asserts the three claims the plane exists for:
+//
+//  1. Health: the watchdog flags the victim (latency drift against the
+//     fleet median) and ONLY the victim, and the host router learns it.
+//  2. Stitching: a slow transaction's /cluster/txn tree, assembled from
+//     per-member fragments, names the victim's WAL fsync as dominant.
+//  3. Federation: every aggregate counter equals the sum of the
+//     per-member values in the same scrape.
+const (
+	// e16BaselineFsync models every member's log device, as in E14/E15;
+	// free in-memory fsyncs would leave healthy members with no
+	// wal_sync_seconds observations at all — and a member that never
+	// observes cannot vote in the drift median the victim is judged
+	// against.
+	e16BaselineFsync = 500 * time.Microsecond
+	// e16VictimFsync is the victim's degraded log device: 16x the
+	// baseline, far past the watchdog's drift factor and absolute floor.
+	e16VictimFsync = 8 * time.Millisecond
+	e16Victim      = "fs2"
+)
+
+// E16Flag is one watchdog flag/clear transition observed during the run.
+type E16Flag struct {
+	Member   string
+	Degraded bool
+	Reason   string
+	After    time.Duration // since the storm started
+}
+
+// E16Report holds the localization run.
+type E16Report struct {
+	Baseline    time.Duration
+	VictimDelay time.Duration
+	Victim      string
+	Rate        float64
+	Sessions    int
+
+	Storm workload.StormResult
+	Flags []E16Flag
+	// FlagLatency is storm start → the victim's flag transition.
+	FlagLatency time.Duration
+	Health      fleet.HealthReport
+	RouterKnows bool // host placement map lists the victim as degraded
+
+	// ProbeLatency is the quiet post-storm probe transaction against the
+	// victim whose stitched tree is judged.
+	ProbeLatency  time.Duration
+	ProbeTrace    int64
+	Dominant      string
+	StitchMembers []string
+
+	CountersChecked int
+	CounterErrors   []string
+	ScrapeErrors    []string
+	MembersUp       float64
+}
+
+// e16Members lists the scrape targets: the host plus every DLFM.
+var e16Members = []string{"host", "fs1", "fs2", "fs3"}
+
+// RunE16Fleet builds the 3-member cluster, degrades one log device, drives
+// an open-loop storm while the fleet plane watches over HTTP, and verifies
+// localization, stitching, and federation.
+func RunE16Fleet(opt Options) (*E16Report, error) {
+	rep := &E16Report{
+		Baseline:    e16BaselineFsync,
+		VictimDelay: e16VictimFsync,
+		Victim:      e16Victim,
+		Rate:        400,
+	}
+
+	st, err := workload.NewStack(workload.StackConfig{
+		Servers: []string{"fs1", "fs2", "fs3"},
+		Cluster: true,
+		MutateHost: func(h *hostdb.Config) {
+			h.DB.LockTimeout = 10 * time.Second
+		},
+		MutateDLFM: func(name string, c *core.Config) {
+			c.DB.LockTimeout = 10 * time.Second
+			c.DB.WALSyncDelay = e16BaselineFsync
+			if name == e16Victim {
+				c.DB.WALSyncDelay = e16VictimFsync
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	// One admin HTTP server per member, as if each ran in its own process.
+	// The host's carries the process-wide registry too: that is where the
+	// storm harness publishes the SLO latency series.
+	var sources []fleet.Source
+	for _, m := range e16Members {
+		var adm *obs.Admin
+		if m == "host" {
+			adm = st.MemberAdmin(m, obs.Default())
+		} else {
+			adm = st.MemberAdmin(m)
+		}
+		srv, err := adm.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("e16: admin for %s: %w", m, err)
+		}
+		defer srv.Close()
+		sources = append(sources, fleet.NewHTTPSource(m, srv.Addr(), 2*time.Second))
+	}
+
+	var mu sync.Mutex
+	var flags []E16Flag
+	var start time.Time
+	hc := fleet.HealthConfig{
+		Interval:       120 * time.Millisecond,
+		MinWindowCount: 4,
+		FlagAfter:      2,
+		ClearAfter:     10,
+		SLOTarget:      50 * time.Millisecond,
+		OnChange: func(member string, degraded bool, reason string) {
+			// The router hook: a flagged member is deprioritized in every
+			// placement map it belongs to.
+			st.Host.SetMemberDegraded(member, degraded)
+			mu.Lock()
+			flags = append(flags, E16Flag{Member: member, Degraded: degraded, Reason: reason, After: time.Since(start)})
+			mu.Unlock()
+		},
+	}
+	plane := fleet.NewPlane(sources, hc)
+	fleetSrv, err := plane.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("e16: fleet server: %w", err)
+	}
+	defer fleetSrv.Close()
+	fleetBase := "http://" + fleetSrv.Addr()
+
+	// The storm: a fixed sub-saturation arrival rate spread across the
+	// cluster, long enough for the watchdog to accumulate per-member fsync
+	// windows. -ops scales the window as in E15.
+	window := time.Duration(opt.ops()) * 40 * time.Millisecond
+	if window < time.Second {
+		window = time.Second
+	}
+	if window > 4*time.Second {
+		window = 4 * time.Second
+	}
+	rep.Sessions = int(rep.Rate * window.Seconds())
+	start = time.Now()
+	storm, err := workload.RunStorm(st, workload.StormConfig{
+		Rate:        rep.Rate,
+		Sessions:    rep.Sessions,
+		SLO:         250 * time.Millisecond,
+		Seed:        opt.Seed + 163,
+		PreloadRows: 150,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("e16 storm: %w", err)
+	}
+	rep.Storm = storm
+	for _, v := range storm.Violations {
+		return nil, fmt.Errorf("e16 storm: consistency violation: %s", v)
+	}
+
+	// The ticker normally catches the victim mid-storm; on a slow machine
+	// the storm may finish first, so keep feeding commits to every member
+	// until the verdict lands (bounded). The ticker must stop first: a
+	// probe round can outlast the 120ms interval (the race detector slows
+	// everything ~10x), and an interleaved ticker check would consume the
+	// drift windows in sub-MinWindowCount slices that never qualify. With
+	// the manual checks owning the windows, each round hands every member
+	// a full window and the victim's bad streak builds deterministically.
+	// Stopping also freezes the final verdict: a quiet fleet produces
+	// empty drift windows, and enough of those would clear the flag while
+	// we inspect it.
+	plane.Watchdog.Stop()
+	flaggedVictim := func() bool {
+		for _, d := range plane.Watchdog.Degraded() {
+			if d == e16Victim {
+				return true
+			}
+		}
+		return false
+	}
+	probeSeq := int64(50_000_000)
+	for i := 0; i < 40 && !flaggedVictim(); i++ {
+		for _, m := range []string{"fs1", "fs2", "fs3"} {
+			for k := 0; k < 4; k++ {
+				probeSeq++
+				path, ok := e16PathOwned(st, m, probeSeq)
+				if !ok {
+					continue
+				}
+				e16Probe(st, path, probeSeq) //nolint:errcheck
+			}
+		}
+		plane.Watchdog.Check()
+	}
+
+	mu.Lock()
+	rep.Flags = append([]E16Flag(nil), flags...)
+	mu.Unlock()
+	for _, f := range rep.Flags {
+		if f.Member == e16Victim && f.Degraded {
+			rep.FlagLatency = f.After
+			break
+		}
+	}
+	if !flaggedVictim() {
+		return nil, fmt.Errorf("e16: watchdog never flagged %s (fsync %s vs baseline %s)", e16Victim, e16VictimFsync, e16BaselineFsync)
+	}
+	for _, f := range rep.Flags {
+		if f.Degraded && f.Member != e16Victim {
+			return nil, fmt.Errorf("e16: false flag on healthy member %s: %s", f.Member, f.Reason)
+		}
+	}
+
+	// The health verdict as an operator would read it: over HTTP.
+	if err := e16GetJSON(fleetBase+"/cluster/health", &rep.Health); err != nil {
+		return nil, fmt.Errorf("e16: /cluster/health: %w", err)
+	}
+	if len(rep.Health.Degraded) != 1 || rep.Health.Degraded[0] != e16Victim {
+		return nil, fmt.Errorf("e16: /cluster/health degraded=%v, want exactly [%s]", rep.Health.Degraded, e16Victim)
+	}
+	rep.RouterKnows = st.Host.Cluster(st.ClusterName).IsDegraded(e16Victim)
+	if !rep.RouterKnows {
+		return nil, fmt.Errorf("e16: host placement map does not list %s as degraded", e16Victim)
+	}
+
+	// Stitching: a quiet probe transaction routed to the victim, judged
+	// through /cluster/txn — the tree must blame the victim's WAL fsync.
+	probeSeq++
+	path, ok := e16PathOwned(st, e16Victim, probeSeq)
+	if !ok {
+		return nil, fmt.Errorf("e16: found no path owned by %s", e16Victim)
+	}
+	trace, dur, err := e16Probe(st, path, probeSeq)
+	if err != nil {
+		return nil, fmt.Errorf("e16 probe: %w", err)
+	}
+	if trace == 0 {
+		return nil, fmt.Errorf("e16 probe: transaction got no trace id (tracing disabled?)")
+	}
+	rep.ProbeTrace, rep.ProbeLatency = trace, dur
+	var stitched fleet.StitchedTrace
+	if err := e16GetJSON(fmt.Sprintf("%s/cluster/txn/%d", fleetBase, trace), &stitched); err != nil {
+		return nil, fmt.Errorf("e16: /cluster/txn/%d: %w", trace, err)
+	}
+	for m := range stitched.ByMember {
+		rep.StitchMembers = append(rep.StitchMembers, m)
+	}
+	sort.Strings(rep.StitchMembers)
+	rep.Dominant = stitched.Dominant
+	want := e16Victim + "/wal_fsync"
+	if rep.Dominant != want {
+		return nil, fmt.Errorf("e16: stitched dominant = %q, want %q (timeline:\n%s)", rep.Dominant, want, strings.Join(stitched.Timeline, "\n"))
+	}
+
+	// Federation: every aggregate counter must equal the sum of the
+	// per-member values in the same scrape — through the HTTP parse path.
+	view := plane.Collector.Federate()
+	for m, e := range view.Errors {
+		rep.ScrapeErrors = append(rep.ScrapeErrors, m+": "+e)
+	}
+	if len(rep.ScrapeErrors) > 0 {
+		return nil, fmt.Errorf("e16: scrape errors with all members up: %v", rep.ScrapeErrors)
+	}
+	rep.MembersUp = float64(len(view.Members))
+	names := make([]string, 0, len(view.Agg.Counters))
+	for n := range view.Agg.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var sum int64
+		for _, snap := range view.Members {
+			sum += snap.Counters[n]
+		}
+		if sum != view.Agg.Counters[n] {
+			rep.CounterErrors = append(rep.CounterErrors, fmt.Sprintf("%s: agg %d != member sum %d", n, view.Agg.Counters[n], sum))
+		}
+	}
+	rep.CountersChecked = len(names)
+	if len(rep.CounterErrors) > 0 {
+		return nil, fmt.Errorf("e16: federation mismatch: %v", rep.CounterErrors)
+	}
+	if view.Agg.Counters["engine_commits_total"] == 0 {
+		return nil, fmt.Errorf("e16: federated engine_commits_total is zero after a %d-session storm", rep.Sessions)
+	}
+
+	rep.publish(obs.Default())
+	return rep, nil
+}
+
+// e16PathOwned finds a path the cluster routes to member.
+func e16PathOwned(st *workload.Stack, member string, seq int64) (string, bool) {
+	for n := 0; n < 512; n++ {
+		path := fmt.Sprintf("/e16/%s-%d-%d", member, seq, n)
+		owners := st.Host.ReadOwners(st.ClusterName, path)
+		if len(owners) > 0 && owners[0] == member {
+			return path, true
+		}
+	}
+	return "", false
+}
+
+// e16Probe runs one linked insert through the cluster on path and returns
+// the transaction's trace id and commit latency. The storm harness already
+// created the table.
+func e16Probe(st *workload.Stack, path string, id int64) (int64, time.Duration, error) {
+	for _, fs := range st.CreateTargets(st.ClusterName, path) {
+		fs.Create(path, "app", []byte("e16")) //nolint:errcheck
+	}
+	s := st.Host.Session()
+	defer s.Close()
+	start := time.Now()
+	if _, err := s.Exec(`INSERT INTO storm (id, owner, doc) VALUES (?, ?, ?)`,
+		value.Int(id), value.Int(0), value.Str(hostdb.URL(st.ClusterName, path))); err != nil {
+		s.Rollback()
+		return 0, 0, err
+	}
+	// Host transactions trace under their own txn id (hostdb roots spans
+	// with StartRoot(txn, ...)); that id is the fleet-global trace key.
+	trace := s.TxnID()
+	if err := s.Commit(); err != nil {
+		return 0, 0, err
+	}
+	return trace, time.Since(start), nil
+}
+
+// e16GetJSON fetches url and decodes the JSON body into v.
+func e16GetJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// publish pushes the report into the process registry for the BENCH line.
+// The plain e16_* values are the shape assertions benchgate gates; the
+// e16_raw_* values are machine-speed trend data, ungated like storm_*.
+func (r *E16Report) publish(reg *obs.Registry) {
+	pct := func(ok bool) int64 {
+		if ok {
+			return 100
+		}
+		return 0
+	}
+	onlyVictim := len(r.Health.Degraded) == 1 && r.Health.Degraded[0] == r.Victim
+	reg.Gauge("e16_localized_ok_pct").Set(pct(onlyVictim))
+	reg.Gauge("e16_routed_ok_pct").Set(pct(r.RouterKnows))
+	reg.Gauge("e16_dominant_ok_pct").Set(pct(r.Dominant == r.Victim+"/wal_fsync"))
+	reg.Gauge("e16_federation_ok_pct").Set(pct(len(r.CounterErrors) == 0 && len(r.ScrapeErrors) == 0 && r.CountersChecked > 0))
+
+	reg.Gauge("e16_raw_flag_ms").Set(r.FlagLatency.Milliseconds())
+	reg.Gauge("e16_raw_probe_ms").Set(r.ProbeLatency.Milliseconds())
+	reg.Gauge("e16_raw_counters_checked").Set(int64(r.CountersChecked))
+	reg.Gauge("e16_raw_members_up").Set(int64(r.MembersUp))
+	reg.Gauge("e16_raw_slo_burn_milli").Set(int64(r.Health.SLOBurnRate * 1000))
+	reg.Gauge("e16_raw_fleet_median_p99_us").Set(int64(r.Health.FleetMedianP99MS * 1000))
+	reg.Counter("e16_raw_storm_commits_total").Add(r.Storm.Commits)
+}
+
+// String renders the report.
+func (r *E16Report) String() string {
+	t := &table{header: []string{"member", "degraded", "win p99 ms", "wal queue", "lock", "reasons"}}
+	for _, m := range r.Health.Members {
+		t.add(m.Member, fmt.Sprintf("%v", m.Degraded), fmt.Sprintf("%.2f", m.WindowP99MS),
+			fmt.Sprintf("%.0f", m.WALQueue), fmt.Sprintf("%.2f", m.LockPressure),
+			strings.Join(m.Reasons, "; "))
+	}
+	return fmt.Sprintf(
+		"E16 — fleet observability: 3 DLFMs behind one cluster, fsync modeled at %s everywhere except %s at %s; storm %.0f/s x %d sessions while the plane scrapes each member over HTTP\n",
+		r.Baseline, r.Victim, r.VictimDelay, r.Rate, r.Sessions) +
+		t.String() +
+		fmt.Sprintf("flagged %s after %s (router deprioritized: %v); stitched probe (%s, trace %d) dominant: %s across members %v\n",
+			r.Victim, r.FlagLatency.Round(time.Millisecond), r.RouterKnows,
+			r.ProbeLatency.Round(time.Millisecond), r.ProbeTrace, r.Dominant, r.StitchMembers) +
+		fmt.Sprintf("federation: %d counters aggregate == per-member sum (scrape errors: %d); fleet median p99 %.2fms, SLO burn %.2f\n",
+			r.CountersChecked, len(r.ScrapeErrors), r.Health.FleetMedianP99MS, r.Health.SLOBurnRate) +
+		"shape: the victim and only the victim is flagged, the stitched tree blames its WAL fsync, and the federated counters are bucket-exact\n"
+}

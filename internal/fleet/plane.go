@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Plane bundles the fleet observability surface: the collector (metric
+// federation, trace stitching, waitgraph merge), the health watchdog, and
+// the registry carrying the plane's own fleet_*/health_* metrics.
+//
+//	/cluster/metrics    federated Prometheus view: aggregate + per-member
+//	/cluster/txn/<id>   stitched cross-member span tree for one txn
+//	/cluster/waitgraph  fleet-merged wait-for graph with cycles
+//	/cluster/health     latest health report (?check=1 forces a fresh one)
+type Plane struct {
+	Collector *Collector
+	Watchdog  *Watchdog
+	reg       *obs.Registry
+}
+
+// NewPlane assembles a plane over sources with the given health config.
+// The plane's own metrics live on a fresh registry tagged plane="fleet",
+// served first on /cluster/metrics.
+func NewPlane(sources []Source, hc HealthConfig) *Plane {
+	c := NewCollector(sources...)
+	w := NewWatchdog(c, hc)
+	reg := obs.New().Label("plane", "fleet")
+	c.Instrument(reg)
+	w.Instrument(reg)
+	return &Plane{Collector: c, Watchdog: w, reg: reg}
+}
+
+// Registry returns the plane's own metrics registry (fleet_*/health_*).
+func (p *Plane) Registry() *obs.Registry { return p.reg }
+
+// Handler returns the /cluster/* mux. Mount it on a member's admin server
+// (obs.Admin.Mounts) or serve it standalone via Start.
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		p.reg.WriteProm(bw) //nolint:errcheck
+		view := p.Collector.Federate()
+		view.WriteProm(bw) //nolint:errcheck
+		bw.Flush()
+	})
+	mux.HandleFunc("/cluster/txn/", func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/cluster/txn/")
+		trace, err := strconv.ParseInt(id, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad txn %q: %v", id, err), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, p.Collector.Stitch(trace))
+	})
+	mux.HandleFunc("/cluster/waitgraph", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, p.Collector.MergeWaitGraph())
+	})
+	mux.HandleFunc("/cluster/health", func(w http.ResponseWriter, req *http.Request) {
+		rep := p.Watchdog.Report()
+		if req.URL.Query().Get("check") == "1" || rep.At.IsZero() {
+			rep = p.Watchdog.Check()
+		}
+		writeJSON(w, rep)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck
+}
+
+// Server is a running standalone fleet endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	p   *Plane
+}
+
+// Start serves the /cluster/* surface on addr and begins the watchdog
+// ticker. Close stops both.
+func (p *Plane) Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	p.Watchdog.Start()
+	srv := &http.Server{Handler: p.Handler()}
+	go srv.Serve(ln) //nolint:errcheck
+	return &Server{ln: ln, srv: srv, p: p}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the watchdog ticker and the listener.
+func (s *Server) Close() error {
+	s.p.Watchdog.Stop()
+	return s.srv.Close()
+}

@@ -39,6 +39,25 @@ type Admin struct {
 	// Cluster, when set, supplies the /debug/cluster payload (the host's
 	// placement maps — membership, per-slot owners, moves in flight).
 	Cluster func() any
+	// WaitEdges, when set, supplies the machine-readable wait-for edges
+	// for /debug/waitedges — each edge carries both the engine-local txn
+	// ids and (when the tracer has a binding) the global trace ids, which
+	// is what lets a fleet collector join wait chains across members.
+	WaitEdges func() []WaitEdge
+	// Mounts are extra handlers added to the mux by path prefix; the
+	// fleet plane mounts its /cluster/* surface here so one member's
+	// admin port can serve the whole-fleet view.
+	Mounts map[string]http.Handler
+}
+
+// WaitEdge is one waiter→holder edge of a lock wait-for graph, annotated
+// with trace ids so edges from different members (whose engine-local txn
+// ids collide) can be joined into one fleet-wide graph.
+type WaitEdge struct {
+	WaiterTxn   int64 `json:"waiter_txn"`
+	HolderTxn   int64 `json:"holder_txn"`
+	WaiterTrace int64 `json:"waiter_trace,omitempty"`
+	HolderTrace int64 `json:"holder_trace,omitempty"`
 }
 
 // Handler returns the admin mux.
@@ -134,6 +153,19 @@ func (a *Admin) Handler() http.Handler {
 		}
 		writeJSON(w, map[string]any{"live": live, "history": history})
 	})
+	mux.HandleFunc("/debug/waitedges", func(w http.ResponseWriter, _ *http.Request) {
+		var edges []WaitEdge
+		if a.WaitEdges != nil {
+			edges = a.WaitEdges()
+		}
+		if edges == nil {
+			edges = []WaitEdge{}
+		}
+		writeJSON(w, map[string]any{"edges": edges})
+	})
+	for path, h := range a.Mounts {
+		mux.Handle(path, h)
+	}
 	return mux
 }
 

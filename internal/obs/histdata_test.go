@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty pins the degenerate cases: a histogram that never
+// observed anything answers zero, never panics.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+	var d HistogramData
+	if got := d.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-value data Quantile = %v, want 0", got)
+	}
+}
+
+// TestQuantileSingleObservation: with one sample every quantile must land
+// inside the sample's bucket and never exceed the exact max.
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	v := 3 * time.Millisecond
+	h.Observe(v)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= 0 || got > v {
+			t.Fatalf("single-obs Quantile(%g) = %v, want in (0, %v]", q, got, v)
+		}
+	}
+}
+
+// TestQuantileOverflowOnly: samples past the last bound land in the
+// overflow bucket; the quantile answers the exact max rather than a bound.
+func TestQuantileOverflowOnly(t *testing.T) {
+	h := NewHistogram() // default bounds top out at 60s
+	h.Observe(120 * time.Second)
+	h.Observe(90 * time.Second)
+	if got := h.Quantile(0.99); got != 120*time.Second {
+		t.Fatalf("overflow-only Quantile(0.99) = %v, want exact max 120s", got)
+	}
+	if got := h.Quantile(0.25); got != 120*time.Second {
+		// Both samples sit in the overflow bucket; its only honest answer
+		// is the exact max.
+		t.Fatalf("overflow-only Quantile(0.25) = %v, want 120s", got)
+	}
+}
+
+// TestMergeBucketMismatch: merging histograms with different bucket layouts
+// must fail loudly, not silently misalign counts.
+func TestMergeBucketMismatch(t *testing.T) {
+	a := NewHistogramBounds([]int64{1000, 2000}).Export()
+	b := NewHistogramBounds([]int64{1000, 3000})
+	b.Observe(time.Microsecond)
+	if err := a.Merge(b.Export()); !errors.Is(err, ErrBucketMismatch) {
+		t.Fatalf("Merge with different bounds: err = %v, want ErrBucketMismatch", err)
+	}
+}
+
+// TestMergeEmptyAdoptsBounds: an empty snapshot takes on the other side's
+// layout, so federation can start from NewMetricsSnapshot's zero values.
+func TestMergeEmptyAdoptsBounds(t *testing.T) {
+	var agg HistogramData
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if err := agg.Merge(h.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 1 || agg.MaxNS != int64(time.Millisecond) {
+		t.Fatalf("adopted merge: count=%d max=%d", agg.Count, agg.MaxNS)
+	}
+}
+
+// TestMergeProperty is the federation correctness property: merging two
+// exported histograms must be indistinguishable from one histogram that
+// observed every sample — exactly for count/sum/max and bucket counts, and
+// within the containing bucket's width for quantiles (the resolution a
+// histogram has at all).
+func TestMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 50; trial++ {
+		h1, h2, all := NewHistogram(), NewHistogram(), NewHistogram()
+		var samples []int64
+		n1, n2 := 1+rng.Intn(200), 1+rng.Intn(200)
+		draw := func() time.Duration {
+			// Spread over six orders of magnitude, overflow included.
+			exp := 3 + rng.Intn(9) // 1µs .. ~1000s
+			base := time.Duration(1+rng.Intn(999)) * time.Duration(pow10(exp))
+			return base
+		}
+		for i := 0; i < n1; i++ {
+			v := draw()
+			h1.Observe(v)
+			all.Observe(v)
+			samples = append(samples, int64(v))
+		}
+		for i := 0; i < n2; i++ {
+			v := draw()
+			h2.Observe(v)
+			all.Observe(v)
+			samples = append(samples, int64(v))
+		}
+
+		merged := h1.Export()
+		if err := merged.Merge(h2.Export()); err != nil {
+			t.Fatal(err)
+		}
+		want := all.Export()
+		if merged.Count != want.Count || merged.SumNS != want.SumNS || merged.MaxNS != want.MaxNS {
+			t.Fatalf("trial %d: merged (count=%d sum=%d max=%d) != combined (count=%d sum=%d max=%d)",
+				trial, merged.Count, merged.SumNS, merged.MaxNS, want.Count, want.SumNS, want.MaxNS)
+		}
+		for i := range want.BucketCounts {
+			if merged.BucketCounts[i] != want.BucketCounts[i] {
+				t.Fatalf("trial %d: bucket %d: merged %d != combined %d", trial, i, merged.BucketCounts[i], want.BucketCounts[i])
+			}
+		}
+
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			// Same 1-based rank convention as HistogramData.Quantile.
+			rank := int(q*float64(len(samples)) + 0.5)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(samples) {
+				rank = len(samples)
+			}
+			true_ := samples[rank-1]
+			got := int64(merged.Quantile(q))
+			lo, hi := bucketRange(merged, true_)
+			if got < lo || got > hi {
+				t.Fatalf("trial %d: Quantile(%g) = %d outside true value %d's bucket [%d, %d]",
+					trial, q, got, true_, lo, hi)
+			}
+		}
+	}
+}
+
+// TestSubCounterReset: diffing against a snapshot with HIGHER counts (the
+// member restarted and its histogram reset) must yield the fresh baseline,
+// not negative buckets.
+func TestSubCounterReset(t *testing.T) {
+	before := NewHistogram()
+	for i := 0; i < 10; i++ {
+		before.Observe(time.Millisecond)
+	}
+	after := NewHistogram() // restarted: counts start over
+	after.Observe(2 * time.Millisecond)
+	win, err := after.Export().Sub(before.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Count != 1 {
+		t.Fatalf("post-reset window count = %d, want 1 (fresh baseline)", win.Count)
+	}
+	for _, c := range win.BucketCounts {
+		if c < 0 {
+			t.Fatalf("post-reset window has negative bucket: %v", win.BucketCounts)
+		}
+	}
+}
+
+// TestSubWindow: a normal diff isolates exactly the new observations.
+func TestSubWindow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	prev := h.Export()
+	h.Observe(5 * time.Millisecond)
+	h.Observe(7 * time.Millisecond)
+	win, err := h.Export().Sub(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Count != 2 {
+		t.Fatalf("window count = %d, want 2", win.Count)
+	}
+	if got := win.SumNS; got != int64(12*time.Millisecond) {
+		t.Fatalf("window sum = %d, want 12ms", got)
+	}
+}
+
+// bucketRange returns the [lower, upper] bounds of the bucket v falls in;
+// the overflow bucket's upper is the exact max.
+func bucketRange(d HistogramData, v int64) (int64, int64) {
+	lo := int64(0)
+	for _, b := range d.BoundsNS {
+		if v <= b {
+			return lo, b
+		}
+		lo = b
+	}
+	return lo, d.MaxNS
+}
+
+func pow10(n int) int64 {
+	out := int64(1)
+	for i := 0; i < n; i++ {
+		out *= 10
+	}
+	return out
+}

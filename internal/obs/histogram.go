@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -130,41 +131,7 @@ func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 // within the owning bucket, clamped to the exact observed maximum. Returns
 // 0 when the histogram is empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := int64(q*float64(total) + 0.5)
-	if target < 1 {
-		target = 1
-	}
-	if target > total {
-		target = total
-	}
-	var cum int64
-	for i := range h.counts {
-		n := h.counts[i].Load()
-		if cum+n < target {
-			cum += n
-			continue
-		}
-		if i == len(h.bounds) {
-			// Overflow bucket: the max is the best estimate.
-			return time.Duration(h.max.Load())
-		}
-		lo := int64(0)
-		if i > 0 {
-			lo = h.bounds[i-1]
-		}
-		hi := h.bounds[i]
-		frac := float64(target-cum) / float64(n)
-		est := lo + int64(frac*float64(hi-lo))
-		if m := h.max.Load(); est > m {
-			est = m
-		}
-		return time.Duration(est)
-	}
-	return time.Duration(h.max.Load())
+	return h.Export().Quantile(q)
 }
 
 // Summary is a point-in-time percentile digest of a histogram.
@@ -179,13 +146,171 @@ type Summary struct {
 
 // Summarize returns count, sum, p50/p95/p99, and max.
 func (h *Histogram) Summarize() Summary {
+	return h.Export().Summarize()
+}
+
+// --- Exported bucket data (federation) ---------------------------------------
+
+// HistogramData is a point-in-time copy of a histogram's buckets: the
+// currency of cross-process metric federation. BucketCounts are per-bucket
+// (NOT cumulative) and one longer than BoundsNS — the final entry is the
+// overflow (+Inf) bucket. The zero value is an empty histogram with no
+// bounds; Merge treats it as mergeable with anything.
+type HistogramData struct {
+	BoundsNS     []int64 `json:"bounds_ns"`
+	BucketCounts []int64 `json:"bucket_counts"`
+	Count        int64   `json:"count"`
+	SumNS        int64   `json:"sum_ns"`
+	MaxNS        int64   `json:"max_ns"`
+}
+
+// Export copies the histogram's current buckets. Concurrent Observe calls
+// may land between the bucket reads and the count read, so Count is
+// re-derived from the buckets — an Export is always internally consistent
+// (Count == sum of BucketCounts), which is what Merge arithmetic needs.
+func (h *Histogram) Export() HistogramData {
+	d := HistogramData{
+		BoundsNS:     append([]int64(nil), h.bounds...),
+		BucketCounts: make([]int64, len(h.counts)),
+		SumNS:        h.sum.Load(),
+		MaxNS:        h.max.Load(),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		d.BucketCounts[i] = n
+		d.Count += n
+	}
+	return d
+}
+
+// ErrBucketMismatch reports a Merge or Sub across histograms with different
+// bucket bounds; re-bucketing would silently corrupt quantiles, so the
+// caller must skip or resample instead.
+var ErrBucketMismatch = errors.New("obs: histogram bucket bounds differ")
+
+func sameBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds o into d bucket-wise. Count, Sum, and Max are exact; any
+// quantile of the merged data is within one bucket bound of the quantile a
+// single histogram observing both streams would report (the streams landed
+// in the same buckets either way). An empty side adopts the other's bounds.
+func (d *HistogramData) Merge(o HistogramData) error {
+	if o.Count == 0 && len(o.BoundsNS) == 0 {
+		return nil
+	}
+	if d.Count == 0 && len(d.BoundsNS) == 0 {
+		*d = o.clone()
+		return nil
+	}
+	if !sameBounds(d.BoundsNS, o.BoundsNS) {
+		return ErrBucketMismatch
+	}
+	for i := range d.BucketCounts {
+		d.BucketCounts[i] += o.BucketCounts[i]
+	}
+	d.Count += o.Count
+	d.SumNS += o.SumNS
+	if o.MaxNS > d.MaxNS {
+		d.MaxNS = o.MaxNS
+	}
+	return nil
+}
+
+// Sub returns d minus prev — the observations that landed between two
+// scrapes of a monotonically growing histogram. Negative deltas (a member
+// restarted and its counters reset) clamp to the current data, treating
+// the scrape as a fresh baseline.
+func (d HistogramData) Sub(prev HistogramData) (HistogramData, error) {
+	if prev.Count == 0 && len(prev.BoundsNS) == 0 {
+		return d.clone(), nil
+	}
+	if !sameBounds(d.BoundsNS, prev.BoundsNS) {
+		return HistogramData{}, ErrBucketMismatch
+	}
+	if d.Count < prev.Count || d.SumNS < prev.SumNS {
+		return d.clone(), nil // counter reset: restart window
+	}
+	out := d.clone()
+	for i := range out.BucketCounts {
+		out.BucketCounts[i] -= prev.BucketCounts[i]
+		if out.BucketCounts[i] < 0 {
+			return d.clone(), nil
+		}
+	}
+	out.Count -= prev.Count
+	out.SumNS -= prev.SumNS
+	// Max is high-water, not windowed; keep the cumulative max.
+	return out, nil
+}
+
+func (d HistogramData) clone() HistogramData {
+	c := d
+	c.BoundsNS = append([]int64(nil), d.BoundsNS...)
+	c.BucketCounts = append([]int64(nil), d.BucketCounts...)
+	return c
+}
+
+// Quantile estimates the q-quantile of the exported data with the same
+// interpolation (and max clamp) as Histogram.Quantile.
+func (d HistogramData) Quantile(q float64) time.Duration {
+	total := int64(0)
+	for _, n := range d.BucketCounts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i, n := range d.BucketCounts {
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i == len(d.BoundsNS) {
+			// Overflow bucket: the max is the best estimate.
+			return time.Duration(d.MaxNS)
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = d.BoundsNS[i-1]
+		}
+		hi := d.BoundsNS[i]
+		frac := float64(target-cum) / float64(n)
+		est := lo + int64(frac*float64(hi-lo))
+		if est > d.MaxNS {
+			est = d.MaxNS
+		}
+		return time.Duration(est)
+	}
+	return time.Duration(d.MaxNS)
+}
+
+// Summarize digests the exported data like Histogram.Summarize.
+func (d HistogramData) Summarize() Summary {
 	return Summary{
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
-		Max:   h.Max(),
+		Count: d.Count,
+		Sum:   time.Duration(d.SumNS),
+		P50:   d.Quantile(0.50),
+		P95:   d.Quantile(0.95),
+		P99:   d.Quantile(0.99),
+		Max:   time.Duration(d.MaxNS),
 	}
 }
 

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsePromText parses Prometheus text exposition — the format WriteProm
+// emits — back into a MetricsSnapshot, so a fleet collector can federate a
+// member it can only reach over admin HTTP. Series that differ only in
+// labels (a page concatenates several registries, each with its own
+// server="..." label) are folded together with federation semantics:
+// counters and gauges sum, histogram buckets add. Histogram bucket bounds
+// are recovered from the le labels (seconds → rounded nanoseconds), the
+// `<name>_max` companion gauge restores the exact maximum, and OpenMetrics
+// exemplar suffixes are ignored.
+func ParsePromText(r io.Reader) (MetricsSnapshot, error) {
+	kinds := map[string]string{}      // metric name -> counter|gauge|histogram
+	hists := map[string]*histSeries{} // "name\x00labels" -> accumulating series
+	var histKeys []string             // insertion order, for deterministic merge
+	out := NewMetricsSnapshot()
+
+	histFor := func(base, labelKey string) *histSeries {
+		k := base + "\x00" + labelKey
+		hs := hists[k]
+		if hs == nil {
+			hs = &histSeries{}
+			hists[k] = hs
+			histKeys = append(histKeys, k)
+		}
+		return hs
+	}
+	// histBase resolves a suffixed sample name (foo_bucket, foo_sum, ...)
+	// to its histogram name, or "" when no histogram of that name exists.
+	histBase := func(name, suffix string) string {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && kinds[base] == "histogram" {
+			return base
+		}
+		return ""
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				kinds[f[2]] = f[3]
+			}
+			continue // HELP and other comments carry no samples
+		}
+		name, labels, rest, err := splitSample(line)
+		if err != nil {
+			return out, fmt.Errorf("obs: prom parse line %d: %w", lineNo, err)
+		}
+		// The sample value is the first field of the remainder; an
+		// OpenMetrics exemplar (" # {...} v") may trail it.
+		valStr := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			valStr = rest[:i]
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return out, fmt.Errorf("obs: prom parse line %d: value %q: %w", lineNo, valStr, err)
+		}
+
+		if base := histBase(name, "_bucket"); base != "" {
+			hs := histFor(base, labelKeyWithout(labels, "le"))
+			le := labelValue(labels, "le")
+			if le == "+Inf" {
+				hs.infCum = int64(val)
+				continue
+			}
+			sec, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return out, fmt.Errorf("obs: prom parse line %d: le %q: %w", lineNo, le, err)
+			}
+			hs.boundsNS = append(hs.boundsNS, int64(math.Round(sec*1e9)))
+			hs.cum = append(hs.cum, int64(val))
+			continue
+		}
+		if base := histBase(name, "_sum"); base != "" {
+			histFor(base, labelKeyWithout(labels, "")).sumNS = int64(math.Round(val * 1e9))
+			continue
+		}
+		if base := histBase(name, "_count"); base != "" {
+			histFor(base, labelKeyWithout(labels, "")).count = int64(val)
+			continue
+		}
+		if base := histBase(name, "_max"); base != "" {
+			histFor(base, labelKeyWithout(labels, "")).maxNS = int64(math.Round(val * 1e9))
+			continue
+		}
+		switch kinds[name] {
+		case "counter":
+			out.Counters[name] += int64(val)
+		default: // gauge, or untyped — treat as gauge
+			out.Gauges[name] += val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: prom parse: %w", err)
+	}
+
+	for _, k := range histKeys {
+		hs := hists[k]
+		base := k[:strings.IndexByte(k, 0)]
+		d, err := hs.data()
+		if err != nil {
+			return out, fmt.Errorf("obs: prom parse %s: %w", base, err)
+		}
+		cur := out.Hists[base]
+		if err := cur.Merge(d); err != nil {
+			return out, fmt.Errorf("obs: prom parse %s: %w", base, err)
+		}
+		out.Hists[base] = cur
+	}
+	return out, nil
+}
+
+// histSeries accumulates one scraped histogram series mid-parse.
+type histSeries struct {
+	boundsNS []int64 // as exposed, no +Inf
+	cum      []int64 // cumulative counts per bound
+	infCum   int64
+	sumNS    int64
+	count    int64
+	maxNS    int64
+}
+
+// data de-cumulates one scraped histogram series into HistogramData.
+func (hs *histSeries) data() (HistogramData, error) {
+	// Buckets arrive in exposition order, which WriteProm emits ascending;
+	// sort defensively for third-party pages.
+	type bk struct{ bound, cum int64 }
+	bks := make([]bk, len(hs.boundsNS))
+	for i := range hs.boundsNS {
+		bks[i] = bk{hs.boundsNS[i], hs.cum[i]}
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].bound < bks[j].bound })
+	d := HistogramData{
+		BoundsNS:     make([]int64, len(bks)),
+		BucketCounts: make([]int64, len(bks)+1),
+		SumNS:        hs.sumNS,
+		MaxNS:        hs.maxNS,
+	}
+	var prev int64
+	for i, b := range bks {
+		if b.cum < prev {
+			return d, fmt.Errorf("non-monotonic bucket at le=%s", formatSeconds(b.bound))
+		}
+		d.BoundsNS[i] = b.bound
+		d.BucketCounts[i] = b.cum - prev
+		prev = b.cum
+	}
+	if hs.infCum < prev {
+		return d, fmt.Errorf("+Inf bucket below last bound")
+	}
+	d.BucketCounts[len(bks)] = hs.infCum - prev
+	d.Count = hs.infCum
+	return d, nil
+}
+
+// splitSample breaks a sample line into metric name, label pairs, and the
+// remainder (value plus optional exemplar).
+func splitSample(line string) (name string, labels []labelPair, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	sp := strings.IndexByte(line, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = line[:brace]
+		labels, rest, err = parseLabels(line[brace+1:])
+		if err != nil {
+			return "", nil, "", err
+		}
+		return name, labels, strings.TrimSpace(rest), nil
+	}
+	if sp < 0 {
+		return "", nil, "", fmt.Errorf("no value in %q", line)
+	}
+	return line[:sp], nil, strings.TrimSpace(line[sp+1:]), nil
+}
+
+type labelPair struct{ k, v string }
+
+// parseLabels consumes `k="v",k2="v2"}` (after the opening brace) and
+// returns the pairs plus whatever follows the closing brace. Label values
+// may contain escaped quotes and backslashes.
+func parseLabels(s string) ([]labelPair, string, error) {
+	var pairs []labelPair
+	for {
+		s = strings.TrimLeft(s, ", ")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return pairs, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, "", fmt.Errorf("malformed label in %q", s)
+		}
+		key := s[:eq]
+		var val strings.Builder
+		i := eq + 2
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		pairs = append(pairs, labelPair{key, val.String()})
+		s = s[i:]
+	}
+}
+
+func labelValue(labels []labelPair, key string) string {
+	for _, p := range labels {
+		if p.k == key {
+			return p.v
+		}
+	}
+	return ""
+}
+
+// labelKeyWithout renders a canonical series key from the labels, dropping
+// the named key (the le bucket label) so all buckets of one series group.
+func labelKeyWithout(labels []labelPair, drop string) string {
+	parts := make([]string, 0, len(labels))
+	for _, p := range labels {
+		if p.k == drop {
+			continue
+		}
+		parts = append(parts, p.k+"="+p.v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

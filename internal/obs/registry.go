@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -164,7 +165,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, render(n), counters[n].Load()); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Cumulative count.\n# TYPE %s counter\n%s %d\n", n, n, render(n), counters[n].Load()); err != nil {
 			return err
 		}
 	}
@@ -184,7 +185,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		} else {
 			v = float64(gauges[n].Load())
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, render(n), v); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Current value.\n# TYPE %s gauge\n%s %g\n", n, n, render(n), v); err != nil {
 			return err
 		}
 	}
@@ -197,7 +198,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, n := range names {
 		h := hists[n]
 		bounds, cum := h.buckets()
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Duration histogram in seconds.\n# TYPE %s histogram\n", n, n); err != nil {
 			return err
 		}
 		for i, b := range bounds {
@@ -221,6 +222,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s %d\n", render(n+"_count"), h.Count()); err != nil {
 			return err
 		}
+		// Non-standard companion gauge: the exact maximum, which cumulative
+		// buckets cannot carry. The federation parser folds it back into
+		// HistogramData.MaxNS so quantile clamping survives an HTTP scrape.
+		if _, err := fmt.Fprintf(w, "%s %g\n", render(n+"_max"), h.Max().Seconds()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -235,6 +242,71 @@ func formatSeconds(ns int64) string {
 		s = "0"
 	}
 	return s
+}
+
+// MetricsSnapshot is a registry's state in mergeable form: the currency of
+// fleet federation. Counters and gauges carry their raw values; histograms
+// carry full bucket exports so a collector can merge them bucket-wise.
+type MetricsSnapshot struct {
+	Counters map[string]int64         `json:"counters"`
+	Gauges   map[string]float64       `json:"gauges"`
+	Hists    map[string]HistogramData `json:"hists"`
+}
+
+// NewMetricsSnapshot returns an empty snapshot with initialized maps.
+func NewMetricsSnapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+		Hists:    make(map[string]HistogramData),
+	}
+}
+
+// Export copies every metric into a MetricsSnapshot. GaugeFuncs are
+// evaluated at export time.
+func (r *Registry) Export() MetricsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := NewMetricsSnapshot()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = float64(g.Load())
+	}
+	for n, f := range r.gaugeFns {
+		s.Gauges[n] = f()
+	}
+	for n, h := range r.hists {
+		s.Hists[n] = h.Export()
+	}
+	return s
+}
+
+// Merge folds o into s with federation semantics: counters and gauges sum,
+// histograms merge bucket-wise. A histogram whose bucket bounds disagree is
+// skipped and reported in the returned (joined) error; everything else
+// still merges, so one odd member cannot blank the fleet view.
+func (s *MetricsSnapshot) Merge(o MetricsSnapshot) error {
+	if s.Counters == nil {
+		*s = NewMetricsSnapshot()
+	}
+	for n, v := range o.Counters {
+		s.Counters[n] += v
+	}
+	for n, v := range o.Gauges {
+		s.Gauges[n] += v
+	}
+	var errs []error
+	for n, h := range o.Hists {
+		cur := s.Hists[n]
+		if err := cur.Merge(h); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", n, err))
+			continue
+		}
+		s.Hists[n] = cur
+	}
+	return errors.Join(errs...)
 }
 
 // Snapshot returns a JSON-friendly view of every metric: counters and

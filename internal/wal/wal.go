@@ -24,6 +24,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -214,6 +215,10 @@ type Log struct {
 	scanLSN int64
 	scanOff int64
 
+	// syncDelay is an artificial per-sync latency in nanoseconds
+	// (SetSyncDelay), modeling a degraded log device on this one log.
+	syncDelay atomic.Int64
+
 	appends   obs.Counter
 	bytes     obs.Counter
 	syncs     obs.Counter
@@ -250,6 +255,9 @@ func (l *Log) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		l.mu.Lock()
 		defer l.mu.Unlock()
 		return float64(len(l.firstOffset))
+	})
+	reg.GaugeFunc("wal_group_commit_queue", func() float64 {
+		return float64(l.GroupCommitQueueDepth())
 	})
 }
 
@@ -391,6 +399,16 @@ func (l *Log) CheckpointLSN() int64 {
 	return lsn
 }
 
+// SetSyncDelay adds an artificial per-sync latency to THIS log, modeling a
+// degraded log device. Unlike the process-global wal.append.fsync fault
+// point, the delay is scoped to one Log, so a fleet experiment can slow a
+// single member's disk while its peers stay healthy. The delay runs under
+// the log mutex (like a real slow fsync would) and is measured by
+// wal_sync_seconds, so latency-drift monitors see it. Zero clears it.
+func (l *Log) SetSyncDelay(d time.Duration) {
+	l.syncDelay.Store(int64(d))
+}
+
 // Sync forces appended records to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
@@ -399,13 +417,19 @@ func (l *Log) Sync() error {
 	if err := fpAppendFsync.Fire(); err != nil {
 		return err
 	}
-	if l.f == nil {
-		l.syncedEnd = l.end
-		return nil
-	}
 	start := time.Now()
-	err := l.f.Sync()
-	l.syncHist.Observe(time.Since(start))
+	if d := time.Duration(l.syncDelay.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	var err error
+	if l.f != nil {
+		err = l.f.Sync()
+	}
+	if l.f != nil || l.syncDelay.Load() > 0 {
+		// In-memory logs without a modeled delay skip the observation:
+		// their "sync" is free and would drown the histogram in zeros.
+		l.syncHist.Observe(time.Since(start))
+	}
 	if err == nil {
 		l.syncedEnd = l.end
 	}

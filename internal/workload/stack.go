@@ -189,6 +189,7 @@ func (st *Stack) Admin() *obs.Admin {
 		Tracer:     st.Tracer,
 		LockDump:   func() any { return st.WaitGraph() },
 		WaitGraph:  func() any { return st.WaitGraph() },
+		WaitEdges:  st.allWaitEdges,
 		Flight:     st.Flight,
 		Cluster:    func() any { return st.Host.DescribeClusters() },
 	}
@@ -372,6 +373,9 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		}
 		st.ClusterName = name
 	}
+	// Publish for the live admin endpoint (dlfmbench -admin): the newest
+	// deployment is the one experiments are currently driving.
+	liveStack.Store(st)
 	return st, nil
 }
 
@@ -478,6 +482,7 @@ func (st *Stack) KillForever(name string) {
 
 // Close shuts the deployment down.
 func (st *Stack) Close() {
+	liveStack.CompareAndSwap(st, nil)
 	for _, e := range st.eps {
 		e.halt()
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/hostdb"
 	"repro/internal/obs"
 	"repro/internal/value"
@@ -384,6 +385,12 @@ func TestMetricsGoldenList(t *testing.T) {
 		"host_admission_delayed_total",
 		"host_admission_lock_pressure",
 		"host_admission_wal_queue",
+		// This PR's watchdog input gauges (DESIGN.md §13): the member-side
+		// signals the fleet health monitor scores.
+		"engine_lock_pressure",
+		"wal_group_commit_queue",
+		"cluster_degraded_members",
+		"repl_lag_records",
 	}
 	var missing []string
 	for _, name := range golden {
@@ -393,5 +400,50 @@ func TestMetricsGoldenList(t *testing.T) {
 	}
 	if len(missing) > 0 {
 		t.Fatalf("golden metrics missing from /metrics: %v", missing)
+	}
+
+	// The fleet plane's own exposition (DESIGN.md §13): aggregate series
+	// plus member-labelled copies and the plane's fleet_*/health_* state.
+	fleetSrv := httptest.NewServer(st.NewFleetPlane(fleet.HealthConfig{}).Handler())
+	defer fleetSrv.Close()
+	resp, err = http.Get(fleetSrv.URL + "/cluster/health?check=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	resp, err = http.Get(fleetSrv.URL + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetExpo := string(body)
+	fleetGolden := []string{
+		"fleet_members",
+		"fleet_scrapes_total",
+		"fleet_scrape_errors_total",
+		"fleet_slo_burn_rate",
+		`fleet_member_up{member="host"} 1`,
+		`fleet_member_up{member="fs1"} 1`,
+		"health_checks_total",
+		"health_flags_total",
+		"health_clears_total",
+		"health_degraded_members",
+		// Aggregate + member-labelled copies of a member series.
+		"\nengine_commits_total ",
+		`engine_commits_total{member="fs1"}`,
+	}
+	missing = missing[:0]
+	for _, name := range fleetGolden {
+		if !strings.Contains(fleetExpo, name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("fleet golden metrics missing from /cluster/metrics: %v", missing)
 	}
 }
